@@ -1,0 +1,490 @@
+//! Encoding dynamic traces as datalog facts and running the paper's
+//! entry/exit and dependence rules (§III-E).
+//!
+//! Relations:
+//!
+//! - `rw_param(S)` / `rw_param_fz(S, I)` — statement `S` wrote a value
+//!   containing parameter atoms (the `RW-LOG` / `RW-LOG-FUZZED` facts);
+//! - `resp_write(S)` / `resp_write_fz(S, I)` — `S` marshaled a response;
+//! - `dep(S1, S2)` — `S1` depends on `S2` (flow, control, or `ACTUAL`
+//!   call-site-to-declaration edges);
+//! - `stmt_unmar(S)` / `stmt_mar(S)` — the derived `STMT-UNMAR` /
+//!   `STMT-MAR` rules: a statement qualifies when it handles the payload
+//!   in the base run *and in every fuzzed run* (expressed with stratified
+//!   negation over `fuzz_run`);
+//! - `dep_tc(S1, S2)` — transitive `STMT-DEP`.
+
+use crate::trace::ExecutionTrace;
+use edgstr_datalog::{Const, Database, Rule, RuleAtom, Term};
+use edgstr_lang::{Atom, Program, Stmt, StmtId};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// One profiled execution: the trace plus the payload fingerprints of its
+/// request and response.
+#[derive(Debug, Clone)]
+pub struct TraceRun {
+    pub trace: ExecutionTrace,
+    pub param_atoms: BTreeSet<Atom>,
+    pub response_atoms: BTreeSet<Atom>,
+}
+
+/// Entry/exit points of a service, as inferred by the datalog rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryExit {
+    /// The unmarshaling statement (reads the parameter off the wire).
+    pub entry: StmtId,
+    /// The marshaling statement (the `res.send`).
+    pub exit: StmtId,
+    /// Variable holding the unmarshaled parameter (`v_unmar`).
+    pub unmar_var: Option<String>,
+    /// Variable holding the marshaled result (`v_mar`).
+    pub mar_var: Option<String>,
+}
+
+/// The populated fact database plus derived analyses for one service.
+#[derive(Debug)]
+pub struct AnalysisFacts {
+    /// The datalog database after rule evaluation.
+    pub db: Database,
+    base_order: Vec<StmtId>,
+}
+
+fn sid(s: StmtId) -> Const {
+    Const::Int(i64::from(s.0))
+}
+
+fn stmt_of(c: &Const) -> StmtId {
+    StmtId(c.as_int().unwrap_or(0) as u32)
+}
+
+impl AnalysisFacts {
+    /// Build facts from the base run and fuzzed runs, then evaluate the
+    /// rules to fixpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on internal rule errors (the rule set is statically
+    /// stratifiable).
+    pub fn build(program: &Program, base: &TraceRun, fuzz: &[TraceRun]) -> AnalysisFacts {
+        let mut db = Database::new();
+
+        // --- RW-LOG facts -------------------------------------------------
+        for (s, var, atoms) in &base.trace.writes {
+            if var != "__response" && !atoms.is_disjoint(&base.param_atoms) {
+                db.add_fact("rw_param", vec![sid(*s)]);
+            }
+            if var == "__response" {
+                db.add_fact("resp_write", vec![sid(*s)]);
+            }
+        }
+        for (i, run) in fuzz.iter().enumerate() {
+            let i = i as i64 + 1;
+            db.add_fact("fuzz_run", vec![Const::Int(i)]);
+            for (s, var, atoms) in &run.trace.writes {
+                if var != "__response" && !atoms.is_disjoint(&run.param_atoms) {
+                    db.add_fact("rw_param_fz", vec![sid(*s), Const::Int(i)]);
+                }
+                if var == "__response" {
+                    db.add_fact("resp_write_fz", vec![sid(*s), Const::Int(i)]);
+                }
+            }
+        }
+
+        // --- flow dependence from RW replay (base + fuzz, unioned) --------
+        let mut runs: Vec<&ExecutionTrace> = vec![&base.trace];
+        runs.extend(fuzz.iter().map(|r| &r.trace));
+        for trace in &runs {
+            let mut last_writer: HashMap<&str, StmtId> = HashMap::new();
+            for (s, var, is_write) in &trace.rw_events {
+                if *is_write {
+                    last_writer.insert(var.as_str(), *s);
+                } else if let Some(w) = last_writer.get(var.as_str()) {
+                    if w != s {
+                        db.add_fact("dep", vec![sid(*s), sid(*w)]);
+                    }
+                }
+            }
+        }
+
+        // --- control dependence from the AST -------------------------------
+        for stmt in program.all_stmts() {
+            match stmt {
+                Stmt::If {
+                    id,
+                    then_block,
+                    else_block,
+                    ..
+                } => {
+                    for child in then_block.iter().chain(else_block.iter()) {
+                        db.add_fact("control_dep", vec![sid(child.id()), sid(*id)]);
+                    }
+                }
+                Stmt::While { id, body, .. } => {
+                    for child in body {
+                        db.add_fact("control_dep", vec![sid(child.id()), sid(*id)]);
+                    }
+                }
+                Stmt::For {
+                    id, init, update, body, ..
+                } => {
+                    db.add_fact("control_dep", vec![sid(init.id()), sid(*id)]);
+                    db.add_fact("control_dep", vec![sid(update.id()), sid(*id)]);
+                    for child in body {
+                        db.add_fact("control_dep", vec![sid(child.id()), sid(*id)]);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // --- ACTUAL facts: call sites to user-function declarations --------
+        let decls = function_decls(program);
+        for trace in &runs {
+            for (call_site, func, _) in &trace.invokes {
+                if let Some(decl) = decls.get(func.as_str()) {
+                    db.add_fact("actual", vec![sid(*call_site), sid(*decl)]);
+                }
+            }
+        }
+
+        // --- side-effect statements (must be kept in slices) ---------------
+        for trace in &runs {
+            for (s, sql) in &trace.sql_stmts {
+                if is_sql_write(sql) {
+                    db.add_fact("effect", vec![sid(*s)]);
+                }
+            }
+            for (s, _, written) in &trace.file_stmts {
+                if *written {
+                    db.add_fact("effect", vec![sid(*s)]);
+                }
+            }
+            for (s, _) in &trace.global_writes {
+                db.add_fact("effect", vec![sid(*s)]);
+            }
+        }
+
+        db.evaluate(&rules()).expect("static rule set is well-formed");
+        AnalysisFacts {
+            db,
+            base_order: base.trace.executed_stmts(),
+        }
+    }
+
+    /// The inferred entry/exit points: first `STMT-UNMAR` statement in
+    /// execution order; the `STMT-MAR` statement.
+    pub fn entry_exit(&self, program: &Program) -> Option<EntryExit> {
+        let unmar: BTreeSet<StmtId> = self
+            .db
+            .all("stmt_unmar")
+            .into_iter()
+            .map(|t| stmt_of(&t[0]))
+            .collect();
+        let mar: BTreeSet<StmtId> = self
+            .db
+            .all("stmt_mar")
+            .into_iter()
+            .map(|t| stmt_of(&t[0]))
+            .collect();
+        let entry = self.base_order.iter().copied().find(|s| unmar.contains(s))?;
+        let exit = self.base_order.iter().copied().find(|s| mar.contains(s))?;
+        let unmar_var = program.find(entry).and_then(|s| s.written_var());
+        let mar_var = program.find(exit).and_then(|s| {
+            let mut vars = Vec::new();
+            s.read_vars(&mut vars);
+            vars.into_iter().find(|v| v != "res")
+        });
+        Some(EntryExit {
+            entry,
+            exit,
+            unmar_var,
+            mar_var,
+        })
+    }
+
+    /// The dependence slice: every statement the exit point transitively
+    /// depends on, plus all side-effecting statements and their
+    /// dependencies, plus the entry point.
+    pub fn slice(&self, entry_exit: Option<&EntryExit>) -> BTreeSet<StmtId> {
+        let mut seeds: BTreeSet<StmtId> = self
+            .db
+            .all("effect")
+            .into_iter()
+            .map(|t| stmt_of(&t[0]))
+            .collect();
+        if let Some(ee) = entry_exit {
+            seeds.insert(ee.exit);
+            seeds.insert(ee.entry);
+        }
+        let mut out = seeds.clone();
+        for seed in &seeds {
+            for tuple in self
+                .db
+                .query("dep_tc", &[Term::int(i64::from(seed.0)), Term::var("D")])
+            {
+                out.insert(stmt_of(&tuple[1]));
+            }
+        }
+        out
+    }
+
+    /// Statements executed in the base run, in first-execution order.
+    pub fn base_order(&self) -> &[StmtId] {
+        &self.base_order
+    }
+}
+
+/// Map function names to their declaration statements (including nested
+/// declarations).
+pub fn function_decls(program: &Program) -> BTreeMap<String, StmtId> {
+    let mut out = BTreeMap::new();
+    for stmt in program.all_stmts() {
+        if let Stmt::Function { id, name, .. } = stmt {
+            out.insert(name.clone(), *id);
+        }
+    }
+    out
+}
+
+/// Whether a SQL command mutates table contents or schema.
+pub fn is_sql_write(sql: &str) -> bool {
+    let t = sql.trim_start().to_ascii_lowercase();
+    ["insert", "update", "delete", "create", "drop"]
+        .iter()
+        .any(|kw| t.starts_with(kw))
+}
+
+/// The rule set (STMT-UNMAR, STMT-MAR, transitive STMT-DEP).
+fn rules() -> Vec<Rule> {
+    let v = Term::var;
+    vec![
+        // dep also flows through control dependence and ACTUAL edges
+        Rule::new(
+            RuleAtom::pos("dep", vec![v("S"), v("C")]),
+            vec![RuleAtom::pos("control_dep", vec![v("S"), v("C")])],
+        ),
+        Rule::new(
+            RuleAtom::pos("dep", vec![v("CS"), v("D")]),
+            vec![RuleAtom::pos("actual", vec![v("CS"), v("D")])],
+        ),
+        // STMT-UNMAR: wrote the payload in the base run and in every fuzz run
+        Rule::new(
+            RuleAtom::pos("not_unmar", vec![v("S")]),
+            vec![
+                RuleAtom::pos("rw_param", vec![v("S")]),
+                RuleAtom::pos("fuzz_run", vec![v("I")]),
+                RuleAtom::neg("rw_param_fz", vec![v("S"), v("I")]),
+            ],
+        ),
+        Rule::new(
+            RuleAtom::pos("stmt_unmar", vec![v("S")]),
+            vec![
+                RuleAtom::pos("rw_param", vec![v("S")]),
+                RuleAtom::neg("not_unmar", vec![v("S")]),
+            ],
+        ),
+        // STMT-MAR: marshaled the response in the base run and every fuzz run
+        Rule::new(
+            RuleAtom::pos("not_mar", vec![v("S")]),
+            vec![
+                RuleAtom::pos("resp_write", vec![v("S")]),
+                RuleAtom::pos("fuzz_run", vec![v("I")]),
+                RuleAtom::neg("resp_write_fz", vec![v("S"), v("I")]),
+            ],
+        ),
+        Rule::new(
+            RuleAtom::pos("stmt_mar", vec![v("S")]),
+            vec![
+                RuleAtom::pos("resp_write", vec![v("S")]),
+                RuleAtom::neg("not_mar", vec![v("S")]),
+            ],
+        ),
+        // transitive STMT-DEP
+        Rule::new(
+            RuleAtom::pos("dep_tc", vec![v("A"), v("B")]),
+            vec![RuleAtom::pos("dep", vec![v("A"), v("B")])],
+        ),
+        Rule::new(
+            RuleAtom::pos("dep_tc", vec![v("A"), v("C")]),
+            vec![
+                RuleAtom::pos("dep_tc", vec![v("A"), v("B")]),
+                RuleAtom::pos("dep", vec![v("B"), v("C")]),
+            ],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuzz::{fuzz_request, request_atoms, response_atoms, FuzzDictionary};
+    use crate::server::ServerProcess;
+    use crate::state::InitState;
+    use crate::trace::Tracer;
+    use edgstr_lang::normalize;
+    use edgstr_net::HttpRequest;
+    use serde_json::json;
+
+    /// Run one request with tracing, returning the run record.
+    fn traced_run(server: &mut ServerProcess, req: &HttpRequest) -> TraceRun {
+        let mut tracer = Tracer::new();
+        let out = server.handle_traced(req, &mut tracer).unwrap();
+        TraceRun {
+            trace: tracer.into_trace(),
+            param_atoms: request_atoms(req),
+            response_atoms: response_atoms(&out.response.body),
+        }
+    }
+
+    fn analyze(src: &str, req: HttpRequest) -> (AnalysisFacts, Program, EntryExit) {
+        let program = normalize(&edgstr_lang::parse(src).unwrap());
+        let mut server = ServerProcess::from_program(program.clone());
+        server.init().unwrap();
+        let init = InitState::capture(&server);
+        let base = traced_run(&mut server, &req);
+        let mut fuzz = Vec::new();
+        for i in 1..=3 {
+            init.restore(&mut server);
+            let mut dict = FuzzDictionary::default();
+            let fz_req = fuzz_request(&req, i, &mut dict);
+            fuzz.push(traced_run(&mut server, &fz_req));
+        }
+        let facts = AnalysisFacts::build(&program, &base, &fuzz);
+        let ee = facts.entry_exit(&program).expect("entry/exit inferred");
+        (facts, program, ee)
+    }
+
+    const PREDICT_APP: &str = r#"
+        var unrelated = "constant string";
+        app.post("/predict", function (req, res) {
+            var b = req.body.img;
+            var tv1 = new Uint8Array(b);
+            var out = tensor.infer("objdet", tv1);
+            res.send(out);
+        });
+    "#;
+
+    #[test]
+    fn infers_entry_exit_for_predict() {
+        let req = HttpRequest::post("/predict", json!({}), vec![42u8; 128]);
+        let (_, program, ee) = analyze(PREDICT_APP, req);
+        // entry statement writes a payload-carrying variable
+        let entry_stmt = program.find(ee.entry).unwrap();
+        let wv = entry_stmt.written_var().unwrap();
+        assert!(
+            wv == "b" || wv == "tv1",
+            "entry should unmarshal the image, wrote '{wv}'"
+        );
+        // exit is the res.send statement; its data variable is `out`
+        assert_eq!(ee.mar_var.as_deref(), Some("out"));
+    }
+
+    #[test]
+    fn entry_is_first_payload_write_in_order() {
+        let req = HttpRequest::post("/predict", json!({}), vec![7u8; 64]);
+        let (facts, _, ee) = analyze(PREDICT_APP, req);
+        let order = facts.base_order();
+        let epos = order.iter().position(|s| *s == ee.entry).unwrap();
+        let xpos = order.iter().position(|s| *s == ee.exit).unwrap();
+        assert!(epos < xpos, "entry must precede exit");
+    }
+
+    #[test]
+    fn slice_excludes_unrelated_statements() {
+        let src = r#"
+            var noise = 0;
+            app.get("/sum", function (req, res) {
+                var n = req.params.n;
+                var acc = 0;
+                for (var i = 0; i <= n; i = i + 1) { acc = acc + i; }
+                var junk = "never used in the response";
+                res.send({ sum: acc });
+            });
+        "#;
+        let req = HttpRequest::get("/sum", json!({"n": 10}));
+        let (facts, program, ee) = analyze(src, req);
+        let slice = facts.slice(Some(&ee));
+        // the junk statement must not be in the slice
+        let junk_stmt = program
+            .all_stmts()
+            .into_iter()
+            .find(|s| s.written_var().as_deref() == Some("junk"))
+            .unwrap();
+        assert!(!slice.contains(&junk_stmt.id()), "junk sliced in");
+        // the accumulator chain must be in the slice
+        let acc_stmt = program
+            .all_stmts()
+            .into_iter()
+            .find(|s| s.written_var().as_deref() == Some("acc"))
+            .unwrap();
+        assert!(slice.contains(&acc_stmt.id()), "acc missing from slice");
+    }
+
+    #[test]
+    fn slice_keeps_side_effects_even_off_response_path() {
+        let src = r#"
+            db.query("CREATE TABLE audit (id INT)");
+            app.get("/work", function (req, res) {
+                var x = req.params.x;
+                db.query("INSERT INTO audit VALUES (" + x + ")");
+                res.send({ ok: true });
+            });
+        "#;
+        let req = HttpRequest::get("/work", json!({"x": 5}));
+        let (facts, program, ee) = analyze(src, req);
+        let slice = facts.slice(Some(&ee));
+        // the INSERT statement's enclosing stmt must be kept although the
+        // response does not depend on it
+        let has_insert = program.all_stmts().into_iter().any(|s| {
+            slice.contains(&s.id())
+                && format!("{s:?}").contains("INSERT INTO audit")
+        });
+        assert!(has_insert, "side-effecting INSERT sliced away");
+    }
+
+    #[test]
+    fn actual_edges_pull_in_called_functions() {
+        let src = r#"
+            function helper(v) { return v * 2; }
+            app.get("/double", function (req, res) {
+                var n = req.params.n;
+                var r = helper(n);
+                res.send({ r: r });
+            });
+        "#;
+        let req = HttpRequest::get("/double", json!({"n": 21}));
+        let (facts, program, ee) = analyze(src, req);
+        let slice = facts.slice(Some(&ee));
+        let decl = function_decls(&program)["helper"];
+        assert!(slice.contains(&decl), "helper declaration not in slice");
+    }
+
+    #[test]
+    fn control_dependence_keeps_branch_conditions() {
+        let src = r#"
+            app.get("/clamp", function (req, res) {
+                var n = req.params.n;
+                var r = 0;
+                if (n > 10) { r = 10; } else { r = n; }
+                res.send({ r: r });
+            });
+        "#;
+        let req = HttpRequest::get("/clamp", json!({"n": 42}));
+        let (facts, program, ee) = analyze(src, req);
+        let slice = facts.slice(Some(&ee));
+        let if_stmt = program
+            .all_stmts()
+            .into_iter()
+            .find(|s| matches!(s, Stmt::If { .. }))
+            .unwrap();
+        assert!(slice.contains(&if_stmt.id()), "if statement not in slice");
+    }
+
+    #[test]
+    fn is_sql_write_classifier() {
+        assert!(is_sql_write("INSERT INTO t VALUES (1)"));
+        assert!(is_sql_write("  update t set a = 1"));
+        assert!(!is_sql_write("SELECT * FROM t"));
+        assert!(!is_sql_write("ROLLBACK"));
+    }
+}

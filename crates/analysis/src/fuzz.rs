@@ -1,0 +1,242 @@
+//! HTTP-parameter fuzzing (§III-E).
+//!
+//! "To differentiate between the primitive type values related to the
+//! analyzed service and those used by unrelated functionalities, EdgStr
+//! fuzzes the HTTP messages, so the parameter `p1` becomes
+//! `p1[1], …, p1[i]` and the modified messages are tracked by means of a
+//! fuzzing dictionary."
+
+use edgstr_lang::Atom;
+use edgstr_net::HttpRequest;
+use serde_json::Value as Json;
+use std::collections::BTreeSet;
+
+/// The fuzzing dictionary: which original atom became which fuzzed atom in
+/// each iteration.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzDictionary {
+    /// `(iteration, original, fuzzed)` entries.
+    pub entries: Vec<(usize, Atom, Atom)>,
+}
+
+impl FuzzDictionary {
+    /// Record a substitution.
+    pub fn record(&mut self, iteration: usize, original: Atom, fuzzed: Atom) {
+        self.entries.push((iteration, original, fuzzed));
+    }
+
+    /// All fuzzed atoms introduced in `iteration`.
+    pub fn fuzzed_atoms(&self, iteration: usize) -> BTreeSet<Atom> {
+        self.entries
+            .iter()
+            .filter(|(i, _, _)| *i == iteration)
+            .map(|(_, _, f)| f.clone())
+            .collect()
+    }
+
+    /// Number of recorded substitutions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no substitutions were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Produce the `i`-th fuzzed variant of a request (`p1[i]` in the paper),
+/// recording substitutions in `dict`. Mutations are deterministic so
+/// profiling runs are reproducible.
+pub fn fuzz_request(req: &HttpRequest, iteration: usize, dict: &mut FuzzDictionary) -> HttpRequest {
+    let params = fuzz_json(&req.params, iteration, dict);
+    let body = if req.body.is_empty() {
+        Vec::new()
+    } else {
+        let mut b = req.body.clone();
+        let mask = (iteration as u8).wrapping_mul(37).wrapping_add(11);
+        for byte in b.iter_mut().take(16) {
+            *byte ^= mask;
+        }
+        dict.record(
+            iteration,
+            Atom::BytesHash(edgstr_lang::fnv1a(&req.body)),
+            Atom::BytesHash(edgstr_lang::fnv1a(&b)),
+        );
+        b
+    };
+    HttpRequest {
+        verb: req.verb,
+        path: req.path.clone(),
+        params,
+        body,
+    }
+}
+
+/// Fuzz every scalar of a JSON value.
+pub fn fuzz_params(params: &Json, iteration: usize, dict: &mut FuzzDictionary) -> Json {
+    fuzz_json(params, iteration, dict)
+}
+
+fn fuzz_json(v: &Json, iteration: usize, dict: &mut FuzzDictionary) -> Json {
+    match v {
+        Json::String(s) => {
+            let fuzzed = format!("{s}_fz{iteration}");
+            dict.record(
+                iteration,
+                Atom::Str(s.clone()),
+                Atom::Str(fuzzed.clone()),
+            );
+            Json::String(fuzzed)
+        }
+        Json::Number(n) => {
+            let orig = n.as_f64().unwrap_or(0.0);
+            // keep integers integral so id-like parameters stay valid keys
+            let fuzzed = if n.is_i64() || n.is_u64() {
+                Json::from(orig as i64 + 1_000 + iteration as i64)
+            } else {
+                Json::from(orig + 1_000.5 + iteration as f64)
+            };
+            let fz = fuzzed.as_f64().unwrap_or(0.0);
+            dict.record(
+                iteration,
+                Atom::Num(orig.to_bits()),
+                Atom::Num(fz.to_bits()),
+            );
+            fuzzed
+        }
+        Json::Bool(_) | Json::Null => v.clone(),
+        Json::Array(items) => Json::Array(
+            items
+                .iter()
+                .map(|i| fuzz_json(i, iteration, dict))
+                .collect(),
+        ),
+        Json::Object(map) => Json::Object(
+            map.iter()
+                .map(|(k, val)| (k.clone(), fuzz_json(val, iteration, dict)))
+                .collect(),
+        ),
+    }
+}
+
+/// The atom fingerprint of a request's parameters and body — the set the
+/// entry/exit rules intersect write-values against.
+pub fn request_atoms(req: &HttpRequest) -> BTreeSet<Atom> {
+    let mut atoms = BTreeSet::new();
+    collect_json_atoms(&req.params, &mut atoms);
+    if !req.body.is_empty() {
+        atoms.insert(Atom::BytesHash(edgstr_lang::fnv1a(&req.body)));
+    }
+    // strings that identify the route itself are not parameters
+    atoms.remove(&Atom::Str(req.path.clone()));
+    atoms
+}
+
+/// The atom fingerprint of a JSON response `r_i`.
+pub fn response_atoms(body: &Json) -> BTreeSet<Atom> {
+    let mut atoms = BTreeSet::new();
+    collect_json_atoms(body, &mut atoms);
+    atoms
+}
+
+fn collect_json_atoms(v: &Json, out: &mut BTreeSet<Atom>) {
+    match v {
+        Json::Null => {}
+        Json::Bool(b) => {
+            out.insert(Atom::Bool(*b));
+        }
+        Json::Number(n) => {
+            out.insert(Atom::Num(n.as_f64().unwrap_or(0.0).to_bits()));
+        }
+        Json::String(s) => {
+            out.insert(Atom::Str(s.clone()));
+        }
+        Json::Array(items) => {
+            for i in items {
+                collect_json_atoms(i, out);
+            }
+        }
+        Json::Object(map) => {
+            // binary marker objects fingerprint by their hash
+            if let Some(h) = map.get("$hash").and_then(Json::as_u64) {
+                out.insert(Atom::BytesHash(h));
+                return;
+            }
+            for val in map.values() {
+                collect_json_atoms(val, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn fuzzing_mutates_strings_and_numbers() {
+        let req = HttpRequest::get("/q", json!({"name": "cat", "page": 3}));
+        let mut dict = FuzzDictionary::default();
+        let fz = fuzz_request(&req, 1, &mut dict);
+        assert_eq!(fz.params["name"], json!("cat_fz1"));
+        assert_eq!(fz.params["page"], json!(1004));
+        assert_eq!(dict.len(), 2);
+    }
+
+    #[test]
+    fn fuzzing_is_deterministic() {
+        let req = HttpRequest::post("/p", json!({"x": "v"}), vec![1, 2, 3, 4]);
+        let mut d1 = FuzzDictionary::default();
+        let mut d2 = FuzzDictionary::default();
+        let a = fuzz_request(&req, 2, &mut d1);
+        let b = fuzz_request(&req, 2, &mut d2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_iterations_differ() {
+        let req = HttpRequest::get("/q", json!({"s": "x"}));
+        let mut dict = FuzzDictionary::default();
+        let a = fuzz_request(&req, 1, &mut dict);
+        let b = fuzz_request(&req, 2, &mut dict);
+        assert_ne!(a.params, b.params);
+        assert_eq!(dict.fuzzed_atoms(1).len(), 1);
+        assert_eq!(dict.fuzzed_atoms(2).len(), 1);
+    }
+
+    #[test]
+    fn body_bytes_fuzzed_and_recorded() {
+        let req = HttpRequest::post("/p", json!({}), vec![9u8; 32]);
+        let mut dict = FuzzDictionary::default();
+        let fz = fuzz_request(&req, 1, &mut dict);
+        assert_ne!(fz.body, req.body);
+        assert_eq!(fz.body.len(), req.body.len());
+        assert!(!dict.is_empty());
+    }
+
+    #[test]
+    fn request_atoms_exclude_route_path() {
+        let req = HttpRequest::get("/status", json!({"q": "/status"}));
+        let atoms = request_atoms(&req);
+        // the path string appears as a param value too, but the route name
+        // itself is excluded once
+        assert!(atoms.is_empty() || atoms.len() <= 1);
+    }
+
+    #[test]
+    fn response_atoms_fingerprint_binary_markers() {
+        let body = json!({"out": {"$bytes": 100, "$hash": 42}});
+        let atoms = response_atoms(&body);
+        assert!(atoms.contains(&Atom::BytesHash(42)));
+    }
+
+    #[test]
+    fn nested_structures_fuzzed_recursively() {
+        let req = HttpRequest::get("/q", json!({"filters": [{"tag": "red"}]}));
+        let mut dict = FuzzDictionary::default();
+        let fz = fuzz_request(&req, 1, &mut dict);
+        assert_eq!(fz.params["filters"][0]["tag"], json!("red_fz1"));
+    }
+}

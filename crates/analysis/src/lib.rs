@@ -1,0 +1,33 @@
+//! # edgstr-analysis — EdgStr's dynamic analysis pipeline
+//!
+//! Implements §III-A through §III-E of the paper:
+//!
+//! - [`ServerProcess`] — the simulated Node.js server process (program +
+//!   SQL database + virtual file system + HTTP routes + compute host);
+//! - [`trace`] — Jalangi-style trace recording over whole service
+//!   executions;
+//! - [`state`] — init-state capture and checkpoint/restore isolation
+//!   (`init, save "init", exec_i, restore "init", …`);
+//! - [`fuzz`] — HTTP-parameter fuzzing with a fuzzing dictionary, used to
+//!   pinpoint marshal/unmarshal statements;
+//! - [`facts`] — encoding traces as datalog facts (`RW-LOG`,
+//!   `RW-LOG-FUZZED`, `ACTUAL`, control dependence) and the `STMT-UNMAR` /
+//!   `STMT-MAR` / transitive `STMT-DEP` rules;
+//! - `slice` — dependence slicing and the Extract Function refactoring;
+//! - [`profile`] — the per-service profiling driver (Algorithm 1).
+
+pub mod facts;
+pub mod fuzz;
+pub mod profile;
+pub mod server;
+pub mod slice;
+pub mod state;
+pub mod trace;
+
+pub use facts::{AnalysisFacts, EntryExit};
+pub use fuzz::{fuzz_params, FuzzDictionary};
+pub use profile::{profile_service, ServiceProfile};
+pub use server::{HandleOutcome, Route, ServerError, ServerProcess};
+pub use slice::{extract_function, slice_statements, ExtractedService};
+pub use state::{InitState, StateUnit};
+pub use trace::ExecutionTrace;

@@ -1,0 +1,763 @@
+//! The simulated Node.js server process: a NodeScript program bound to a
+//! SQL database, a virtual file system, an HTTP route table, and compute
+//! host functions (the TensorFlow analog).
+//!
+//! [`ServerProcess`] is used in two roles: `edgstr-analysis` drives it to
+//! profile services (§III-B), and `edgstr-runtime` uses the same type as
+//! the live cloud server and edge replicas.
+
+use edgstr_lang::{
+    parse, Host, HostOutcome, Instrument, Interpreter, NoopInstrument, Program, RuntimeError,
+    Value,
+};
+use edgstr_net::{HttpRequest, HttpResponse, Verb};
+use edgstr_sql::{RowEffect, SqlDb};
+use edgstr_vfs::VirtualFs;
+use serde_json::Value as Json;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A registered HTTP route.
+#[derive(Debug, Clone)]
+pub struct Route {
+    pub verb: Verb,
+    pub path: String,
+    pub handler: Value,
+}
+
+/// Error raised while running a server program or handling a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// NodeScript parse failure.
+    Parse(String),
+    /// Runtime failure inside the service (surfaced to the proxy's
+    /// failure-forwarding logic).
+    Runtime(String),
+    /// No route matches the request.
+    NoSuchRoute { verb: Verb, path: String },
+    /// Handler finished without calling `res.send`.
+    NoResponse,
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Parse(m) => write!(f, "parse error: {m}"),
+            ServerError::Runtime(m) => write!(f, "runtime error: {m}"),
+            ServerError::NoSuchRoute { verb, path } => {
+                write!(f, "no route for {verb} {path}")
+            }
+            ServerError::NoResponse => write!(f, "handler sent no response"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<RuntimeError> for ServerError {
+    fn from(e: RuntimeError) -> Self {
+        ServerError::Runtime(e.to_string())
+    }
+}
+
+/// Outcome of handling one request.
+#[derive(Debug, Clone)]
+pub struct HandleOutcome {
+    pub response: HttpResponse,
+    /// Virtual CPU cycles the request consumed.
+    pub cycles: u64,
+    /// Database row effects produced (for CRDT-Table mirroring).
+    pub row_effects: Vec<RowEffect>,
+    /// Files written (for CRDT-Files mirroring): `(path, contents)`.
+    pub file_writes: Vec<(String, Vec<u8>)>,
+    /// Global variables written (for CRDT-JSON mirroring).
+    pub global_writes: Vec<String>,
+}
+
+/// Cycle cost model for host functions.
+mod cost {
+    /// Fixed cost of dispatching any host call.
+    pub const HOST_BASE: u64 = 2_000;
+    /// Per-byte cost of file I/O.
+    pub const FILE_PER_BYTE: u64 = 2;
+    /// Fixed cost of a SQL statement.
+    pub const SQL_BASE: u64 = 60_000;
+    /// Per-row cost of SQL scans.
+    pub const SQL_PER_ROW: u64 = 3_000;
+    /// Fixed cost of loading/binding a model.
+    pub const INFER_BASE: u64 = 40_000_000;
+    /// Per-input-byte cost of inference (CNN-style compute).
+    pub const INFER_PER_BYTE: u64 = 900;
+}
+
+struct ServerHost<'a> {
+    db: &'a mut SqlDb,
+    fs: &'a mut VirtualFs,
+    routes: &'a mut Vec<Route>,
+    response: &'a mut Option<HttpResponse>,
+    status: &'a mut u16,
+    row_effects: &'a mut Vec<RowEffect>,
+    file_writes: &'a mut Vec<(String, Vec<u8>)>,
+    logs: &'a mut Vec<String>,
+    tick: &'a mut u64,
+    fail_calls: &'a [String],
+}
+
+impl ServerHost<'_> {
+    fn register(&mut self, verb: Verb, args: &[Value]) -> Result<HostOutcome, String> {
+        let path = args
+            .first()
+            .and_then(|v| v.as_str().map(str::to_string))
+            .ok_or("app route registration needs a path string")?;
+        let handler = args.get(1).cloned().ok_or("app route needs a handler")?;
+        if !matches!(handler, Value::Function(_)) {
+            return Err("route handler must be a function".into());
+        }
+        self.routes.retain(|r| !(r.verb == verb && r.path == path));
+        self.routes.push(Route {
+            verb,
+            path,
+            handler,
+        });
+        Ok(HostOutcome::cheap(Value::Null))
+    }
+}
+
+impl Host for ServerHost<'_> {
+    fn call(&mut self, name: &str, args: &[Value]) -> Result<HostOutcome, String> {
+        if self.fail_calls.iter().any(|f| f == name) {
+            return Err(format!("injected failure in host call '{name}'"));
+        }
+        match name {
+            "app.get" => self.register(Verb::Get, args),
+            "app.post" => self.register(Verb::Post, args),
+            "app.put" => self.register(Verb::Put, args),
+            "app.delete" => self.register(Verb::Delete, args),
+            "app.listen" => Ok(HostOutcome::cheap(Value::Null)),
+            "db.query" => {
+                let sql = args
+                    .first()
+                    .and_then(|v| v.as_str())
+                    .ok_or("db.query needs a SQL string")?;
+                let (result, effects) = self
+                    .db
+                    .exec_with_effects(sql)
+                    .map_err(|e| format!("SQL error: {e}"))?;
+                self.row_effects.extend(effects);
+                let rows = result.rows_json();
+                let scanned = rows.len() as u64;
+                let value = Value::from_json(&Json::Array(rows));
+                Ok(HostOutcome::with_cycles(
+                    value,
+                    cost::SQL_BASE + cost::SQL_PER_ROW * scanned.max(1),
+                ))
+            }
+            "fs.readFile" => {
+                let path = args
+                    .first()
+                    .and_then(|v| v.as_str())
+                    .ok_or("fs.readFile needs a path")?;
+                let data = self
+                    .fs
+                    .read(path)
+                    .map_err(|e| e.to_string())?
+                    .to_vec();
+                let cycles = cost::HOST_BASE + cost::FILE_PER_BYTE * data.len() as u64;
+                Ok(HostOutcome::with_cycles(Value::bytes(data), cycles))
+            }
+            "fs.writeFile" => {
+                let path = args
+                    .first()
+                    .and_then(|v| v.as_str().map(str::to_string))
+                    .ok_or("fs.writeFile needs a path")?;
+                let data = match args.get(1) {
+                    Some(Value::Bytes(b)) => b.to_vec(),
+                    Some(Value::Str(s)) => s.as_bytes().to_vec(),
+                    Some(other) => other.to_string().into_bytes(),
+                    None => return Err("fs.writeFile needs data".into()),
+                };
+                let cycles = cost::HOST_BASE + cost::FILE_PER_BYTE * data.len() as u64;
+                self.fs.write(path.clone(), data.clone());
+                self.file_writes.push((path, data));
+                Ok(HostOutcome::with_cycles(Value::Null, cycles))
+            }
+            "fs.exists" => {
+                let path = args
+                    .first()
+                    .and_then(|v| v.as_str())
+                    .ok_or("fs.exists needs a path")?;
+                Ok(HostOutcome::cheap(Value::Bool(self.fs.contains(path))))
+            }
+            "res.send" => {
+                let value = args.first().cloned().unwrap_or(Value::Null);
+                *self.response = Some(HttpResponse {
+                    status: *self.status,
+                    body: value.to_json(),
+                });
+                Ok(HostOutcome::cheap(Value::Null))
+            }
+            "res.status" => {
+                let code = args
+                    .first()
+                    .and_then(Value::as_num)
+                    .ok_or("res.status needs a number")? as u16;
+                *self.status = code;
+                Ok(HostOutcome::cheap(Value::Null))
+            }
+            "tensor.infer" => {
+                // Deterministic pseudo-inference: derive "detections" from a
+                // content hash of the input. Exercises the same code path as
+                // the paper's TensorFlow object-detection service while
+                // remaining reproducible.
+                let model = args
+                    .first()
+                    .and_then(|v| v.as_str().map(str::to_string))
+                    .unwrap_or_else(|| "default".to_string());
+                let input = match args.get(1) {
+                    Some(Value::Bytes(b)) => b.to_vec(),
+                    Some(other) => other.to_string().into_bytes(),
+                    None => Vec::new(),
+                };
+                let h = edgstr_lang::fnv1a(&input);
+                let n = (h % 4 + 1) as usize;
+                let labels = ["person", "car", "dog", "bicycle", "chair", "bottle"];
+                let detections: Vec<Json> = (0..n)
+                    .map(|i| {
+                        let hi = h.rotate_left((i * 13) as u32);
+                        serde_json::json!({
+                            "label": labels[(hi % labels.len() as u64) as usize],
+                            "score": ((hi % 50) as f64 + 50.0) / 100.0,
+                            "box": [
+                                (hi % 100) as f64, ((hi >> 8) % 100) as f64,
+                                ((hi >> 16) % 100 + 100) as f64, ((hi >> 24) % 100 + 100) as f64,
+                            ],
+                        })
+                    })
+                    .collect();
+                let result = serde_json::json!({ "model": model, "detections": detections });
+                let cycles = cost::INFER_BASE + cost::INFER_PER_BYTE * input.len() as u64;
+                Ok(HostOutcome::with_cycles(Value::from_json(&result), cycles))
+            }
+            "JSON.stringify" => {
+                let v = args.first().cloned().unwrap_or(Value::Null);
+                Ok(HostOutcome::cheap(Value::str(v.to_json().to_string())))
+            }
+            "JSON.parse" => {
+                let s = args
+                    .first()
+                    .and_then(|v| v.as_str())
+                    .ok_or("JSON.parse needs a string")?;
+                let j: Json =
+                    serde_json::from_str(s).map_err(|e| format!("JSON parse error: {e}"))?;
+                Ok(HostOutcome::cheap(Value::from_json(&j)))
+            }
+            "Math.floor" | "Math.round" | "Math.ceil" | "Math.abs" | "Math.sqrt" => {
+                let n = args
+                    .first()
+                    .and_then(Value::as_num)
+                    .ok_or_else(|| format!("{name} needs a number"))?;
+                let r = match name {
+                    "Math.floor" => n.floor(),
+                    "Math.round" => n.round(),
+                    "Math.ceil" => n.ceil(),
+                    "Math.abs" => n.abs(),
+                    _ => n.sqrt(),
+                };
+                Ok(HostOutcome::cheap(Value::Num(r)))
+            }
+            "Math.min" | "Math.max" => {
+                let nums: Vec<f64> = args.iter().filter_map(Value::as_num).collect();
+                let r = if name == "Math.min" {
+                    nums.iter().cloned().fold(f64::INFINITY, f64::min)
+                } else {
+                    nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                };
+                Ok(HostOutcome::cheap(Value::Num(r)))
+            }
+            "Math.pow" => {
+                let a = args.first().and_then(Value::as_num).unwrap_or(0.0);
+                let b = args.get(1).and_then(Value::as_num).unwrap_or(0.0);
+                Ok(HostOutcome::cheap(Value::Num(a.powf(b))))
+            }
+            "util.blob" => {
+                // deterministic synthetic binary data (model weights, map
+                // tiles, seed corpora) — the stand-in for the large assets
+                // real subjects load at init
+                let size = args
+                    .first()
+                    .and_then(Value::as_num)
+                    .map(|n| n as usize)
+                    .unwrap_or(0)
+                    .min(64 * 1024 * 1024);
+                let seed = args
+                    .get(1)
+                    .and_then(Value::as_num)
+                    .map(|n| n as u64)
+                    .unwrap_or(1);
+                let mut out = Vec::with_capacity(size);
+                let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+                while out.len() < size {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+                out.truncate(size);
+                let cycles = cost::HOST_BASE + out.len() as u64 / 8;
+                Ok(HostOutcome::with_cycles(Value::bytes(out), cycles))
+            }
+            "util.hash" => {
+                let bytes = match args.first() {
+                    Some(Value::Bytes(b)) => b.to_vec(),
+                    Some(other) => other.to_string().into_bytes(),
+                    None => Vec::new(),
+                };
+                Ok(HostOutcome::cheap(Value::Num(
+                    (edgstr_lang::fnv1a(&bytes) % 1_000_000_007) as f64,
+                )))
+            }
+            "util.tick" => {
+                *self.tick += 1;
+                Ok(HostOutcome::cheap(Value::Num(*self.tick as f64)))
+            }
+            "console.log" => {
+                let line = args
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                self.logs.push(line);
+                Ok(HostOutcome::cheap(Value::Null))
+            }
+            other => Err(format!("unknown host function '{other}'")),
+        }
+    }
+
+    fn native_names(&self) -> Vec<String> {
+        ["app", "db", "fs", "res", "tensor", "JSON", "Math", "util", "console"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+}
+
+/// A simulated server process: program + state + routes.
+#[derive(Debug)]
+pub struct ServerProcess {
+    pub program: Program,
+    pub db: SqlDb,
+    pub fs: VirtualFs,
+    globals: BTreeMap<String, Value>,
+    routes: Vec<Route>,
+    logs: Vec<String>,
+    tick: u64,
+    fail_calls: Vec<String>,
+    init_cycles: u64,
+}
+
+impl ServerProcess {
+    /// Parse `source` and build an un-initialized process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Parse`] on invalid NodeScript.
+    pub fn from_source(source: &str) -> Result<ServerProcess, ServerError> {
+        let program = parse(source).map_err(|e| ServerError::Parse(e.to_string()))?;
+        Ok(ServerProcess::from_program(program))
+    }
+
+    /// Build from an already-parsed (possibly transformed) program.
+    pub fn from_program(program: Program) -> ServerProcess {
+        ServerProcess {
+            program,
+            db: SqlDb::new(),
+            fs: VirtualFs::new(),
+            globals: BTreeMap::new(),
+            routes: Vec::new(),
+            logs: Vec::new(),
+            tick: 0,
+            fail_calls: Vec::new(),
+            init_cycles: 0,
+        }
+    }
+
+    /// Run the program's top-level statements (the server `init` phase,
+    /// §III-B): creates tables, loads files, registers routes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime failures.
+    pub fn init(&mut self) -> Result<(), ServerError> {
+        self.init_traced(&mut NoopInstrument)
+    }
+
+    /// [`ServerProcess::init`] with an instrumentation hook attached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime failures.
+    pub fn init_traced(&mut self, tracer: &mut dyn Instrument) -> Result<(), ServerError> {
+        let program = self.program.clone();
+        let mut response = None;
+        let mut status = 200u16;
+        let mut row_effects = Vec::new();
+        let mut file_writes = Vec::new();
+        let mut host = ServerHost {
+            db: &mut self.db,
+            fs: &mut self.fs,
+            routes: &mut self.routes,
+            response: &mut response,
+            status: &mut status,
+            row_effects: &mut row_effects,
+            file_writes: &mut file_writes,
+            logs: &mut self.logs,
+            tick: &mut self.tick,
+            fail_calls: &[],
+        };
+        let mut interp = Interpreter::new(&mut host);
+        interp.set_globals(self.globals.clone());
+        interp.run_program(&program, tracer)?;
+        self.init_cycles = interp.cycles();
+        self.globals = interp.globals().clone();
+        Ok(())
+    }
+
+    /// Handle one HTTP request by invoking the matching route handler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError`] on missing routes, runtime failures
+    /// (including injected ones), or handlers that send no response.
+    pub fn handle(&mut self, req: &HttpRequest) -> Result<HandleOutcome, ServerError> {
+        self.handle_traced(req, &mut NoopInstrument)
+    }
+
+    /// [`ServerProcess::handle`] with an instrumentation hook attached.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServerProcess::handle`].
+    pub fn handle_traced(
+        &mut self,
+        req: &HttpRequest,
+        tracer: &mut dyn Instrument,
+    ) -> Result<HandleOutcome, ServerError> {
+        let route = self
+            .routes
+            .iter()
+            .find(|r| r.verb == req.verb && r.path == req.path)
+            .cloned()
+            .ok_or_else(|| ServerError::NoSuchRoute {
+                verb: req.verb,
+                path: req.path.clone(),
+            })?;
+        let req_value = request_value(req);
+        let mut response = None;
+        let mut status = 200u16;
+        let mut row_effects = Vec::new();
+        let mut file_writes = Vec::new();
+        let fail_calls = self.fail_calls.clone();
+        let globals_before: Vec<String> = self.globals.keys().cloned().collect();
+        let mut host = ServerHost {
+            db: &mut self.db,
+            fs: &mut self.fs,
+            routes: &mut self.routes,
+            response: &mut response,
+            status: &mut status,
+            row_effects: &mut row_effects,
+            file_writes: &mut file_writes,
+            logs: &mut self.logs,
+            tick: &mut self.tick,
+            fail_calls: &fail_calls,
+        };
+        let mut interp = Interpreter::new(&mut host);
+        interp.set_globals(self.globals.clone());
+        let result = interp.call_closure(
+            &route.handler,
+            vec![req_value, Value::Native("res".into())],
+            tracer,
+        );
+        let cycles = interp.cycles();
+        let new_globals = interp.globals().clone();
+        // globals created during the request persist (JS semantics)
+        let global_writes: Vec<String> = new_globals
+            .keys()
+            .filter(|k| !globals_before.contains(k))
+            .cloned()
+            .collect();
+        self.globals = new_globals;
+        result?;
+        let response = response.ok_or(ServerError::NoResponse)?;
+        Ok(HandleOutcome {
+            response,
+            cycles,
+            row_effects,
+            file_writes,
+            global_writes,
+        })
+    }
+
+    /// The registered routes.
+    pub fn routes(&self) -> &[Route] {
+        &self.routes
+    }
+
+    /// Look up a route by verb and path.
+    pub fn route(&self, verb: Verb, path: &str) -> Option<&Route> {
+        self.routes.iter().find(|r| r.verb == verb && r.path == path)
+    }
+
+    /// Deep-copied snapshot of mutable global state (functions and natives
+    /// excluded).
+    pub fn snapshot_globals(&self) -> BTreeMap<String, Value> {
+        self.globals
+            .iter()
+            .filter(|(_, v)| !matches!(v, Value::Function(_) | Value::Native(_)))
+            .map(|(k, v)| (k.clone(), v.deep_clone()))
+            .collect()
+    }
+
+    /// Restore globals previously captured by
+    /// [`ServerProcess::snapshot_globals`].
+    pub fn restore_globals(&mut self, saved: &BTreeMap<String, Value>) {
+        for (k, v) in saved {
+            self.globals.insert(k.clone(), v.deep_clone());
+        }
+    }
+
+    /// Read one global as JSON (for assertions and CRDT mirroring).
+    pub fn global_json(&self, name: &str) -> Option<Json> {
+        self.globals.get(name).map(Value::to_json)
+    }
+
+    /// Set a global from JSON (CRDT inbound application).
+    pub fn set_global_json(&mut self, name: &str, value: &Json) {
+        self.globals
+            .insert(name.to_string(), Value::from_json(value));
+    }
+
+    /// Names of mutable (non-function) globals.
+    pub fn mutable_global_names(&self) -> Vec<String> {
+        self.globals
+            .iter()
+            .filter(|(_, v)| !matches!(v, Value::Function(_) | Value::Native(_)))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Inject failures: any host call whose dotted name is in `calls`
+    /// raises a runtime error (exercises the proxy's failure forwarding).
+    pub fn inject_failures(&mut self, calls: Vec<String>) {
+        self.fail_calls = calls;
+    }
+
+    /// Clear injected failures.
+    pub fn clear_failures(&mut self) {
+        self.fail_calls.clear();
+    }
+
+    /// `console.log` output accumulated so far.
+    pub fn logs(&self) -> &[String] {
+        &self.logs
+    }
+
+    /// Cycles consumed by the init phase.
+    pub fn init_cycles(&self) -> u64 {
+        self.init_cycles
+    }
+}
+
+/// Build the `req` object handed to route handlers.
+pub fn request_value(req: &HttpRequest) -> Value {
+    let mut fields: Vec<(String, Value)> = vec![
+        ("path".to_string(), Value::str(req.path.clone())),
+        ("method".to_string(), Value::str(req.verb.to_string())),
+        ("params".to_string(), Value::from_json(&req.params)),
+        ("query".to_string(), Value::from_json(&req.params)),
+    ];
+    let mut body_fields: Vec<(String, Value)> = Vec::new();
+    if !req.body.is_empty() {
+        body_fields.push(("img".to_string(), Value::bytes(req.body.clone())));
+        body_fields.push(("data".to_string(), Value::bytes(req.body.clone())));
+    }
+    if let Json::Object(m) = &req.params {
+        for (k, v) in m {
+            body_fields.push((k.clone(), Value::from_json(v)));
+        }
+    }
+    fields.push(("body".to_string(), Value::object(body_fields)));
+    Value::object(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    const ECHO_APP: &str = r#"
+        var hits = 0;
+        app.get("/echo", function (req, res) {
+            hits = hits + 1;
+            res.send({ msg: req.params.msg, hits: hits });
+        });
+    "#;
+
+    #[test]
+    fn init_registers_routes() {
+        let mut s = ServerProcess::from_source(ECHO_APP).unwrap();
+        s.init().unwrap();
+        assert_eq!(s.routes().len(), 1);
+        assert!(s.route(Verb::Get, "/echo").is_some());
+    }
+
+    #[test]
+    fn handle_runs_handler_and_returns_response() {
+        let mut s = ServerProcess::from_source(ECHO_APP).unwrap();
+        s.init().unwrap();
+        let req = HttpRequest::get("/echo", json!({"msg": "hi"}));
+        let out = s.handle(&req).unwrap();
+        assert_eq!(out.response.status, 200);
+        assert_eq!(out.response.body, json!({"msg": "hi", "hits": 1}));
+        // state persists across requests
+        let out2 = s.handle(&req).unwrap();
+        assert_eq!(out2.response.body["hits"], json!(2));
+    }
+
+    #[test]
+    fn missing_route_errors() {
+        let mut s = ServerProcess::from_source(ECHO_APP).unwrap();
+        s.init().unwrap();
+        let err = s.handle(&HttpRequest::get("/nope", json!({}))).unwrap_err();
+        assert!(matches!(err, ServerError::NoSuchRoute { .. }));
+    }
+
+    #[test]
+    fn db_backed_service_reports_effects() {
+        let src = r#"
+            db.query("CREATE TABLE notes (id INT PRIMARY KEY, text TEXT)");
+            app.post("/notes", function (req, res) {
+                db.query("INSERT INTO notes VALUES (" + req.body.id + ", '" + req.body.text + "')");
+                var rows = db.query("SELECT * FROM notes");
+                res.send(rows);
+            });
+        "#;
+        let mut s = ServerProcess::from_source(src).unwrap();
+        s.init().unwrap();
+        let out = s
+            .handle(&HttpRequest::post(
+                "/notes",
+                json!({"id": 1, "text": "milk"}),
+                vec![],
+            ))
+            .unwrap();
+        assert_eq!(out.row_effects.len(), 1);
+        assert_eq!(out.response.body[0]["text"], json!("milk"));
+    }
+
+    #[test]
+    fn file_backed_service_tracks_writes() {
+        let src = r#"
+            app.post("/save", function (req, res) {
+                fs.writeFile("/uploads/latest.bin", req.body.data);
+                res.send({ saved: true });
+            });
+        "#;
+        let mut s = ServerProcess::from_source(src).unwrap();
+        s.init().unwrap();
+        let out = s
+            .handle(&HttpRequest::post("/save", json!({}), vec![1, 2, 3]))
+            .unwrap();
+        assert_eq!(out.file_writes.len(), 1);
+        assert_eq!(s.fs.peek("/uploads/latest.bin"), Some(&[1u8, 2, 3][..]));
+    }
+
+    #[test]
+    fn tensor_inference_is_deterministic_and_costly() {
+        let src = r#"
+            app.post("/predict", function (req, res) {
+                var out = tensor.infer("objdet", req.body.img);
+                res.send(out);
+            });
+        "#;
+        let mut s = ServerProcess::from_source(src).unwrap();
+        s.init().unwrap();
+        let img = vec![7u8; 50_000];
+        let a = s
+            .handle(&HttpRequest::post("/predict", json!({}), img.clone()))
+            .unwrap();
+        let b = s
+            .handle(&HttpRequest::post("/predict", json!({}), img))
+            .unwrap();
+        assert_eq!(a.response.body, b.response.body);
+        assert!(a.cycles > 40_000_000, "inference should be expensive");
+        assert!(!a.response.body["detections"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn globals_snapshot_restore() {
+        let mut s = ServerProcess::from_source(ECHO_APP).unwrap();
+        s.init().unwrap();
+        let snap = s.snapshot_globals();
+        s.handle(&HttpRequest::get("/echo", json!({"msg": "x"})))
+            .unwrap();
+        assert_eq!(s.global_json("hits"), Some(json!(1)));
+        s.restore_globals(&snap);
+        assert_eq!(s.global_json("hits"), Some(json!(0)));
+    }
+
+    #[test]
+    fn failure_injection_propagates() {
+        let src = r#"
+            app.get("/work", function (req, res) {
+                var out = tensor.infer("m", req.body.data);
+                res.send(out);
+            });
+        "#;
+        let mut s = ServerProcess::from_source(src).unwrap();
+        s.init().unwrap();
+        s.inject_failures(vec!["tensor.infer".to_string()]);
+        let err = s.handle(&HttpRequest::get("/work", json!({}))).unwrap_err();
+        assert!(matches!(err, ServerError::Runtime(_)));
+        s.clear_failures();
+        assert!(s.handle(&HttpRequest::get("/work", json!({}))).is_ok());
+    }
+
+    #[test]
+    fn res_status_sets_code() {
+        let src = r#"
+            app.get("/teapot", function (req, res) {
+                res.status(418);
+                res.send({ short: true });
+            });
+        "#;
+        let mut s = ServerProcess::from_source(src).unwrap();
+        s.init().unwrap();
+        let out = s.handle(&HttpRequest::get("/teapot", json!({}))).unwrap();
+        assert_eq!(out.response.status, 418);
+    }
+
+    #[test]
+    fn handler_without_send_errors() {
+        let src = r#"app.get("/mute", function (req, res) { var x = 1; });"#;
+        let mut s = ServerProcess::from_source(src).unwrap();
+        s.init().unwrap();
+        assert_eq!(
+            s.handle(&HttpRequest::get("/mute", json!({}))).unwrap_err(),
+            ServerError::NoResponse
+        );
+    }
+
+    #[test]
+    fn console_log_collected() {
+        let src = r#"
+            app.get("/log", function (req, res) {
+                console.log("handling", req.path);
+                res.send(1);
+            });
+        "#;
+        let mut s = ServerProcess::from_source(src).unwrap();
+        s.init().unwrap();
+        s.handle(&HttpRequest::get("/log", json!({}))).unwrap();
+        assert_eq!(s.logs(), &["handling /log".to_string()]);
+    }
+}

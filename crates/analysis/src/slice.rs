@@ -1,0 +1,329 @@
+//! The Extract Function refactoring (§III-E).
+//!
+//! Given the dependence slice of a service, lift the relevant statements
+//! of its route handler into a standalone, individually invocable function
+//! (`ftn_<service>`), together with the supporting user-function
+//! declarations it calls.
+
+use crate::facts::function_decls;
+use crate::trace::ExecutionTrace;
+use edgstr_lang::{Expr, Program, Stmt, StmtId};
+use edgstr_net::Verb;
+use std::collections::BTreeSet;
+
+/// The output of Extract Function for one service.
+#[derive(Debug, Clone)]
+pub struct ExtractedService {
+    /// Generated function name, e.g. `ftn_predict`.
+    pub name: String,
+    pub verb: Verb,
+    pub path: String,
+    /// The standalone function declaration (params `req`, `res`).
+    pub function: Stmt,
+    /// Supporting top-level function declarations the handler calls.
+    pub support: Vec<Stmt>,
+    /// The statement ids retained.
+    pub slice: BTreeSet<StmtId>,
+    /// Statements of the original handler that were dropped.
+    pub dropped: usize,
+}
+
+/// Compute the statements to keep: the slice, closed over control
+/// structure (a control statement is kept when any statement in its body
+/// is kept).
+pub fn slice_statements(handler_body: &[Stmt], slice: &BTreeSet<StmtId>) -> Vec<Stmt> {
+    filter_block(handler_body, slice)
+}
+
+fn filter_block(stmts: &[Stmt], slice: &BTreeSet<StmtId>) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for s in stmts {
+        if let Some(kept) = filter_stmt(s, slice) {
+            out.push(kept);
+        }
+    }
+    out
+}
+
+fn contains_any(s: &Stmt, slice: &BTreeSet<StmtId>) -> bool {
+    let mut found = false;
+    s.visit(&mut |st| {
+        if slice.contains(&st.id()) {
+            found = true;
+        }
+    });
+    found
+}
+
+fn filter_stmt(s: &Stmt, slice: &BTreeSet<StmtId>) -> Option<Stmt> {
+    match s {
+        Stmt::If {
+            id,
+            line,
+            cond,
+            then_block,
+            else_block,
+        } => {
+            if !contains_any(s, slice) {
+                return None;
+            }
+            Some(Stmt::If {
+                id: *id,
+                line: *line,
+                cond: cond.clone(),
+                then_block: filter_block(then_block, slice),
+                else_block: filter_block(else_block, slice),
+            })
+        }
+        Stmt::While { id, line, cond, body } => {
+            if !contains_any(s, slice) {
+                return None;
+            }
+            Some(Stmt::While {
+                id: *id,
+                line: *line,
+                cond: cond.clone(),
+                body: filter_block(body, slice),
+            })
+        }
+        Stmt::For {
+            id,
+            line,
+            init,
+            cond,
+            update,
+            body,
+        } => {
+            if !contains_any(s, slice) {
+                return None;
+            }
+            Some(Stmt::For {
+                id: *id,
+                line: *line,
+                init: init.clone(),
+                cond: cond.clone(),
+                update: update.clone(),
+                body: filter_block(body, slice),
+            })
+        }
+        // function declarations and returns are kept whole when selected
+        other => {
+            if slice.contains(&other.id()) || contains_any(other, slice) {
+                Some(other.clone())
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Locate a route registration `app.<verb>(path, handler)` in the program
+/// and return the handler's params and body.
+pub fn find_route_handler<'p>(
+    program: &'p Program,
+    verb: Verb,
+    path: &str,
+) -> Option<(&'p [String], &'p [Stmt])> {
+    let method = match verb {
+        Verb::Get => "get",
+        Verb::Post => "post",
+        Verb::Put => "put",
+        Verb::Delete => "delete",
+    };
+    for stmt in program.all_stmts() {
+        if let Stmt::Expr {
+            expr: Expr::Call { callee, args },
+            ..
+        } = stmt
+        {
+            if let Expr::Member(base, m) = &**callee {
+                if matches!(&**base, Expr::Var(v) if v == "app") && m == method {
+                    if let (Some(Expr::Str(p)), Some(Expr::Function { params, body })) =
+                        (args.first(), args.get(1))
+                    {
+                        if p == path {
+                            return Some((params, body));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Apply Extract Function: build `ftn_<service>` from the sliced handler
+/// body, plus supporting user-function declarations invoked by the trace.
+pub fn extract_function(
+    program: &Program,
+    verb: Verb,
+    path: &str,
+    slice: &BTreeSet<StmtId>,
+    base_trace: &ExecutionTrace,
+) -> Option<ExtractedService> {
+    let (params, body) = find_route_handler(program, verb, path)?;
+    let total: usize = body.iter().map(count_stmts).sum();
+    let kept_body = slice_statements(body, slice);
+    let kept: usize = kept_body.iter().map(count_stmts).sum();
+    let name = format!("ftn_{}", sanitize(path));
+    let function = Stmt::Function {
+        id: StmtId(u32::MAX),
+        line: 0,
+        name: name.clone(),
+        params: if params.is_empty() {
+            vec!["req".to_string(), "res".to_string()]
+        } else {
+            params.to_vec()
+        },
+        body: kept_body,
+    };
+    // supporting declarations: every user function the trace actually
+    // invoked (the ACTUAL closure)
+    let decls = function_decls(program);
+    let mut support_names: Vec<String> = base_trace
+        .invokes
+        .iter()
+        .filter(|(_, f, _)| decls.contains_key(f.as_str()))
+        .map(|(_, f, _)| f.clone())
+        .collect();
+    support_names.sort();
+    support_names.dedup();
+    let support: Vec<Stmt> = program
+        .all_stmts()
+        .into_iter()
+        .filter(|s| {
+            matches!(s, Stmt::Function { name, .. } if support_names.contains(name))
+        })
+        .cloned()
+        .collect();
+    Some(ExtractedService {
+        name,
+        verb,
+        path: path.to_string(),
+        function,
+        support,
+        slice: slice.clone(),
+        dropped: total.saturating_sub(kept),
+    })
+}
+
+fn count_stmts(s: &Stmt) -> usize {
+    let mut n = 0;
+    s.visit(&mut |_| n += 1);
+    n
+}
+
+/// Turn a route path into an identifier fragment.
+pub fn sanitize(path: &str) -> String {
+    let cleaned: String = path
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    cleaned.trim_matches('_').to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgstr_lang::{normalize, parse, print_stmts};
+
+    #[test]
+    fn sanitize_paths() {
+        assert_eq!(sanitize("/predict"), "predict");
+        assert_eq!(sanitize("/api/v1/books"), "api_v1_books");
+        assert_eq!(sanitize("/"), "");
+    }
+
+    #[test]
+    fn find_handler_locates_route() {
+        let p = parse(
+            r#"
+            app.get("/a", function (req, res) { res.send(1); });
+            app.post("/b", function (req, res) { res.send(2); });
+            "#,
+        )
+        .unwrap();
+        assert!(find_route_handler(&p, Verb::Get, "/a").is_some());
+        assert!(find_route_handler(&p, Verb::Post, "/b").is_some());
+        assert!(find_route_handler(&p, Verb::Get, "/b").is_none());
+        assert!(find_route_handler(&p, Verb::Delete, "/c").is_none());
+    }
+
+    #[test]
+    fn filter_keeps_control_wrappers() {
+        let p = normalize(
+            &parse(
+                r#"
+                app.get("/x", function (req, res) {
+                    var keep = 1;
+                    if (keep > 0) { var inner = 2; }
+                    var drop = 3;
+                    res.send(keep);
+                });
+                "#,
+            )
+            .unwrap(),
+        );
+        let (_, body) = find_route_handler(&p, Verb::Get, "/x").unwrap();
+        // slice: keep `inner` only
+        let inner_id = body
+            .iter()
+            .flat_map(|s| {
+                let mut v = Vec::new();
+                s.visit(&mut |st| v.push(st.id()));
+                v
+            })
+            .collect::<Vec<_>>();
+        // find the statement writing `inner`
+        let mut slice = BTreeSet::new();
+        for s in body {
+            s.visit(&mut |st| {
+                if st.written_var().as_deref() == Some("inner") {
+                    slice.insert(st.id());
+                }
+            });
+        }
+        assert!(!slice.is_empty());
+        let kept = slice_statements(body, &slice);
+        let src = print_stmts(&kept, 0);
+        assert!(src.contains("if"), "control wrapper dropped: {src}");
+        assert!(src.contains("inner"));
+        assert!(!src.contains("drop"), "unrelated stmt kept: {src}");
+        let _ = inner_id;
+    }
+
+    #[test]
+    fn extracted_function_is_printable_and_parsable() {
+        let p = normalize(
+            &parse(
+                r#"
+                function scale(v) { return v * 3; }
+                app.get("/triple", function (req, res) {
+                    var n = req.params.n;
+                    var r = scale(n);
+                    res.send({ r: r });
+                });
+                "#,
+            )
+            .unwrap(),
+        );
+        // slice = everything in the handler (plus scale's decl)
+        let (_, body) = find_route_handler(&p, Verb::Get, "/triple").unwrap();
+        let mut slice = BTreeSet::new();
+        for s in body {
+            s.visit(&mut |st| {
+                slice.insert(st.id());
+            });
+        }
+        let mut trace = ExecutionTrace::default();
+        trace
+            .invokes
+            .push((StmtId(0), "scale".to_string(), Default::default()));
+        let ex = extract_function(&p, Verb::Get, "/triple", &slice, &trace).unwrap();
+        assert_eq!(ex.name, "ftn_triple");
+        assert_eq!(ex.support.len(), 1);
+        let src = print_stmts(std::slice::from_ref(&ex.function), 0);
+        edgstr_lang::parse(&src).expect("extracted function must reparse");
+        assert!(src.contains("function ftn_triple(req, res)"));
+    }
+}

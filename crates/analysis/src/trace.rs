@@ -1,0 +1,285 @@
+//! Structured execution traces built from instrumentation events.
+
+use edgstr_lang::{Atom, Instrument, StmtId, TraceEvent, Value};
+use std::collections::BTreeSet;
+
+/// A recorded service execution: the ordered event stream plus derived
+/// views the fact generator consumes.
+#[derive(Debug, Default, Clone)]
+pub struct ExecutionTrace {
+    /// Statements in dynamic execution order (with repetition).
+    pub stmt_order: Vec<StmtId>,
+    /// `(stmt, var, atoms-of-value)` for every read.
+    pub reads: Vec<(StmtId, String, BTreeSet<Atom>)>,
+    /// `(stmt, var, atoms-of-value)` for every write.
+    pub writes: Vec<(StmtId, String, BTreeSet<Atom>)>,
+    /// Reads and writes interleaved in event order (the RW-LOG); `true`
+    /// marks a write. Dependence analysis replays this stream to find each
+    /// read's last writer.
+    pub rw_events: Vec<(StmtId, String, bool)>,
+    /// `(stmt, function, atoms-of-args)` for every invocation.
+    pub invokes: Vec<(StmtId, String, BTreeSet<Atom>)>,
+    /// Statements that issued SQL, with the command text.
+    pub sql_stmts: Vec<(StmtId, String)>,
+    /// Statements that touched files, with the path and whether written.
+    pub file_stmts: Vec<(StmtId, String, bool)>,
+    /// Global variables written, with the writing statement.
+    pub global_writes: Vec<(StmtId, String)>,
+    /// `(call_site, decl)` pairs: user functions entered (the ACTUAL fact).
+    pub actuals: Vec<(StmtId, StmtId)>,
+}
+
+impl ExecutionTrace {
+    /// Statements executed (deduplicated, in first-execution order).
+    pub fn executed_stmts(&self) -> Vec<StmtId> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for s in &self.stmt_order {
+            if seen.insert(*s) {
+                out.push(*s);
+            }
+        }
+        out
+    }
+
+    /// Names of global variables written during the execution.
+    pub fn written_globals(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .global_writes
+            .iter()
+            .map(|(_, v)| v.clone())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Table names referenced by SQL statements (crude extraction from the
+    /// command text, matching how EdgStr identifies database state units).
+    pub fn sql_tables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (_, sql) in &self.sql_stmts {
+            if let Some(t) = table_of(sql) {
+                if !out.contains(&t) {
+                    out.push(t);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// File paths touched, with write flags, deduplicated.
+    pub fn files_touched(&self) -> Vec<(String, bool)> {
+        let mut out: Vec<(String, bool)> = Vec::new();
+        for (_, path, written) in &self.file_stmts {
+            match out.iter_mut().find(|(p, _)| p == path) {
+                Some((_, w)) => *w = *w || *written,
+                None => out.push((path.clone(), *written)),
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+/// Extract the first table name from a SQL command.
+pub fn table_of(sql: &str) -> Option<String> {
+    let lower = sql.to_ascii_lowercase();
+    let words: Vec<&str> = lower.split_whitespace().collect();
+    let originals: Vec<&str> = sql.split_whitespace().collect();
+    for (i, w) in words.iter().enumerate() {
+        if matches!(*w, "into" | "from" | "update" | "table") {
+            if *w == "update" && i != 0 {
+                continue;
+            }
+            let mut j = i + 1;
+            while let Some(next) = originals.get(j) {
+                let lower_next = next.to_ascii_lowercase();
+                if matches!(lower_next.as_str(), "if" | "not" | "exists") {
+                    j += 1;
+                    continue;
+                }
+                let name: String = next
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                if !name.is_empty() {
+                    return Some(name);
+                }
+                break;
+            }
+        }
+    }
+    None
+}
+
+/// The [`Instrument`] implementation that records an [`ExecutionTrace`].
+#[derive(Debug, Default)]
+pub struct Tracer {
+    /// The trace being built.
+    pub trace: ExecutionTrace,
+    /// Stack of function declarations currently being executed.
+    call_stack: Vec<StmtId>,
+}
+
+impl Tracer {
+    /// Fresh tracer.
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// Consume the tracer, yielding the trace.
+    pub fn into_trace(self) -> ExecutionTrace {
+        self.trace
+    }
+}
+
+fn atoms_of(v: &Value) -> BTreeSet<Atom> {
+    let mut out = Vec::new();
+    v.atoms(&mut out);
+    out.into_iter().collect()
+}
+
+impl Instrument for Tracer {
+    fn on_event(&mut self, event: &TraceEvent) {
+        match event {
+            TraceEvent::StmtEnter { stmt } => self.trace.stmt_order.push(*stmt),
+            TraceEvent::Read { stmt, var, value } => {
+                self.trace.reads.push((*stmt, var.clone(), atoms_of(value)));
+                self.trace.rw_events.push((*stmt, var.clone(), false));
+            }
+            TraceEvent::Write { stmt, var, value } => {
+                self.trace
+                    .writes
+                    .push((*stmt, var.clone(), atoms_of(value)));
+                self.trace.rw_events.push((*stmt, var.clone(), true));
+            }
+            TraceEvent::Invoke {
+                stmt, func, args, ret,
+            } => {
+                let mut atoms = BTreeSet::new();
+                for a in args {
+                    atoms.extend(atoms_of(a));
+                }
+                self.trace.invokes.push((*stmt, func.clone(), atoms));
+                // SQL detection: any invocation whose argument is a SQL
+                // command (the paper's modified INVOKEFUNCTION callback)
+                if let Some(sql) = args.first().and_then(Value::as_str) {
+                    if looks_like_sql(sql) {
+                        self.trace.sql_stmts.push((*stmt, sql.to_string()));
+                    }
+                }
+                // file detection: invocations whose argument is a file path
+                if func.starts_with("fs.") {
+                    if let Some(path) = args.first().and_then(Value::as_str) {
+                        let written = func == "fs.writeFile";
+                        self.trace
+                            .file_stmts
+                            .push((*stmt, path.to_string(), written));
+                    }
+                }
+                // record res.send argument atoms as a write of the
+                // distinguished variable "__response" so marshal detection
+                // can treat it like any other RW-LOG entry
+                if func == "res.send" {
+                    let mut ratoms = BTreeSet::new();
+                    for a in args {
+                        ratoms.extend(atoms_of(a));
+                    }
+                    ratoms.extend(atoms_of(ret));
+                    self.trace
+                        .writes
+                        .push((*stmt, "__response".to_string(), ratoms));
+                    self.trace
+                        .rw_events
+                        .push((*stmt, "__response".to_string(), true));
+                }
+            }
+            TraceEvent::GlobalWrite { stmt, var } => {
+                self.trace.global_writes.push((*stmt, var.clone()));
+            }
+            TraceEvent::FunctionEnter { decl, call_site } => {
+                self.trace.actuals.push((*call_site, *decl));
+                self.call_stack.push(*decl);
+            }
+        }
+    }
+}
+
+/// Heuristic: does a string look like a SQL command?
+pub fn looks_like_sql(s: &str) -> bool {
+    let t = s.trim_start().to_ascii_lowercase();
+    ["select", "insert", "update", "delete", "create", "drop", "begin", "start", "commit", "rollback"]
+        .iter()
+        .any(|kw| t.starts_with(kw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerProcess;
+    use edgstr_net::HttpRequest;
+    use serde_json::json;
+
+    #[test]
+    fn table_of_extracts_names() {
+        assert_eq!(table_of("SELECT * FROM books WHERE id = 1"), Some("books".into()));
+        assert_eq!(table_of("INSERT INTO notes VALUES (1)"), Some("notes".into()));
+        assert_eq!(table_of("UPDATE users SET a = 1"), Some("users".into()));
+        assert_eq!(
+            table_of("CREATE TABLE IF NOT EXISTS t (id INT)"),
+            Some("t".into())
+        );
+        assert_eq!(table_of("ROLLBACK"), None);
+    }
+
+    #[test]
+    fn looks_like_sql_heuristic() {
+        assert!(looks_like_sql("SELECT 1"));
+        assert!(looks_like_sql("  insert into t values (1)"));
+        assert!(!looks_like_sql("/images/cat.png"));
+        assert!(!looks_like_sql("hello world"));
+    }
+
+    #[test]
+    fn trace_captures_sql_files_and_globals() {
+        let src = r#"
+            db.query("CREATE TABLE t (id INT PRIMARY KEY)");
+            var counter = 0;
+            app.post("/add", function (req, res) {
+                counter = counter + 1;
+                db.query("INSERT INTO t VALUES (" + counter + ")");
+                fs.writeFile("/log.txt", "added");
+                res.send({ n: counter });
+            });
+        "#;
+        let mut s = ServerProcess::from_source(src).unwrap();
+        s.init().unwrap();
+        let mut tracer = Tracer::new();
+        s.handle_traced(
+            &HttpRequest::post("/add", json!({}), vec![]),
+            &mut tracer,
+        )
+        .unwrap();
+        let t = tracer.into_trace();
+        assert_eq!(t.sql_tables(), vec!["t".to_string()]);
+        assert_eq!(t.files_touched(), vec![("/log.txt".to_string(), true)]);
+        assert!(t.written_globals().contains(&"counter".to_string()));
+        assert!(!t.stmt_order.is_empty());
+        // the res.send write is recorded against the response variable
+        assert!(t.writes.iter().any(|(_, v, _)| v == "__response"));
+    }
+
+    #[test]
+    fn executed_stmts_dedup_preserves_order() {
+        let t = ExecutionTrace {
+            stmt_order: vec![StmtId(3), StmtId(1), StmtId(3), StmtId(2)],
+            ..Default::default()
+        };
+        assert_eq!(
+            t.executed_stmts(),
+            vec![StmtId(3), StmtId(1), StmtId(2)]
+        );
+    }
+}

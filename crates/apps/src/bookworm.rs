@@ -1,0 +1,129 @@
+//! `Bookworm` — a database-backed book catalog (named in §IV-E as one of
+//! the two cacheable subjects): read-mostly queries with occasional stock
+//! updates.
+
+use crate::{SubjectApp, TrafficProfile};
+use edgstr_net::{HttpRequest, Verb};
+use serde_json::json;
+
+/// NodeScript source of the Bookworm server.
+pub const SOURCE: &str = r#"
+// Bookworm: catalog browsing with stock management
+fs.writeFile("/assets/covers.pak", util.blob(600000, 3));
+db.query("CREATE TABLE books (id INT PRIMARY KEY, title TEXT, author TEXT, price REAL, stock INT)");
+db.query("INSERT INTO books VALUES (1, 'Dune', 'Herbert', 9.99, 12)");
+db.query("INSERT INTO books VALUES (2, 'Neuromancer', 'Gibson', 7.5, 3)");
+db.query("INSERT INTO books VALUES (3, 'Accelerando', 'Stross', 12.0, 7)");
+db.query("INSERT INTO books VALUES (4, 'Permutation City', 'Egan', 10.25, 0)");
+db.query("INSERT INTO books VALUES (5, 'Snow Crash', 'Stephenson', 8.75, 5)");
+var catalog_version = 1;
+
+app.get("/books", function (req, res) {
+    var rows = db.query("SELECT id, title, price, stock FROM books ORDER BY id");
+    res.send({ version: catalog_version, books: rows });
+});
+
+app.get("/book", function (req, res) {
+    var id = req.params.id;
+    var rows = db.query("SELECT * FROM books WHERE id = " + id);
+    res.send(rows);
+});
+
+app.post("/books", function (req, res) {
+    var id = req.body.id;
+    var title = req.body.title;
+    var author = req.body.author;
+    var price = req.body.price;
+    db.query("INSERT INTO books VALUES (" + id + ", '" + title + "', '" + author + "', " + price + ", 0)");
+    catalog_version = catalog_version + 1;
+    res.send({ added: id, version: catalog_version });
+});
+
+app.put("/stock", function (req, res) {
+    var id = req.body.id;
+    var qty = req.body.qty;
+    db.query("UPDATE books SET stock = " + qty + " WHERE id = " + id);
+    var rows = db.query("SELECT stock FROM books WHERE id = " + id);
+    res.send(rows);
+});
+
+app.get("/search", function (req, res) {
+    var q = req.params.q;
+    var rows = db.query("SELECT id, title FROM books WHERE title LIKE '%" + q + "%'");
+    res.send({ query: q, hits: rows });
+});
+
+app.get("/recommend", function (req, res) {
+    var budget = req.params.budget;
+    var rows = db.query("SELECT id, title, price FROM books WHERE price <= " + budget + " AND stock > 0 ORDER BY price DESC LIMIT 3");
+    res.send({ budget: budget, picks: rows });
+});
+"#;
+
+/// Build the subject app descriptor.
+pub fn app() -> SubjectApp {
+    let service_requests = vec![
+        HttpRequest::get("/books", json!({})),
+        HttpRequest::get("/book", json!({"id": 2})),
+        HttpRequest::post(
+            "/books",
+            json!({"id": 6, "title": "Diaspora", "author": "Egan", "price": 11.5}),
+            vec![],
+        ),
+        HttpRequest {
+            verb: Verb::Put,
+            path: "/stock".to_string(),
+            params: json!({"id": 2, "qty": 9}),
+            body: vec![],
+        },
+        HttpRequest::get("/search", json!({"q": "an"})),
+        HttpRequest::get("/recommend", json!({"budget": 10})),
+    ];
+    let regression_requests = vec![
+        HttpRequest::get("/books", json!({})),
+        HttpRequest::get("/book", json!({"id": 1})),
+        HttpRequest::get("/book", json!({"id": 3})),
+        HttpRequest::get("/search", json!({"q": "Dune"})),
+        HttpRequest::get("/recommend", json!({"budget": 9})),
+    ];
+    SubjectApp {
+        name: "bookworm",
+        source: SOURCE.to_string(),
+        service_requests,
+        regression_requests,
+        profile: TrafficProfile::ReadMostlyDb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgstr_analysis::ServerProcess;
+
+    #[test]
+    fn catalog_reads_and_writes() {
+        let a = app();
+        let mut s = ServerProcess::from_source(&a.source).unwrap();
+        s.init().unwrap();
+        let all = s.handle(&a.service_requests[0]).unwrap();
+        assert_eq!(all.response.body["books"].as_array().unwrap().len(), 5);
+        s.handle(&a.service_requests[2]).unwrap();
+        let all = s.handle(&a.service_requests[0]).unwrap();
+        assert_eq!(all.response.body["books"].as_array().unwrap().len(), 6);
+        assert_eq!(all.response.body["version"], json!(2));
+    }
+
+    #[test]
+    fn search_and_recommend_filter() {
+        let a = app();
+        let mut s = ServerProcess::from_source(&a.source).unwrap();
+        s.init().unwrap();
+        let hits = s
+            .handle(&HttpRequest::get("/search", json!({"q": "Neuro"})))
+            .unwrap();
+        assert_eq!(hits.response.body["hits"].as_array().unwrap().len(), 1);
+        let picks = s.handle(&a.service_requests[5]).unwrap();
+        let picks = picks.response.body["picks"].as_array().unwrap().clone();
+        assert!(!picks.is_empty() && picks.len() <= 3);
+    }
+}

@@ -1,0 +1,134 @@
+//! `fobojet` — the paper's motivating subject (`firebase-objdet-node`,
+//! Fig. 1): a mobile client uploads camera images; the cloud service
+//! localizes and identifies objects with a pre-trained deep-learning model
+//! and returns boxes + labels. Heavy uploads, heavy compute.
+
+use crate::{synthetic_payload, SubjectApp, TrafficProfile};
+use edgstr_net::HttpRequest;
+use serde_json::json;
+
+/// NodeScript source of the fobojet server.
+pub const SOURCE: &str = r#"
+// firebase-objdet-node: cloud object-detection service
+// the pre-trained detection model lives in the process working set
+fs.writeFile("/models/objdet.bin", util.blob(4000000, 1));
+var model_weights = fs.readFile("/models/objdet.bin");
+db.query("CREATE TABLE history (id INT PRIMARY KEY, label TEXT, score REAL)");
+var labels = ["person", "car", "dog", "bicycle", "chair", "bottle"];
+var threshold = 0.5;
+var predictions = 0;
+
+function summarize(dets) {
+    var names = [];
+    for (var i = 0; i < dets.length; i = i + 1) {
+        var d = dets[i];
+        if (d.score >= threshold) {
+            names.push(d.label);
+        }
+    }
+    return names;
+}
+
+app.post("/predict", function (req, res) {
+    var b = req.body.img;
+    var tv = new Uint8Array(b);
+    var out = tensor.infer("objdet", tv);
+    predictions = predictions + 1;
+    var dets = out.detections;
+    var names = summarize(dets);
+    var first = dets[0];
+    db.query("INSERT INTO history VALUES (" + predictions + ", '" + first.label + "', " + first.score + ")");
+    res.send({ id: predictions, objects: names, detections: dets });
+});
+
+app.get("/labels", function (req, res) {
+    res.send({ labels: labels, count: labels.length });
+});
+
+app.get("/history", function (req, res) {
+    var limit = req.params.limit;
+    var rows = db.query("SELECT * FROM history ORDER BY id DESC LIMIT " + limit);
+    res.send(rows);
+});
+
+app.post("/feedback", function (req, res) {
+    var id = req.body.id;
+    var correct = req.body.correct;
+    db.query("UPDATE history SET score = " + correct + " WHERE id = " + id);
+    res.send({ updated: id });
+});
+
+app.get("/stats", function (req, res) {
+    var rows = db.query("SELECT COUNT(*), AVG(score) FROM history");
+    var agg = rows[0];
+    res.send({ total: agg.count, mean_score: agg, served: predictions });
+});
+
+app.post("/calibrate", function (req, res) {
+    threshold = req.body.threshold;
+    res.send({ threshold: threshold });
+});
+"#;
+
+/// Build the subject app descriptor.
+pub fn app() -> SubjectApp {
+    let img = synthetic_payload(1, 256); // ~256 KiB camera image
+    let small_img = synthetic_payload(2, 64);
+    let service_requests = vec![
+        HttpRequest::post("/predict", json!({}), img.clone()),
+        HttpRequest::get("/labels", json!({})),
+        HttpRequest::get("/history", json!({"limit": 10})),
+        HttpRequest::post("/feedback", json!({"id": 1, "correct": 1.0}), vec![]),
+        HttpRequest::get("/stats", json!({})),
+        HttpRequest::post("/calibrate", json!({"threshold": 0.6}), vec![]),
+    ];
+    let regression_requests = vec![
+        HttpRequest::post("/predict", json!({}), img),
+        HttpRequest::post("/predict", json!({}), small_img),
+        HttpRequest::get("/labels", json!({})),
+        HttpRequest::get("/history", json!({"limit": 5})),
+        HttpRequest::get("/stats", json!({})),
+    ];
+    SubjectApp {
+        name: "fobojet",
+        source: SOURCE.to_string(),
+        service_requests,
+        regression_requests,
+        profile: TrafficProfile::HeavyUploadHeavyCompute,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgstr_analysis::ServerProcess;
+
+    #[test]
+    fn predict_detects_objects_and_records_history() {
+        let a = app();
+        let mut s = ServerProcess::from_source(&a.source).unwrap();
+        s.init().unwrap();
+        let out = s.handle(&a.service_requests[0]).unwrap();
+        assert!(out.response.body["objects"].is_array());
+        assert_eq!(out.response.body["id"], json!(1));
+        assert!(out.cycles > 10_000_000, "object detection must be heavy");
+        // history grows
+        let hist = s.handle(&a.service_requests[2]).unwrap();
+        assert_eq!(hist.response.body.as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn calibrate_changes_threshold_behaviour() {
+        let a = app();
+        let mut s = ServerProcess::from_source(&a.source).unwrap();
+        s.init().unwrap();
+        let out = s
+            .handle(&HttpRequest::post(
+                "/calibrate",
+                json!({"threshold": 0.99}),
+                vec![],
+            ))
+            .unwrap();
+        assert_eq!(out.response.body["threshold"], json!(0.99));
+    }
+}

@@ -1,0 +1,178 @@
+//! `geo-tracker` — vehicle location tracking: positions ingested from
+//! mobile clients, route/distance computation, geofence monitoring.
+//! Mixed math + database workload.
+
+use crate::{SubjectApp, TrafficProfile};
+use edgstr_net::HttpRequest;
+use serde_json::json;
+
+/// NodeScript source of the geo-tracker server.
+pub const SOURCE: &str = r#"
+// geo-tracker: fleet positions, distances, geofences
+fs.writeFile("/maps/region-tiles.pak", util.blob(1200000, 6));
+db.query("CREATE TABLE positions (id INT PRIMARY KEY, vehicle TEXT, x REAL, y REAL)");
+db.query("CREATE TABLE fences (id INT PRIMARY KEY, name TEXT, x REAL, y REAL, radius REAL)");
+db.query("INSERT INTO fences VALUES (1, 'depot', 0, 0, 50)");
+var points = 0;
+
+function dist(ax, ay, bx, by) {
+    var dx = ax - bx;
+    var dy = ay - by;
+    return Math.sqrt(dx * dx + dy * dy);
+}
+
+app.post("/position", function (req, res) {
+    var vehicle = req.body.vehicle;
+    var x = req.body.x;
+    var y = req.body.y;
+    points = points + 1;
+    db.query("INSERT INTO positions VALUES (" + points + ", '" + vehicle + "', " + x + ", " + y + ")");
+    res.send({ recorded: points });
+});
+
+app.get("/track", function (req, res) {
+    var vehicle = req.params.vehicle;
+    var rows = db.query("SELECT id, x, y FROM positions WHERE vehicle = '" + vehicle + "' ORDER BY id");
+    res.send({ vehicle: vehicle, track: rows });
+});
+
+app.get("/distance", function (req, res) {
+    var vehicle = req.params.vehicle;
+    var rows = db.query("SELECT x, y FROM positions WHERE vehicle = '" + vehicle + "' ORDER BY id");
+    var total = 0;
+    for (var i = 1; i < rows.length; i = i + 1) {
+        total = total + dist(rows[i - 1].x, rows[i - 1].y, rows[i].x, rows[i].y);
+    }
+    res.send({ vehicle: vehicle, distance: total, points: rows.length });
+});
+
+app.get("/nearby", function (req, res) {
+    var x = req.params.x;
+    var y = req.params.y;
+    var radius = req.params.radius;
+    var rows = db.query("SELECT vehicle, x, y FROM positions");
+    var near = [];
+    for (var i = 0; i < rows.length; i = i + 1) {
+        if (dist(rows[i].x, rows[i].y, x, y) <= radius) {
+            near.push(rows[i].vehicle);
+        }
+    }
+    res.send({ near: near });
+});
+
+app.post("/geofence", function (req, res) {
+    var id = req.body.id;
+    var name = req.body.name;
+    db.query("INSERT INTO fences VALUES (" + id + ", '" + name + "', " + req.body.x + ", " + req.body.y + ", " + req.body.radius + ")");
+    res.send({ added: name });
+});
+
+app.get("/violations", function (req, res) {
+    var fences = db.query("SELECT name, x, y, radius FROM fences");
+    var rows = db.query("SELECT vehicle, x, y FROM positions");
+    var out = [];
+    for (var i = 0; i < rows.length; i = i + 1) {
+        var inside = false;
+        for (var j = 0; j < fences.length; j = j + 1) {
+            if (dist(rows[i].x, rows[i].y, fences[j].x, fences[j].y) <= fences[j].radius) {
+                inside = true;
+            }
+        }
+        if (!inside) {
+            out.push(rows[i].vehicle);
+        }
+    }
+    res.send({ violations: out, checked: rows.length });
+});
+"#;
+
+/// Build the subject app descriptor.
+pub fn app() -> SubjectApp {
+    let service_requests = vec![
+        HttpRequest::post(
+            "/position",
+            json!({"vehicle": "van-1", "x": 10.0, "y": 20.0}),
+            vec![],
+        ),
+        HttpRequest::get("/track", json!({"vehicle": "van-1"})),
+        HttpRequest::get("/distance", json!({"vehicle": "van-1"})),
+        HttpRequest::get("/nearby", json!({"x": 0, "y": 0, "radius": 100})),
+        HttpRequest::post(
+            "/geofence",
+            json!({"id": 2, "name": "airport", "x": 500.0, "y": 500.0, "radius": 80.0}),
+            vec![],
+        ),
+        HttpRequest::get("/violations", json!({})),
+    ];
+    let regression_requests = vec![
+        HttpRequest::post(
+            "/position",
+            json!({"vehicle": "van-2", "x": 3.0, "y": 4.0}),
+            vec![],
+        ),
+        HttpRequest::post(
+            "/position",
+            json!({"vehicle": "van-2", "x": 6.0, "y": 8.0}),
+            vec![],
+        ),
+        HttpRequest::get("/distance", json!({"vehicle": "van-2"})),
+        HttpRequest::get("/nearby", json!({"x": 5, "y": 5, "radius": 10})),
+        HttpRequest::get("/violations", json!({})),
+    ];
+    SubjectApp {
+        name: "geo-tracker",
+        source: SOURCE.to_string(),
+        service_requests,
+        regression_requests,
+        profile: TrafficProfile::Mixed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgstr_analysis::ServerProcess;
+
+    #[test]
+    fn distance_sums_track_segments() {
+        let a = app();
+        let mut s = ServerProcess::from_source(&a.source).unwrap();
+        s.init().unwrap();
+        for (x, y) in [(0.0, 0.0), (3.0, 4.0), (3.0, 4.0)] {
+            s.handle(&HttpRequest::post(
+                "/position",
+                json!({"vehicle": "t", "x": x, "y": y}),
+                vec![],
+            ))
+            .unwrap();
+        }
+        let d = s
+            .handle(&HttpRequest::get("/distance", json!({"vehicle": "t"})))
+            .unwrap();
+        assert_eq!(d.response.body["distance"], json!(5));
+        assert_eq!(d.response.body["points"], json!(3));
+    }
+
+    #[test]
+    fn violations_respect_fences() {
+        let a = app();
+        let mut s = ServerProcess::from_source(&a.source).unwrap();
+        s.init().unwrap();
+        // inside depot fence (radius 50 around origin)
+        s.handle(&HttpRequest::post(
+            "/position",
+            json!({"vehicle": "inside", "x": 10.0, "y": 10.0}),
+            vec![],
+        ))
+        .unwrap();
+        // far away
+        s.handle(&HttpRequest::post(
+            "/position",
+            json!({"vehicle": "outside", "x": 900.0, "y": 900.0}),
+            vec![],
+        ))
+        .unwrap();
+        let v = s.handle(&HttpRequest::get("/violations", json!({}))).unwrap();
+        assert_eq!(v.response.body["violations"], json!(["outside"]));
+    }
+}

@@ -1,0 +1,165 @@
+//! `med-chem-rules` — molecular rule screening (named in §IV-E as the
+//! other cacheable subject): deterministic rule evaluation over molecule
+//! strings, with a mutable rule base and a screening history.
+
+use crate::{SubjectApp, TrafficProfile};
+use edgstr_net::HttpRequest;
+use serde_json::json;
+
+/// NodeScript source of the med-chem-rules server.
+pub const SOURCE: &str = r#"
+// med-chem-rules: Lipinski-style screening of molecule strings
+fs.writeFile("/data/fragment-library.sdf", util.blob(900000, 4));
+db.query("CREATE TABLE rules (id INT PRIMARY KEY, name TEXT, atom TEXT, weight REAL)");
+db.query("INSERT INTO rules VALUES (1, 'nitrogen-load', 'N', 1.5)");
+db.query("INSERT INTO rules VALUES (2, 'oxygen-load', 'O', 1.2)");
+db.query("INSERT INTO rules VALUES (3, 'ring-carbon', 'c', 0.8)");
+db.query("CREATE TABLE screenings (id INT PRIMARY KEY, molecule TEXT, score REAL, pass INT)");
+var screened = 0;
+
+function count_atom(mol, atom) {
+    var n = 0;
+    for (var i = 0; i < mol.length; i = i + 1) {
+        if (mol[i] == atom) { n = n + 1; }
+    }
+    return n;
+}
+
+function score_molecule(mol) {
+    var rules = db.query("SELECT atom, weight FROM rules");
+    var score = 0;
+    for (var i = 0; i < rules.length; i = i + 1) {
+        var r = rules[i];
+        score = score + count_atom(mol, r.atom) * r.weight;
+    }
+    return score;
+}
+
+app.post("/screen", function (req, res) {
+    var mol = req.body.smiles;
+    var score = score_molecule(mol);
+    var pass = 0;
+    if (score < 10) { pass = 1; }
+    screened = screened + 1;
+    db.query("INSERT INTO screenings VALUES (" + screened + ", '" + mol + "', " + score + ", " + pass + ")");
+    res.send({ molecule: mol, score: score, pass: pass });
+});
+
+app.get("/rules", function (req, res) {
+    var rows = db.query("SELECT * FROM rules ORDER BY id");
+    res.send(rows);
+});
+
+app.post("/rules", function (req, res) {
+    var id = req.body.id;
+    var name = req.body.name;
+    var atom = req.body.atom;
+    var weight = req.body.weight;
+    db.query("INSERT INTO rules VALUES (" + id + ", '" + name + "', '" + atom + "', " + weight + ")");
+    res.send({ added: name });
+});
+
+app.get("/screenings", function (req, res) {
+    var rows = db.query("SELECT * FROM screenings ORDER BY id DESC LIMIT 20");
+    res.send(rows);
+});
+
+app.post("/batch", function (req, res) {
+    var mols = req.body.molecules;
+    var results = [];
+    for (var i = 0; i < mols.length; i = i + 1) {
+        var score = score_molecule(mols[i]);
+        results.push({ molecule: mols[i], score: score });
+    }
+    res.send({ screened: mols.length, results: results });
+});
+
+app.get("/rulestats", function (req, res) {
+    var agg = db.query("SELECT COUNT(*), AVG(weight), MAX(weight) FROM rules");
+    var hist = db.query("SELECT COUNT(*) FROM screenings");
+    res.send({ rules: agg[0], history: hist[0], screened: screened });
+});
+"#;
+
+/// Build the subject app descriptor.
+pub fn app() -> SubjectApp {
+    let service_requests = vec![
+        HttpRequest::post("/screen", json!({"smiles": "CCNOcccNO"}), vec![]),
+        HttpRequest::get("/rules", json!({})),
+        HttpRequest::post(
+            "/rules",
+            json!({"id": 4, "name": "sulfur-load", "atom": "S", "weight": 2.0}),
+            vec![],
+        ),
+        HttpRequest::get("/screenings", json!({})),
+        HttpRequest::post(
+            "/batch",
+            json!({"molecules": ["CCO", "NNNN", "cccccc"]}),
+            vec![],
+        ),
+        HttpRequest::get("/rulestats", json!({})),
+    ];
+    let regression_requests = vec![
+        HttpRequest::post("/screen", json!({"smiles": "CCO"}), vec![]),
+        HttpRequest::post("/screen", json!({"smiles": "NONOcc"}), vec![]),
+        HttpRequest::get("/rules", json!({})),
+        HttpRequest::post("/batch", json!({"molecules": ["NO", "cc"]}), vec![]),
+        HttpRequest::get("/rulestats", json!({})),
+    ];
+    SubjectApp {
+        name: "med-chem-rules",
+        source: SOURCE.to_string(),
+        service_requests,
+        regression_requests,
+        profile: TrafficProfile::CacheableCompute,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgstr_analysis::ServerProcess;
+
+    #[test]
+    fn screening_is_deterministic() {
+        let a = app();
+        let mut s = ServerProcess::from_source(&a.source).unwrap();
+        s.init().unwrap();
+        let r = s.handle(&a.regression_requests[0]).unwrap().response.body;
+        // CCO: one O * 1.2
+        assert_eq!(r["score"], json!(1.2));
+        assert_eq!(r["pass"], json!(1));
+    }
+
+    #[test]
+    fn rule_updates_change_scores() {
+        let a = app();
+        let mut s = ServerProcess::from_source(&a.source).unwrap();
+        s.init().unwrap();
+        let before = s
+            .handle(&HttpRequest::post("/screen", json!({"smiles": "SS"}), vec![]))
+            .unwrap()
+            .response
+            .body["score"]
+            .clone();
+        assert_eq!(before, json!(0));
+        s.handle(&a.service_requests[2]).unwrap(); // add sulfur rule
+        let after = s
+            .handle(&HttpRequest::post("/screen", json!({"smiles": "SS"}), vec![]))
+            .unwrap()
+            .response
+            .body["score"]
+            .clone();
+        assert_eq!(after, json!(4));
+    }
+
+    #[test]
+    fn batch_screens_all_molecules() {
+        let a = app();
+        let mut s = ServerProcess::from_source(&a.source).unwrap();
+        s.init().unwrap();
+        let out = s.handle(&a.service_requests[4]).unwrap();
+        assert_eq!(out.response.body["screened"], json!(3));
+        assert_eq!(out.response.body["results"].as_array().unwrap().len(), 3);
+    }
+}

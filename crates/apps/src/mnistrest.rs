@@ -1,0 +1,129 @@
+//! `mnist-rest` — handwritten-digit recognition service (named in Table
+//! II): small image uploads, heavy compute, with a stored sample gallery
+//! and accuracy tracking.
+
+use crate::{synthetic_payload, SubjectApp, TrafficProfile};
+use edgstr_net::HttpRequest;
+use serde_json::json;
+
+/// NodeScript source of the mnist-rest server.
+pub const SOURCE: &str = r#"
+// mnist-rest: digit recognition with feedback-driven accuracy tracking
+fs.writeFile("/models/mnist-cnn.bin", util.blob(1500000, 2));
+var model_weights = fs.readFile("/models/mnist-cnn.bin");
+db.query("CREATE TABLE samples (id INT PRIMARY KEY, label INT, predicted INT, verified INT)");
+var model_version = "mnist-cnn-v2";
+var stored = 0;
+
+function digit_of(out) {
+    var dets = out.detections;
+    var first = dets[0];
+    var score = first.score;
+    return Math.floor(score * 9.99);
+}
+
+app.post("/predict-digit", function (req, res) {
+    var raw = req.body.img;
+    var pixels = new Uint8Array(raw);
+    var out = tensor.infer("mnist", pixels);
+    var digit = digit_of(out);
+    res.send({ digit: digit, model: model_version });
+});
+
+app.post("/sample", function (req, res) {
+    var raw = req.body.img;
+    var label = req.body.label;
+    var pixels = new Uint8Array(raw);
+    var out = tensor.infer("mnist", pixels);
+    var digit = digit_of(out);
+    stored = stored + 1;
+    fs.writeFile("/samples/" + stored + ".pgm", pixels);
+    db.query("INSERT INTO samples VALUES (" + stored + ", " + label + ", " + digit + ", 0)");
+    res.send({ id: stored, predicted: digit });
+});
+
+app.get("/accuracy", function (req, res) {
+    var rows = db.query("SELECT label, predicted FROM samples");
+    var hit = 0;
+    for (var i = 0; i < rows.length; i = i + 1) {
+        if (rows[i].label == rows[i].predicted) { hit = hit + 1; }
+    }
+    var total = rows.length;
+    var acc = 0;
+    if (total > 0) { acc = hit / total; }
+    res.send({ accuracy: acc, samples: total });
+});
+
+app.get("/samples", function (req, res) {
+    var rows = db.query("SELECT id, label, predicted FROM samples ORDER BY id");
+    res.send(rows);
+});
+
+app.post("/verify", function (req, res) {
+    var id = req.body.id;
+    db.query("UPDATE samples SET verified = 1 WHERE id = " + id);
+    var rows = db.query("SELECT COUNT(*) FROM samples WHERE verified = 1");
+    res.send(rows[0]);
+});
+
+app.get("/model-info", function (req, res) {
+    res.send({ model: model_version, stored: stored });
+});
+"#;
+
+/// Build the subject app descriptor.
+pub fn app() -> SubjectApp {
+    let digit_img = synthetic_payload(11, 4); // 4 KiB: a 28x28-ish sample
+    let service_requests = vec![
+        HttpRequest::post("/predict-digit", json!({}), digit_img.clone()),
+        HttpRequest::post("/sample", json!({"label": 7}), digit_img.clone()),
+        HttpRequest::get("/accuracy", json!({})),
+        HttpRequest::get("/samples", json!({})),
+        HttpRequest::post("/verify", json!({"id": 1}), vec![]),
+        HttpRequest::get("/model-info", json!({})),
+    ];
+    let regression_requests = vec![
+        HttpRequest::post("/predict-digit", json!({}), digit_img.clone()),
+        HttpRequest::post("/predict-digit", json!({}), synthetic_payload(12, 4)),
+        HttpRequest::post("/sample", json!({"label": 3}), digit_img),
+        HttpRequest::get("/accuracy", json!({})),
+        HttpRequest::get("/samples", json!({})),
+        HttpRequest::get("/model-info", json!({})),
+    ];
+    SubjectApp {
+        name: "mnist-rest",
+        source: SOURCE.to_string(),
+        service_requests,
+        regression_requests,
+        profile: TrafficProfile::LightUploadHeavyCompute,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgstr_analysis::ServerProcess;
+
+    #[test]
+    fn predicts_stable_digits() {
+        let a = app();
+        let mut s = ServerProcess::from_source(&a.source).unwrap();
+        s.init().unwrap();
+        let r1 = s.handle(&a.service_requests[0]).unwrap().response.body;
+        let r2 = s.handle(&a.service_requests[0]).unwrap().response.body;
+        assert_eq!(r1, r2, "same image must give same digit");
+        let d = r1["digit"].as_i64().unwrap();
+        assert!((0..=9).contains(&d));
+    }
+
+    #[test]
+    fn samples_persist_to_db_and_fs() {
+        let a = app();
+        let mut s = ServerProcess::from_source(&a.source).unwrap();
+        s.init().unwrap();
+        s.handle(&a.service_requests[1]).unwrap();
+        assert!(s.fs.contains("/samples/1.pgm"));
+        let rows = s.handle(&a.service_requests[3]).unwrap();
+        assert_eq!(rows.response.body.as_array().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! `sensor-hub` — IoT sensor ingestion and summarization. The paper argues
+//! EdgStr is "widely suitable for the types of services that process
+//! client-collected sensor data … CPU-bound, transforming sensor data
+//! collections into computed summaries, persisted for future referencing"
+//! (§II-D). Write-heavy ingest with aggregate queries.
+
+use crate::{SubjectApp, TrafficProfile};
+use edgstr_net::{HttpRequest, Verb};
+use serde_json::json;
+
+/// NodeScript source of the sensor-hub server.
+pub const SOURCE: &str = r#"
+// sensor-hub: telemetry ingest + computed summaries
+fs.writeFile("/calib/sensor-curves.bin", util.blob(400000, 5));
+db.query("CREATE TABLE readings (id INT PRIMARY KEY, device TEXT, celsius REAL)");
+var ingested = 0;
+var alert_limit = 40;
+
+app.post("/reading", function (req, res) {
+    var device = req.body.device;
+    var celsius = req.body.celsius;
+    ingested = ingested + 1;
+    db.query("INSERT INTO readings VALUES (" + ingested + ", '" + device + "', " + celsius + ")");
+    res.send({ stored: ingested });
+});
+
+app.get("/summary", function (req, res) {
+    var agg = db.query("SELECT COUNT(*), AVG(celsius), MIN(celsius), MAX(celsius) FROM readings");
+    res.send(agg[0]);
+});
+
+app.get("/alerts", function (req, res) {
+    var hot = db.query("SELECT device, celsius FROM readings WHERE celsius > " + alert_limit + " ORDER BY celsius DESC");
+    res.send({ limit: alert_limit, alerts: hot });
+});
+
+app.post("/threshold", function (req, res) {
+    alert_limit = req.body.limit;
+    res.send({ limit: alert_limit });
+});
+
+app.get("/devices", function (req, res) {
+    var rows = db.query("SELECT device FROM readings ORDER BY device");
+    var names = [];
+    for (var i = 0; i < rows.length; i = i + 1) {
+        var d = rows[i].device;
+        if (names.indexOf(d) == -1) { names.push(d); }
+    }
+    res.send({ devices: names, count: names.length });
+});
+
+app.delete("/readings", function (req, res) {
+    var device = req.params.device;
+    db.query("DELETE FROM readings WHERE device = '" + device + "'");
+    var left = db.query("SELECT COUNT(*) FROM readings");
+    res.send(left[0]);
+});
+"#;
+
+/// Build the subject app descriptor.
+pub fn app() -> SubjectApp {
+    let service_requests = vec![
+        HttpRequest::post(
+            "/reading",
+            json!({"device": "probe-a", "celsius": 21.5}),
+            vec![],
+        ),
+        HttpRequest::get("/summary", json!({})),
+        HttpRequest::get("/alerts", json!({})),
+        HttpRequest::post("/threshold", json!({"limit": 35}), vec![]),
+        HttpRequest::get("/devices", json!({})),
+        HttpRequest {
+            verb: Verb::Delete,
+            path: "/readings".to_string(),
+            params: json!({"device": "probe-z"}),
+            body: vec![],
+        },
+    ];
+    let regression_requests = vec![
+        HttpRequest::post(
+            "/reading",
+            json!({"device": "probe-a", "celsius": 19.0}),
+            vec![],
+        ),
+        HttpRequest::post(
+            "/reading",
+            json!({"device": "probe-b", "celsius": 44.0}),
+            vec![],
+        ),
+        HttpRequest::get("/summary", json!({})),
+        HttpRequest::get("/alerts", json!({})),
+        HttpRequest::get("/devices", json!({})),
+    ];
+    SubjectApp {
+        name: "sensor-hub",
+        source: SOURCE.to_string(),
+        service_requests,
+        regression_requests,
+        profile: TrafficProfile::WriteHeavy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgstr_analysis::ServerProcess;
+
+    #[test]
+    fn ingest_then_summarize() {
+        let a = app();
+        let mut s = ServerProcess::from_source(&a.source).unwrap();
+        s.init().unwrap();
+        for t in [18.0, 22.0, 41.0] {
+            s.handle(&HttpRequest::post(
+                "/reading",
+                json!({"device": "d1", "celsius": t}),
+                vec![],
+            ))
+            .unwrap();
+        }
+        let sum = s.handle(&HttpRequest::get("/summary", json!({}))).unwrap();
+        assert_eq!(sum.response.body["count"], json!(3));
+        assert_eq!(sum.response.body["max(celsius)"], json!(41));
+        let alerts = s.handle(&HttpRequest::get("/alerts", json!({}))).unwrap();
+        assert_eq!(alerts.response.body["alerts"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn threshold_is_stateful() {
+        let a = app();
+        let mut s = ServerProcess::from_source(&a.source).unwrap();
+        s.init().unwrap();
+        s.handle(&HttpRequest::post(
+            "/reading",
+            json!({"device": "d1", "celsius": 30.0}),
+            vec![],
+        ))
+        .unwrap();
+        s.handle(&HttpRequest::post("/threshold", json!({"limit": 25}), vec![]))
+            .unwrap();
+        let alerts = s.handle(&HttpRequest::get("/alerts", json!({}))).unwrap();
+        assert_eq!(alerts.response.body["alerts"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn delete_clears_device_readings() {
+        let a = app();
+        let mut s = ServerProcess::from_source(&a.source).unwrap();
+        s.init().unwrap();
+        for (d, t) in [("a", 20.0), ("b", 21.0)] {
+            s.handle(&HttpRequest::post(
+                "/reading",
+                json!({"device": d, "celsius": t}),
+                vec![],
+            ))
+            .unwrap();
+        }
+        let left = s
+            .handle(&HttpRequest {
+                verb: Verb::Delete,
+                path: "/readings".to_string(),
+                params: json!({"device": "a"}),
+                body: vec![],
+            })
+            .unwrap();
+        assert_eq!(left.response.body["count"], json!(1));
+    }
+}

@@ -1,0 +1,188 @@
+//! `text-analyzer` — document analytics: text uploads analyzed for word
+//! statistics, with file-backed document storage (the "files" replication
+//! unit of §III-C).
+
+use crate::{SubjectApp, TrafficProfile};
+use edgstr_net::HttpRequest;
+use serde_json::json;
+
+/// NodeScript source of the text-analyzer server.
+pub const SOURCE: &str = r#"
+// text-analyzer: word statistics over uploaded documents
+fs.writeFile("/corpora/stopwords-embeddings.bin", util.blob(700000, 7));
+db.query("CREATE TABLE docs (id INT PRIMARY KEY, name TEXT, words INT)");
+var doc_count = 0;
+
+function words_of(text) {
+    var parts = text.split(" ");
+    var words = [];
+    for (var i = 0; i < parts.length; i = i + 1) {
+        var w = parts[i].trim();
+        if (w.length > 0) { words.push(w); }
+    }
+    return words;
+}
+
+function frequency(words) {
+    var seen = [];
+    var counts = [];
+    for (var i = 0; i < words.length; i = i + 1) {
+        var w = words[i].toLowerCase();
+        var at = seen.indexOf(w);
+        if (at == -1) {
+            seen.push(w);
+            counts.push(1);
+        } else {
+            counts[at] = counts[at] + 1;
+        }
+    }
+    return { words: seen, counts: counts };
+}
+
+app.post("/analyze", function (req, res) {
+    var text = req.body.text;
+    var words = words_of(text);
+    var freq = frequency(words);
+    var longest = "";
+    for (var i = 0; i < words.length; i = i + 1) {
+        if (words[i].length > longest.length) { longest = words[i]; }
+    }
+    res.send({ words: words.length, unique: freq.words.length, longest: longest });
+});
+
+app.post("/document", function (req, res) {
+    var name = req.body.name;
+    var text = req.body.text;
+    fs.writeFile("/docs/" + name + ".txt", text);
+    var n = words_of(text).length;
+    doc_count = doc_count + 1;
+    db.query("INSERT INTO docs VALUES (" + doc_count + ", '" + name + "', " + n + ")");
+    res.send({ saved: name, words: n });
+});
+
+app.get("/document", function (req, res) {
+    var name = req.params.name;
+    var data = fs.readFile("/docs/" + name + ".txt");
+    res.send({ name: name, size: data.length });
+});
+
+app.get("/wordfreq", function (req, res) {
+    var name = req.params.name;
+    var data = fs.readFile("/docs/" + name + ".txt");
+    var text = "" + data;
+    var freq = frequency(words_of(text));
+    res.send(freq);
+});
+
+app.get("/docs", function (req, res) {
+    var rows = db.query("SELECT * FROM docs ORDER BY id");
+    res.send(rows);
+});
+
+app.post("/summarize", function (req, res) {
+    var text = req.body.text;
+    var sentences = text.split(".");
+    var keep = req.body.sentences;
+    var out = [];
+    for (var i = 0; i < sentences.length && i < keep; i = i + 1) {
+        var s = sentences[i].trim();
+        if (s.length > 0) { out.push(s); }
+    }
+    res.send({ summary: out.join(". "), kept: out.length });
+});
+"#;
+
+/// Build the subject app descriptor.
+pub fn app() -> SubjectApp {
+    let essay = "Edge computing moves processing close to clients. \
+                 The cloud remains the system of record. \
+                 Replicas converge through CRDTs.";
+    let service_requests = vec![
+        HttpRequest::post("/analyze", json!({"text": essay}), vec![]),
+        HttpRequest::post(
+            "/document",
+            json!({"name": "notes", "text": essay}),
+            vec![],
+        ),
+        HttpRequest::get("/document", json!({"name": "notes"})),
+        HttpRequest::get("/wordfreq", json!({"name": "notes"})),
+        HttpRequest::get("/docs", json!({})),
+        HttpRequest::post(
+            "/summarize",
+            json!({"text": essay, "sentences": 2}),
+            vec![],
+        ),
+    ];
+    let regression_requests = vec![
+        HttpRequest::post("/analyze", json!({"text": "alpha beta alpha"}), vec![]),
+        HttpRequest::post(
+            "/document",
+            json!({"name": "r1", "text": "one two three"}),
+            vec![],
+        ),
+        HttpRequest::get("/wordfreq", json!({"name": "notes"})),
+        HttpRequest::get("/docs", json!({})),
+        HttpRequest::post(
+            "/summarize",
+            json!({"text": "First. Second. Third.", "sentences": 1}),
+            vec![],
+        ),
+    ];
+    SubjectApp {
+        name: "text-analyzer",
+        source: SOURCE.to_string(),
+        service_requests,
+        regression_requests,
+        profile: TrafficProfile::FileBacked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgstr_analysis::ServerProcess;
+
+    #[test]
+    fn analyze_counts_words() {
+        let a = app();
+        let mut s = ServerProcess::from_source(&a.source).unwrap();
+        s.init().unwrap();
+        let out = s
+            .handle(&HttpRequest::post(
+                "/analyze",
+                json!({"text": "red green red refactoring"}),
+                vec![],
+            ))
+            .unwrap();
+        assert_eq!(out.response.body["words"], json!(4));
+        assert_eq!(out.response.body["unique"], json!(3));
+        assert_eq!(out.response.body["longest"], json!("refactoring"));
+    }
+
+    #[test]
+    fn documents_round_trip_through_fs() {
+        let a = app();
+        let mut s = ServerProcess::from_source(&a.source).unwrap();
+        s.init().unwrap();
+        s.handle(&a.service_requests[1]).unwrap();
+        assert!(s.fs.contains("/docs/notes.txt"));
+        let freq = s.handle(&a.service_requests[3]).unwrap();
+        assert!(freq.response.body["words"].as_array().unwrap().len() > 5);
+    }
+
+    #[test]
+    fn summarize_truncates_sentences() {
+        let a = app();
+        let mut s = ServerProcess::from_source(&a.source).unwrap();
+        s.init().unwrap();
+        let out = s
+            .handle(&HttpRequest::post(
+                "/summarize",
+                json!({"text": "A one. B two. C three.", "sentences": 2}),
+                vec![],
+            ))
+            .unwrap();
+        assert_eq!(out.response.body["kept"], json!(2));
+        assert_eq!(out.response.body["summary"], json!("A one. B two"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Criterion microbenchmarks for the EdgStr substrates: CRDT operations
+//! and merging, datalog fixpoints, the SQL engine, the NodeScript
+//! pipeline, template rendering, and full service profiling.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use edgstr_analysis::{profile_service, InitState, ServerProcess};
+use edgstr_crdt::{ActorId, CrdtTable, Doc, PathSeg, VClock};
+use edgstr_datalog::{Const, Database, Rule, RuleAtom, Term};
+use edgstr_net::HttpRequest;
+use edgstr_sql::SqlDb;
+use serde_json::json;
+
+fn bench_crdt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crdt");
+    g.bench_function("doc_put_100", |b| {
+        b.iter_batched(
+            || Doc::new(ActorId(1)),
+            |mut doc| {
+                for i in 0..100 {
+                    doc.put(&[PathSeg::Key(format!("k{i}"))], json!(i)).unwrap();
+                }
+                doc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("apply_changes_100", |b| {
+        let mut src = Doc::new(ActorId(1));
+        for i in 0..100 {
+            src.put(&[PathSeg::Key(format!("k{i}"))], json!(i)).unwrap();
+        }
+        let changes = src.get_changes(&VClock::new());
+        b.iter_batched(
+            || Doc::new(ActorId(2)),
+            |mut doc| {
+                doc.apply_changes(&changes).unwrap();
+                doc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("table_upsert_100_rows", |b| {
+        b.iter_batched(
+            || CrdtTable::new(ActorId(1), "t"),
+            |mut t| {
+                for i in 0..100 {
+                    t.upsert_row(&format!("r{i}"), &json!({"v": i, "s": "x"}))
+                        .unwrap();
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("bidirectional_merge", |b| {
+        b.iter_batched(
+            || {
+                let mut a = Doc::new(ActorId(1));
+                let mut bdoc = Doc::new(ActorId(2));
+                for i in 0..50 {
+                    a.put(&[PathSeg::Key(format!("a{i}"))], json!(i)).unwrap();
+                    bdoc.put(&[PathSeg::Key(format!("b{i}"))], json!(i)).unwrap();
+                }
+                (a, bdoc)
+            },
+            |(mut a, mut bdoc)| {
+                a.merge(&bdoc).unwrap();
+                bdoc.merge(&a).unwrap();
+                (a, bdoc)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_datalog(c: &mut Criterion) {
+    c.bench_function("datalog_transitive_closure_100", |b| {
+        let v = Term::var;
+        let rules = vec![
+            Rule::new(
+                RuleAtom::pos("path", vec![v("X"), v("Y")]),
+                vec![RuleAtom::pos("edge", vec![v("X"), v("Y")])],
+            ),
+            Rule::new(
+                RuleAtom::pos("path", vec![v("X"), v("Z")]),
+                vec![
+                    RuleAtom::pos("path", vec![v("X"), v("Y")]),
+                    RuleAtom::pos("edge", vec![v("Y"), v("Z")]),
+                ],
+            ),
+        ];
+        b.iter_batched(
+            || {
+                let mut db = Database::new();
+                for i in 0..100i64 {
+                    db.add_fact("edge", vec![Const::int(i), Const::int(i + 1)]);
+                }
+                db
+            },
+            |mut db| {
+                db.evaluate(&rules).unwrap();
+                db
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_sql(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sql");
+    g.bench_function("insert_100", |b| {
+        b.iter_batched(
+            || {
+                let mut db = SqlDb::new();
+                db.exec("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+                db
+            },
+            |mut db| {
+                for i in 0..100 {
+                    db.exec(&format!("INSERT INTO t VALUES ({i}, 'row{i}')"))
+                        .unwrap();
+                }
+                db
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("select_filtered", |b| {
+        let mut db = SqlDb::new();
+        db.exec("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+        for i in 0..500 {
+            db.exec(&format!("INSERT INTO t VALUES ({i}, {})", i % 17)).unwrap();
+        }
+        b.iter(|| {
+            db.exec("SELECT id FROM t WHERE v >= 5 AND v < 9 ORDER BY id DESC LIMIT 20")
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_lang(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lang");
+    let src = edgstr_apps::medchem::SOURCE;
+    g.bench_function("parse_subject_app", |b| {
+        b.iter(|| edgstr_lang::parse(src).unwrap())
+    });
+    g.bench_function("normalize_subject_app", |b| {
+        let prog = edgstr_lang::parse(src).unwrap();
+        b.iter(|| edgstr_lang::normalize(&prog))
+    });
+    g.bench_function("handle_request", |b| {
+        let mut server = ServerProcess::from_source(src).unwrap();
+        server.init().unwrap();
+        let req = HttpRequest::post("/screen", json!({"smiles": "CCNOcccNO"}), vec![]);
+        b.iter(|| server.handle(&req).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_template(c: &mut Criterion) {
+    c.bench_function("template_render_replica", |b| {
+        let ctx = json!({
+            "app": "bench",
+            "count": 3,
+            "bindings": "1 table(s)",
+            "support": ["function f(x) { return x; }\n"],
+            "services": (0..3).map(|i| json!({
+                "source": format!("function ftn_{i}(req, res) {{ res.send({i}); }}\n"),
+                "method": "get",
+                "path": format!("/s{i}"),
+                "fname": format!("ftn_{i}"),
+            })).collect::<Vec<_>>(),
+        });
+        b.iter(|| edgstr_template::render(edgstr_core::REPLICA_TEMPLATE, &ctx).unwrap())
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    c.bench_function("profile_service_full", |b| {
+        let src = r#"
+            db.query("CREATE TABLE t (id INT PRIMARY KEY, v INT)");
+            var n = 0;
+            app.post("/w", function (req, res) {
+                n = n + 1;
+                db.query("INSERT INTO t VALUES (" + n + ", " + req.body.v + ")");
+                res.send({ n: n });
+            });
+        "#;
+        let program = edgstr_lang::normalize(&edgstr_lang::parse(src).unwrap());
+        let mut server = ServerProcess::from_program(program);
+        server.init().unwrap();
+        let init = InitState::capture(&server);
+        let req = HttpRequest::post("/w", json!({"v": 9}), vec![]);
+        b.iter(|| profile_service(&mut server, &init, &req, 3).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_crdt, bench_datalog, bench_sql, bench_lang, bench_template, bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Ablation — least-connections balancing (the paper's policy, §IV-D)
+//! versus round-robin, on a heterogeneous RPI-3/RPI-4 cluster.
+//!
+//! Least-connections is load-aware: the faster RPI-4s drain their queues
+//! sooner, so they accumulate fewer connections and receive more work.
+//! Round-robin splits evenly and lets the slow RPI-3s become stragglers.
+
+use edgstr_apps::mnistrest;
+use edgstr_bench::{ms, print_table, transform_app, unique_variant};
+use edgstr_net::HttpRequest;
+use edgstr_runtime::{BalanceStrategy, ThreeTierOptions, ThreeTierSystem, Workload};
+use edgstr_sim::DeviceSpec;
+
+fn main() {
+    let app = mnistrest::app();
+    let mut reqs: Vec<HttpRequest> = Vec::new();
+    for i in 0..240i64 {
+        if i % 10 < 7 {
+            reqs.push(app.service_requests[0].clone());
+        } else {
+            reqs.push(unique_variant(&app.service_requests[1], 70_000 + i));
+        }
+    }
+    let wl = Workload::constant_rate(&reqs, 240.0, 240);
+    let mut rows = Vec::new();
+    for (label, strategy) in [
+        ("least connections (EdgStr)", BalanceStrategy::LeastConnections),
+        ("round robin", BalanceStrategy::RoundRobin),
+    ] {
+        let report = transform_app(&app);
+        let mut sys = ThreeTierSystem::deploy(
+            &app.source,
+            &report,
+            &[
+                DeviceSpec::rpi4(),
+                DeviceSpec::rpi4(),
+                DeviceSpec::rpi3(),
+                DeviceSpec::rpi3(),
+            ],
+            ThreeTierOptions {
+                balance: strategy,
+                ..Default::default()
+            },
+        )
+        .expect("deploys");
+        let mut stats = sys.run(&wl);
+        let per_edge: Vec<String> = sys
+            .edges
+            .iter()
+            .map(|e| e.device.completed().to_string())
+            .collect();
+        rows.push(vec![
+            label.to_string(),
+            ms(stats.latency.median().unwrap_or_default()),
+            ms(stats.latency.quantile(0.95).unwrap_or_default()),
+            ms(stats.latency.max().unwrap_or_default()),
+            per_edge.join("/"),
+        ]);
+    }
+    print_table(
+        "Ablation: balancing strategy on a 2×RPI-4 + 2×RPI-3 cluster (240 req @ 240 rps)",
+        &[
+            "strategy",
+            "median (ms)",
+            "p95 (ms)",
+            "max (ms)",
+            "requests per edge (rpi4/rpi4/rpi3/rpi3)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nleast-connections shifts load toward the faster RPI-4s and trims the tail;\n\
+         round-robin overloads the RPI-3 stragglers."
+    );
+}

@@ -1,0 +1,68 @@
+//! Ablation — background (asynchronous) CRDT synchronization versus
+//! synchronous write-through.
+//!
+//! The paper's design: "EdgStr's relaxed consistency semantics allows the
+//! replicated state to be synchronized in a background process without
+//! interfering with the provisioning of main functionalities" (§III-F).
+//! This ablation quantifies that choice: forcing a sync round after every
+//! request (write-through) inflates WAN traffic without improving request
+//! latency, since the edge answers before syncing either way — but it
+//! buys bounded staleness.
+
+use edgstr_apps::sensorhub;
+use edgstr_bench::{ms, print_table, service_workload, transform_app};
+use edgstr_runtime::{ThreeTierOptions, ThreeTierSystem};
+use edgstr_sim::{DeviceSpec, SimDuration};
+
+fn main() {
+    let app = sensorhub::app();
+    let ingest = &app.service_requests[0];
+    let wl = service_workload(ingest, 20.0, 60);
+    let mut rows = Vec::new();
+    for (label, synchronous, interval_ms) in [
+        ("background, 250 ms period", false, 250),
+        ("background, 1 s period (default)", false, 1_000),
+        ("background, 5 s period", false, 5_000),
+        ("synchronous write-through", true, 1_000),
+    ] {
+        let report = transform_app(&app);
+        let mut sys = ThreeTierSystem::deploy(
+            &app.source,
+            &report,
+            &[DeviceSpec::rpi4()],
+            ThreeTierOptions {
+                synchronous_sync: synchronous,
+                sync_interval: SimDuration::from_millis(interval_ms),
+                ..Default::default()
+            },
+        )
+        .expect("deploys");
+        let mut stats = sys.run(&wl);
+        rows.push(vec![
+            label.to_string(),
+            format!("{}", stats.completed),
+            ms(stats.latency.median().unwrap_or_default()),
+            format!("{:.1}", stats.wan_sync_bytes as f64 / 1024.0),
+            format!(
+                "{:.2}",
+                stats.wan_sync_bytes as f64 / stats.completed.max(1) as f64 / 1024.0
+            ),
+        ]);
+    }
+    print_table(
+        "Ablation: CRDT sync scheduling (sensor-hub ingest, 60 requests @ 20 rps)",
+        &[
+            "sync mode",
+            "completed",
+            "median latency (ms)",
+            "total sync KB",
+            "sync KB/req",
+        ],
+        &rows,
+    );
+    println!(
+        "\nbackground sync amortizes deltas into fewer messages; write-through pays\n\
+         per-request envelope overhead for bounded staleness. Request latency is\n\
+         unchanged either way — the paper's motivation for asynchronous sync."
+    );
+}

@@ -1,0 +1,45 @@
+//! E0 — the motivating RTT experiment (§II-A).
+//!
+//! "We installed our example app's remote service on the cloud
+//! infrastructures, located on the same continent and on the nearest
+//! neighboring continent. The RTT across different continents is an order
+//! of magnitude larger than within the same continent."
+
+use edgstr_apps::fobojet;
+use edgstr_bench::{ms, print_table, service_workload};
+use edgstr_net::LinkSpec;
+use edgstr_runtime::TwoTierSystem;
+use edgstr_sim::DeviceSpec;
+
+fn main() {
+    let app = fobojet::app();
+    let predict = app.service_requests[0].clone();
+    let wl = service_workload(&predict, 2.0, 20);
+
+    let mut rows = Vec::new();
+    let mut means = Vec::new();
+    for (label, wan) in [
+        ("same continent", LinkSpec::wan_same_continent()),
+        ("cross continent", LinkSpec::wan_cross_continent()),
+    ] {
+        let mut sys = TwoTierSystem::new(&app.source, DeviceSpec::cloud_server(), wan)
+            .expect("fobojet deploys");
+        let stats = sys.run(&wl);
+        let mut lat = stats.latency;
+        let mean = lat.mean().unwrap();
+        means.push(mean);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.0}", wan.latency.as_millis_f64() * 2.0),
+            ms(mean),
+            ms(lat.quantile(0.95).unwrap()),
+        ]);
+    }
+    print_table(
+        "E0: /predict latency, same- vs cross-continent cloud (Fig. 1 motivation)",
+        &["deployment", "base RTT (ms)", "mean latency (ms)", "p95 (ms)"],
+        &rows,
+    );
+    let ratio = means[1].as_secs_f64() / means[0].as_secs_f64();
+    println!("\ncross/same latency ratio: {ratio:.1}x (paper: \"an order of magnitude larger\" RTT)");
+}

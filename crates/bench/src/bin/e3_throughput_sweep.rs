@@ -1,0 +1,74 @@
+//! E3 — Fig. 7(a–f): cloud network speed versus throughput.
+//!
+//! "We configured their bandwidths from 0.1 to 5 MBytes/s … In a fast WAN,
+//! client-cloud always achieved higher throughput than their
+//! client-edge-cloud variants. As the WAN's speed decreased, so did the
+//! client-cloud's throughput, reaching a threshold at which the
+//! client-edge-cloud variants started achieving higher throughput."
+
+use edgstr_apps::all_apps;
+use edgstr_bench::{print_table, service_workload, transform_app};
+use edgstr_net::LinkSpec;
+use edgstr_runtime::{ThreeTierOptions, ThreeTierSystem, TwoTierSystem};
+use edgstr_sim::DeviceSpec;
+
+/// The Fig. 7 bandwidth sweep in MB/s.
+pub const BANDWIDTHS_MBPS: [f64; 6] = [0.1, 0.25, 0.5, 1.0, 2.5, 5.0];
+const WAN_LATENCY_MS: f64 = 150.0;
+const REQUESTS: usize = 60;
+/// Offered far above any capacity so the bottleneck (WAN bandwidth for the
+/// cloud, device compute for the edge) determines throughput.
+const DRIVE_RPS: f64 = 100_000.0;
+
+fn main() {
+    for app in all_apps() {
+        let report = transform_app(&app);
+        let req = &app.service_requests[0];
+        let wl = service_workload(req, DRIVE_RPS, REQUESTS);
+        let mut rows = Vec::new();
+        let mut cloud_takes_over: Option<f64> = None;
+        for mb in BANDWIDTHS_MBPS {
+            let wan = LinkSpec::from_mbytes_ms(mb, WAN_LATENCY_MS);
+            let mut two = TwoTierSystem::new(&app.source, DeviceSpec::cloud_server(), wan)
+                .expect("two-tier deploys");
+            let cloud_tput = two.run(&wl).throughput_rps();
+            let mut three = ThreeTierSystem::deploy(
+                &app.source,
+                &report,
+                &[DeviceSpec::rpi4()],
+                ThreeTierOptions {
+                    wan,
+                    ..Default::default()
+                },
+            )
+            .expect("three-tier deploys");
+            let edge_tput = three.run(&wl).throughput_rps();
+            if cloud_tput > edge_tput && cloud_takes_over.is_none() {
+                cloud_takes_over = Some(mb);
+            }
+            rows.push(vec![
+                format!("{mb:.2}"),
+                format!("{cloud_tput:.1}"),
+                format!("{edge_tput:.1}"),
+                if edge_tput > cloud_tput { "edge" } else { "cloud" }.to_string(),
+            ]);
+        }
+        print_table(
+            &format!(
+                "E3 / Fig. 7: {} — WAN bandwidth vs saturated throughput ({} requests)",
+                app.name, REQUESTS
+            ),
+            &["WAN MB/s", "client-cloud rps", "client-edge-cloud rps", "winner"],
+            &rows,
+        );
+        match cloud_takes_over {
+            Some(mb) => println!(
+                "crossover: the cloud overtakes the edge at ~{mb} MB/s (edge wins below)"
+            ),
+            None => println!(
+                "no crossover in the sweep: the edge wins throughout (heavy-data or \
+                 light-compute subject)"
+            ),
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Fig. 6(a) — the evaluation setup: cloud/edge nodes and the mobile
+//! device, as modeled by `edgstr-sim`, plus the network profiles of §IV-C.
+
+use edgstr_bench::print_table;
+use edgstr_net::LinkSpec;
+use edgstr_sim::DeviceSpec;
+
+fn main() {
+    let devices = [
+        ("Cloud Infra (Desktop)", DeviceSpec::cloud_server()),
+        ("Edge Node (RPI-3)", DeviceSpec::rpi3()),
+        ("Edge Node (RPI-4)", DeviceSpec::rpi4()),
+        ("Mobile Dev (Android)", DeviceSpec::android()),
+    ];
+    let rows: Vec<Vec<String>> = devices
+        .iter()
+        .map(|(role, d)| {
+            vec![
+                role.to_string(),
+                d.name.clone(),
+                format!("{:.1} GHz × {}", d.clock_ghz, d.cores),
+                format!("{:.2}", d.efficiency),
+                format!("{:.2} Geff-cycles/s", d.total_hz() / 1e9),
+                format!(
+                    "{:.1}/{:.1}/{:.1}",
+                    d.power.active_w, d.power.idle_w, d.power.low_power_w
+                ),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 6(a): cloud/edge nodes and mobile device setup (simulated)",
+        &[
+            "role",
+            "model",
+            "clock × cores",
+            "IPC factor",
+            "effective compute",
+            "W active/idle/low",
+        ],
+        &rows,
+    );
+
+    let links = [
+        ("edge LAN (−55 dBm Wi-Fi)", LinkSpec::edge_lan()),
+        ("WAN, same continent", LinkSpec::wan_same_continent()),
+        ("WAN, cross continent", LinkSpec::wan_cross_continent()),
+        ("limited cloud network (§IV-C)", LinkSpec::limited_cloud()),
+    ];
+    let rows: Vec<Vec<String>> = links
+        .iter()
+        .map(|(name, l)| {
+            vec![
+                name.to_string(),
+                format!("{:.0} KB/s", l.bandwidth_bytes_per_sec / 1024.0),
+                format!("{:.0} ms", l.latency.as_millis_f64()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Network profiles (the comcast-emulator analog)",
+        &["link", "bandwidth", "one-way latency"],
+        &rows,
+    );
+    println!(
+        "\ncalibration: RPI-4/RPI-3 effective-speed ratio = {:.2} (paper measured 1.71)",
+        DeviceSpec::rpi4().core_hz() / DeviceSpec::rpi3().core_hz()
+    );
+}

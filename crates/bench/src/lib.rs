@@ -1,0 +1,122 @@
+//! # edgstr-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (§IV); see
+//! `DESIGN.md` for the experiment index (E0–E10) and `EXPERIMENTS.md` for
+//! paper-vs-measured results. This library holds the shared plumbing:
+//! transforming subject apps, building workloads, and rendering aligned
+//! text tables.
+
+use edgstr_apps::SubjectApp;
+use edgstr_core::{capture_and_transform, EdgStrConfig, TransformationReport};
+use edgstr_net::HttpRequest;
+use edgstr_runtime::Workload;
+
+/// Transform a subject app using its per-service sample requests as the
+/// captured traffic.
+///
+/// # Panics
+///
+/// Panics when the transformation fails — experiments cannot proceed
+/// without it, and the failure message names the app.
+pub fn transform_app(app: &SubjectApp) -> TransformationReport {
+    let (report, _) = capture_and_transform(
+        &app.source,
+        &app.service_requests,
+        &EdgStrConfig {
+            app_name: app.name.to_string(),
+            ..Default::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("{}: transform failed: {e}", app.name));
+    report
+}
+
+/// A request workload that exercises one service repeatedly, mutating the
+/// primary-key-ish parameters so write services do not collide.
+pub fn service_workload(template: &HttpRequest, rps: f64, count: usize) -> Workload {
+    let mut reqs = Vec::with_capacity(count);
+    for i in 0..count {
+        reqs.push(unique_variant(template, 10_000 + i as i64));
+    }
+    Workload::constant_rate(&reqs, rps, count)
+}
+
+/// Clone `template`, replacing `id`-like integer parameters with `salt` so
+/// repeated invocations of insert services stay valid.
+pub fn unique_variant(template: &HttpRequest, salt: i64) -> HttpRequest {
+    let mut req = template.clone();
+    if let serde_json::Value::Object(m) = &mut req.params {
+        for key in ["id", "device", "vehicle", "name"] {
+            if let Some(v) = m.get_mut(key) {
+                if v.is_i64() || v.is_u64() {
+                    *v = serde_json::Value::from(salt);
+                } else if let Some(s) = v.as_str() {
+                    *v = serde_json::Value::from(format!("{s}-{salt}"));
+                }
+            }
+        }
+    }
+    req
+}
+
+/// Render an aligned text table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() && cell.len() > widths[i] {
+                widths[i] = cell.len();
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Kilobytes with one decimal.
+pub fn kb(bytes: usize) -> String {
+    format!("{:.1}", bytes as f64 / 1024.0)
+}
+
+/// Milliseconds with one decimal.
+pub fn ms(d: edgstr_sim::SimDuration) -> String {
+    format!("{:.1}", d.as_millis_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn unique_variant_rewrites_ids() {
+        let t = HttpRequest::post("/x", json!({"id": 1, "device": "probe-a"}), vec![]);
+        let v = unique_variant(&t, 777);
+        assert_eq!(v.params["id"], json!(777));
+        assert_eq!(v.params["device"], json!("probe-a-777"));
+    }
+
+    #[test]
+    fn service_workload_counts() {
+        let t = HttpRequest::get("/y", json!({}));
+        let wl = service_workload(&t, 50.0, 10);
+        assert_eq!(wl.len(), 10);
+    }
+
+    #[test]
+    fn kb_and_ms_format() {
+        assert_eq!(kb(2048), "2.0");
+        assert_eq!(ms(edgstr_sim::SimDuration::from_millis(15)), "15.0");
+    }
+}

@@ -1,0 +1,54 @@
+//! # edgstr-core — automating client-cloud → client-edge-cloud transformation
+//!
+//! The primary contribution of the paper: given a two-tier (client ↔
+//! cloud) application and a capture of its live HTTP traffic, EdgStr
+//! produces the three-tier variant automatically (Fig. 3):
+//!
+//! 1. **Analyze HTTP traffic** — [`edgstr_net::TrafficCapture`] yields the
+//!    `Subject` interface (services `s_1..s_N`, Eq. 1);
+//! 2. **Capture relevant server state/code** — `edgstr-analysis` profiles
+//!    each service under checkpoint/restore isolation (§III-B/C);
+//! 3. **Consult developer** — [`ConsistencyPolicy`] decides whether
+//!    eventual consistency is acceptable per state unit (§III-D);
+//! 4. **Identify server code to replicate** — fuzzing + datalog
+//!    entry/exit inference + dependence slicing + Extract Function
+//!    (§III-E);
+//! 5. **Generate edge replicas** — readable NodeScript source from
+//!    handlebars-style templates, bundled with the init snapshot and the
+//!    CRDT bindings manifest (§III-G).
+//!
+//! The generated [`ReplicaArtifact`] is deployed by `edgstr-runtime`,
+//! which wires state changes to CRDT update operations and synchronizes
+//! replicas in the background.
+//!
+//! ## Example
+//!
+//! ```
+//! use edgstr_core::{capture_and_transform, EdgStrConfig};
+//! use edgstr_net::HttpRequest;
+//! use serde_json::json;
+//!
+//! let app = r#"
+//!     var hits = 0;
+//!     app.get("/ping", function (req, res) {
+//!         hits = hits + 1;
+//!         res.send({ pong: req.params.n, hits: hits });
+//!     });
+//! "#;
+//! let reqs = vec![HttpRequest::get("/ping", json!({"n": 7}))];
+//! let (report, _capture) =
+//!     capture_and_transform(app, &reqs, &EdgStrConfig::default()).unwrap();
+//! assert_eq!(report.replicated_count(), 1);
+//! assert!(report.replica.source.contains("ftn_ping"));
+//! ```
+
+pub mod policy;
+pub mod replica;
+pub mod transform;
+
+pub use policy::ConsistencyPolicy;
+pub use replica::{generate_replica, CrdtBindings, ReplicaArtifact, REPLICA_TEMPLATE};
+pub use transform::{
+    capture_and_transform, transform, EdgStrConfig, ServiceReport, TransformError,
+    TransformationReport,
+};

@@ -1,0 +1,102 @@
+//! The *Consult Developer* step (§III-D).
+//!
+//! EdgStr cannot decide on its own whether eventual consistency is
+//! acceptable for a piece of replicated state; it presents the isolated
+//! state units to the programmer, who approves or rejects replication.
+//! [`ConsistencyPolicy`] encodes that decision programmatically.
+
+use edgstr_analysis::StateUnit;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The developer's answer to "can this state tolerate eventual
+/// consistency?".
+#[derive(Default)]
+pub enum ConsistencyPolicy {
+    /// Accept every state unit (services like sensor-data processing,
+    /// which the paper argues are widely suitable).
+    #[default]
+    AcceptAll,
+    /// Reject every state unit: nothing is replicated; every service is
+    /// forwarded to the cloud.
+    RejectAll,
+    /// Reject exactly the listed units (e.g. a payments table needing
+    /// strong consistency); services touching them are forwarded.
+    Reject(BTreeSet<StateUnit>),
+    /// Arbitrary predicate: `true` means eventual consistency is
+    /// acceptable for the unit.
+    Custom(Box<dyn Fn(&StateUnit) -> bool>),
+}
+
+impl fmt::Debug for ConsistencyPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsistencyPolicy::AcceptAll => write!(f, "AcceptAll"),
+            ConsistencyPolicy::RejectAll => write!(f, "RejectAll"),
+            ConsistencyPolicy::Reject(units) => write!(f, "Reject({units:?})"),
+            ConsistencyPolicy::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+
+impl ConsistencyPolicy {
+    /// Whether the developer accepts eventual consistency for `unit`.
+    pub fn accepts(&self, unit: &StateUnit) -> bool {
+        match self {
+            ConsistencyPolicy::AcceptAll => true,
+            ConsistencyPolicy::RejectAll => false,
+            ConsistencyPolicy::Reject(units) => !units.contains(unit),
+            ConsistencyPolicy::Custom(f) => f(unit),
+        }
+    }
+
+    /// Whether every unit of a service is acceptable (the service can be
+    /// replicated at the edge).
+    pub fn accepts_all(&self, units: &[StateUnit]) -> bool {
+        units.iter().all(|u| self.accepts(u))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn units() -> Vec<StateUnit> {
+        vec![
+            StateUnit::DbTable("orders".into()),
+            StateUnit::Global("counter".into()),
+        ]
+    }
+
+    #[test]
+    fn accept_all_accepts() {
+        assert!(ConsistencyPolicy::AcceptAll.accepts_all(&units()));
+    }
+
+    #[test]
+    fn reject_all_rejects() {
+        let p = ConsistencyPolicy::RejectAll;
+        assert!(!p.accepts_all(&units()));
+        assert!(p.accepts_all(&[])); // stateless services always pass
+    }
+
+    #[test]
+    fn reject_specific_unit() {
+        let mut deny = BTreeSet::new();
+        deny.insert(StateUnit::DbTable("orders".into()));
+        let p = ConsistencyPolicy::Reject(deny);
+        assert!(!p.accepts(&StateUnit::DbTable("orders".into())));
+        assert!(p.accepts(&StateUnit::Global("counter".into())));
+        assert!(!p.accepts_all(&units()));
+    }
+
+    #[test]
+    fn custom_predicate() {
+        let p = ConsistencyPolicy::Custom(Box::new(|u| {
+            !matches!(u, StateUnit::DbTable(t) if t.starts_with("pay"))
+        }));
+        assert!(!p.accepts(&StateUnit::DbTable("payments".into())));
+        assert!(p.accepts(&StateUnit::DbTable("logs".into())));
+    }
+}

@@ -1,0 +1,211 @@
+//! Operations and changes — the replication units exchanged between the
+//! cloud master and edge replicas.
+
+use crate::ids::{ActorId, OpId, VClock};
+use serde::{Deserialize, Serialize};
+use serde_json::Value as Json;
+use std::fmt;
+
+/// Reference to a container object inside a document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ObjId {
+    /// The document root (a map).
+    Root,
+    /// A map or list created by a `MakeMap`/`MakeList` operation.
+    Made(OpId),
+}
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjId::Root => write!(f, "root"),
+            ObjId::Made(id) => write!(f, "obj({id})"),
+        }
+    }
+}
+
+/// The value carried by a `Set`/`Insert` operation: either an atomic JSON
+/// scalar/subtree, or a reference to a container created in the same or an
+/// earlier change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OpValue {
+    /// An atomic JSON payload (merged as a unit).
+    Scalar(Json),
+    /// A nested container.
+    Obj(ObjId),
+}
+
+/// Position reference for list insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ElemRef {
+    /// Insert at the head of the list.
+    Head,
+    /// Insert after the element created by this op.
+    After(OpId),
+}
+
+/// A single CRDT operation.
+///
+/// `pred` lists the op ids this operation supersedes (the values visible to
+/// the writer at generation time); apply removes exactly those, so
+/// concurrent writes survive as multi-values resolved by op-id order, and
+/// concurrent adds survive deletes (add-wins).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// Create an empty map object with identity `id`.
+    MakeMap { id: OpId },
+    /// Create an empty list object with identity `id`.
+    MakeList { id: OpId },
+    /// Set `key` of map `obj` to `value`.
+    Set {
+        id: OpId,
+        obj: ObjId,
+        key: String,
+        value: OpValue,
+        pred: Vec<OpId>,
+    },
+    /// Delete `key` of map `obj`.
+    DelKey {
+        id: OpId,
+        obj: ObjId,
+        key: String,
+        pred: Vec<OpId>,
+    },
+    /// Insert a new element into list `obj` after `after`.
+    Insert {
+        id: OpId,
+        obj: ObjId,
+        after: ElemRef,
+        value: OpValue,
+    },
+    /// Overwrite the value of an existing list element.
+    SetElem {
+        id: OpId,
+        obj: ObjId,
+        elem: OpId,
+        value: OpValue,
+        pred: Vec<OpId>,
+    },
+    /// Tombstone a list element.
+    DelElem { id: OpId, obj: ObjId, elem: OpId },
+    /// Add `delta` to the counter at `key` of map `obj` (PN-counter cell).
+    Inc {
+        id: OpId,
+        obj: ObjId,
+        key: String,
+        delta: i64,
+    },
+}
+
+impl Op {
+    /// The id of this operation.
+    pub fn id(&self) -> OpId {
+        match self {
+            Op::MakeMap { id }
+            | Op::MakeList { id }
+            | Op::Set { id, .. }
+            | Op::DelKey { id, .. }
+            | Op::Insert { id, .. }
+            | Op::SetElem { id, .. }
+            | Op::DelElem { id, .. }
+            | Op::Inc { id, .. } => *id,
+        }
+    }
+}
+
+/// A batch of operations from one actor: the unit returned by
+/// `get_changes` and consumed by `apply_changes` (§III-G.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Change {
+    /// The replica that generated this change.
+    pub actor: ActorId,
+    /// Per-actor sequence number, starting at 1, gapless.
+    pub seq: u64,
+    /// Causal dependencies: the generating replica's clock *before* this
+    /// change (not counting the change itself).
+    pub deps: VClock,
+    /// The operations, in generation order.
+    pub ops: Vec<Op>,
+}
+
+impl Change {
+    /// Highest op counter used inside this change (0 when empty).
+    pub fn max_counter(&self) -> u64 {
+        self.ops.iter().map(|o| o.id().counter).max().unwrap_or(0)
+    }
+
+    /// Serialized size in bytes — the WAN traffic cost of shipping this
+    /// change, used for the synchronization-overhead experiments (Fig. 10a).
+    pub fn wire_size(&self) -> usize {
+        serde_json::to_vec(self).map(|v| v.len()).unwrap_or(0)
+    }
+}
+
+/// Total wire size of a batch of changes.
+pub fn batch_wire_size(changes: &[Change]) -> usize {
+    changes.iter().map(Change::wire_size).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op() -> Op {
+        Op::Set {
+            id: OpId::new(1, ActorId(1)),
+            obj: ObjId::Root,
+            key: "k".into(),
+            value: OpValue::Scalar(Json::from(42)),
+            pred: vec![],
+        }
+    }
+
+    #[test]
+    fn change_serde_round_trip() {
+        let c = Change {
+            actor: ActorId(1),
+            seq: 1,
+            deps: VClock::new(),
+            ops: vec![op()],
+        };
+        let bytes = serde_json::to_vec(&c).unwrap();
+        let back: Change = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn wire_size_positive_and_monotone() {
+        let small = Change {
+            actor: ActorId(1),
+            seq: 1,
+            deps: VClock::new(),
+            ops: vec![op()],
+        };
+        let mut big = small.clone();
+        big.ops = vec![op(); 50];
+        assert!(small.wire_size() > 0);
+        assert!(big.wire_size() > small.wire_size() * 10);
+        assert_eq!(
+            batch_wire_size(&[small.clone(), big.clone()]),
+            small.wire_size() + big.wire_size()
+        );
+    }
+
+    #[test]
+    fn max_counter_over_ops() {
+        let c = Change {
+            actor: ActorId(1),
+            seq: 1,
+            deps: VClock::new(),
+            ops: vec![
+                Op::MakeMap {
+                    id: OpId::new(3, ActorId(1)),
+                },
+                Op::MakeList {
+                    id: OpId::new(7, ActorId(1)),
+                },
+            ],
+        };
+        assert_eq!(c.max_counter(), 7);
+    }
+}

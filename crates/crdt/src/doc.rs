@@ -1,0 +1,1216 @@
+//! The replicated JSON document (`CRDT-JSON` in the paper).
+//!
+//! A [`Doc`] is an operation-based CRDT holding a tree of maps, lists and
+//! atomic JSON leaves. Replicas exchange [`Change`] batches via
+//! [`Doc::get_changes`] / [`Doc::apply_changes`] — the exact API triple the
+//! paper generates wiring code for (`initialize`, `getChanges`,
+//! `applyChanges`, §III-G.1). Concurrent map writes resolve
+//! last-writer-wins by op id; deletes are add-wins; lists use RGA ordering
+//! with tombstones. The result is strong eventual consistency: replicas
+//! that have applied the same set of changes read the same JSON.
+
+use crate::change::{Change, ElemRef, ObjId, Op, OpValue};
+use crate::ids::{ActorId, OpId, VClock};
+use serde_json::Value as Json;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// One segment of a path into the document tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathSeg {
+    /// A map key.
+    Key(String),
+    /// A list index (over visible, i.e. non-deleted, elements).
+    Index(usize),
+}
+
+impl From<&str> for PathSeg {
+    fn from(s: &str) -> Self {
+        PathSeg::Key(s.to_string())
+    }
+}
+
+impl From<String> for PathSeg {
+    fn from(s: String) -> Self {
+        PathSeg::Key(s)
+    }
+}
+
+impl From<usize> for PathSeg {
+    fn from(i: usize) -> Self {
+        PathSeg::Index(i)
+    }
+}
+
+/// Build a document path from string keys and numeric indices.
+///
+/// # Examples
+///
+/// ```
+/// use edgstr_crdt::path;
+/// let p = path!["rows", 0, "name"];
+/// assert_eq!(p.len(), 3);
+/// ```
+#[macro_export]
+macro_rules! path {
+    ($($seg:expr),* $(,)?) => {
+        [$($crate::doc::PathSeg::from($seg)),*]
+    };
+}
+
+/// Error raised by document operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrdtError {
+    /// The path does not resolve to a container of the required kind.
+    BadPath(String),
+    /// A list index was out of bounds.
+    IndexOutOfBounds { index: usize, len: usize },
+    /// An operation referenced an object this replica has never seen.
+    MissingObject(String),
+    /// A change arrived with an impossible sequence number (gap going
+    /// backwards), indicating replica-id reuse.
+    CorruptChange(String),
+}
+
+impl fmt::Display for CrdtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrdtError::BadPath(p) => write!(f, "invalid document path: {p}"),
+            CrdtError::IndexOutOfBounds { index, len } => {
+                write!(f, "list index {index} out of bounds (len {len})")
+            }
+            CrdtError::MissingObject(o) => write!(f, "unknown object {o}"),
+            CrdtError::CorruptChange(m) => write!(f, "corrupt change: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CrdtError {}
+
+#[derive(Debug, Clone, Default)]
+struct MapObj {
+    /// key → live (opid, value) pairs, ascending by opid; the visible value
+    /// is the last one.
+    entries: BTreeMap<String, Vec<(OpId, OpValue)>>,
+    /// key → observed counter increments (PN-counter cells). Each
+    /// increment is tracked by op id so deletion can remove exactly the
+    /// observed increments (concurrent increments survive: add-wins).
+    counters: BTreeMap<String, Vec<(OpId, i64)>>,
+}
+
+#[derive(Debug, Clone)]
+struct ListElem {
+    id: OpId,
+    values: Vec<(OpId, OpValue)>,
+    deleted: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ListObj {
+    elems: Vec<ListElem>,
+}
+
+impl ListObj {
+    fn visible(&self) -> impl Iterator<Item = &ListElem> {
+        self.elems.iter().filter(|e| !e.deleted && !e.values.is_empty())
+    }
+
+    fn visible_id(&self, index: usize) -> Option<OpId> {
+        self.visible().nth(index).map(|e| e.id)
+    }
+
+    fn visible_len(&self) -> usize {
+        self.visible().count()
+    }
+}
+
+/// The actor id used for deterministic snapshot initialization.
+pub const GENESIS_ACTOR: ActorId = ActorId(0);
+
+/// A replicated JSON document.
+///
+/// # Examples
+///
+/// ```
+/// use edgstr_crdt::{Doc, ActorId, path};
+/// use serde_json::json;
+///
+/// let mut cloud = Doc::new(ActorId(1));
+/// let mut edge = Doc::new(ActorId(2));
+/// cloud.put(&path!["sensors"], json!({"count": 0})).unwrap();
+/// let changes = cloud.get_changes(edge.clock());
+/// edge.apply_changes(&changes).unwrap();
+/// assert_eq!(edge.to_json(), cloud.to_json());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Doc {
+    actor: ActorId,
+    counter: u64,
+    seq: u64,
+    clock: VClock,
+    history: Vec<Change>,
+    pending: Vec<Change>,
+    maps: HashMap<ObjId, MapObj>,
+    lists: HashMap<ObjId, ListObj>,
+}
+
+impl Doc {
+    /// Create an empty document owned by `actor`.
+    pub fn new(actor: ActorId) -> Self {
+        let mut maps = HashMap::new();
+        maps.insert(ObjId::Root, MapObj::default());
+        Doc {
+            actor,
+            counter: 0,
+            seq: 0,
+            clock: VClock::new(),
+            history: Vec::new(),
+            pending: Vec::new(),
+            maps,
+            lists: HashMap::new(),
+        }
+    }
+
+    /// Create a document pre-populated from a JSON `snapshot`.
+    ///
+    /// The snapshot is loaded as a deterministic *genesis change* by the
+    /// reserved [`GENESIS_ACTOR`], so the cloud master and every edge
+    /// replica initialized from the same snapshot build byte-identical
+    /// object identities — the paper's "initialize both the master and the
+    /// replicas with the same snapshot" step (§III-G.1).
+    pub fn from_snapshot(actor: ActorId, snapshot: &Json) -> Self {
+        let mut doc = Doc::new(GENESIS_ACTOR);
+        if let Json::Object(map) = snapshot {
+            let mut ops = Vec::new();
+            for (k, v) in map {
+                let value = doc.value_ops(v, &mut ops);
+                let id = doc.next_op();
+                ops.push(Op::Set {
+                    id,
+                    obj: ObjId::Root,
+                    key: k.clone(),
+                    value,
+                    pred: vec![],
+                });
+            }
+            doc.commit(ops);
+        } else if !snapshot.is_null() {
+            let mut ops = Vec::new();
+            let value = doc.value_ops(snapshot, &mut ops);
+            let id = doc.next_op();
+            ops.push(Op::Set {
+                id,
+                obj: ObjId::Root,
+                key: "value".to_string(),
+                value,
+                pred: vec![],
+            });
+            doc.commit(ops);
+        }
+        doc.actor = actor;
+        doc.seq = doc.clock.get(actor);
+        doc
+    }
+
+    /// The replica that owns this document.
+    pub fn actor(&self) -> ActorId {
+        self.actor
+    }
+
+    /// The clock of changes this replica has applied.
+    pub fn clock(&self) -> &VClock {
+        &self.clock
+    }
+
+    /// Number of changes in this replica's history.
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Number of changes buffered awaiting causal dependencies.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    // ---- local mutation API ------------------------------------------------
+
+    /// Set the value at `path` to an atomic JSON payload, creating
+    /// intermediate maps as needed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if an intermediate path segment resolves to a list index that
+    /// does not exist.
+    pub fn put(&mut self, path: &[PathSeg], value: Json) -> Result<(), CrdtError> {
+        let mut ops = Vec::new();
+        let value = self.value_ops(&value, &mut ops);
+        self.write(path, value, &mut ops)?;
+        self.commit(ops);
+        Ok(())
+    }
+
+    /// Ensure `path` resolves to a (possibly empty) map.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid paths.
+    pub fn put_map(&mut self, path: &[PathSeg]) -> Result<(), CrdtError> {
+        if self.get_obj(path).is_some() {
+            return Ok(());
+        }
+        let mut ops = Vec::new();
+        let id = self.next_op();
+        ops.push(Op::MakeMap { id });
+        self.write(path, OpValue::Obj(ObjId::Made(id)), &mut ops)?;
+        self.commit(ops);
+        Ok(())
+    }
+
+    /// Ensure `path` resolves to a (possibly empty) list.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid paths.
+    pub fn put_list(&mut self, path: &[PathSeg]) -> Result<(), CrdtError> {
+        if matches!(self.get_obj(path), Some(o) if self.lists.contains_key(&o)) {
+            return Ok(());
+        }
+        let mut ops = Vec::new();
+        let id = self.next_op();
+        ops.push(Op::MakeList { id });
+        self.write(path, OpValue::Obj(ObjId::Made(id)), &mut ops)?;
+        self.commit(ops);
+        Ok(())
+    }
+
+    /// Insert `value` at `index` of the list at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `path` is not a list or `index > len`.
+    pub fn list_insert(
+        &mut self,
+        path: &[PathSeg],
+        index: usize,
+        value: Json,
+    ) -> Result<(), CrdtError> {
+        let obj = self
+            .get_obj(path)
+            .filter(|o| self.lists.contains_key(o))
+            .ok_or_else(|| CrdtError::BadPath(format!("{path:?} is not a list")))?;
+        let list = &self.lists[&obj];
+        let len = list.visible_len();
+        if index > len {
+            return Err(CrdtError::IndexOutOfBounds { index, len });
+        }
+        let after = if index == 0 {
+            ElemRef::Head
+        } else {
+            ElemRef::After(list.visible_id(index - 1).expect("index checked"))
+        };
+        let mut ops = Vec::new();
+        let value = self.value_ops(&value, &mut ops);
+        let id = self.next_op();
+        ops.push(Op::Insert {
+            id,
+            obj,
+            after,
+            value,
+        });
+        self.commit(ops);
+        Ok(())
+    }
+
+    /// Append `value` to the list at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `path` is not a list.
+    pub fn list_push(&mut self, path: &[PathSeg], value: Json) -> Result<(), CrdtError> {
+        let len = self
+            .get_obj(path)
+            .and_then(|o| self.lists.get(&o))
+            .map(ListObj::visible_len)
+            .ok_or_else(|| CrdtError::BadPath(format!("{path:?} is not a list")))?;
+        self.list_insert(path, len, value)
+    }
+
+    /// Delete the map key or list element at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid paths.
+    pub fn delete(&mut self, path: &[PathSeg]) -> Result<(), CrdtError> {
+        let (last, parent_path) = path
+            .split_last()
+            .ok_or_else(|| CrdtError::BadPath("cannot delete the root".into()))?;
+        let obj = self
+            .get_obj(parent_path)
+            .ok_or_else(|| CrdtError::BadPath(format!("{parent_path:?} not found")))?;
+        let mut ops = Vec::new();
+        match last {
+            PathSeg::Key(k) => {
+                let pred = self.key_pred(obj, k);
+                let id = self.next_op();
+                ops.push(Op::DelKey {
+                    id,
+                    obj,
+                    key: k.clone(),
+                    pred,
+                });
+            }
+            PathSeg::Index(i) => {
+                let elem = self
+                    .lists
+                    .get(&obj)
+                    .and_then(|l| l.visible_id(*i))
+                    .ok_or(CrdtError::IndexOutOfBounds {
+                        index: *i,
+                        len: self.lists.get(&obj).map(ListObj::visible_len).unwrap_or(0),
+                    })?;
+                let id = self.next_op();
+                ops.push(Op::DelElem { id, obj, elem });
+            }
+        }
+        self.commit(ops);
+        Ok(())
+    }
+
+    /// Add `delta` to the PN-counter cell at `path` (last segment must be a
+    /// map key).
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid paths.
+    pub fn increment(&mut self, path: &[PathSeg], delta: i64) -> Result<(), CrdtError> {
+        let (last, parent_path) = path
+            .split_last()
+            .ok_or_else(|| CrdtError::BadPath("cannot increment the root".into()))?;
+        let key = match last {
+            PathSeg::Key(k) => k.clone(),
+            PathSeg::Index(_) => {
+                return Err(CrdtError::BadPath("counters live at map keys".into()))
+            }
+        };
+        let obj = self
+            .get_obj(parent_path)
+            .ok_or_else(|| CrdtError::BadPath(format!("{parent_path:?} not found")))?;
+        let id = self.next_op();
+        self.commit(vec![Op::Inc {
+            id,
+            obj,
+            key,
+            delta,
+        }]);
+        Ok(())
+    }
+
+    // ---- read API ----------------------------------------------------------
+
+    /// Read the JSON value at `path` (`None` when absent).
+    pub fn get(&self, path: &[PathSeg]) -> Option<Json> {
+        if path.is_empty() {
+            return Some(self.to_json());
+        }
+        let (last, parent) = path.split_last()?;
+        let obj = self.get_obj(parent)?;
+        match last {
+            PathSeg::Key(k) => {
+                let map = self.maps.get(&obj)?;
+                if let Some(incs) = map.counters.get(k) {
+                    if !incs.is_empty() {
+                        let sum: i64 = incs.iter().map(|(_, d)| d).sum();
+                        return Some(Json::from(sum));
+                    }
+                }
+                let (_, v) = map.entries.get(k)?.last()?;
+                Some(self.resolve(v))
+            }
+            PathSeg::Index(i) => {
+                let list = self.lists.get(&obj)?;
+                let elem = list.visible().nth(*i)?;
+                let (_, v) = elem.values.last()?;
+                Some(self.resolve(v))
+            }
+        }
+    }
+
+    /// Materialize the full document as JSON.
+    pub fn to_json(&self) -> Json {
+        self.obj_json(ObjId::Root)
+    }
+
+    /// Number of visible elements of the list at `path` (`None` when the
+    /// path is not a list).
+    pub fn list_len(&self, path: &[PathSeg]) -> Option<usize> {
+        let obj = self.get_obj(path)?;
+        self.lists.get(&obj).map(ListObj::visible_len)
+    }
+
+    /// Keys of the map at `path`.
+    pub fn map_keys(&self, path: &[PathSeg]) -> Vec<String> {
+        let Some(obj) = self.get_obj(path) else {
+            return Vec::new();
+        };
+        let Some(map) = self.maps.get(&obj) else {
+            return Vec::new();
+        };
+        let mut keys: Vec<String> = map
+            .entries
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(k, _)| k.clone())
+            .collect();
+        for (k, incs) in &map.counters {
+            if !incs.is_empty() && !keys.contains(k) {
+                keys.push(k.clone());
+            }
+        }
+        keys.sort();
+        keys
+    }
+
+    // ---- replication API (the paper's initialize/getChanges/applyChanges) --
+
+    /// All changes this replica knows that `since` has not yet observed.
+    pub fn get_changes(&self, since: &VClock) -> Vec<Change> {
+        self.history
+            .iter()
+            .filter(|c| c.seq > since.get(c.actor))
+            .cloned()
+            .collect()
+    }
+
+    /// Apply remote changes. Changes already applied are skipped; changes
+    /// whose causal dependencies are not yet satisfied are buffered and
+    /// retried automatically as their dependencies arrive. Returns the
+    /// number of changes applied (now or from the pending buffer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrdtError::CorruptChange`] on malformed input (e.g. an op
+    /// referencing an object that its own dependencies cannot provide).
+    pub fn apply_changes(&mut self, changes: &[Change]) -> Result<usize, CrdtError> {
+        let mut queue: Vec<Change> = changes.to_vec();
+        queue.append(&mut self.pending);
+        let mut applied = 0;
+        loop {
+            let mut progress = false;
+            let mut still_pending = Vec::new();
+            for change in queue.drain(..) {
+                if change.seq <= self.clock.get(change.actor) {
+                    continue; // duplicate
+                }
+                let ready = self.clock.dominates(&change.deps)
+                    && change.seq == self.clock.get(change.actor) + 1;
+                if ready {
+                    self.apply_one(&change)?;
+                    applied += 1;
+                    progress = true;
+                } else {
+                    still_pending.push(change);
+                }
+            }
+            queue = still_pending;
+            if !progress || queue.is_empty() {
+                self.pending = queue;
+                return Ok(applied);
+            }
+        }
+    }
+
+    /// Convenience: pull everything missing from `other` into `self`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrdtError`] from [`Doc::apply_changes`].
+    pub fn merge(&mut self, other: &Doc) -> Result<usize, CrdtError> {
+        let changes = other.get_changes(self.clock());
+        self.apply_changes(&changes)
+    }
+
+    /// Serialize the full change history. A document restored by
+    /// [`Doc::load`] is a faithful replica: it reads the same state and
+    /// can exchange changes with the original — the wire format for
+    /// provisioning a fresh edge node.
+    pub fn save(&self) -> Vec<u8> {
+        serde_json::to_vec(&self.history).expect("changes are serializable")
+    }
+
+    /// Reconstruct a document from [`Doc::save`] output, owned by `actor`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrdtError::CorruptChange`] when the bytes do not decode
+    /// or the history does not apply cleanly.
+    pub fn load(actor: ActorId, bytes: &[u8]) -> Result<Doc, CrdtError> {
+        let history: Vec<Change> = serde_json::from_slice(bytes)
+            .map_err(|e| CrdtError::CorruptChange(e.to_string()))?;
+        let mut doc = Doc::new(actor);
+        doc.apply_changes(&history)?;
+        if doc.pending_len() > 0 {
+            return Err(CrdtError::CorruptChange(
+                "saved history is causally incomplete".to_string(),
+            ));
+        }
+        // continue this actor's own sequence where the history left off
+        doc.seq = doc.clock.get(actor);
+        Ok(doc)
+    }
+
+    // ---- internals ----------------------------------------------------------
+
+    fn next_op(&mut self) -> OpId {
+        self.counter += 1;
+        OpId::new(self.counter, self.actor)
+    }
+
+    /// Turn a JSON value into an [`OpValue`], emitting Make/Set/Insert ops
+    /// for nested containers so that structural snapshots replicate as real
+    /// CRDT objects rather than opaque blobs.
+    fn value_ops(&mut self, value: &Json, ops: &mut Vec<Op>) -> OpValue {
+        match value {
+            Json::Object(map) => {
+                let id = self.next_op();
+                ops.push(Op::MakeMap { id });
+                let obj = ObjId::Made(id);
+                for (k, v) in map {
+                    let inner = self.value_ops(v, ops);
+                    let sid = self.next_op();
+                    ops.push(Op::Set {
+                        id: sid,
+                        obj,
+                        key: k.clone(),
+                        value: inner,
+                        pred: vec![],
+                    });
+                }
+                OpValue::Obj(obj)
+            }
+            Json::Array(items) => {
+                let id = self.next_op();
+                ops.push(Op::MakeList { id });
+                let obj = ObjId::Made(id);
+                let mut after = ElemRef::Head;
+                for v in items {
+                    let inner = self.value_ops(v, ops);
+                    let iid = self.next_op();
+                    ops.push(Op::Insert {
+                        id: iid,
+                        obj,
+                        after,
+                        value: inner,
+                    });
+                    after = ElemRef::After(iid);
+                }
+                OpValue::Obj(obj)
+            }
+            scalar => OpValue::Scalar(scalar.clone()),
+        }
+    }
+
+    /// Emit the op writing `value` at `path`, creating intermediate maps.
+    fn write(
+        &mut self,
+        path: &[PathSeg],
+        value: OpValue,
+        ops: &mut Vec<Op>,
+    ) -> Result<(), CrdtError> {
+        let (last, parents) = path
+            .split_last()
+            .ok_or_else(|| CrdtError::BadPath("empty path".into()))?;
+        let mut obj = ObjId::Root;
+        for seg in parents {
+            obj = match seg {
+                PathSeg::Key(k) => {
+                    let existing = self
+                        .maps
+                        .get(&obj)
+                        .and_then(|m| m.entries.get(k))
+                        .and_then(|v| v.last())
+                        .and_then(|(_, v)| match v {
+                            OpValue::Obj(o) => Some(*o),
+                            OpValue::Scalar(_) => None,
+                        });
+                    match existing {
+                        Some(o) => o,
+                        None => {
+                            // auto-create intermediate map
+                            let mid = self.next_op();
+                            ops.push(Op::MakeMap { id: mid });
+                            let sid = self.next_op();
+                            let pred = self.key_pred(obj, k);
+                            ops.push(Op::Set {
+                                id: sid,
+                                obj,
+                                key: k.clone(),
+                                value: OpValue::Obj(ObjId::Made(mid)),
+                                pred,
+                            });
+                            // apply eagerly so later segments resolve
+                            self.apply_op(&ops[ops.len() - 2])?;
+                            self.apply_op(&ops[ops.len() - 1])?;
+                            ObjId::Made(mid)
+                        }
+                    }
+                }
+                PathSeg::Index(i) => {
+                    let o = self
+                        .lists
+                        .get(&obj)
+                        .and_then(|l| l.visible().nth(*i))
+                        .and_then(|e| e.values.last())
+                        .and_then(|(_, v)| match v {
+                            OpValue::Obj(o) => Some(*o),
+                            OpValue::Scalar(_) => None,
+                        });
+                    o.ok_or_else(|| {
+                        CrdtError::BadPath(format!("no container at index {i}"))
+                    })?
+                }
+            };
+        }
+        match last {
+            PathSeg::Key(k) => {
+                let pred = self.key_pred(obj, k);
+                let id = self.next_op();
+                ops.push(Op::Set {
+                    id,
+                    obj,
+                    key: k.clone(),
+                    value,
+                    pred,
+                });
+            }
+            PathSeg::Index(i) => {
+                let list = self
+                    .lists
+                    .get(&obj)
+                    .ok_or_else(|| CrdtError::BadPath(format!("{obj} is not a list")))?;
+                let elem = list.visible_id(*i).ok_or(CrdtError::IndexOutOfBounds {
+                    index: *i,
+                    len: list.visible_len(),
+                })?;
+                let pred = list
+                    .elems
+                    .iter()
+                    .find(|e| e.id == elem)
+                    .map(|e| e.values.iter().map(|(id, _)| *id).collect())
+                    .unwrap_or_default();
+                let id = self.next_op();
+                ops.push(Op::SetElem {
+                    id,
+                    obj,
+                    elem,
+                    value,
+                    pred,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn key_pred(&self, obj: ObjId, key: &str) -> Vec<OpId> {
+        let Some(m) = self.maps.get(&obj) else {
+            return Vec::new();
+        };
+        let mut pred: Vec<OpId> = m
+            .entries
+            .get(key)
+            .map(|v| v.iter().map(|(id, _)| *id).collect())
+            .unwrap_or_default();
+        if let Some(incs) = m.counters.get(key) {
+            pred.extend(incs.iter().map(|(id, _)| *id));
+        }
+        pred
+    }
+
+    /// Package `ops` as a change, apply locally, and record in history.
+    fn commit(&mut self, ops: Vec<Op>) {
+        if ops.is_empty() {
+            return;
+        }
+        let deps = self.clock.clone();
+        self.seq += 1;
+        let change = Change {
+            actor: self.actor,
+            seq: self.seq,
+            deps,
+            ops,
+        };
+        // ops produced by local mutation helpers may already be applied
+        // (intermediate containers); apply_op is idempotent for Make and
+        // Set-with-same-id, so replay is safe.
+        for op in &change.ops {
+            self.apply_op(op).expect("local ops are well-formed");
+        }
+        self.clock.observe(self.actor, self.seq);
+        self.history.push(change);
+    }
+
+    fn apply_one(&mut self, change: &Change) -> Result<(), CrdtError> {
+        for op in &change.ops {
+            self.apply_op(op)?;
+        }
+        let max = change.max_counter();
+        if max > self.counter {
+            self.counter = max;
+        }
+        self.clock.observe(change.actor, change.seq);
+        self.history.push(change.clone());
+        Ok(())
+    }
+
+    fn apply_op(&mut self, op: &Op) -> Result<(), CrdtError> {
+        match op {
+            Op::MakeMap { id } => {
+                self.maps.entry(ObjId::Made(*id)).or_default();
+            }
+            Op::MakeList { id } => {
+                self.lists.entry(ObjId::Made(*id)).or_default();
+            }
+            Op::Set {
+                id,
+                obj,
+                key,
+                value,
+                pred,
+            } => {
+                let map = self
+                    .maps
+                    .get_mut(obj)
+                    .ok_or_else(|| CrdtError::MissingObject(obj.to_string()))?;
+                let slot = map.entries.entry(key.clone()).or_default();
+                slot.retain(|(oid, _)| !pred.contains(oid));
+                if !slot.iter().any(|(oid, _)| oid == id) {
+                    slot.push((*id, value.clone()));
+                    slot.sort_by_key(|(oid, _)| *oid);
+                }
+            }
+            Op::DelKey { obj, key, pred, .. } => {
+                let map = self
+                    .maps
+                    .get_mut(obj)
+                    .ok_or_else(|| CrdtError::MissingObject(obj.to_string()))?;
+                if let Some(slot) = map.entries.get_mut(key) {
+                    slot.retain(|(oid, _)| !pred.contains(oid));
+                }
+                if let Some(incs) = map.counters.get_mut(key) {
+                    incs.retain(|(oid, _)| !pred.contains(oid));
+                    if incs.is_empty() {
+                        map.counters.remove(key);
+                    }
+                }
+            }
+            Op::Insert {
+                id,
+                obj,
+                after,
+                value,
+            } => {
+                let list = self
+                    .lists
+                    .get_mut(obj)
+                    .ok_or_else(|| CrdtError::MissingObject(obj.to_string()))?;
+                if list.elems.iter().any(|e| e.id == *id) {
+                    return Ok(()); // idempotent replay
+                }
+                let mut pos = match after {
+                    ElemRef::Head => 0,
+                    ElemRef::After(a) => {
+                        list.elems
+                            .iter()
+                            .position(|e| e.id == *a)
+                            .ok_or_else(|| CrdtError::MissingObject(format!("elem {a}")))?
+                            + 1
+                    }
+                };
+                // RGA ordering: concurrent inserts at the same anchor are
+                // placed newest-first (descending op id).
+                while pos < list.elems.len() && list.elems[pos].id > *id {
+                    pos += 1;
+                }
+                list.elems.insert(
+                    pos,
+                    ListElem {
+                        id: *id,
+                        values: vec![(*id, value.clone())],
+                        deleted: false,
+                    },
+                );
+            }
+            Op::SetElem {
+                id,
+                obj,
+                elem,
+                value,
+                pred,
+            } => {
+                let list = self
+                    .lists
+                    .get_mut(obj)
+                    .ok_or_else(|| CrdtError::MissingObject(obj.to_string()))?;
+                let e = list
+                    .elems
+                    .iter_mut()
+                    .find(|e| e.id == *elem)
+                    .ok_or_else(|| CrdtError::MissingObject(format!("elem {elem}")))?;
+                e.values.retain(|(oid, _)| !pred.contains(oid));
+                if !e.values.iter().any(|(oid, _)| oid == id) {
+                    e.values.push((*id, value.clone()));
+                    e.values.sort_by_key(|(oid, _)| *oid);
+                }
+            }
+            Op::DelElem { obj, elem, .. } => {
+                let list = self
+                    .lists
+                    .get_mut(obj)
+                    .ok_or_else(|| CrdtError::MissingObject(obj.to_string()))?;
+                if let Some(e) = list.elems.iter_mut().find(|e| e.id == *elem) {
+                    e.deleted = true;
+                }
+            }
+            Op::Inc { id, obj, key, delta } => {
+                let map = self
+                    .maps
+                    .get_mut(obj)
+                    .ok_or_else(|| CrdtError::MissingObject(obj.to_string()))?;
+                let incs = map.counters.entry(key.clone()).or_default();
+                if !incs.iter().any(|(oid, _)| oid == id) {
+                    incs.push((*id, *delta));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn get_obj(&self, path: &[PathSeg]) -> Option<ObjId> {
+        let mut obj = ObjId::Root;
+        for seg in path {
+            let v = match seg {
+                PathSeg::Key(k) => self
+                    .maps
+                    .get(&obj)?
+                    .entries
+                    .get(k)?
+                    .last()
+                    .map(|(_, v)| v.clone())?,
+                PathSeg::Index(i) => self
+                    .lists
+                    .get(&obj)?
+                    .visible()
+                    .nth(*i)?
+                    .values
+                    .last()
+                    .map(|(_, v)| v.clone())?,
+            };
+            match v {
+                OpValue::Obj(o) => obj = o,
+                OpValue::Scalar(_) => return None,
+            }
+        }
+        Some(obj)
+    }
+
+    fn resolve(&self, v: &OpValue) -> Json {
+        match v {
+            OpValue::Scalar(j) => j.clone(),
+            OpValue::Obj(o) => self.obj_json(*o),
+        }
+    }
+
+    fn obj_json(&self, obj: ObjId) -> Json {
+        if let Some(map) = self.maps.get(&obj) {
+            let mut out = serde_json::Map::new();
+            for (k, slot) in &map.entries {
+                if let Some((_, v)) = slot.last() {
+                    out.insert(k.clone(), self.resolve(v));
+                }
+            }
+            for (k, incs) in &map.counters {
+                if !incs.is_empty() {
+                    let sum: i64 = incs.iter().map(|(_, d)| d).sum();
+                    out.insert(k.clone(), Json::from(sum));
+                }
+            }
+            Json::Object(out)
+        } else if let Some(list) = self.lists.get(&obj) {
+            Json::Array(
+                list.visible()
+                    .filter_map(|e| e.values.last().map(|(_, v)| self.resolve(v)))
+                    .collect(),
+            )
+        } else {
+            Json::Null
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn put_and_get_scalar() {
+        let mut d = Doc::new(ActorId(1));
+        d.put(&path!["a"], json!(5)).unwrap();
+        assert_eq!(d.get(&path!["a"]), Some(json!(5)));
+    }
+
+    #[test]
+    fn nested_put_creates_intermediate_maps() {
+        let mut d = Doc::new(ActorId(1));
+        d.put(&path!["a", "b", "c"], json!("deep")).unwrap();
+        assert_eq!(d.get(&path!["a", "b", "c"]), Some(json!("deep")));
+        assert_eq!(d.to_json(), json!({"a": {"b": {"c": "deep"}}}));
+    }
+
+    #[test]
+    fn structural_put_replicates_subtrees() {
+        let mut d = Doc::new(ActorId(1));
+        d.put(&path!["cfg"], json!({"x": 1, "ys": [1, 2]})).unwrap();
+        assert_eq!(d.get(&path!["cfg", "x"]), Some(json!(1)));
+        assert_eq!(d.get(&path!["cfg", "ys", 1]), Some(json!(2)));
+    }
+
+    #[test]
+    fn list_insert_push_delete() {
+        let mut d = Doc::new(ActorId(1));
+        d.put_list(&path!["l"]).unwrap();
+        d.list_push(&path!["l"], json!("a")).unwrap();
+        d.list_push(&path!["l"], json!("c")).unwrap();
+        d.list_insert(&path!["l"], 1, json!("b")).unwrap();
+        assert_eq!(d.get(&path!["l"]), Some(json!(["a", "b", "c"])));
+        d.delete(&path!["l", 1]).unwrap();
+        assert_eq!(d.get(&path!["l"]), Some(json!(["a", "c"])));
+        assert_eq!(d.list_len(&path!["l"]), Some(2));
+    }
+
+    #[test]
+    fn delete_map_key() {
+        let mut d = Doc::new(ActorId(1));
+        d.put(&path!["a"], json!(1)).unwrap();
+        d.delete(&path!["a"]).unwrap();
+        assert_eq!(d.get(&path!["a"]), None);
+    }
+
+    #[test]
+    fn sync_two_replicas_converge() {
+        let mut a = Doc::new(ActorId(1));
+        let mut b = Doc::new(ActorId(2));
+        a.put(&path!["x"], json!(1)).unwrap();
+        b.put(&path!["y"], json!(2)).unwrap();
+        let ca = a.get_changes(b.clock());
+        let cb = b.get_changes(a.clock());
+        a.apply_changes(&cb).unwrap();
+        b.apply_changes(&ca).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.to_json(), json!({"x": 1, "y": 2}));
+    }
+
+    #[test]
+    fn concurrent_writes_resolve_lww_by_opid() {
+        let mut a = Doc::new(ActorId(1));
+        let mut b = Doc::new(ActorId(2));
+        a.put(&path!["k"], json!("from-a")).unwrap();
+        b.put(&path!["k"], json!("from-b")).unwrap();
+        let ca = a.get_changes(&VClock::new());
+        let cb = b.get_changes(&VClock::new());
+        a.apply_changes(&cb).unwrap();
+        b.apply_changes(&ca).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+        // actor 2 wins the counter tie
+        assert_eq!(a.get(&path!["k"]), Some(json!("from-b")));
+    }
+
+    #[test]
+    fn concurrent_add_survives_delete() {
+        let mut a = Doc::new(ActorId(1));
+        let mut b = Doc::new(ActorId(2));
+        a.put(&path!["k"], json!("v1")).unwrap();
+        b.merge(&a).unwrap();
+        // a deletes, b rewrites concurrently
+        a.delete(&path!["k"]).unwrap();
+        b.put(&path!["k"], json!("v2")).unwrap();
+        a.merge(&b).unwrap();
+        b.merge(&a).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.get(&path!["k"]), Some(json!("v2")));
+    }
+
+    #[test]
+    fn causal_buffering_handles_out_of_order_delivery() {
+        let mut a = Doc::new(ActorId(1));
+        a.put(&path!["k"], json!(1)).unwrap();
+        a.put(&path!["k"], json!(2)).unwrap();
+        let all = a.get_changes(&VClock::new());
+        let mut b = Doc::new(ActorId(2));
+        // deliver second change first
+        b.apply_changes(&[all[1].clone()]).unwrap();
+        assert_eq!(b.pending_len(), 1);
+        assert_eq!(b.get(&path!["k"]), None);
+        b.apply_changes(&[all[0].clone()]).unwrap();
+        assert_eq!(b.pending_len(), 0);
+        assert_eq!(b.get(&path!["k"]), Some(json!(2)));
+    }
+
+    #[test]
+    fn apply_is_idempotent() {
+        let mut a = Doc::new(ActorId(1));
+        a.put(&path!["k"], json!(1)).unwrap();
+        let ch = a.get_changes(&VClock::new());
+        let mut b = Doc::new(ActorId(2));
+        assert_eq!(b.apply_changes(&ch).unwrap(), 1);
+        assert_eq!(b.apply_changes(&ch).unwrap(), 0);
+        assert_eq!(b.to_json(), a.to_json());
+    }
+
+    #[test]
+    fn counters_merge_additively() {
+        let mut a = Doc::new(ActorId(1));
+        let mut b = Doc::new(ActorId(2));
+        a.increment(&path!["hits"], 3).unwrap();
+        b.increment(&path!["hits"], 4).unwrap();
+        a.merge(&b).unwrap();
+        b.merge(&a).unwrap();
+        assert_eq!(a.get(&path!["hits"]), Some(json!(7)));
+        assert_eq!(b.get(&path!["hits"]), Some(json!(7)));
+    }
+
+    #[test]
+    fn snapshot_initialization_is_deterministic() {
+        let snap = json!({"tables": {"users": [{"id": 1}]}, "n": 5});
+        let master = Doc::from_snapshot(ActorId(1), &snap);
+        let mut replica = Doc::from_snapshot(ActorId(2), &snap);
+        assert_eq!(master.to_json(), replica.to_json());
+        // a post-snapshot change from the master applies cleanly at the replica
+        let mut master = master;
+        master.put(&path!["n"], json!(6)).unwrap();
+        let ch = master.get_changes(replica.clock());
+        replica.apply_changes(&ch).unwrap();
+        assert_eq!(replica.get(&path!["n"]), Some(json!(6)));
+    }
+
+    #[test]
+    fn three_replicas_converge_any_sync_order() {
+        let mut docs = [
+            Doc::new(ActorId(1)),
+            Doc::new(ActorId(2)),
+            Doc::new(ActorId(3)),
+        ];
+        docs[0].put(&path!["a"], json!(1)).unwrap();
+        docs[1].put(&path!["b"], json!(2)).unwrap();
+        docs[2].put(&path!["a"], json!(3)).unwrap();
+        // pairwise gossip until fixpoint
+        for _ in 0..3 {
+            for i in 0..3 {
+                for j in 0..3 {
+                    if i != j {
+                        let ch = docs[j].get_changes(docs[i].clock());
+                        docs[i].apply_changes(&ch).unwrap();
+                    }
+                }
+            }
+        }
+        assert_eq!(docs[0].to_json(), docs[1].to_json());
+        assert_eq!(docs[1].to_json(), docs[2].to_json());
+    }
+
+    #[test]
+    fn concurrent_list_inserts_converge() {
+        let mut a = Doc::new(ActorId(1));
+        a.put_list(&path!["l"]).unwrap();
+        a.list_push(&path!["l"], json!("base")).unwrap();
+        let mut b = Doc::new(ActorId(2));
+        b.merge(&a).unwrap();
+        a.list_insert(&path!["l"], 0, json!("a1")).unwrap();
+        a.list_insert(&path!["l"], 1, json!("a2")).unwrap();
+        b.list_insert(&path!["l"], 0, json!("b1")).unwrap();
+        a.merge(&b).unwrap();
+        b.merge(&a).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.list_len(&path!["l"]), Some(4));
+    }
+
+    #[test]
+    fn set_list_element_in_place() {
+        let mut d = Doc::new(ActorId(1));
+        d.put(&path!["l"], json!([1, 2, 3])).unwrap();
+        d.put(&path!["l", 1], json!(99)).unwrap();
+        assert_eq!(d.get(&path!["l"]), Some(json!([1, 99, 3])));
+    }
+
+    #[test]
+    fn errors_on_bad_paths() {
+        let mut d = Doc::new(ActorId(1));
+        assert!(matches!(
+            d.list_insert(&path!["nope"], 0, json!(1)),
+            Err(CrdtError::BadPath(_))
+        ));
+        d.put_list(&path!["l"]).unwrap();
+        assert!(matches!(
+            d.list_insert(&path!["l"], 5, json!(1)),
+            Err(CrdtError::IndexOutOfBounds { .. })
+        ));
+        assert!(d.delete(&path![]).is_err());
+    }
+}
+
+#[cfg(test)]
+mod save_load_tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn save_load_round_trips_state() {
+        let mut a = Doc::from_snapshot(ActorId(1), &json!({"list": [1, 2]}));
+        a.put(&path!["k"], json!("v")).unwrap();
+        a.increment(&path!["n"], 5).unwrap();
+        let bytes = a.save();
+        let b = Doc::load(ActorId(2), &bytes).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn loaded_replica_can_exchange_changes() {
+        let mut a = Doc::new(ActorId(1));
+        a.put(&path!["x"], json!(1)).unwrap();
+        let mut b = Doc::load(ActorId(2), &a.save()).unwrap();
+        // both continue writing after the handoff
+        a.put(&path!["from_a"], json!(true)).unwrap();
+        b.put(&path!["from_b"], json!(true)).unwrap();
+        a.merge(&b).unwrap();
+        b.merge(&a).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.get(&path!["from_b"]), Some(json!(true)));
+    }
+
+    #[test]
+    fn load_same_actor_continues_sequence() {
+        let mut a = Doc::new(ActorId(1));
+        a.put(&path!["x"], json!(1)).unwrap();
+        let mut a2 = Doc::load(ActorId(1), &a.save()).unwrap();
+        // the restored doc may keep writing as the same actor
+        a2.put(&path!["y"], json!(2)).unwrap();
+        assert_eq!(a2.get(&path!["y"]), Some(json!(2)));
+        assert!(a2.clock().get(ActorId(1)) > a.clock().get(ActorId(1)));
+    }
+
+    #[test]
+    fn load_rejects_garbage_and_gaps() {
+        assert!(matches!(
+            Doc::load(ActorId(1), b"not json"),
+            Err(CrdtError::CorruptChange(_))
+        ));
+        let mut a = Doc::new(ActorId(1));
+        a.put(&path!["x"], json!(1)).unwrap();
+        a.put(&path!["x"], json!(2)).unwrap();
+        // drop the first change: the second is causally unsatisfiable
+        let partial = serde_json::to_vec(&a.get_changes(&VClock::new())[1..]).unwrap();
+        assert!(matches!(
+            Doc::load(ActorId(2), &partial),
+            Err(CrdtError::CorruptChange(_))
+        ));
+    }
+}

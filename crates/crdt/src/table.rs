@@ -1,0 +1,233 @@
+//! `CRDT-Table`: a replicated database table (§III-G.1).
+//!
+//! EdgStr wraps each replicated SQL table into a CRDT whose rows are keyed
+//! by primary key; concurrent cell updates resolve last-writer-wins, row
+//! inserts/deletes follow add-wins semantics. The runtime connects the SQL
+//! engine's write statements to [`CrdtTable::upsert_row`] /
+//! [`CrdtTable::update_cell`] / [`CrdtTable::delete_row`].
+
+use crate::change::Change;
+use crate::doc::{CrdtError, Doc};
+use crate::ids::{ActorId, VClock};
+use crate::path;
+use serde_json::Value as Json;
+
+/// A replicated table: rows keyed by primary key, cells merged LWW.
+#[derive(Debug, Clone)]
+pub struct CrdtTable {
+    doc: Doc,
+    name: String,
+}
+
+impl CrdtTable {
+    /// Create an empty replicated table.
+    ///
+    /// The `rows` container is created by the deterministic genesis actor,
+    /// so two replicas that each call `new` share the container identity
+    /// and concurrent row inserts union (rather than one replica's rows
+    /// being shadowed by a concurrently-created container).
+    pub fn new(actor: ActorId, name: impl Into<String>) -> Self {
+        Self::from_snapshot(actor, name, &[])
+    }
+
+    /// Initialize from a snapshot of rows: `pk → row object`.
+    ///
+    /// Master and replicas initialized from the same snapshot share object
+    /// identities, so subsequent changes interleave cleanly.
+    pub fn from_snapshot(
+        actor: ActorId,
+        name: impl Into<String>,
+        rows: &[(String, Json)],
+    ) -> Self {
+        let mut map = serde_json::Map::new();
+        for (pk, row) in rows {
+            map.insert(pk.clone(), row.clone());
+        }
+        let snapshot = serde_json::json!({ "rows": Json::Object(map) });
+        CrdtTable {
+            doc: Doc::from_snapshot(actor, &snapshot),
+            name: name.into(),
+        }
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The owning actor.
+    pub fn actor(&self) -> ActorId {
+        self.doc.actor()
+    }
+
+    /// This replica's change clock.
+    pub fn clock(&self) -> &VClock {
+        self.doc.clock()
+    }
+
+    /// Insert or overwrite the row at `pk`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates document errors (should not occur for well-formed rows).
+    pub fn upsert_row(&mut self, pk: &str, row: &Json) -> Result<(), CrdtError> {
+        self.doc.put(&path!["rows", pk.to_string()], row.clone())
+    }
+
+    /// Update a single cell of the row at `pk` (fine-grained merge unit).
+    ///
+    /// # Errors
+    ///
+    /// Propagates document errors.
+    pub fn update_cell(&mut self, pk: &str, column: &str, value: &Json) -> Result<(), CrdtError> {
+        self.doc.put(
+            &path!["rows", pk.to_string(), column.to_string()],
+            value.clone(),
+        )
+    }
+
+    /// Delete the row at `pk` (no-op when absent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates document errors.
+    pub fn delete_row(&mut self, pk: &str) -> Result<(), CrdtError> {
+        if self.get_row(pk).is_some() {
+            self.doc.delete(&path!["rows", pk.to_string()])
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Read the row at `pk`.
+    pub fn get_row(&self, pk: &str) -> Option<Json> {
+        self.doc.get(&path!["rows", pk.to_string()])
+    }
+
+    /// All `(pk, row)` pairs, ordered by primary key.
+    pub fn rows(&self) -> Vec<(String, Json)> {
+        let pks = self.doc.map_keys(&path!["rows"]);
+        pks.into_iter()
+            .filter_map(|pk| {
+                let row = self.doc.get(&path!["rows", pk.clone()])?;
+                Some((pk, row))
+            })
+            .collect()
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.rows().len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Changes this replica knows that `since` has not observed.
+    pub fn get_changes(&self, since: &VClock) -> Vec<Change> {
+        self.doc.get_changes(since)
+    }
+
+    /// Apply remote changes; returns how many were applied.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrdtError`] on malformed changes.
+    pub fn apply_changes(&mut self, changes: &[Change]) -> Result<usize, CrdtError> {
+        self.doc.apply_changes(changes)
+    }
+
+    /// Full table contents as JSON (`pk → row`).
+    pub fn to_json(&self) -> Json {
+        self.doc.get(&path!["rows"]).unwrap_or(Json::Object(Default::default()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn upsert_get_delete() {
+        let mut t = CrdtTable::new(ActorId(1), "books");
+        t.upsert_row("1", &json!({"title": "Dune", "stock": 3})).unwrap();
+        assert_eq!(t.get_row("1").unwrap()["title"], json!("Dune"));
+        assert_eq!(t.len(), 1);
+        t.delete_row("1").unwrap();
+        assert!(t.get_row("1").is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn concurrent_cell_updates_merge_per_column() {
+        let snap = vec![("1".to_string(), json!({"title": "Dune", "stock": 3}))];
+        let mut cloud = CrdtTable::from_snapshot(ActorId(1), "books", &snap);
+        let mut edge = CrdtTable::from_snapshot(ActorId(2), "books", &snap);
+        cloud.update_cell("1", "title", &json!("Dune (2nd ed)")).unwrap();
+        edge.update_cell("1", "stock", &json!(2)).unwrap();
+        let cc = cloud.get_changes(edge.clock());
+        let ec = edge.get_changes(cloud.clock());
+        cloud.apply_changes(&ec).unwrap();
+        edge.apply_changes(&cc).unwrap();
+        assert_eq!(cloud.to_json(), edge.to_json());
+        let row = cloud.get_row("1").unwrap();
+        assert_eq!(row["title"], json!("Dune (2nd ed)"));
+        assert_eq!(row["stock"], json!(2));
+    }
+
+    #[test]
+    fn concurrent_inserts_of_different_rows_union() {
+        let mut a = CrdtTable::new(ActorId(1), "t");
+        let mut b = CrdtTable::new(ActorId(2), "t");
+        a.upsert_row("a1", &json!({"v": 1})).unwrap();
+        b.upsert_row("b1", &json!({"v": 2})).unwrap();
+        let ca = a.get_changes(b.clock());
+        let cb = b.get_changes(a.clock());
+        a.apply_changes(&cb).unwrap();
+        b.apply_changes(&ca).unwrap();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn delete_vs_concurrent_nested_update_delete_wins() {
+        // Automerge semantics: deleting a row tombstones the subtree; a
+        // concurrent update *inside* the subtree does not resurrect it.
+        let snap = vec![("1".to_string(), json!({"v": 1}))];
+        let mut a = CrdtTable::from_snapshot(ActorId(1), "t", &snap);
+        let mut b = CrdtTable::from_snapshot(ActorId(2), "t", &snap);
+        a.delete_row("1").unwrap();
+        b.update_cell("1", "v", &json!(2)).unwrap();
+        a.apply_changes(&b.get_changes(a.clock())).unwrap();
+        b.apply_changes(&a.get_changes(b.clock())).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.get_row("1").is_none());
+    }
+
+    #[test]
+    fn delete_vs_concurrent_row_upsert_add_wins() {
+        // ...but a concurrent *key-level* re-assignment (row upsert)
+        // survives the delete: add-wins at the key level.
+        let snap = vec![("1".to_string(), json!({"v": 1}))];
+        let mut a = CrdtTable::from_snapshot(ActorId(1), "t", &snap);
+        let mut b = CrdtTable::from_snapshot(ActorId(2), "t", &snap);
+        a.delete_row("1").unwrap();
+        b.upsert_row("1", &json!({"v": 2})).unwrap();
+        a.apply_changes(&b.get_changes(a.clock())).unwrap();
+        b.apply_changes(&a.get_changes(b.clock())).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.get_row("1"), Some(json!({"v": 2})));
+    }
+
+    #[test]
+    fn rows_ordered_by_pk() {
+        let mut t = CrdtTable::new(ActorId(1), "t");
+        t.upsert_row("b", &json!({})).unwrap();
+        t.upsert_row("a", &json!({})).unwrap();
+        let pks: Vec<String> = t.rows().into_iter().map(|(pk, _)| pk).collect();
+        assert_eq!(pks, vec!["a", "b"]);
+    }
+}

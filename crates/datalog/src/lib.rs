@@ -1,0 +1,720 @@
+//! # edgstr-datalog — declarative logic programming engine
+//!
+//! EdgStr "conducts its dependence analysis by means of declarative logic
+//! programming. It represents JavaScript statements and how they relate to
+//! each other as logical facts and predicates" (§III-E). This crate is the
+//! engine behind that analysis: a stratified Datalog evaluator with
+//! semi-naive fixpoint iteration.
+//!
+//! `edgstr-analysis` encodes runtime traces as facts (`RW-LOG`,
+//! `RW-LOG-FUZZED`, `ACTUAL`, `POST-DOM`, …) and rules (`STMT-UNMAR`,
+//! `STMT-MAR`, transitive `STMT-DEP`), then queries the fixpoint for the
+//! statements to extract.
+//!
+//! ## Example
+//!
+//! ```
+//! use edgstr_datalog::{Database, Rule, RuleAtom, Term, Const};
+//!
+//! let mut db = Database::new();
+//! db.add_fact("edge", vec![Const::int(1), Const::int(2)]);
+//! db.add_fact("edge", vec![Const::int(2), Const::int(3)]);
+//! // path(X, Y) :- edge(X, Y).
+//! // path(X, Z) :- path(X, Y), edge(Y, Z).
+//! let rules = vec![
+//!     Rule::new(
+//!         RuleAtom::pos("path", vec![Term::var("X"), Term::var("Y")]),
+//!         vec![RuleAtom::pos("edge", vec![Term::var("X"), Term::var("Y")])],
+//!     ),
+//!     Rule::new(
+//!         RuleAtom::pos("path", vec![Term::var("X"), Term::var("Z")]),
+//!         vec![
+//!             RuleAtom::pos("path", vec![Term::var("X"), Term::var("Y")]),
+//!             RuleAtom::pos("edge", vec![Term::var("Y"), Term::var("Z")]),
+//!         ],
+//!     ),
+//! ];
+//! db.evaluate(&rules).unwrap();
+//! assert!(db.contains("path", &[Const::int(1), Const::int(3)]));
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// A ground constant: a symbolic atom or an integer.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Const {
+    Atom(String),
+    Int(i64),
+}
+
+impl Const {
+    /// Construct a symbolic atom.
+    pub fn atom(s: impl Into<String>) -> Const {
+        Const::Atom(s.into())
+    }
+
+    /// Construct an integer constant.
+    pub fn int(i: i64) -> Const {
+        Const::Int(i)
+    }
+
+    /// The integer payload, if this constant is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Const::Int(i) => Some(*i),
+            Const::Atom(_) => None,
+        }
+    }
+
+    /// The atom payload, if this constant is an atom.
+    pub fn as_atom(&self) -> Option<&str> {
+        match self {
+            Const::Atom(a) => Some(a),
+            Const::Int(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Atom(a) => write!(f, "{a}"),
+            Const::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl From<i64> for Const {
+    fn from(i: i64) -> Self {
+        Const::Int(i)
+    }
+}
+
+impl From<&str> for Const {
+    fn from(s: &str) -> Self {
+        Const::Atom(s.to_string())
+    }
+}
+
+/// A term in a rule: a constant or a variable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    Const(Const),
+    Var(String),
+}
+
+impl Term {
+    /// A variable term.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// An atom constant term.
+    pub fn atom(s: impl Into<String>) -> Term {
+        Term::Const(Const::atom(s))
+    }
+
+    /// An integer constant term.
+    pub fn int(i: i64) -> Term {
+        Term::Const(Const::int(i))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(c) => write!(f, "{c}"),
+            Term::Var(v) => write!(f, "?{v}"),
+        }
+    }
+}
+
+/// One atom of a rule body or head: `relation(term, ...)`, possibly
+/// negated (body only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleAtom {
+    pub relation: String,
+    pub terms: Vec<Term>,
+    pub negated: bool,
+}
+
+impl RuleAtom {
+    /// A positive atom.
+    pub fn pos(relation: impl Into<String>, terms: Vec<Term>) -> Self {
+        RuleAtom {
+            relation: relation.into(),
+            terms,
+            negated: false,
+        }
+    }
+
+    /// A negated atom (stratified negation; body only).
+    pub fn neg(relation: impl Into<String>, terms: Vec<Term>) -> Self {
+        RuleAtom {
+            relation: relation.into(),
+            terms,
+            negated: true,
+        }
+    }
+}
+
+impl fmt::Display for RuleAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negated {
+            write!(f, "!")?;
+        }
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A Horn clause: `head :- body1, body2, ...`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    pub head: RuleAtom,
+    pub body: Vec<RuleAtom>,
+}
+
+impl Rule {
+    /// Construct a rule. The head must be positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head.negated` is set — negation is body-only.
+    pub fn new(head: RuleAtom, body: Vec<RuleAtom>) -> Self {
+        assert!(!head.negated, "rule heads must be positive");
+        Rule { head, body }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :- ", self.head)?;
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ".")
+    }
+}
+
+/// Error raised by evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatalogError {
+    /// A rule's head variable does not occur in any positive body atom.
+    UnsafeRule(String),
+    /// Negation participates in a recursive cycle (not stratifiable).
+    NotStratifiable(String),
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::UnsafeRule(r) => write!(f, "unsafe rule: {r}"),
+            DatalogError::NotStratifiable(r) => {
+                write!(f, "negation cycle through relation {r}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+type Tuple = Vec<Const>;
+type Bindings = BTreeMap<String, Const>;
+
+/// The fact store plus evaluator.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    relations: HashMap<String, HashSet<Tuple>>,
+    arities: HashMap<String, usize>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Insert a ground fact. Returns `true` if it was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the relation was previously used with a different arity
+    /// (programming error in fact generation).
+    pub fn add_fact(&mut self, relation: impl Into<String>, args: Vec<Const>) -> bool {
+        let relation = relation.into();
+        let arity = self.arities.entry(relation.clone()).or_insert(args.len());
+        assert_eq!(
+            *arity,
+            args.len(),
+            "arity mismatch for relation {relation}"
+        );
+        self.relations.entry(relation).or_default().insert(args)
+    }
+
+    /// Whether the exact ground fact is present.
+    pub fn contains(&self, relation: &str, args: &[Const]) -> bool {
+        self.relations
+            .get(relation)
+            .is_some_and(|s| s.contains(args))
+    }
+
+    /// Number of facts in `relation`.
+    pub fn len(&self, relation: &str) -> usize {
+        self.relations.get(relation).map(HashSet::len).unwrap_or(0)
+    }
+
+    /// Whether the database holds no facts at all.
+    pub fn is_empty(&self) -> bool {
+        self.relations.values().all(HashSet::is_empty)
+    }
+
+    /// Every tuple of `relation`, sorted for deterministic output.
+    pub fn all(&self, relation: &str) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = self
+            .relations
+            .get(relation)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default();
+        v.sort();
+        v
+    }
+
+    /// Query with a pattern mixing constants and variables; returns the
+    /// matching tuples (full tuples, sorted).
+    pub fn query(&self, relation: &str, pattern: &[Term]) -> Vec<Tuple> {
+        let mut out: Vec<Tuple> = self
+            .relations
+            .get(relation)
+            .map(|tuples| {
+                tuples
+                    .iter()
+                    .filter(|t| {
+                        t.len() == pattern.len()
+                            && Self::match_tuple(pattern, t, &mut Bindings::new())
+                    })
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.sort();
+        out
+    }
+
+    fn match_tuple(pattern: &[Term], tuple: &[Const], bind: &mut Bindings) -> bool {
+        for (p, c) in pattern.iter().zip(tuple.iter()) {
+            match p {
+                Term::Const(pc) => {
+                    if pc != c {
+                        return false;
+                    }
+                }
+                Term::Var(v) => match bind.get(v) {
+                    Some(existing) if existing != c => return false,
+                    Some(_) => {}
+                    None => {
+                        bind.insert(v.clone(), c.clone());
+                    }
+                },
+            }
+        }
+        true
+    }
+
+    /// Run `rules` to fixpoint (semi-naive, stratified) and add all derived
+    /// facts to the database.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatalogError`] for unsafe rules or negation cycles.
+    pub fn evaluate(&mut self, rules: &[Rule]) -> Result<(), DatalogError> {
+        for rule in rules {
+            self.check_safe(rule)?;
+        }
+        let strata = stratify(rules)?;
+        for stratum in strata {
+            self.evaluate_stratum(&stratum);
+        }
+        Ok(())
+    }
+
+    fn check_safe(&self, rule: &Rule) -> Result<(), DatalogError> {
+        let mut positive_vars = HashSet::new();
+        for atom in &rule.body {
+            if !atom.negated {
+                for t in &atom.terms {
+                    if let Term::Var(v) = t {
+                        positive_vars.insert(v.clone());
+                    }
+                }
+            }
+        }
+        let check_atom = |atom: &RuleAtom| -> Result<(), DatalogError> {
+            for t in &atom.terms {
+                if let Term::Var(v) = t {
+                    if !positive_vars.contains(v) {
+                        return Err(DatalogError::UnsafeRule(format!(
+                            "variable ?{v} in {rule} not bound by a positive body atom",
+                        )));
+                    }
+                }
+            }
+            Ok(())
+        };
+        check_atom(&rule.head)?;
+        for atom in rule.body.iter().filter(|a| a.negated) {
+            check_atom(atom)?;
+        }
+        Ok(())
+    }
+
+    fn evaluate_stratum(&mut self, rules: &[Rule]) {
+        // seed round (naive) over full relations
+        let empty: HashMap<String, HashSet<Tuple>> = HashMap::new();
+        let mut delta: HashMap<String, HashSet<Tuple>> = HashMap::new();
+        for rule in rules {
+            for tuple in self.derive(rule, None, &empty) {
+                if self.add_fact(rule.head.relation.clone(), tuple.clone()) {
+                    delta
+                        .entry(rule.head.relation.clone())
+                        .or_default()
+                        .insert(tuple);
+                }
+            }
+        }
+        // semi-naive iterations: at least one body atom ranges over delta
+        while delta.values().any(|s| !s.is_empty()) {
+            let mut next: HashMap<String, HashSet<Tuple>> = HashMap::new();
+            for rule in rules {
+                for (i, atom) in rule.body.iter().enumerate() {
+                    if atom.negated || !delta.contains_key(&atom.relation) {
+                        continue;
+                    }
+                    for tuple in self.derive(rule, Some(i), &delta) {
+                        if self.add_fact(rule.head.relation.clone(), tuple.clone()) {
+                            next.entry(rule.head.relation.clone())
+                                .or_default()
+                                .insert(tuple);
+                        }
+                    }
+                }
+            }
+            delta = next;
+        }
+    }
+
+    /// Join the rule body; when `delta_pos` is `Some(i)`, body atom `i`
+    /// ranges over the delta relation instead of the full one.
+    fn derive(
+        &self,
+        rule: &Rule,
+        delta_pos: Option<usize>,
+        delta: &HashMap<String, HashSet<Tuple>>,
+    ) -> Vec<Tuple> {
+        let mut results = Vec::new();
+        let mut stack: Vec<(usize, Bindings)> = vec![(0, Bindings::new())];
+        while let Some((idx, bind)) = stack.pop() {
+            if idx == rule.body.len() {
+                let tuple: Option<Tuple> = rule
+                    .head
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => Some(c.clone()),
+                        Term::Var(v) => bind.get(v).cloned(),
+                    })
+                    .collect();
+                if let Some(t) = tuple {
+                    results.push(t);
+                }
+                continue;
+            }
+            let atom = &rule.body[idx];
+            if atom.negated {
+                // ground the pattern and test absence
+                let grounded: Option<Tuple> = atom
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => Some(c.clone()),
+                        Term::Var(v) => bind.get(v).cloned(),
+                    })
+                    .collect();
+                if let Some(g) = grounded {
+                    if !self.contains(&atom.relation, &g) {
+                        stack.push((idx + 1, bind));
+                    }
+                }
+                continue;
+            }
+            let use_delta = delta_pos == Some(idx);
+            let source: Option<&HashSet<Tuple>> = if use_delta {
+                delta.get(&atom.relation)
+            } else {
+                self.relations.get(&atom.relation)
+            };
+            let Some(tuples) = source else { continue };
+            for tuple in tuples {
+                if tuple.len() != atom.terms.len() {
+                    continue;
+                }
+                let mut b = bind.clone();
+                if Self::match_tuple(&atom.terms, tuple, &mut b) {
+                    stack.push((idx + 1, b));
+                }
+            }
+        }
+        results
+    }
+}
+
+/// Split rules into strata such that negated dependencies always point to
+/// lower strata.
+fn stratify(rules: &[Rule]) -> Result<Vec<Vec<Rule>>, DatalogError> {
+    let heads: BTreeSet<&str> = rules.iter().map(|r| r.head.relation.as_str()).collect();
+    let mut stratum: BTreeMap<String, usize> =
+        heads.iter().map(|h| (h.to_string(), 0)).collect();
+    let max_iter = heads.len() + 2;
+    let mut round = 0;
+    loop {
+        let mut changed = false;
+        for rule in rules {
+            let h = rule.head.relation.clone();
+            for atom in &rule.body {
+                if !heads.contains(atom.relation.as_str()) {
+                    continue; // EDB relation: stratum 0 by definition
+                }
+                let dep = stratum[&atom.relation];
+                let required = if atom.negated { dep + 1 } else { dep };
+                if stratum[&h] < required {
+                    stratum.insert(h.clone(), required);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+        round += 1;
+        if round > max_iter {
+            return Err(DatalogError::NotStratifiable(
+                rules
+                    .first()
+                    .map(|r| r.head.relation.clone())
+                    .unwrap_or_default(),
+            ));
+        }
+    }
+    let max_stratum = stratum.values().copied().max().unwrap_or(0);
+    let mut out = vec![Vec::new(); max_stratum + 1];
+    for rule in rules {
+        out[stratum[&rule.head.relation]].push(rule.clone());
+    }
+    Ok(out.into_iter().filter(|s| !s.is_empty()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Term {
+        Term::var(n)
+    }
+
+    fn tc_rules() -> Vec<Rule> {
+        vec![
+            Rule::new(
+                RuleAtom::pos("path", vec![v("X"), v("Y")]),
+                vec![RuleAtom::pos("edge", vec![v("X"), v("Y")])],
+            ),
+            Rule::new(
+                RuleAtom::pos("path", vec![v("X"), v("Z")]),
+                vec![
+                    RuleAtom::pos("path", vec![v("X"), v("Y")]),
+                    RuleAtom::pos("edge", vec![v("Y"), v("Z")]),
+                ],
+            ),
+        ]
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let mut db = Database::new();
+        for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+            db.add_fact("edge", vec![Const::int(a), Const::int(b)]);
+        }
+        db.evaluate(&tc_rules()).unwrap();
+        assert_eq!(db.len("path"), 6);
+        assert!(db.contains("path", &[Const::int(1), Const::int(4)]));
+        assert!(!db.contains("path", &[Const::int(4), Const::int(1)]));
+    }
+
+    #[test]
+    fn query_with_pattern() {
+        let mut db = Database::new();
+        db.add_fact("rw", vec![Const::atom("s1"), Const::atom("x")]);
+        db.add_fact("rw", vec![Const::atom("s2"), Const::atom("x")]);
+        db.add_fact("rw", vec![Const::atom("s2"), Const::atom("y")]);
+        let hits = db.query("rw", &[v("S"), Term::atom("x")]);
+        assert_eq!(hits.len(), 2);
+        let hits = db.query("rw", &[Term::atom("s2"), v("V")]);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn repeated_variable_in_pattern_must_agree() {
+        let mut db = Database::new();
+        db.add_fact("p", vec![Const::int(1), Const::int(1)]);
+        db.add_fact("p", vec![Const::int(1), Const::int(2)]);
+        let hits = db.query("p", &[v("X"), v("X")]);
+        assert_eq!(hits, vec![vec![Const::int(1), Const::int(1)]]);
+    }
+
+    #[test]
+    fn stratified_negation() {
+        let mut db = Database::new();
+        db.add_fact("node", vec![Const::int(1)]);
+        db.add_fact("node", vec![Const::int(2)]);
+        db.add_fact("node", vec![Const::int(3)]);
+        db.add_fact("special", vec![Const::int(2)]);
+        let rules = vec![Rule::new(
+            RuleAtom::pos("plain", vec![v("X")]),
+            vec![
+                RuleAtom::pos("node", vec![v("X")]),
+                RuleAtom::neg("special", vec![v("X")]),
+            ],
+        )];
+        db.evaluate(&rules).unwrap();
+        assert_eq!(db.len("plain"), 2);
+        assert!(!db.contains("plain", &[Const::int(2)]));
+    }
+
+    #[test]
+    fn negation_over_derived_relation_uses_lower_stratum() {
+        let mut db = Database::new();
+        db.add_fact("edge", vec![Const::int(1), Const::int(2)]);
+        db.add_fact("node", vec![Const::int(1)]);
+        db.add_fact("node", vec![Const::int(2)]);
+        db.add_fact("node", vec![Const::int(3)]);
+        let rules = vec![
+            Rule::new(
+                RuleAtom::pos("reach", vec![v("Y")]),
+                vec![RuleAtom::pos("edge", vec![v("X"), v("Y")])],
+            ),
+            Rule::new(
+                RuleAtom::pos("isolated", vec![v("X")]),
+                vec![
+                    RuleAtom::pos("node", vec![v("X")]),
+                    RuleAtom::neg("reach", vec![v("X")]),
+                ],
+            ),
+        ];
+        db.evaluate(&rules).unwrap();
+        assert!(db.contains("isolated", &[Const::int(1)]));
+        assert!(db.contains("isolated", &[Const::int(3)]));
+        assert!(!db.contains("isolated", &[Const::int(2)]));
+    }
+
+    #[test]
+    fn negation_cycle_rejected() {
+        let rules = vec![
+            Rule::new(
+                RuleAtom::pos("p", vec![v("X")]),
+                vec![
+                    RuleAtom::pos("n", vec![v("X")]),
+                    RuleAtom::neg("q", vec![v("X")]),
+                ],
+            ),
+            Rule::new(
+                RuleAtom::pos("q", vec![v("X")]),
+                vec![
+                    RuleAtom::pos("n", vec![v("X")]),
+                    RuleAtom::neg("p", vec![v("X")]),
+                ],
+            ),
+        ];
+        let mut db = Database::new();
+        assert!(matches!(
+            db.evaluate(&rules),
+            Err(DatalogError::NotStratifiable(_))
+        ));
+    }
+
+    #[test]
+    fn unsafe_rule_rejected() {
+        let rules = vec![Rule::new(
+            RuleAtom::pos("p", vec![v("Z")]),
+            vec![RuleAtom::pos("q", vec![v("X")])],
+        )];
+        let mut db = Database::new();
+        assert!(matches!(
+            db.evaluate(&rules),
+            Err(DatalogError::UnsafeRule(_))
+        ));
+    }
+
+    #[test]
+    fn constants_in_rule_bodies_filter() {
+        let mut db = Database::new();
+        db.add_fact("kind", vec![Const::atom("s1"), Const::atom("sql")]);
+        db.add_fact("kind", vec![Const::atom("s2"), Const::atom("file")]);
+        let rules = vec![Rule::new(
+            RuleAtom::pos("sql_stmt", vec![v("S")]),
+            vec![RuleAtom::pos("kind", vec![v("S"), Term::atom("sql")])],
+        )];
+        db.evaluate(&rules).unwrap();
+        assert_eq!(db.all("sql_stmt"), vec![vec![Const::atom("s1")]]);
+    }
+
+    #[test]
+    fn large_chain_terminates() {
+        let mut db = Database::new();
+        for i in 0..200i64 {
+            db.add_fact("edge", vec![Const::int(i), Const::int(i + 1)]);
+        }
+        db.evaluate(&tc_rules()).unwrap();
+        assert_eq!(db.len("path"), 200 * 201 / 2);
+    }
+
+    #[test]
+    fn idempotent_re_evaluation() {
+        let mut db = Database::new();
+        db.add_fact("edge", vec![Const::int(1), Const::int(2)]);
+        let rules = tc_rules();
+        db.evaluate(&rules).unwrap();
+        let before = db.len("path");
+        db.evaluate(&rules).unwrap();
+        assert_eq!(db.len("path"), before);
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = Rule::new(
+            RuleAtom::pos("p", vec![v("X")]),
+            vec![
+                RuleAtom::neg("q", vec![Term::int(3)]),
+                RuleAtom::pos("r", vec![v("X")]),
+            ],
+        );
+        assert_eq!(r.to_string(), "p(?X) :- !q(3), r(?X).");
+    }
+
+    #[test]
+    fn const_accessors() {
+        assert_eq!(Const::int(5).as_int(), Some(5));
+        assert_eq!(Const::atom("a").as_atom(), Some("a"));
+        assert_eq!(Const::atom("a").as_int(), None);
+        assert_eq!(Const::from(3i64), Const::int(3));
+        assert_eq!(Const::from("x"), Const::atom("x"));
+    }
+}

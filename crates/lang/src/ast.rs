@@ -1,0 +1,491 @@
+//! Abstract syntax tree for NodeScript programs.
+//!
+//! Every statement carries a unique [`StmtId`] (assigned in parse order) and
+//! the source line it came from. Statement identities are the currency of
+//! EdgStr's dynamic analysis: runtime traces, datalog facts, and slices all
+//! refer to statements by id.
+
+use std::fmt;
+
+/// Unique identifier of a statement within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StmtId(pub u32);
+
+impl fmt::Display for StmtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// The NodeScript surface syntax for this operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::NotEq => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Var(String),
+    Array(Vec<Expr>),
+    Object(Vec<(String, Expr)>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    Unary(UnOp, Box<Expr>),
+    /// `callee(args...)`; the callee may be a variable, member access
+    /// (method call) or any expression evaluating to a function.
+    Call {
+        callee: Box<Expr>,
+        args: Vec<Expr>,
+    },
+    /// `new Ctor(args...)` — treated as a call with constructor semantics.
+    New {
+        ctor: String,
+        args: Vec<Expr>,
+    },
+    Member(Box<Expr>, String),
+    Index(Box<Expr>, Box<Expr>),
+    /// Anonymous `function (params) { body }` expression (closure).
+    Function {
+        params: Vec<String>,
+        body: Vec<Stmt>,
+    },
+}
+
+impl Expr {
+    /// Whether the expression is "simple" — a literal or bare variable —
+    /// for the purpose of the normalization pass.
+    pub fn is_simple(&self) -> bool {
+        matches!(
+            self,
+            Expr::Null | Expr::Bool(_) | Expr::Num(_) | Expr::Str(_) | Expr::Var(_)
+        )
+    }
+
+    /// Visit every statement nested inside this expression (function
+    /// expression bodies), recursively.
+    pub fn visit_stmts<'a>(&'a self, f: &mut dyn FnMut(&'a Stmt)) {
+        match self {
+            Expr::Null | Expr::Bool(_) | Expr::Num(_) | Expr::Str(_) | Expr::Var(_) => {}
+            Expr::Array(items) => {
+                for e in items {
+                    e.visit_stmts(f);
+                }
+            }
+            Expr::Object(fields) => {
+                for (_, e) in fields {
+                    e.visit_stmts(f);
+                }
+            }
+            Expr::Binary(_, a, b) => {
+                a.visit_stmts(f);
+                b.visit_stmts(f);
+            }
+            Expr::Unary(_, a) => a.visit_stmts(f),
+            Expr::Call { callee, args } => {
+                callee.visit_stmts(f);
+                for a in args {
+                    a.visit_stmts(f);
+                }
+            }
+            Expr::New { args, .. } => {
+                for a in args {
+                    a.visit_stmts(f);
+                }
+            }
+            Expr::Member(base, _) => base.visit_stmts(f),
+            Expr::Index(base, idx) => {
+                base.visit_stmts(f);
+                idx.visit_stmts(f);
+            }
+            Expr::Function { body, .. } => {
+                for s in body {
+                    s.visit(f);
+                }
+            }
+        }
+    }
+
+    /// Collect the names of all variables read by this expression
+    /// (including within nested function bodies' free variables, which is a
+    /// conservative over-approximation suitable for slicing).
+    pub fn read_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Null | Expr::Bool(_) | Expr::Num(_) | Expr::Str(_) => {}
+            Expr::Var(v) => out.push(v.clone()),
+            Expr::Array(items) => {
+                for i in items {
+                    i.read_vars(out);
+                }
+            }
+            Expr::Object(fields) => {
+                for (_, v) in fields {
+                    v.read_vars(out);
+                }
+            }
+            Expr::Binary(_, a, b) => {
+                a.read_vars(out);
+                b.read_vars(out);
+            }
+            Expr::Unary(_, a) => a.read_vars(out),
+            Expr::Call { callee, args } => {
+                callee.read_vars(out);
+                for a in args {
+                    a.read_vars(out);
+                }
+            }
+            Expr::New { args, .. } => {
+                for a in args {
+                    a.read_vars(out);
+                }
+            }
+            Expr::Member(base, _) => base.read_vars(out),
+            Expr::Index(base, idx) => {
+                base.read_vars(out);
+                idx.read_vars(out);
+            }
+            Expr::Function { body, .. } => {
+                for s in body {
+                    s.read_vars(out);
+                }
+            }
+        }
+    }
+}
+
+/// The target of an assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    Var(String),
+    Member(Box<Expr>, String),
+    Index(Box<Expr>, Box<Expr>),
+}
+
+impl LValue {
+    /// The root variable being written through this lvalue, if any.
+    pub fn root_var(&self) -> Option<&str> {
+        fn expr_root(e: &Expr) -> Option<&str> {
+            match e {
+                Expr::Var(v) => Some(v),
+                Expr::Member(base, _) => expr_root(base),
+                Expr::Index(base, _) => expr_root(base),
+                _ => None,
+            }
+        }
+        match self {
+            LValue::Var(v) => Some(v),
+            LValue::Member(base, _) => expr_root(base),
+            LValue::Index(base, _) => expr_root(base),
+        }
+    }
+}
+
+/// A statement. Each variant's first fields are its [`StmtId`] and source
+/// line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var name = init;`
+    Let {
+        id: StmtId,
+        line: u32,
+        name: String,
+        init: Option<Expr>,
+    },
+    /// `target = value;`
+    Assign {
+        id: StmtId,
+        line: u32,
+        target: LValue,
+        value: Expr,
+    },
+    /// Bare expression statement, e.g. a call.
+    Expr { id: StmtId, line: u32, expr: Expr },
+    If {
+        id: StmtId,
+        line: u32,
+        cond: Expr,
+        then_block: Vec<Stmt>,
+        else_block: Vec<Stmt>,
+    },
+    While {
+        id: StmtId,
+        line: u32,
+        cond: Expr,
+        body: Vec<Stmt>,
+    },
+    /// Classic `for (init; cond; update) { body }` loop.
+    For {
+        id: StmtId,
+        line: u32,
+        init: Box<Stmt>,
+        cond: Expr,
+        update: Box<Stmt>,
+        body: Vec<Stmt>,
+    },
+    Return {
+        id: StmtId,
+        line: u32,
+        value: Option<Expr>,
+    },
+    /// Named `function name(params) { body }` declaration.
+    Function {
+        id: StmtId,
+        line: u32,
+        name: String,
+        params: Vec<String>,
+        body: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// This statement's unique id.
+    pub fn id(&self) -> StmtId {
+        match self {
+            Stmt::Let { id, .. }
+            | Stmt::Assign { id, .. }
+            | Stmt::Expr { id, .. }
+            | Stmt::If { id, .. }
+            | Stmt::While { id, .. }
+            | Stmt::For { id, .. }
+            | Stmt::Return { id, .. }
+            | Stmt::Function { id, .. } => *id,
+        }
+    }
+
+    /// The 1-based source line this statement starts on.
+    pub fn line(&self) -> u32 {
+        match self {
+            Stmt::Let { line, .. }
+            | Stmt::Assign { line, .. }
+            | Stmt::Expr { line, .. }
+            | Stmt::If { line, .. }
+            | Stmt::While { line, .. }
+            | Stmt::For { line, .. }
+            | Stmt::Return { line, .. }
+            | Stmt::Function { line, .. } => *line,
+        }
+    }
+
+    /// Variables this statement reads at its own level (conservative).
+    pub fn read_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Stmt::Let { init, .. } => {
+                if let Some(e) = init {
+                    e.read_vars(out);
+                }
+            }
+            Stmt::Assign { target, value, .. } => {
+                value.read_vars(out);
+                // member/index writes also read the base object
+                match target {
+                    LValue::Var(_) => {}
+                    LValue::Member(base, _) => base.read_vars(out),
+                    LValue::Index(base, idx) => {
+                        base.read_vars(out);
+                        idx.read_vars(out);
+                    }
+                }
+            }
+            Stmt::Expr { expr, .. } => expr.read_vars(out),
+            Stmt::If { cond, .. } => cond.read_vars(out),
+            Stmt::While { cond, .. } => cond.read_vars(out),
+            Stmt::For { cond, .. } => cond.read_vars(out),
+            Stmt::Return { value, .. } => {
+                if let Some(e) = value {
+                    e.read_vars(out);
+                }
+            }
+            Stmt::Function { .. } => {}
+        }
+    }
+
+    /// The variable this statement writes at its own level, if any.
+    pub fn written_var(&self) -> Option<String> {
+        match self {
+            Stmt::Let { name, .. } => Some(name.clone()),
+            Stmt::Assign { target, .. } => target.root_var().map(|s| s.to_string()),
+            Stmt::Function { name, .. } => Some(name.clone()),
+            _ => None,
+        }
+    }
+
+    /// Visit this statement and all nested statements (pre-order),
+    /// including statements inside function-expression bodies (e.g. route
+    /// handlers registered with `app.get(path, function (req, res) {…})`).
+    pub fn visit<'a>(&'a self, f: &mut dyn FnMut(&'a Stmt)) {
+        f(self);
+        match self {
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+                ..
+            } => {
+                cond.visit_stmts(f);
+                for s in then_block.iter().chain(else_block.iter()) {
+                    s.visit(f);
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                cond.visit_stmts(f);
+                for s in body {
+                    s.visit(f);
+                }
+            }
+            Stmt::For {
+                init, cond, update, body, ..
+            } => {
+                init.visit(f);
+                cond.visit_stmts(f);
+                update.visit(f);
+                for s in body {
+                    s.visit(f);
+                }
+            }
+            Stmt::Function { body, .. } => {
+                for s in body {
+                    s.visit(f);
+                }
+            }
+            Stmt::Let { init, .. } => {
+                if let Some(e) = init {
+                    e.visit_stmts(f);
+                }
+            }
+            Stmt::Assign { target, value, .. } => {
+                match target {
+                    LValue::Var(_) => {}
+                    LValue::Member(base, _) => base.visit_stmts(f),
+                    LValue::Index(base, idx) => {
+                        base.visit_stmts(f);
+                        idx.visit_stmts(f);
+                    }
+                }
+                value.visit_stmts(f);
+            }
+            Stmt::Expr { expr, .. } => expr.visit_stmts(f),
+            Stmt::Return { value, .. } => {
+                if let Some(e) = value {
+                    e.visit_stmts(f);
+                }
+            }
+        }
+    }
+}
+
+/// A parsed NodeScript program: a sequence of top-level statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    pub stmts: Vec<Stmt>,
+    /// Total number of statement ids allocated (ids are `0..stmt_count`).
+    pub stmt_count: u32,
+}
+
+impl Program {
+    /// Iterate over every statement in the program, including nested ones.
+    pub fn all_stmts(&self) -> Vec<&Stmt> {
+        let mut out = Vec::new();
+        for s in &self.stmts {
+            s.visit(&mut |st| out.push(st));
+        }
+        out
+    }
+
+    /// Find a statement by id anywhere in the program.
+    pub fn find(&self, id: StmtId) -> Option<&Stmt> {
+        self.all_stmts().into_iter().find(|s| s.id() == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lvalue_root_var_traverses_members() {
+        let lv = LValue::Member(
+            Box::new(Expr::Index(
+                Box::new(Expr::Var("rows".into())),
+                Box::new(Expr::Num(0.0)),
+            )),
+            "name".into(),
+        );
+        assert_eq!(lv.root_var(), Some("rows"));
+    }
+
+    #[test]
+    fn expr_read_vars_collects_nested() {
+        let e = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::Var("a".into())),
+            Box::new(Expr::Call {
+                callee: Box::new(Expr::Var("f".into())),
+                args: vec![Expr::Var("b".into())],
+            }),
+        );
+        let mut vars = Vec::new();
+        e.read_vars(&mut vars);
+        assert_eq!(vars, vec!["a", "f", "b"]);
+    }
+
+    #[test]
+    fn stmt_written_var() {
+        let s = Stmt::Let {
+            id: StmtId(0),
+            line: 1,
+            name: "x".into(),
+            init: None,
+        };
+        assert_eq!(s.written_var().as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn is_simple_classification() {
+        assert!(Expr::Num(1.0).is_simple());
+        assert!(Expr::Var("x".into()).is_simple());
+        assert!(!Expr::Array(vec![]).is_simple());
+    }
+}

@@ -1,0 +1,115 @@
+//! Jalangi-style instrumentation hooks for the NodeScript interpreter.
+//!
+//! The paper instruments Node.js services with the Jalangi dynamic-analysis
+//! framework, modifying its `INVOKEFUNCTION(LOC, F, ARGS, VAL)` callback to
+//! intercept SQL commands, file accesses and global-variable mutations
+//! (§III-C). This module provides the equivalent callback surface: an
+//! [`Instrument`] implementation receives a [`TraceEvent`] for every
+//! statement entry, variable read/write, host-function invocation, and
+//! global-variable mutation.
+
+use crate::ast::StmtId;
+use crate::value::Value;
+
+/// A single dynamic-trace event.
+#[derive(Debug, Clone)]
+pub enum TraceEvent {
+    /// Control entered statement `stmt` (in dynamic execution order).
+    StmtEnter { stmt: StmtId },
+    /// Statement `stmt` read variable `var`, observing `value`.
+    Read {
+        stmt: StmtId,
+        var: String,
+        value: Value,
+    },
+    /// Statement `stmt` wrote `value` into variable `var`.
+    Write {
+        stmt: StmtId,
+        var: String,
+        value: Value,
+    },
+    /// Statement `stmt` invoked host or user function `func`. This is the
+    /// analog of Jalangi's `INVOKEFUNCTION(LOC, F, ARGS, VAL)` callback.
+    Invoke {
+        stmt: StmtId,
+        func: String,
+        args: Vec<Value>,
+        ret: Value,
+    },
+    /// A variable in the *global* scope was created or mutated.
+    GlobalWrite { stmt: StmtId, var: String },
+    /// A user function declared at statement `decl` was entered from call
+    /// site `call_site` (the `ACTUAL` fact of §III-E).
+    FunctionEnter { decl: StmtId, call_site: StmtId },
+}
+
+/// Receiver of dynamic-trace events.
+///
+/// Implementations must be cheap: the interpreter calls them on every
+/// statement. See `edgstr-analysis` for the trace recorder EdgStr uses.
+pub trait Instrument {
+    /// Observe one trace event.
+    fn on_event(&mut self, event: &TraceEvent);
+}
+
+/// An [`Instrument`] that discards all events (tracing disabled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopInstrument;
+
+impl Instrument for NoopInstrument {
+    fn on_event(&mut self, _event: &TraceEvent) {}
+}
+
+/// An [`Instrument`] that buffers every event, for tests and offline
+/// analysis.
+#[derive(Debug, Default)]
+pub struct RecordingInstrument {
+    /// All events observed so far, in order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl RecordingInstrument {
+    /// Create an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events captured.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were captured.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl Instrument for RecordingInstrument {
+    fn on_event(&mut self, event: &TraceEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_discards() {
+        let mut n = NoopInstrument;
+        n.on_event(&TraceEvent::StmtEnter { stmt: StmtId(0) });
+    }
+
+    #[test]
+    fn recorder_buffers_in_order() {
+        let mut r = RecordingInstrument::new();
+        r.on_event(&TraceEvent::StmtEnter { stmt: StmtId(1) });
+        r.on_event(&TraceEvent::StmtEnter { stmt: StmtId(2) });
+        assert_eq!(r.len(), 2);
+        match &r.events[1] {
+            TraceEvent::StmtEnter { stmt } => assert_eq!(*stmt, StmtId(2)),
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+}

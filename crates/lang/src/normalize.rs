@@ -1,0 +1,489 @@
+//! Statement normalization: introducing temporary variables.
+//!
+//! §III-E of the paper: *"to identify these entry/exit points, EdgStr
+//! normalizes the entire server code by introducing temporary variables"* —
+//! e.g. `res.send(analyze(img))` becomes
+//! `var tv1 = analyze(img); res.send(tv1);`. After normalization every call
+//! result and every non-trivial call argument flows through a named
+//! variable, so the dynamic read/write log can pinpoint the statements that
+//! unmarshal parameters and marshal results.
+
+use crate::ast::{Expr, LValue, Program, Stmt, StmtId};
+
+/// Normalize `program`, returning a new program in which nested calls are
+/// hoisted into `var tvN = ...;` statements. Statement ids are renumbered.
+///
+/// Control-flow conditions (`while`/`for`) are left untouched because their
+/// expressions are re-evaluated each iteration; hoisting would change
+/// semantics.
+///
+/// # Examples
+///
+/// ```
+/// use edgstr_lang::{parse, normalize, print_program};
+/// let p = parse("res.send(analyze(img));").unwrap();
+/// let n = normalize(&p);
+/// let src = print_program(&n);
+/// assert!(src.contains("var tv1 = analyze(img);"));
+/// ```
+pub fn normalize(program: &Program) -> Program {
+    let mut n = Normalizer { next_tmp: 0 };
+    let stmts = n.normalize_block(&program.stmts);
+    renumber(stmts)
+}
+
+/// Renumber all statement ids in `stmts` pre-order, producing a [`Program`].
+pub fn renumber(stmts: Vec<Stmt>) -> Program {
+    let mut counter = 0u32;
+    let stmts = stmts
+        .into_iter()
+        .map(|s| renumber_stmt(s, &mut counter))
+        .collect();
+    Program {
+        stmts,
+        stmt_count: counter,
+    }
+}
+
+fn renumber_stmt(stmt: Stmt, counter: &mut u32) -> Stmt {
+    let mut fresh = || {
+        let id = StmtId(*counter);
+        *counter += 1;
+        id
+    };
+    match stmt {
+        Stmt::Let { line, name, init, .. } => Stmt::Let {
+            id: fresh(),
+            line,
+            name,
+            init: init.map(|e| renumber_expr(e, counter)),
+        },
+        Stmt::Assign {
+            line, target, value, ..
+        } => Stmt::Assign {
+            id: fresh(),
+            line,
+            target,
+            value: renumber_expr(value, counter),
+        },
+        Stmt::Expr { line, expr, .. } => Stmt::Expr {
+            id: fresh(),
+            line,
+            expr: renumber_expr(expr, counter),
+        },
+        Stmt::If {
+            line,
+            cond,
+            then_block,
+            else_block,
+            ..
+        } => {
+            let id = fresh();
+            Stmt::If {
+                id,
+                line,
+                cond: renumber_expr(cond, counter),
+                then_block: then_block
+                    .into_iter()
+                    .map(|s| renumber_stmt(s, counter))
+                    .collect(),
+                else_block: else_block
+                    .into_iter()
+                    .map(|s| renumber_stmt(s, counter))
+                    .collect(),
+            }
+        }
+        Stmt::While { line, cond, body, .. } => {
+            let id = fresh();
+            Stmt::While {
+                id,
+                line,
+                cond: renumber_expr(cond, counter),
+                body: body.into_iter().map(|s| renumber_stmt(s, counter)).collect(),
+            }
+        }
+        Stmt::For {
+            line,
+            init,
+            cond,
+            update,
+            body,
+            ..
+        } => {
+            let id = fresh();
+            Stmt::For {
+                id,
+                line,
+                init: Box::new(renumber_stmt(*init, counter)),
+                cond: renumber_expr(cond, counter),
+                update: Box::new(renumber_stmt(*update, counter)),
+                body: body.into_iter().map(|s| renumber_stmt(s, counter)).collect(),
+            }
+        }
+        Stmt::Return { line, value, .. } => Stmt::Return {
+            id: fresh(),
+            line,
+            value: value.map(|e| renumber_expr(e, counter)),
+        },
+        Stmt::Function {
+            line,
+            name,
+            params,
+            body,
+            ..
+        } => {
+            let id = fresh();
+            Stmt::Function {
+                id,
+                line,
+                name,
+                params,
+                body: body.into_iter().map(|s| renumber_stmt(s, counter)).collect(),
+            }
+        }
+    }
+}
+
+fn renumber_expr(expr: Expr, counter: &mut u32) -> Expr {
+    match expr {
+        Expr::Function { params, body } => Expr::Function {
+            params,
+            body: body.into_iter().map(|s| renumber_stmt(s, counter)).collect(),
+        },
+        Expr::Array(items) => Expr::Array(
+            items
+                .into_iter()
+                .map(|e| renumber_expr(e, counter))
+                .collect(),
+        ),
+        Expr::Object(fields) => Expr::Object(
+            fields
+                .into_iter()
+                .map(|(k, e)| (k, renumber_expr(e, counter)))
+                .collect(),
+        ),
+        Expr::Binary(op, a, b) => Expr::Binary(
+            op,
+            Box::new(renumber_expr(*a, counter)),
+            Box::new(renumber_expr(*b, counter)),
+        ),
+        Expr::Unary(op, a) => Expr::Unary(op, Box::new(renumber_expr(*a, counter))),
+        Expr::Call { callee, args } => Expr::Call {
+            callee: Box::new(renumber_expr(*callee, counter)),
+            args: args
+                .into_iter()
+                .map(|e| renumber_expr(e, counter))
+                .collect(),
+        },
+        Expr::New { ctor, args } => Expr::New {
+            ctor,
+            args: args
+                .into_iter()
+                .map(|e| renumber_expr(e, counter))
+                .collect(),
+        },
+        Expr::Member(base, f) => Expr::Member(Box::new(renumber_expr(*base, counter)), f),
+        Expr::Index(base, i) => Expr::Index(
+            Box::new(renumber_expr(*base, counter)),
+            Box::new(renumber_expr(*i, counter)),
+        ),
+        other => other,
+    }
+}
+
+struct Normalizer {
+    next_tmp: u32,
+}
+
+impl Normalizer {
+    fn fresh_tmp(&mut self) -> String {
+        self.next_tmp += 1;
+        format!("tv{}", self.next_tmp)
+    }
+
+    fn normalize_block(&mut self, stmts: &[Stmt]) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        for s in stmts {
+            self.normalize_stmt(s, &mut out);
+        }
+        out
+    }
+
+    fn normalize_stmt(&mut self, stmt: &Stmt, out: &mut Vec<Stmt>) {
+        let dummy = StmtId(0);
+        match stmt {
+            Stmt::Let { line, name, init, .. } => {
+                let init = init
+                    .as_ref()
+                    .map(|e| self.hoist(e, *line, out, /*keep_top_call=*/ true));
+                out.push(Stmt::Let {
+                    id: dummy,
+                    line: *line,
+                    name: name.clone(),
+                    init,
+                });
+            }
+            Stmt::Assign {
+                line, target, value, ..
+            } => {
+                let value = self.hoist(value, *line, out, true);
+                out.push(Stmt::Assign {
+                    id: dummy,
+                    line: *line,
+                    target: target.clone(),
+                    value,
+                });
+            }
+            Stmt::Expr { line, expr, .. } => {
+                let expr = self.hoist(expr, *line, out, true);
+                out.push(Stmt::Expr {
+                    id: dummy,
+                    line: *line,
+                    expr,
+                });
+            }
+            Stmt::Return { line, value, .. } => {
+                let value = value.as_ref().map(|e| self.hoist(e, *line, out, true));
+                out.push(Stmt::Return {
+                    id: dummy,
+                    line: *line,
+                    value,
+                });
+            }
+            Stmt::If {
+                line,
+                cond,
+                then_block,
+                else_block,
+                ..
+            } => {
+                out.push(Stmt::If {
+                    id: dummy,
+                    line: *line,
+                    cond: cond.clone(),
+                    then_block: self.normalize_block(then_block),
+                    else_block: self.normalize_block(else_block),
+                });
+            }
+            Stmt::While { line, cond, body, .. } => {
+                out.push(Stmt::While {
+                    id: dummy,
+                    line: *line,
+                    cond: cond.clone(),
+                    body: self.normalize_block(body),
+                });
+            }
+            Stmt::For {
+                line,
+                init,
+                cond,
+                update,
+                body,
+                ..
+            } => {
+                out.push(Stmt::For {
+                    id: dummy,
+                    line: *line,
+                    init: init.clone(),
+                    cond: cond.clone(),
+                    update: update.clone(),
+                    body: self.normalize_block(body),
+                });
+            }
+            Stmt::Function {
+                line,
+                name,
+                params,
+                body,
+                ..
+            } => {
+                out.push(Stmt::Function {
+                    id: dummy,
+                    line: *line,
+                    name: name.clone(),
+                    params: params.clone(),
+                    body: self.normalize_block(body),
+                });
+            }
+        }
+    }
+
+    /// Rewrite `expr`, hoisting nested call/new expressions into temp-var
+    /// declarations appended to `out`. If `keep_top_call` is true and `expr`
+    /// itself is a call, the call stays in place (only its compound args are
+    /// hoisted).
+    fn hoist(&mut self, expr: &Expr, line: u32, out: &mut Vec<Stmt>, keep_top_call: bool) -> Expr {
+        match expr {
+            Expr::Call { callee, args } => {
+                let callee = match &**callee {
+                    // method-call bases are hoisted unless simple or member-of-simple
+                    Expr::Member(base, m) => {
+                        let base = self.hoist_operand(base, line, out);
+                        Box::new(Expr::Member(Box::new(base), m.clone()))
+                    }
+                    other => Box::new(self.hoist_operand(other, line, out)),
+                };
+                let args = args
+                    .iter()
+                    .map(|a| self.hoist_operand(a, line, out))
+                    .collect();
+                let call = Expr::Call { callee, args };
+                if keep_top_call {
+                    call
+                } else {
+                    self.bind_tmp(call, line, out)
+                }
+            }
+            Expr::New { ctor, args } => {
+                let args = args
+                    .iter()
+                    .map(|a| self.hoist_operand(a, line, out))
+                    .collect();
+                let call = Expr::New {
+                    ctor: ctor.clone(),
+                    args,
+                };
+                if keep_top_call {
+                    call
+                } else {
+                    self.bind_tmp(call, line, out)
+                }
+            }
+            Expr::Binary(op, a, b) => Expr::Binary(
+                *op,
+                Box::new(self.hoist(a, line, out, false)),
+                Box::new(self.hoist(b, line, out, false)),
+            ),
+            Expr::Unary(op, a) => Expr::Unary(*op, Box::new(self.hoist(a, line, out, false))),
+            Expr::Array(items) => Expr::Array(
+                items
+                    .iter()
+                    .map(|e| self.hoist(e, line, out, false))
+                    .collect(),
+            ),
+            Expr::Object(fields) => Expr::Object(
+                fields
+                    .iter()
+                    .map(|(k, e)| (k.clone(), self.hoist(e, line, out, false)))
+                    .collect(),
+            ),
+            Expr::Member(base, f) => Expr::Member(
+                Box::new(self.hoist(base, line, out, false)),
+                f.clone(),
+            ),
+            Expr::Index(base, i) => Expr::Index(
+                Box::new(self.hoist(base, line, out, false)),
+                Box::new(self.hoist(i, line, out, false)),
+            ),
+            Expr::Function { params, body } => Expr::Function {
+                params: params.clone(),
+                body: self.normalize_block(body),
+            },
+            simple => simple.clone(),
+        }
+    }
+
+    /// Hoist an operand position: calls and news always get a temp var;
+    /// other compound expressions are rewritten recursively in place.
+    fn hoist_operand(&mut self, expr: &Expr, line: u32, out: &mut Vec<Stmt>) -> Expr {
+        match expr {
+            Expr::Call { .. } | Expr::New { .. } => {
+                let rewritten = self.hoist(expr, line, out, true);
+                self.bind_tmp(rewritten, line, out)
+            }
+            other => self.hoist(other, line, out, false),
+        }
+    }
+
+    fn bind_tmp(&mut self, expr: Expr, line: u32, out: &mut Vec<Stmt>) -> Expr {
+        let name = self.fresh_tmp();
+        out.push(Stmt::Let {
+            id: StmtId(0),
+            line,
+            name: name.clone(),
+            init: Some(expr),
+        });
+        Expr::Var(name)
+    }
+}
+
+/// Used by [`LValue`]-producing code in tests.
+#[allow(dead_code)]
+fn _lvalue_witness(_l: &LValue) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::printer::print_program;
+
+    #[test]
+    fn hoists_nested_call_in_send() {
+        let p = parse("res.send(analyze(img));").unwrap();
+        let n = normalize(&p);
+        let src = print_program(&n);
+        assert!(src.contains("var tv1 = analyze(img);"), "got:\n{src}");
+        assert!(src.contains("res.send(tv1);"), "got:\n{src}");
+    }
+
+    #[test]
+    fn hoists_call_in_initializer_chain() {
+        let p = parse("var x = f(g(y));").unwrap();
+        let n = normalize(&p);
+        let src = print_program(&n);
+        assert!(src.contains("var tv1 = g(y);"), "got:\n{src}");
+        assert!(src.contains("var x = f(tv1);"), "got:\n{src}");
+    }
+
+    #[test]
+    fn normalizes_handler_bodies() {
+        let p = parse(
+            r#"app.get("/p", function (req, res) { res.send(work(req.body)); });"#,
+        )
+        .unwrap();
+        let n = normalize(&p);
+        let src = print_program(&n);
+        assert!(src.contains("var tv1 = work(req.body);"), "got:\n{src}");
+        assert!(src.contains("res.send(tv1);"), "got:\n{src}");
+    }
+
+    #[test]
+    fn leaves_simple_statements_alone() {
+        let p = parse("var x = 1; y = x + 2;").unwrap();
+        let n = normalize(&p);
+        assert_eq!(n.stmts.len(), 2);
+    }
+
+    #[test]
+    fn renumbered_ids_are_unique_and_dense() {
+        let p = parse("var a = f(g(1)); if (a) { var b = h(2); }").unwrap();
+        let n = normalize(&p);
+        let all = n.all_stmts();
+        let mut ids: Vec<u32> = all.iter().map(|s| s.id().0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..all.len() as u32).collect::<Vec<_>>());
+        assert_eq!(n.stmt_count as usize, all.len());
+    }
+
+    #[test]
+    fn normalized_program_reparses() {
+        let p = parse(
+            "function handler(req, res) {
+                var raw = req.body;
+                res.send(summarize(parse_csv(raw)));
+            }",
+        )
+        .unwrap();
+        let n = normalize(&p);
+        let src = print_program(&n);
+        parse(&src).expect("normalized output must be valid NodeScript");
+    }
+
+    #[test]
+    fn while_condition_not_hoisted() {
+        let p = parse("while (poll()) { var x = 1; }").unwrap();
+        let n = normalize(&p);
+        let src = print_program(&n);
+        assert!(src.contains("while (poll())"), "got:\n{src}");
+    }
+}

@@ -1,0 +1,673 @@
+//! Recursive-descent parser for NodeScript.
+
+use crate::ast::{BinOp, Expr, LValue, Program, Stmt, StmtId, UnOp};
+use crate::token::{tokenize, SpannedToken, Token};
+use std::fmt;
+
+/// Error produced while parsing source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse NodeScript `source` into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on lexical or syntactic errors.
+///
+/// # Examples
+///
+/// ```
+/// let prog = edgstr_lang::parse("var x = 1 + 2;").unwrap();
+/// assert_eq!(prog.stmts.len(), 1);
+/// ```
+pub fn parse(source: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(source).map_err(|e| ParseError {
+        line: e.line,
+        message: e.message,
+    })?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        next_id: 0,
+    };
+    let mut stmts = Vec::new();
+    while !p.check(&Token::Eof) {
+        stmts.push(p.statement()?);
+    }
+    Ok(Program {
+        stmts,
+        stmt_count: p.next_id,
+    })
+}
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+    next_id: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn peek2(&self) -> &Token {
+        let i = (self.pos + 1).min(self.tokens.len() - 1);
+        &self.tokens[i].token
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn check(&self, t: &Token) -> bool {
+        self.peek() == t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.check(t) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{t}', found '{}'", self.peek())))
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message,
+        }
+    }
+
+    fn fresh_id(&mut self) -> StmtId {
+        let id = StmtId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Token::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            other => Err(self.err(format!("expected identifier, found '{other}'"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        match self.peek().clone() {
+            Token::Var | Token::Let => {
+                self.advance();
+                let name = self.ident()?;
+                let init = if self.eat(&Token::Assign) {
+                    Some(self.expression()?)
+                } else {
+                    None
+                };
+                self.eat(&Token::Semi);
+                Ok(Stmt::Let {
+                    id: self.fresh_id(),
+                    line,
+                    name,
+                    init,
+                })
+            }
+            Token::Function if matches!(self.peek2(), Token::Ident(_)) => {
+                self.advance();
+                let name = self.ident()?;
+                let params = self.param_list()?;
+                let body = self.block()?;
+                Ok(Stmt::Function {
+                    id: self.fresh_id(),
+                    line,
+                    name,
+                    params,
+                    body,
+                })
+            }
+            Token::If => {
+                self.advance();
+                self.expect(&Token::LParen)?;
+                let cond = self.expression()?;
+                self.expect(&Token::RParen)?;
+                let then_block = self.block_or_single()?;
+                let else_block = if self.eat(&Token::Else) {
+                    if self.check(&Token::If) {
+                        vec![self.statement()?]
+                    } else {
+                        self.block_or_single()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    id: self.fresh_id(),
+                    line,
+                    cond,
+                    then_block,
+                    else_block,
+                })
+            }
+            Token::While => {
+                self.advance();
+                self.expect(&Token::LParen)?;
+                let cond = self.expression()?;
+                self.expect(&Token::RParen)?;
+                let body = self.block_or_single()?;
+                Ok(Stmt::While {
+                    id: self.fresh_id(),
+                    line,
+                    cond,
+                    body,
+                })
+            }
+            Token::For => {
+                self.advance();
+                self.expect(&Token::LParen)?;
+                let init = Box::new(self.statement()?);
+                // the init statement consumed its trailing semicolon
+                let cond = self.expression()?;
+                self.expect(&Token::Semi)?;
+                let update = Box::new(self.simple_statement_no_semi()?);
+                self.expect(&Token::RParen)?;
+                let body = self.block_or_single()?;
+                Ok(Stmt::For {
+                    id: self.fresh_id(),
+                    line,
+                    init,
+                    cond,
+                    update,
+                    body,
+                })
+            }
+            Token::Return => {
+                self.advance();
+                let value = if self.check(&Token::Semi) || self.check(&Token::RBrace) {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
+                self.eat(&Token::Semi);
+                Ok(Stmt::Return {
+                    id: self.fresh_id(),
+                    line,
+                    value,
+                })
+            }
+            _ => {
+                let s = self.simple_statement_no_semi()?;
+                self.eat(&Token::Semi);
+                Ok(s)
+            }
+        }
+    }
+
+    /// An assignment or expression statement without consuming `;`.
+    fn simple_statement_no_semi(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        let expr = self.expression()?;
+        if self.eat(&Token::Assign) {
+            let target = match expr {
+                Expr::Var(v) => LValue::Var(v),
+                Expr::Member(base, name) => LValue::Member(base, name),
+                Expr::Index(base, idx) => LValue::Index(base, idx),
+                _ => return Err(self.err("invalid assignment target".into())),
+            };
+            let value = self.expression()?;
+            Ok(Stmt::Assign {
+                id: self.fresh_id(),
+                line,
+                target,
+                value,
+            })
+        } else {
+            Ok(Stmt::Expr {
+                id: self.fresh_id(),
+                line,
+                expr,
+            })
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(&Token::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.check(&Token::RBrace) {
+            if self.check(&Token::Eof) {
+                return Err(self.err("unterminated block".into()));
+            }
+            stmts.push(self.statement()?);
+        }
+        self.expect(&Token::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn block_or_single(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if self.check(&Token::LBrace) {
+            self.block()
+        } else {
+            Ok(vec![self.statement()?])
+        }
+    }
+
+    fn param_list(&mut self) -> Result<Vec<String>, ParseError> {
+        self.expect(&Token::LParen)?;
+        let mut params = Vec::new();
+        if !self.check(&Token::RParen) {
+            loop {
+                params.push(self.ident()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(params)
+    }
+
+    // Expression grammar, lowest to highest precedence:
+    // or -> and -> equality -> comparison -> term -> factor -> unary -> postfix -> primary
+    fn expression(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.and_expr()?;
+        while self.eat(&Token::OrOr) {
+            let rhs = self.and_expr()?;
+            e = Expr::Binary(BinOp::Or, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.equality()?;
+        while self.eat(&Token::AndAnd) {
+            let rhs = self.equality()?;
+            e = Expr::Binary(BinOp::And, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.comparison()?;
+        loop {
+            let op = if self.eat(&Token::EqEq) {
+                BinOp::Eq
+            } else if self.eat(&Token::NotEq) {
+                BinOp::NotEq
+            } else {
+                break;
+            };
+            let rhs = self.comparison()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.term()?;
+        loop {
+            let op = if self.eat(&Token::Lt) {
+                BinOp::Lt
+            } else if self.eat(&Token::Le) {
+                BinOp::Le
+            } else if self.eat(&Token::Gt) {
+                BinOp::Gt
+            } else if self.eat(&Token::Ge) {
+                BinOp::Ge
+            } else {
+                break;
+            };
+            let rhs = self.term()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.factor()?;
+        loop {
+            let op = if self.eat(&Token::Plus) {
+                BinOp::Add
+            } else if self.eat(&Token::Minus) {
+                BinOp::Sub
+            } else {
+                break;
+            };
+            let rhs = self.factor()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.unary()?;
+        loop {
+            let op = if self.eat(&Token::Star) {
+                BinOp::Mul
+            } else if self.eat(&Token::Slash) {
+                BinOp::Div
+            } else if self.eat(&Token::Percent) {
+                BinOp::Rem
+            } else {
+                break;
+            };
+            let rhs = self.unary()?;
+            e = Expr::Binary(op, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&Token::Not) {
+            let e = self.unary()?;
+            Ok(Expr::Unary(UnOp::Not, Box::new(e)))
+        } else if self.eat(&Token::Minus) {
+            let e = self.unary()?;
+            Ok(Expr::Unary(UnOp::Neg, Box::new(e)))
+        } else {
+            self.postfix()
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.eat(&Token::Dot) {
+                let name = self.ident()?;
+                e = Expr::Member(Box::new(e), name);
+            } else if self.eat(&Token::LBracket) {
+                let idx = self.expression()?;
+                self.expect(&Token::RBracket)?;
+                e = Expr::Index(Box::new(e), Box::new(idx));
+            } else if self.check(&Token::LParen) {
+                let args = self.arg_list()?;
+                e = Expr::Call {
+                    callee: Box::new(e),
+                    args,
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn arg_list(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect(&Token::LParen)?;
+        let mut args = Vec::new();
+        if !self.check(&Token::RParen) {
+            loop {
+                args.push(self.expression()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(args)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Token::Num(n) => {
+                self.advance();
+                Ok(Expr::Num(n))
+            }
+            Token::Str(s) => {
+                self.advance();
+                Ok(Expr::Str(s))
+            }
+            Token::True => {
+                self.advance();
+                Ok(Expr::Bool(true))
+            }
+            Token::False => {
+                self.advance();
+                Ok(Expr::Bool(false))
+            }
+            Token::Null => {
+                self.advance();
+                Ok(Expr::Null)
+            }
+            Token::Ident(name) => {
+                self.advance();
+                Ok(Expr::Var(name))
+            }
+            Token::New => {
+                self.advance();
+                let ctor = self.ident()?;
+                let args = if self.check(&Token::LParen) {
+                    self.arg_list()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Expr::New { ctor, args })
+            }
+            Token::Function => {
+                self.advance();
+                let params = self.param_list()?;
+                let body = self.block()?;
+                Ok(Expr::Function { params, body })
+            }
+            Token::LParen => {
+                self.advance();
+                let e = self.expression()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::LBracket => {
+                self.advance();
+                let mut items = Vec::new();
+                if !self.check(&Token::RBracket) {
+                    loop {
+                        items.push(self.expression()?);
+                        if !self.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Token::RBracket)?;
+                Ok(Expr::Array(items))
+            }
+            Token::LBrace => {
+                self.advance();
+                let mut fields = Vec::new();
+                if !self.check(&Token::RBrace) {
+                    loop {
+                        let key = match self.peek().clone() {
+                            Token::Ident(k) => {
+                                self.advance();
+                                k
+                            }
+                            Token::Str(k) => {
+                                self.advance();
+                                k
+                            }
+                            other => {
+                                return Err(
+                                    self.err(format!("expected object key, found '{other}'"))
+                                )
+                            }
+                        };
+                        self.expect(&Token::Colon)?;
+                        let value = self.expression()?;
+                        fields.push((key, value));
+                        if !self.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Token::RBrace)?;
+                Ok(Expr::Object(fields))
+            }
+            other => Err(self.err(format!("unexpected token '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, Expr, Stmt};
+
+    #[test]
+    fn parses_var_decl() {
+        let p = parse("var x = 1 + 2 * 3;").unwrap();
+        match &p.stmts[0] {
+            Stmt::Let { name, init, .. } => {
+                assert_eq!(name, "x");
+                match init.as_ref().unwrap() {
+                    Expr::Binary(BinOp::Add, _, rhs) => {
+                        assert!(matches!(**rhs, Expr::Binary(BinOp::Mul, _, _)));
+                    }
+                    other => panic!("bad precedence: {other:?}"),
+                }
+            }
+            other => panic!("expected let, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_function_decl_and_return() {
+        let p = parse("function add(a, b) { return a + b; }").unwrap();
+        match &p.stmts[0] {
+            Stmt::Function { name, params, body, .. } => {
+                assert_eq!(name, "add");
+                assert_eq!(params, &["a", "b"]);
+                assert!(matches!(body[0], Stmt::Return { .. }));
+            }
+            other => panic!("expected function, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_express_style_route() {
+        let p = parse(r#"app.get("/predict", function (req, res) { res.send(1); });"#).unwrap();
+        match &p.stmts[0] {
+            Stmt::Expr { expr: Expr::Call { callee, args }, .. } => {
+                assert!(matches!(**callee, Expr::Member(_, ref m) if m == "get"));
+                assert_eq!(args.len(), 2);
+                assert!(matches!(args[1], Expr::Function { .. }));
+            }
+            other => panic!("expected route call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_else_chain() {
+        let p = parse("if (a < 1) { x = 1; } else if (a < 2) { x = 2; } else { x = 3; }").unwrap();
+        match &p.stmts[0] {
+            Stmt::If { else_block, .. } => {
+                assert!(matches!(else_block[0], Stmt::If { .. }));
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_for_loop() {
+        let p = parse("for (var i = 0; i < 10; i = i + 1) { s = s + i; }").unwrap();
+        assert!(matches!(p.stmts[0], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn parses_while_loop() {
+        let p = parse("while (n > 0) { n = n - 1; }").unwrap();
+        assert!(matches!(p.stmts[0], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn parses_object_and_array_literals() {
+        let p = parse(r#"var o = { a: 1, "b c": [1, 2, 3] };"#).unwrap();
+        match &p.stmts[0] {
+            Stmt::Let { init: Some(Expr::Object(fields)), .. } => {
+                assert_eq!(fields.len(), 2);
+                assert_eq!(fields[1].0, "b c");
+            }
+            other => panic!("expected object literal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_member_index_assignment() {
+        let p = parse("rows[0].name = 'x';").unwrap();
+        assert!(matches!(p.stmts[0], Stmt::Assign { .. }));
+    }
+
+    #[test]
+    fn parses_new_expression() {
+        let p = parse("var b = new Uint8Array(raw);").unwrap();
+        match &p.stmts[0] {
+            Stmt::Let { init: Some(Expr::New { ctor, args }), .. } => {
+                assert_eq!(ctor, "Uint8Array");
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("expected new expr, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stmt_ids_are_unique() {
+        let p = parse("var a = 1; if (a) { var b = 2; var c = 3; } var d = 4;").unwrap();
+        let all = p.all_stmts();
+        let mut ids: Vec<u32> = all.iter().map(|s| s.id().0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+        assert_eq!(p.stmt_count as usize, all.len());
+    }
+
+    #[test]
+    fn error_on_bad_assignment_target() {
+        assert!(parse("1 = 2;").is_err());
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("var x = 1;\nvar y = ;").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn logical_operators_precedence() {
+        let p = parse("var r = a && b || c;").unwrap();
+        match &p.stmts[0] {
+            Stmt::Let { init: Some(Expr::Binary(BinOp::Or, lhs, _)), .. } => {
+                assert!(matches!(**lhs, Expr::Binary(BinOp::And, _, _)));
+            }
+            other => panic!("bad precedence: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,502 @@
+//! Lexical analysis for NodeScript source text.
+
+use std::fmt;
+
+/// A lexical token produced by [`tokenize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    // Literals
+    Num(f64),
+    Str(String),
+    Ident(String),
+    // Keywords
+    Var,
+    Let,
+    Function,
+    If,
+    Else,
+    While,
+    For,
+    Return,
+    True,
+    False,
+    Null,
+    New,
+    // Punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Dot,
+    // Operators
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Num(n) => write!(f, "{n}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Var => write!(f, "var"),
+            Token::Let => write!(f, "let"),
+            Token::Function => write!(f, "function"),
+            Token::If => write!(f, "if"),
+            Token::Else => write!(f, "else"),
+            Token::While => write!(f, "while"),
+            Token::For => write!(f, "for"),
+            Token::Return => write!(f, "return"),
+            Token::True => write!(f, "true"),
+            Token::False => write!(f, "false"),
+            Token::Null => write!(f, "null"),
+            Token::New => write!(f, "new"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::Semi => write!(f, ";"),
+            Token::Colon => write!(f, ":"),
+            Token::Dot => write!(f, "."),
+            Token::Assign => write!(f, "="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::EqEq => write!(f, "=="),
+            Token::NotEq => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+            Token::Not => write!(f, "!"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token plus the source line it starts on (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    pub token: Token,
+    pub line: u32,
+}
+
+/// Error produced while tokenizing source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize NodeScript `source` into a vector of [`SpannedToken`]s ending
+/// with [`Token::Eof`].
+///
+/// Supports `//` line comments and `/* */` block comments, double- and
+/// single-quoted strings with escapes, and decimal numbers.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unterminated strings/comments or unexpected
+/// characters.
+pub fn tokenize(source: &str) -> Result<Vec<SpannedToken>, LexError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    macro_rules! push {
+        ($t:expr) => {
+            out.push(SpannedToken { token: $t, line })
+        };
+    }
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if i + 1 < chars.len() && chars[i + 1] == '/' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < chars.len() && chars[i + 1] == '*' => {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= chars.len() {
+                        return Err(LexError {
+                            line: start_line,
+                            message: "unterminated block comment".into(),
+                        });
+                    }
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    if chars[i] == '*' && chars[i + 1] == '/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let start_line = line;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= chars.len() {
+                        return Err(LexError {
+                            line: start_line,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    let ch = chars[i];
+                    if ch == quote {
+                        i += 1;
+                        break;
+                    }
+                    if ch == '\n' {
+                        return Err(LexError {
+                            line: start_line,
+                            message: "newline in string literal".into(),
+                        });
+                    }
+                    if ch == '\\' {
+                        i += 1;
+                        if i >= chars.len() {
+                            return Err(LexError {
+                                line: start_line,
+                                message: "unterminated escape".into(),
+                            });
+                        }
+                        let esc = chars[i];
+                        s.push(match esc {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            '\\' => '\\',
+                            '\'' => '\'',
+                            '"' => '"',
+                            '0' => '\0',
+                            other => {
+                                return Err(LexError {
+                                    line,
+                                    message: format!("unknown escape '\\{other}'"),
+                                })
+                            }
+                        });
+                        i += 1;
+                    } else {
+                        s.push(ch);
+                        i += 1;
+                    }
+                }
+                push!(Token::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let n: f64 = text.parse().map_err(|_| LexError {
+                    line,
+                    message: format!("invalid number literal '{text}'"),
+                })?;
+                push!(Token::Num(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '$')
+                {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                let tok = match word.as_str() {
+                    "var" => Token::Var,
+                    "let" | "const" => Token::Let,
+                    "function" => Token::Function,
+                    "if" => Token::If,
+                    "else" => Token::Else,
+                    "while" => Token::While,
+                    "for" => Token::For,
+                    "return" => Token::Return,
+                    "true" => Token::True,
+                    "false" => Token::False,
+                    "null" | "undefined" => Token::Null,
+                    "new" => Token::New,
+                    _ => Token::Ident(word),
+                };
+                push!(tok);
+            }
+            '(' => {
+                push!(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                push!(Token::RParen);
+                i += 1;
+            }
+            '{' => {
+                push!(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                push!(Token::RBrace);
+                i += 1;
+            }
+            '[' => {
+                push!(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                push!(Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                push!(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                push!(Token::Semi);
+                i += 1;
+            }
+            ':' => {
+                push!(Token::Colon);
+                i += 1;
+            }
+            '.' => {
+                push!(Token::Dot);
+                i += 1;
+            }
+            '+' => {
+                push!(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                push!(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                push!(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                push!(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                push!(Token::Percent);
+                i += 1;
+            }
+            '=' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    // accept both == and ===
+                    i += 2;
+                    if i < chars.len() && chars[i] == '=' {
+                        i += 1;
+                    }
+                    push!(Token::EqEq);
+                } else {
+                    push!(Token::Assign);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    i += 2;
+                    if i < chars.len() && chars[i] == '=' {
+                        i += 1;
+                    }
+                    push!(Token::NotEq);
+                } else {
+                    push!(Token::Not);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    push!(Token::Le);
+                    i += 2;
+                } else {
+                    push!(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    push!(Token::Ge);
+                    i += 2;
+                } else {
+                    push!(Token::Gt);
+                    i += 1;
+                }
+            }
+            '&' => {
+                if i + 1 < chars.len() && chars[i + 1] == '&' {
+                    push!(Token::AndAnd);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        line,
+                        message: "expected '&&'".into(),
+                    });
+                }
+            }
+            '|' => {
+                if i + 1 < chars.len() && chars[i + 1] == '|' {
+                    push!(Token::OrOr);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        line,
+                        message: "expected '||'".into(),
+                    });
+                }
+            }
+            other => {
+                return Err(LexError {
+                    line,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    out.push(SpannedToken {
+        token: Token::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn tokenizes_simple_statement() {
+        assert_eq!(
+            toks("var x = 1;"),
+            vec![
+                Token::Var,
+                Token::Ident("x".into()),
+                Token::Assign,
+                Token::Num(1.0),
+                Token::Semi,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_strings_with_escapes() {
+        assert_eq!(
+            toks(r#"'a\n' "b\"c""#),
+            vec![
+                Token::Str("a\n".into()),
+                Token::Str("b\"c".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        assert_eq!(
+            toks("// hi\nvar /* mid */ y;"),
+            vec![Token::Var, Token::Ident("y".into()), Token::Semi, Token::Eof]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let ts = tokenize("var x;\nvar y;").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[3].line, 2);
+    }
+
+    #[test]
+    fn triple_equals_accepted() {
+        assert_eq!(
+            toks("a === b !== c"),
+            vec![
+                Token::Ident("a".into()),
+                Token::EqEq,
+                Token::Ident("b".into()),
+                Token::NotEq,
+                Token::Ident("c".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_on_unterminated_string() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn errors_on_unterminated_block_comment() {
+        assert!(tokenize("/* abc").is_err());
+    }
+
+    #[test]
+    fn const_is_let() {
+        assert_eq!(toks("const x;")[0], Token::Let);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("< <= > >="),
+            vec![Token::Lt, Token::Le, Token::Gt, Token::Ge, Token::Eof]
+        );
+    }
+
+    #[test]
+    fn decimal_numbers() {
+        assert_eq!(toks("3.25"), vec![Token::Num(3.25), Token::Eof]);
+    }
+}

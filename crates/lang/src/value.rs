@@ -1,0 +1,391 @@
+//! Runtime values for the NodeScript interpreter.
+
+use crate::ast::Stmt;
+use serde_json::Value as Json;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A user-defined function value (closure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Closure {
+    pub name: Option<String>,
+    pub params: Vec<String>,
+    pub body: Vec<Stmt>,
+}
+
+/// A NodeScript runtime value.
+///
+/// Objects and arrays have reference semantics (shared, interior-mutable),
+/// matching JavaScript. Use [`Value::deep_clone`] to snapshot a value — the
+/// operation EdgStr applies to global variables when capturing the `init`
+/// state (§III-C).
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(Rc<str>),
+    /// Binary payloads (e.g. images in the motivating example).
+    Bytes(Rc<[u8]>),
+    Array(Rc<RefCell<Vec<Value>>>),
+    Object(Rc<RefCell<BTreeMap<String, Value>>>),
+    Function(Rc<Closure>),
+    /// A host-provided object addressed by name (e.g. `app`, `db`, `res`);
+    /// member calls on it dispatch to the [`Host`](crate::interp::Host).
+    Native(Rc<str>),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(Rc::from(s.into().as_str()))
+    }
+
+    /// Construct a bytes value.
+    pub fn bytes(b: impl Into<Vec<u8>>) -> Value {
+        Value::Bytes(Rc::from(b.into().into_boxed_slice()))
+    }
+
+    /// Construct an empty array value.
+    pub fn array(items: Vec<Value>) -> Value {
+        Value::Array(Rc::new(RefCell::new(items)))
+    }
+
+    /// Construct an object value from key/value pairs.
+    pub fn object(fields: impl IntoIterator<Item = (String, Value)>) -> Value {
+        Value::Object(Rc::new(RefCell::new(fields.into_iter().collect())))
+    }
+
+    /// JavaScript-style truthiness.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Num(n) => *n != 0.0 && !n.is_nan(),
+            Value::Str(s) => !s.is_empty(),
+            Value::Bytes(b) => !b.is_empty(),
+            Value::Array(_) | Value::Object(_) | Value::Function(_) | Value::Native(_) => true,
+        }
+    }
+
+    /// The value as a number, if numeric.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a byte slice, if it is a bytes value.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Structural deep copy: arrays and objects are recursively duplicated
+    /// so later mutation of the original does not affect the copy.
+    pub fn deep_clone(&self) -> Value {
+        match self {
+            Value::Array(items) => Value::Array(Rc::new(RefCell::new(
+                items.borrow().iter().map(Value::deep_clone).collect(),
+            ))),
+            Value::Object(map) => Value::Object(Rc::new(RefCell::new(
+                map.borrow()
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.deep_clone()))
+                    .collect(),
+            ))),
+            other => other.clone(),
+        }
+    }
+
+    /// Approximate wire size of this value in bytes, used by the network
+    /// emulator to cost HTTP transfers and CRDT change messages.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Value::Null => 4,
+            Value::Bool(_) => 5,
+            Value::Num(_) => 8,
+            Value::Str(s) => s.len() + 2,
+            Value::Bytes(b) => b.len(),
+            Value::Array(items) => {
+                2 + items.borrow().iter().map(|v| v.wire_size() + 1).sum::<usize>()
+            }
+            Value::Object(map) => {
+                2 + map
+                    .borrow()
+                    .iter()
+                    .map(|(k, v)| k.len() + 3 + v.wire_size())
+                    .sum::<usize>()
+            }
+            Value::Function(_) | Value::Native(_) => 0,
+        }
+    }
+
+    /// Convert to JSON. Functions and natives become null; bytes become a
+    /// `{"$bytes": len, "$hash": h}` marker so payload identity survives the
+    /// conversion without embedding megabytes of data.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Value::Null => Json::Null,
+            Value::Bool(b) => Json::Bool(*b),
+            Value::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    Json::from(*n as i64)
+                } else {
+                    serde_json::Number::from_f64(*n)
+                        .map(Json::Number)
+                        .unwrap_or(Json::Null)
+                }
+            }
+            Value::Str(s) => Json::String(s.to_string()),
+            Value::Bytes(b) => serde_json::json!({
+                "$bytes": b.len(),
+                "$hash": fnv1a(b),
+            }),
+            Value::Array(items) => {
+                Json::Array(items.borrow().iter().map(Value::to_json).collect())
+            }
+            Value::Object(map) => Json::Object(
+                map.borrow()
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_json()))
+                    .collect(),
+            ),
+            Value::Function(_) | Value::Native(_) => Json::Null,
+        }
+    }
+
+    /// Convert a JSON value into a NodeScript value.
+    pub fn from_json(json: &Json) -> Value {
+        match json {
+            Json::Null => Value::Null,
+            Json::Bool(b) => Value::Bool(*b),
+            Json::Number(n) => Value::Num(n.as_f64().unwrap_or(f64::NAN)),
+            Json::String(s) => Value::str(s.clone()),
+            Json::Array(items) => Value::array(items.iter().map(Value::from_json).collect()),
+            Json::Object(map) => {
+                Value::object(map.iter().map(|(k, v)| (k.clone(), Value::from_json(v))))
+            }
+        }
+    }
+
+    /// Structural equality (by value, not by reference).
+    pub fn structural_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Num(a), Value::Num(b)) => a == b || (a.is_nan() && b.is_nan()),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Bytes(a), Value::Bytes(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => {
+                let (a, b) = (a.borrow(), b.borrow());
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.structural_eq(y))
+            }
+            (Value::Object(a), Value::Object(b)) => {
+                let (a, b) = (a.borrow(), b.borrow());
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b.iter())
+                        .all(|((ka, va), (kb, vb))| ka == kb && va.structural_eq(vb))
+            }
+            (Value::Function(a), Value::Function(b)) => Rc::ptr_eq(a, b),
+            (Value::Native(a), Value::Native(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Collect the *atoms* (strings, numbers, byte-payload hashes) contained
+    /// in this value. EdgStr fingerprints HTTP parameters this way to track
+    /// fuzzed payload fragments through execution traces (§III-E).
+    pub fn atoms(&self, out: &mut Vec<Atom>) {
+        match self {
+            Value::Null | Value::Function(_) | Value::Native(_) => {}
+            Value::Bool(b) => out.push(Atom::Bool(*b)),
+            Value::Num(n) => out.push(Atom::Num(n.to_bits())),
+            Value::Str(s) => out.push(Atom::Str(s.to_string())),
+            Value::Bytes(b) => out.push(Atom::BytesHash(fnv1a(b))),
+            Value::Array(items) => {
+                for v in items.borrow().iter() {
+                    v.atoms(out);
+                }
+            }
+            Value::Object(map) => {
+                for v in map.borrow().values() {
+                    v.atoms(out);
+                }
+            }
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.structural_eq(other)
+    }
+}
+
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bytes(b) => write!(f, "<bytes:{}>", b.len()),
+            Value::Array(_) | Value::Object(_) => write!(f, "{}", self.to_json()),
+            Value::Function(c) => {
+                write!(f, "<function {}>", c.name.as_deref().unwrap_or("anonymous"))
+            }
+            Value::Native(n) => write!(f, "<native {n}>"),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Num(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::str(s)
+    }
+}
+
+/// An atomic data fragment used for payload fingerprinting.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Atom {
+    Bool(bool),
+    Num(u64),
+    Str(String),
+    BytesHash(u64),
+}
+
+/// FNV-1a hash of a byte slice; stable fingerprint for binary payloads.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deep_clone_is_independent() {
+        let v = Value::object([("a".to_string(), Value::array(vec![Value::Num(1.0)]))]);
+        let c = v.deep_clone();
+        if let Value::Object(map) = &v {
+            if let Value::Array(items) = &map.borrow()["a"] {
+                items.borrow_mut().push(Value::Num(2.0));
+            }
+        }
+        if let Value::Object(map) = &c {
+            if let Value::Array(items) = &map.borrow()["a"] {
+                assert_eq!(items.borrow().len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let v = Value::object([
+            ("n".to_string(), Value::Num(3.5)),
+            ("s".to_string(), Value::str("hi")),
+            ("a".to_string(), Value::array(vec![Value::Bool(true), Value::Null])),
+        ]);
+        let j = v.to_json();
+        let back = Value::from_json(&j);
+        assert!(v.structural_eq(&back));
+    }
+
+    #[test]
+    fn structural_eq_ignores_identity() {
+        let a = Value::array(vec![Value::Num(1.0)]);
+        let b = Value::array(vec![Value::Num(1.0)]);
+        assert!(a.structural_eq(&b));
+    }
+
+    #[test]
+    fn truthiness_follows_javascript() {
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::Num(0.0).is_truthy());
+        assert!(!Value::str("").is_truthy());
+        assert!(Value::str("x").is_truthy());
+        assert!(Value::array(vec![]).is_truthy());
+    }
+
+    #[test]
+    fn wire_size_scales_with_payload() {
+        let small = Value::bytes(vec![0u8; 10]);
+        let big = Value::bytes(vec![0u8; 10_000]);
+        assert!(big.wire_size() > small.wire_size() * 100);
+    }
+
+    #[test]
+    fn atoms_capture_nested_fragments() {
+        let v = Value::object([
+            ("a".to_string(), Value::str("img")),
+            ("b".to_string(), Value::array(vec![Value::Num(7.0)])),
+        ]);
+        let mut atoms = Vec::new();
+        v.atoms(&mut atoms);
+        assert!(atoms.contains(&Atom::Str("img".into())));
+        assert!(atoms.contains(&Atom::Num(7.0f64.to_bits())));
+    }
+
+    #[test]
+    fn bytes_fingerprint_differs_by_content() {
+        let a = Value::bytes(vec![1, 2, 3]);
+        let b = Value::bytes(vec![1, 2, 4]);
+        let (mut aa, mut bb) = (Vec::new(), Vec::new());
+        a.atoms(&mut aa);
+        b.atoms(&mut bb);
+        assert_ne!(aa, bb);
+    }
+
+    #[test]
+    fn display_integers_without_fraction() {
+        assert_eq!(Value::Num(42.0).to_string(), "42");
+        assert_eq!(Value::Num(2.5).to_string(), "2.5");
+    }
+}

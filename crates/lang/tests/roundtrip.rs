@@ -1,0 +1,177 @@
+//! Property tests: the printer and parser are mutual inverses over
+//! generated ASTs, and the interpreter is deterministic.
+
+use edgstr_lang::{
+    normalize, parse, print_program, renumber, BinOp, EmptyHost, Expr, Interpreter, LValue,
+    NoopInstrument, Stmt, StmtId, UnOp,
+};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "var" | "let" | "const" | "function" | "if" | "else" | "while" | "for" | "return"
+                | "true" | "false" | "null" | "undefined" | "new"
+        )
+    })
+}
+
+fn literal() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(Expr::Null),
+        any::<bool>().prop_map(Expr::Bool),
+        // printable, re-parseable numbers
+        (0u32..100_000).prop_map(|n| Expr::Num(f64::from(n))),
+        (0u32..1000, 1u32..100).prop_map(|(a, b)| Expr::Num(f64::from(a) + f64::from(b) / 128.0)),
+        "[ -~&&[^\"\\\\']]{0,12}".prop_map(Expr::Str),
+    ]
+}
+
+fn expr(depth: u32) -> BoxedStrategy<Expr> {
+    if depth == 0 {
+        prop_oneof![literal(), ident().prop_map(Expr::Var)].boxed()
+    } else {
+        let inner = expr(depth - 1);
+        prop_oneof![
+            literal(),
+            ident().prop_map(Expr::Var),
+            (inner.clone(), inner.clone(), binop())
+                .prop_map(|(a, b, op)| Expr::Binary(op, Box::new(a), Box::new(b))),
+            (inner.clone(), prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)])
+                .prop_map(|(a, op)| Expr::Unary(op, Box::new(a))),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Expr::Array),
+            prop::collection::vec((ident(), inner.clone()), 0..3).prop_map(|fields| {
+                // object keys must be unique for stable round-trips
+                let mut seen = std::collections::BTreeSet::new();
+                Expr::Object(
+                    fields
+                        .into_iter()
+                        .filter(|(k, _)| seen.insert(k.clone()))
+                        .collect(),
+                )
+            }),
+            (ident(), prop::collection::vec(inner.clone(), 0..3)).prop_map(|(f, args)| {
+                Expr::Call {
+                    callee: Box::new(Expr::Var(f)),
+                    args,
+                }
+            }),
+            (inner.clone(), ident()).prop_map(|(b, f)| Expr::Member(Box::new(b), f)),
+            (inner.clone(), inner).prop_map(|(b, i)| Expr::Index(Box::new(b), Box::new(i))),
+        ]
+        .boxed()
+    }
+}
+
+fn binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Eq),
+        Just(BinOp::Lt),
+        Just(BinOp::Ge),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+    ]
+}
+
+fn stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    let e = || expr(2);
+    let leaf = prop_oneof![
+        (ident(), proptest::option::of(e()))
+            .prop_map(|(name, init)| Stmt::Let { id: StmtId(0), line: 1, name, init }),
+        (ident(), e()).prop_map(|(v, value)| Stmt::Assign {
+            id: StmtId(0),
+            line: 1,
+            target: LValue::Var(v),
+            value
+        }),
+        e().prop_map(|expr| Stmt::Expr { id: StmtId(0), line: 1, expr }),
+        proptest::option::of(e())
+            .prop_map(|value| Stmt::Return { id: StmtId(0), line: 1, value }),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        let inner = stmt(depth - 1);
+        prop_oneof![
+            leaf,
+            (e(), prop::collection::vec(inner.clone(), 0..3), prop::collection::vec(inner.clone(), 0..2))
+                .prop_map(|(cond, then_block, else_block)| Stmt::If {
+                    id: StmtId(0),
+                    line: 1,
+                    cond,
+                    then_block,
+                    else_block
+                }),
+            (e(), prop::collection::vec(inner.clone(), 0..3)).prop_map(|(cond, body)| Stmt::While {
+                id: StmtId(0),
+                line: 1,
+                cond,
+                body
+            }),
+            (ident(), prop::collection::vec(ident(), 0..3), prop::collection::vec(inner, 0..3))
+                .prop_map(|(name, params, body)| {
+                    let mut seen = std::collections::BTreeSet::new();
+                    Stmt::Function {
+                        id: StmtId(0),
+                        line: 1,
+                        name,
+                        params: params.into_iter().filter(|p| seen.insert(p.clone())).collect(),
+                        body,
+                    }
+                }),
+        ]
+        .boxed()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// print ∘ parse is idempotent: parsing printed output and printing
+    /// again yields identical text.
+    #[test]
+    fn print_parse_round_trip(stmts in prop::collection::vec(stmt(2), 1..6)) {
+        let program = renumber(stmts);
+        let printed = print_program(&program);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed program must reparse: {e}\n{printed}"));
+        let reprinted = print_program(&reparsed);
+        prop_assert_eq!(printed, reprinted);
+    }
+
+    /// Normalized programs still reparse, and normalization is idempotent
+    /// up to temp-variable naming.
+    #[test]
+    fn normalize_output_reparses(stmts in prop::collection::vec(stmt(2), 1..5)) {
+        let program = renumber(stmts);
+        let normalized = normalize(&program);
+        let printed = print_program(&normalized);
+        parse(&printed)
+            .unwrap_or_else(|e| panic!("normalized program must reparse: {e}\n{printed}"));
+        // every statement id is unique after normalization
+        let all = normalized.all_stmts();
+        let ids: std::collections::BTreeSet<_> = all.iter().map(|s| s.id()).collect();
+        prop_assert_eq!(ids.len(), all.len());
+    }
+
+    /// The interpreter is deterministic: two runs of the same program over
+    /// the same host produce identical globals.
+    #[test]
+    fn interpretation_is_deterministic(stmts in prop::collection::vec(stmt(1), 1..5)) {
+        let program = renumber(stmts);
+        let run = || {
+            let mut host = EmptyHost;
+            let mut interp = Interpreter::new(&mut host);
+            let result = interp.run_program(&program, &mut NoopInstrument);
+            (result.is_ok(), format!("{:?}", interp.globals()))
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a, b);
+    }
+}

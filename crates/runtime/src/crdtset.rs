@@ -1,0 +1,599 @@
+//! CRDT wiring: connecting service state changes to CRDT update
+//! operations (§III-G.1).
+//!
+//! EdgStr wraps the replicated components — database tables, files, global
+//! variables — into `CRDT-Table`, `CRDT-Files`, `CRDT-JSON`. A [`CrdtSet`]
+//! holds all three for one replica, *absorbs* local state changes reported
+//! by the server process (the generated wiring), and *materializes* remote
+//! changes back into the server's database / file system / globals.
+
+use edgstr_analysis::{HandleOutcome, InitState, ServerProcess};
+use edgstr_core::CrdtBindings;
+use edgstr_crdt::{ActorId, Change, CrdtFiles, CrdtTable, Doc, PathSeg, VClock};
+use edgstr_sql::RowEffect;
+use serde_json::Value as Json;
+use std::collections::BTreeMap;
+
+/// Clock summary across all structures of a [`CrdtSet`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SetClock {
+    pub tables: BTreeMap<String, VClock>,
+    pub files: VClock,
+    pub globals: VClock,
+}
+
+/// A batch of changes across all structures — the payload of one
+/// `cloud_state` / `edge_state` message (Fig. 5b).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SetChanges {
+    pub tables: BTreeMap<String, Vec<Change>>,
+    pub files: Vec<Change>,
+    pub globals: Vec<Change>,
+}
+
+impl SetChanges {
+    /// Total changes carried.
+    pub fn len(&self) -> usize {
+        self.tables.values().map(Vec::len).sum::<usize>()
+            + self.files.len()
+            + self.globals.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes this batch costs on the WAN.
+    pub fn wire_size(&self) -> usize {
+        let t: usize = self
+            .tables
+            .values()
+            .map(|cs| edgstr_crdt::batch_wire_size(cs))
+            .sum();
+        t + edgstr_crdt::batch_wire_size(&self.files)
+            + edgstr_crdt::batch_wire_size(&self.globals)
+            + 32 // envelope
+    }
+}
+
+/// The CRDT structures of one replica.
+#[derive(Debug)]
+pub struct CrdtSet {
+    pub bindings: CrdtBindings,
+    pub tables: BTreeMap<String, CrdtTable>,
+    pub files: CrdtFiles,
+    pub globals: Doc,
+}
+
+impl CrdtSet {
+    /// Initialize all structures from the shared init snapshot — the
+    /// paper's step 1: "initialize both the master and the replicas with
+    /// the same snapshot of the cloud-based service".
+    pub fn initialize(actor: ActorId, bindings: &CrdtBindings, init: &InitState) -> CrdtSet {
+        let db_json = init.db_json();
+        let mut tables = BTreeMap::new();
+        for t in &bindings.tables {
+            let rows: Vec<(String, Json)> = db_json
+                .get(t)
+                .and_then(Json::as_object)
+                .map(|m| m.iter().map(|(pk, row)| (pk.clone(), row.clone())).collect())
+                .unwrap_or_default();
+            tables.insert(t.clone(), CrdtTable::from_snapshot(actor, t.clone(), &rows));
+        }
+        let file_entries: Vec<(String, Vec<u8>)> = init
+            .fs
+            .entries()
+            .into_iter()
+            .filter(|(p, _)| bindings.files.contains(p))
+            .collect();
+        let files = CrdtFiles::from_snapshot(actor, &file_entries);
+        let globals_json = init.globals_json();
+        let mut gmap = serde_json::Map::new();
+        for g in &bindings.globals {
+            gmap.insert(
+                g.clone(),
+                globals_json.get(g).cloned().unwrap_or(Json::Null),
+            );
+        }
+        let globals = Doc::from_snapshot(actor, &Json::Object(gmap));
+        CrdtSet {
+            bindings: bindings.clone(),
+            tables,
+            files,
+            globals,
+        }
+    }
+
+    /// The owning actor.
+    pub fn actor(&self) -> ActorId {
+        self.globals.actor()
+    }
+
+    /// Current clocks across all structures.
+    pub fn clock(&self) -> SetClock {
+        SetClock {
+            tables: self
+                .tables
+                .iter()
+                .map(|(n, t)| (n.clone(), t.clock().clone()))
+                .collect(),
+            files: self.files.clock().clone(),
+            globals: self.globals.clock().clone(),
+        }
+    }
+
+    /// Absorb the local state changes of one request — the generated
+    /// CRDT wiring: SQL row effects feed `CRDT-Table`, file writes feed
+    /// `CRDT-Files`, and bound globals are re-read from the server into
+    /// `CRDT-JSON`.
+    pub fn absorb_outcome(&mut self, outcome: &HandleOutcome, server: &ServerProcess) {
+        for effect in &outcome.row_effects {
+            match effect {
+                RowEffect::Upsert { table, pk, row } => {
+                    if let Some(t) = self.tables.get_mut(table) {
+                        t.upsert_row(pk, row).expect("table CRDT upsert");
+                    }
+                }
+                RowEffect::Delete { table, pk } => {
+                    if let Some(t) = self.tables.get_mut(table) {
+                        t.delete_row(pk).expect("table CRDT delete");
+                    }
+                }
+            }
+        }
+        for (path, data) in &outcome.file_writes {
+            if self.bindings.files.contains(path) {
+                self.files.put_file(path, data).expect("file CRDT put");
+            }
+        }
+        // bound globals: re-read and update when changed
+        for g in &self.bindings.globals.clone() {
+            if let Some(current) = server.global_json(g) {
+                let path = vec![PathSeg::Key(g.clone())];
+                if self.globals.get(&path).as_ref() != Some(&current) {
+                    self.globals.put(&path, current).expect("global CRDT put");
+                }
+            }
+        }
+    }
+
+    /// Changes the peer (summarized by `since`) has not observed.
+    pub fn get_changes(&self, since: &SetClock) -> SetChanges {
+        let empty = VClock::new();
+        SetChanges {
+            tables: self
+                .tables
+                .iter()
+                .map(|(n, t)| {
+                    let cursor = since.tables.get(n).unwrap_or(&empty);
+                    (n.clone(), t.get_changes(cursor))
+                })
+                .filter(|(_, cs)| !cs.is_empty())
+                .collect(),
+            files: self.files.get_changes(&since.files),
+            globals: self.globals.get_changes(&since.globals),
+        }
+    }
+
+    /// Apply remote changes to the CRDTs and materialize the merged state
+    /// into the server (database rows, file contents, global values).
+    /// Returns the number of changes applied.
+    pub fn apply_remote(
+        &mut self,
+        changes: &SetChanges,
+        server: &mut ServerProcess,
+    ) -> usize {
+        let mut applied = 0;
+        for (name, cs) in &changes.tables {
+            if let Some(t) = self.tables.get_mut(name) {
+                applied += t.apply_changes(cs).expect("table CRDT apply");
+                // materialize merged rows into the SQL engine
+                let rows: Vec<Json> = t.rows().into_iter().map(|(_, row)| row).collect();
+                let _ = server.db.replace_table_rows(name, &rows);
+            }
+        }
+        if !changes.files.is_empty() {
+            applied += self
+                .files
+                .apply_changes(&changes.files)
+                .expect("files CRDT apply");
+            for path in self.files.list() {
+                if let Some(data) = self.files.get_file(&path) {
+                    if server.fs.peek(&path) != Some(data.as_slice()) {
+                        server.fs.write(path, data);
+                    }
+                }
+            }
+        }
+        if !changes.globals.is_empty() {
+            applied += self
+                .globals
+                .apply_changes(&changes.globals)
+                .expect("globals CRDT apply");
+            for g in &self.bindings.globals {
+                if let Some(v) = self.globals.get(&[PathSeg::Key(g.clone())]) {
+                    server.set_global_json(g, &v);
+                }
+            }
+        }
+        applied
+    }
+}
+
+/// Per-peer synchronization endpoint with traffic accounting — one side of
+/// the bidirectional `socket.io`-style channel (§III-G.1).
+#[derive(Debug, Default)]
+pub struct SyncEndpoint {
+    /// What the peer is known to have.
+    pub peer_clock: SetClock,
+    /// Total bytes sent to the peer.
+    pub bytes_sent: usize,
+    /// Total bytes received from the peer.
+    pub bytes_received: usize,
+    /// Sync messages exchanged.
+    pub messages: usize,
+}
+
+impl SyncEndpoint {
+    /// Fresh endpoint assuming the peer has only the shared snapshot.
+    pub fn new() -> Self {
+        SyncEndpoint::default()
+    }
+
+    /// Build the next outgoing delta for the peer.
+    pub fn generate(&mut self, set: &CrdtSet) -> SetChanges {
+        let changes = set.get_changes(&self.peer_clock);
+        if !changes.is_empty() {
+            self.bytes_sent += changes.wire_size();
+            self.messages += 1;
+            // optimistically mark as delivered
+            for (n, cs) in &changes.tables {
+                let c = self.peer_clock.tables.entry(n.clone()).or_default();
+                for ch in cs {
+                    c.observe(ch.actor, ch.seq);
+                }
+            }
+            for ch in &changes.files {
+                self.peer_clock.files.observe(ch.actor, ch.seq);
+            }
+            for ch in &changes.globals {
+                self.peer_clock.globals.observe(ch.actor, ch.seq);
+            }
+        }
+        changes
+    }
+
+    /// Record receipt of a peer's delta and apply it.
+    pub fn receive(
+        &mut self,
+        set: &mut CrdtSet,
+        server: &mut ServerProcess,
+        changes: &SetChanges,
+    ) -> usize {
+        if changes.is_empty() {
+            return 0;
+        }
+        self.bytes_received += changes.wire_size();
+        self.messages += 1;
+        for (n, cs) in &changes.tables {
+            let c = self.peer_clock.tables.entry(n.clone()).or_default();
+            for ch in cs {
+                c.observe(ch.actor, ch.seq);
+            }
+        }
+        for ch in &changes.files {
+            self.peer_clock.files.observe(ch.actor, ch.seq);
+        }
+        for ch in &changes.globals {
+            self.peer_clock.globals.observe(ch.actor, ch.seq);
+        }
+        set.apply_remote(changes, server)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgstr_analysis::StateUnit;
+    use edgstr_net::HttpRequest;
+    use serde_json::json;
+
+    const APP: &str = r#"
+        db.query("CREATE TABLE kv (k TEXT PRIMARY KEY, v INT)");
+        db.query("INSERT INTO kv VALUES ('seed', 1)");
+        var hits = 0;
+        app.post("/put", function (req, res) {
+            hits = hits + 1;
+            db.query("INSERT INTO kv VALUES ('" + req.body.k + "', " + req.body.v + ")");
+            fs.writeFile("/latest.txt", req.body.k);
+            res.send({ hits: hits });
+        });
+        app.get("/get", function (req, res) {
+            var rows = db.query("SELECT v FROM kv WHERE k = '" + req.params.k + "'");
+            res.send(rows);
+        });
+    "#;
+
+    fn bindings() -> CrdtBindings {
+        CrdtBindings::from_units([
+            StateUnit::DbTable("kv".into()),
+            StateUnit::File("/latest.txt".into()),
+            StateUnit::Global("hits".into()),
+        ])
+    }
+
+    fn make_node(actor: u64, init: &InitState) -> (ServerProcess, CrdtSet) {
+        let mut s = ServerProcess::from_source(APP).unwrap();
+        s.init().unwrap();
+        init.restore(&mut s);
+        let set = CrdtSet::initialize(ActorId(actor), &bindings(), init);
+        (s, set)
+    }
+
+    fn init_state() -> InitState {
+        let mut s = ServerProcess::from_source(APP).unwrap();
+        s.init().unwrap();
+        // seed the bound file so it exists in the snapshot
+        s.fs.write("/latest.txt", b"seed".to_vec());
+        InitState::capture(&s)
+    }
+
+    #[test]
+    fn edge_write_syncs_to_cloud() {
+        let init = init_state();
+        let (mut cloud, mut cloud_set) = make_node(1, &init);
+        let (mut edge, mut edge_set) = make_node(2, &init);
+        let mut edge_to_cloud = SyncEndpoint::new();
+        let mut cloud_from_edge = SyncEndpoint::new();
+
+        // a client writes at the edge
+        let out = edge
+            .handle(&HttpRequest::post("/put", json!({"k": "x", "v": 42}), vec![]))
+            .unwrap();
+        edge_set.absorb_outcome(&out, &edge);
+
+        // background sync: edge -> cloud
+        let delta = edge_to_cloud.generate(&edge_set);
+        assert!(!delta.is_empty());
+        assert!(delta.wire_size() > 0);
+        cloud_from_edge.receive(&mut cloud_set, &mut cloud, &delta);
+
+        // the cloud now serves the edge-written row
+        let got = cloud
+            .handle(&HttpRequest::get("/get", json!({"k": "x"})))
+            .unwrap();
+        assert_eq!(got.response.body[0]["v"], json!(42));
+        // and the bound global converged
+        assert_eq!(cloud_set.globals.get(&[PathSeg::Key("hits".into())]), Some(json!(1)));
+    }
+
+    #[test]
+    fn bidirectional_sync_converges_concurrent_writes() {
+        let init = init_state();
+        let (mut cloud, mut cloud_set) = make_node(1, &init);
+        let (mut edge, mut edge_set) = make_node(2, &init);
+        let mut c2e = SyncEndpoint::new();
+        let mut e2c = SyncEndpoint::new();
+
+        let oc = cloud
+            .handle(&HttpRequest::post("/put", json!({"k": "from-cloud", "v": 1}), vec![]))
+            .unwrap();
+        cloud_set.absorb_outcome(&oc, &cloud);
+        let oe = edge
+            .handle(&HttpRequest::post("/put", json!({"k": "from-edge", "v": 2}), vec![]))
+            .unwrap();
+        edge_set.absorb_outcome(&oe, &edge);
+
+        // exchange deltas both ways, twice (to propagate acks)
+        for _ in 0..2 {
+            let d1 = c2e.generate(&cloud_set);
+            e2c.receive(&mut edge_set, &mut edge, &d1);
+            let d2 = e2c.generate(&edge_set);
+            c2e.receive(&mut cloud_set, &mut cloud, &d2);
+        }
+        assert_eq!(
+            cloud_set.tables["kv"].to_json(),
+            edge_set.tables["kv"].to_json()
+        );
+        assert_eq!(cloud_set.tables["kv"].len(), 3); // seed + 2 concurrent
+        // both servers answer queries about both rows
+        for (srv, k, v) in [
+            (&mut cloud, "from-edge", 2),
+            (&mut edge, "from-cloud", 1),
+        ] {
+            let got = srv
+                .handle(&HttpRequest::get("/get", json!({"k": k})))
+                .unwrap();
+            assert_eq!(got.response.body[0]["v"], json!(v));
+        }
+    }
+
+    #[test]
+    fn sync_is_incremental_not_cumulative() {
+        let init = init_state();
+        let (mut cloud, mut cloud_set) = make_node(1, &init);
+        let (mut edge, mut edge_set) = make_node(2, &init);
+        let mut e2c = SyncEndpoint::new();
+        let mut c_recv = SyncEndpoint::new();
+
+        let mut sizes = Vec::new();
+        for i in 0..3 {
+            let out = edge
+                .handle(&HttpRequest::post(
+                    "/put",
+                    json!({"k": format!("k{i}"), "v": i}),
+                    vec![],
+                ))
+                .unwrap();
+            edge_set.absorb_outcome(&out, &edge);
+            let delta = e2c.generate(&edge_set);
+            sizes.push(delta.wire_size());
+            c_recv.receive(&mut cloud_set, &mut cloud, &delta);
+        }
+        // deltas stay roughly constant instead of growing with history
+        assert!(sizes[2] < sizes[0] * 3);
+        // nothing left to send
+        assert!(e2c.generate(&edge_set).is_empty());
+    }
+
+    #[test]
+    fn file_changes_materialize() {
+        let init = init_state();
+        let (mut cloud, mut cloud_set) = make_node(1, &init);
+        let (mut edge, mut edge_set) = make_node(2, &init);
+        let mut e2c = SyncEndpoint::new();
+        let mut c_recv = SyncEndpoint::new();
+        let out = edge
+            .handle(&HttpRequest::post("/put", json!({"k": "zzz", "v": 9}), vec![]))
+            .unwrap();
+        edge_set.absorb_outcome(&out, &edge);
+        let delta = e2c.generate(&edge_set);
+        c_recv.receive(&mut cloud_set, &mut cloud, &delta);
+        assert_eq!(cloud.fs.peek("/latest.txt"), Some(&b"zzz"[..]));
+    }
+
+    #[test]
+    fn unbound_state_is_not_synchronized() {
+        let init = init_state();
+        let narrow = CrdtBindings::from_units([StateUnit::Global("hits".into())]);
+        let mut edge = ServerProcess::from_source(APP).unwrap();
+        edge.init().unwrap();
+        init.restore(&mut edge);
+        let mut edge_set = CrdtSet::initialize(ActorId(2), &narrow, &init);
+        let out = edge
+            .handle(&HttpRequest::post("/put", json!({"k": "q", "v": 1}), vec![]))
+            .unwrap();
+        edge_set.absorb_outcome(&out, &edge);
+        let delta = edge_set.get_changes(&SetClock::default());
+        // only the globals doc produced changes beyond genesis
+        assert!(delta.tables.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod partition_tests {
+    use super::*;
+    use edgstr_analysis::{InitState, ServerProcess, StateUnit};
+    use edgstr_core::CrdtBindings;
+    use edgstr_crdt::ActorId;
+    use edgstr_net::HttpRequest;
+    use serde_json::json;
+
+    const APP: &str = r#"
+        db.query("CREATE TABLE log (id INT PRIMARY KEY, msg TEXT)");
+        app.post("/log", function (req, res) {
+            db.query("INSERT INTO log VALUES (" + req.body.id + ", '" + req.body.msg + "')");
+            res.send({ ok: req.body.id });
+        });
+    "#;
+
+    /// An edge that was partitioned from the cloud for many local writes
+    /// catches up with a single delta exchange — the weak-consistency
+    /// tolerance the paper's WAN assumption requires (§III-F).
+    #[test]
+    fn partitioned_edge_catches_up_in_one_exchange() {
+        let mut seed = ServerProcess::from_source(APP).unwrap();
+        seed.init().unwrap();
+        let init = InitState::capture(&seed);
+        let bindings = CrdtBindings::from_units([StateUnit::DbTable("log".into())]);
+
+        let mut cloud = ServerProcess::from_source(APP).unwrap();
+        cloud.init().unwrap();
+        init.restore(&mut cloud);
+        let mut cloud_set = CrdtSet::initialize(ActorId(1), &bindings, &init);
+
+        let mut edge = ServerProcess::from_source(APP).unwrap();
+        edge.init().unwrap();
+        init.restore(&mut edge);
+        let mut edge_set = CrdtSet::initialize(ActorId(2), &bindings, &init);
+
+        // 25 writes at the edge while the WAN is down; cloud writes too
+        for i in 0..25 {
+            let out = edge
+                .handle(&HttpRequest::post(
+                    "/log",
+                    json!({"id": i, "msg": format!("edge{i}")}),
+                    vec![],
+                ))
+                .unwrap();
+            edge_set.absorb_outcome(&out, &edge);
+        }
+        for i in 100..105 {
+            let out = cloud
+                .handle(&HttpRequest::post(
+                    "/log",
+                    json!({"id": i, "msg": format!("cloud{i}")}),
+                    vec![],
+                ))
+                .unwrap();
+            cloud_set.absorb_outcome(&out, &cloud);
+        }
+
+        // partition heals: one bidirectional exchange
+        let mut e2c = SyncEndpoint::new();
+        let mut c2e = SyncEndpoint::new();
+        let up = e2c.generate(&edge_set);
+        c2e.receive(&mut cloud_set, &mut cloud, &up);
+        let down = c2e.generate(&cloud_set);
+        e2c.receive(&mut edge_set, &mut edge, &down);
+
+        assert_eq!(cloud_set.tables["log"].len(), 30);
+        assert_eq!(
+            cloud_set.tables["log"].to_json(),
+            edge_set.tables["log"].to_json()
+        );
+        // both SQL databases materialized the merged rows
+        for srv in [&mut cloud, &mut edge] {
+            match srv.db.exec("SELECT COUNT(*) FROM log").unwrap() {
+                edgstr_sql::SqlResult::Rows { rows, .. } => {
+                    assert_eq!(rows[0][0], edgstr_sql::SqlValue::Int(30));
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    /// Message loss: deltas are regenerated until acknowledged through the
+    /// peer's clock, so a dropped sync message only delays convergence.
+    #[test]
+    fn dropped_sync_message_is_recovered() {
+        let mut seed = ServerProcess::from_source(APP).unwrap();
+        seed.init().unwrap();
+        let init = InitState::capture(&seed);
+        let bindings = CrdtBindings::from_units([StateUnit::DbTable("log".into())]);
+        let mut cloud = ServerProcess::from_source(APP).unwrap();
+        cloud.init().unwrap();
+        init.restore(&mut cloud);
+        let mut cloud_set = CrdtSet::initialize(ActorId(1), &bindings, &init);
+        let mut edge = ServerProcess::from_source(APP).unwrap();
+        edge.init().unwrap();
+        init.restore(&mut edge);
+        let mut edge_set = CrdtSet::initialize(ActorId(2), &bindings, &init);
+
+        let out = edge
+            .handle(&HttpRequest::post("/log", json!({"id": 1, "msg": "x"}), vec![]))
+            .unwrap();
+        edge_set.absorb_outcome(&out, &edge);
+
+        let mut e2c = SyncEndpoint::new();
+        let mut c2e = SyncEndpoint::new();
+        // first delta is LOST in transit (never received)
+        let _lost = e2c.generate(&edge_set);
+        // the endpoint optimistically assumed delivery; the cloud's next
+        // message carries its (unchanged) clock, correcting the view
+        let from_cloud = c2e.generate(&cloud_set);
+        e2c.receive(&mut edge_set, &mut edge, &from_cloud);
+        // after the correction the edge regenerates the missing delta
+        e2c.peer_clock = from_cloud_clock(&from_cloud, &cloud_set);
+        let retry = e2c.generate(&edge_set);
+        assert!(!retry.is_empty(), "delta must be regenerated after loss");
+        c2e.receive(&mut cloud_set, &mut cloud, &retry);
+        assert_eq!(cloud_set.tables["log"].len(), 1);
+    }
+
+    fn from_cloud_clock(_msg: &SetChanges, cloud: &CrdtSet) -> SetClock {
+        // the real protocol carries the sender's clock; reconstruct it here
+        cloud.clock()
+    }
+}

@@ -1,0 +1,27 @@
+//! # edgstr-runtime — the three-tier runtime EdgStr deploys
+//!
+//! Implements §III-F/G and §IV-D of the paper:
+//!
+//! - [`CrdtSet`] — the CRDT wiring connecting service state changes to
+//!   `CRDT-Table` / `CRDT-Files` / `CRDT-JSON` update operations, plus
+//!   materialization of remote changes back into the local database, file
+//!   system and globals;
+//! - [`SyncEndpoint`] — the bidirectional `cloud_state` / `edge_state`
+//!   channel with delta shipping and traffic accounting (Fig. 5b);
+//! - [`LoadBalancer`] / [`Autoscaler`] — least-connections balancing and
+//!   elasticity with low-power replica parking (§IV-D);
+//! - [`TwoTierSystem`] / [`ThreeTierSystem`] — virtual-time drivers for
+//!   the original client-cloud deployment and the EdgStr-generated
+//!   client-edge-cloud deployment, including failure forwarding to the
+//!   cloud master.
+
+pub mod balancer;
+pub mod crdtset;
+pub mod system;
+
+pub use balancer::{Autoscaler, BalanceStrategy, LoadBalancer};
+pub use crdtset::{CrdtSet, SetChanges, SetClock, SyncEndpoint};
+pub use system::{
+    EdgeReplica, MobilePower, RunStats, ThreeTierOptions, ThreeTierSystem, TimedRequest,
+    TwoTierSystem, Workload,
+};

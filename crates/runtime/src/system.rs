@@ -1,0 +1,718 @@
+//! End-to-end system drivers: the original two-tier (client ↔ cloud)
+//! deployment and the EdgStr-generated three-tier (client ↔ edge ↔ cloud)
+//! deployment, executed over virtual time.
+//!
+//! These drivers power every performance experiment: throughput vs WAN
+//! speed (Fig. 7), latency (Table II), mobile energy (Fig. 8), cluster
+//! scaling and elasticity (Fig. 9), and synchronization traffic (Fig. 10a).
+
+use crate::balancer::{Autoscaler, BalanceStrategy, LoadBalancer};
+use crate::crdtset::{CrdtSet, SyncEndpoint};
+use edgstr_analysis::{ServerError, ServerProcess};
+use edgstr_core::TransformationReport;
+use edgstr_crdt::ActorId;
+use edgstr_net::{HttpRequest, LinkChannel, LinkSpec, Verb};
+use edgstr_sim::{Device, DeviceSpec, LatencyStats, PowerState, SimDuration, SimTime};
+use std::collections::BTreeSet;
+
+/// Radio/idle power draw of the mobile client, used to integrate the
+/// per-request energy the Trepn profiler measures in the paper (Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MobilePower {
+    /// Transmitting (upload) watts.
+    pub tx_w: f64,
+    /// Receiving (download) watts.
+    pub rx_w: f64,
+    /// Low-power waiting watts ("the mobile device typically switches into
+    /// a low-power mode in the idle state", §IV-C.3).
+    pub wait_w: f64,
+}
+
+impl Default for MobilePower {
+    fn default() -> Self {
+        MobilePower {
+            tx_w: 2.6,
+            rx_w: 2.1,
+            wait_w: 0.85,
+        }
+    }
+}
+
+impl MobilePower {
+    /// Energy for one request given its transfer and wait durations.
+    pub fn request_energy_j(
+        &self,
+        up: SimDuration,
+        down: SimDuration,
+        wait: SimDuration,
+    ) -> f64 {
+        self.tx_w * up.as_secs_f64()
+            + self.rx_w * down.as_secs_f64()
+            + self.wait_w * wait.as_secs_f64()
+    }
+}
+
+/// A request scheduled at a virtual arrival time.
+#[derive(Debug, Clone)]
+pub struct TimedRequest {
+    pub at: SimTime,
+    pub request: HttpRequest,
+}
+
+/// A sequence of timed requests.
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    pub requests: Vec<TimedRequest>,
+}
+
+impl Workload {
+    /// `count` requests at a constant rate, cycling over `templates`.
+    pub fn constant_rate(templates: &[HttpRequest], rps: f64, count: usize) -> Workload {
+        let gap = SimDuration::from_secs_f64(1.0 / rps.max(0.001));
+        let mut t = SimTime::ZERO;
+        let mut requests = Vec::with_capacity(count);
+        for i in 0..count {
+            requests.push(TimedRequest {
+                at: t,
+                request: templates[i % templates.len()].clone(),
+            });
+            t += gap;
+        }
+        Workload { requests }
+    }
+
+    /// Piecewise-constant rates: each phase is `(rps, duration_seconds)`.
+    /// Models the fluctuating client volumes of the elasticity experiment
+    /// (Fig. 9-right).
+    pub fn phases(templates: &[HttpRequest], phases: &[(f64, f64)]) -> Workload {
+        let mut requests = Vec::new();
+        let mut t = 0.0f64;
+        let mut i = 0usize;
+        for &(rps, secs) in phases {
+            let gap = 1.0 / rps.max(0.001);
+            let end = t + secs;
+            while t < end {
+                requests.push(TimedRequest {
+                    at: SimTime::from_secs_f64(t),
+                    request: templates[i % templates.len()].clone(),
+                });
+                i += 1;
+                t += gap;
+            }
+        }
+        Workload { requests }
+    }
+
+    /// Shift every arrival by `offset` (to continue a previous run's
+    /// virtual timeline).
+    pub fn shifted(mut self, offset: SimTime) -> Workload {
+        for r in &mut self.requests {
+            r.at = SimTime(r.at.0 + offset.0);
+        }
+        self
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+/// Measurements from one run.
+#[derive(Debug, Default)]
+pub struct RunStats {
+    pub latency: LatencyStats,
+    pub completed: usize,
+    pub failed: usize,
+    /// Requests the edge forwarded to the cloud (failure forwarding or
+    /// non-replicated services).
+    pub forwarded: usize,
+    /// Virtual time of the last completion.
+    pub makespan: SimTime,
+    /// Client request/response bytes crossing the WAN.
+    pub wan_request_bytes: usize,
+    /// CRDT synchronization bytes crossing the WAN.
+    pub wan_sync_bytes: usize,
+    /// Bytes crossing the edge LAN.
+    pub lan_bytes: usize,
+    pub client_energy_j: f64,
+    pub cloud_energy_j: f64,
+    pub edge_energy_j: f64,
+    /// `(time, active_replicas)` samples from the autoscaler.
+    pub replica_samples: Vec<(SimTime, usize)>,
+}
+
+impl RunStats {
+    /// Completed requests per second of makespan.
+    pub fn throughput_rps(&self) -> f64 {
+        let s = self.makespan.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / s
+        }
+    }
+
+    /// Mean energy per request on the client, in joules.
+    pub fn client_energy_per_request(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.client_energy_j / self.completed as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Two-tier (original client-cloud) driver
+// ---------------------------------------------------------------------------
+
+/// The original two-tier deployment: clients call the cloud over the WAN.
+#[derive(Debug)]
+pub struct TwoTierSystem {
+    pub server: ServerProcess,
+    pub device: Device,
+    pub wan: LinkSpec,
+    pub mobile: MobilePower,
+    wan_up: LinkChannel,
+    wan_down: LinkChannel,
+}
+
+impl TwoTierSystem {
+    /// Build from server source; runs the init phase.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse/init failures.
+    pub fn new(source: &str, device: DeviceSpec, wan: LinkSpec) -> Result<Self, ServerError> {
+        let mut server = ServerProcess::from_source(source)?;
+        server.init()?;
+        Ok(TwoTierSystem {
+            server,
+            device: Device::new(device),
+            wan,
+            mobile: MobilePower::default(),
+            wan_up: LinkChannel::new(wan),
+            wan_down: LinkChannel::new(wan),
+        })
+    }
+
+    /// Execute `workload`, returning measurements.
+    pub fn run(&mut self, workload: &Workload) -> RunStats {
+        let mut stats = RunStats::default();
+        for tr in &workload.requests {
+            let arrive = self.wan_up.send(tr.at, tr.request.size());
+            let up = arrive - tr.at;
+            match self.server.handle(&tr.request) {
+                Ok(out) => {
+                    let (_, finish) = self.device.schedule_work(arrive, out.cycles);
+                    let resp_bytes = out.response.size();
+                    let done = self.wan_down.send(finish, resp_bytes);
+                    let down = done - finish;
+                    let latency = done - tr.at;
+                    stats.latency.record(latency);
+                    stats.completed += 1;
+                    stats.wan_request_bytes += tr.request.size() + resp_bytes;
+                    let wait = finish - arrive;
+                    stats.client_energy_j += self.mobile.request_energy_j(up, down, wait);
+                    if done > stats.makespan {
+                        stats.makespan = done;
+                    }
+                }
+                Err(_) => stats.failed += 1,
+            }
+        }
+        stats.cloud_energy_j = self.device.energy_joules(stats.makespan);
+        stats
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Three-tier (EdgStr-transformed) driver
+// ---------------------------------------------------------------------------
+
+/// One deployed edge replica.
+#[derive(Debug)]
+pub struct EdgeReplica {
+    pub server: ServerProcess,
+    pub device: Device,
+    pub crdts: CrdtSet,
+    pub to_cloud: SyncEndpoint,
+    inflight: Vec<SimTime>,
+    active: bool,
+}
+
+impl EdgeReplica {
+    fn prune(&mut self, now: SimTime) {
+        self.inflight.retain(|f| *f > now);
+    }
+
+    /// Current active connection count.
+    pub fn connections(&self) -> usize {
+        self.inflight.len()
+    }
+}
+
+/// Options for the three-tier deployment.
+#[derive(Debug, Clone)]
+pub struct ThreeTierOptions {
+    pub lan: LinkSpec,
+    pub wan: LinkSpec,
+    pub balance: BalanceStrategy,
+    /// `Some` enables elasticity (replica parking).
+    pub autoscaler: Option<Autoscaler>,
+    /// Background CRDT sync period.
+    pub sync_interval: SimDuration,
+    /// When true, state changes sync synchronously with each request
+    /// (write-through ablation) instead of in the background.
+    pub synchronous_sync: bool,
+}
+
+impl Default for ThreeTierOptions {
+    fn default() -> Self {
+        ThreeTierOptions {
+            lan: LinkSpec::edge_lan(),
+            wan: LinkSpec::limited_cloud(),
+            balance: BalanceStrategy::LeastConnections,
+            autoscaler: None,
+            sync_interval: SimDuration::from_secs(1),
+            synchronous_sync: false,
+        }
+    }
+}
+
+/// The EdgStr-generated three-tier deployment.
+#[derive(Debug)]
+pub struct ThreeTierSystem {
+    pub cloud: ServerProcess,
+    pub cloud_device: Device,
+    pub cloud_crdts: CrdtSet,
+    cloud_endpoints: Vec<SyncEndpoint>,
+    pub edges: Vec<EdgeReplica>,
+    pub options: ThreeTierOptions,
+    balancer: LoadBalancer,
+    replicated: BTreeSet<(Verb, String)>,
+    pub mobile: MobilePower,
+    lan_up: LinkChannel,
+    lan_down: LinkChannel,
+    wan_up: LinkChannel,
+    wan_down: LinkChannel,
+}
+
+impl ThreeTierSystem {
+    /// Deploy a transformation report: the cloud master runs the original
+    /// program, each edge device runs the generated replica, and all
+    /// replicas initialize from the shared snapshot (§III-G).
+    ///
+    /// # Errors
+    ///
+    /// Propagates server init failures.
+    pub fn deploy(
+        cloud_source: &str,
+        report: &TransformationReport,
+        edge_devices: &[DeviceSpec],
+        options: ThreeTierOptions,
+    ) -> Result<Self, ServerError> {
+        let mut cloud = ServerProcess::from_source(cloud_source)?;
+        cloud.init()?;
+        report.replica.init.restore(&mut cloud);
+        let cloud_crdts = CrdtSet::initialize(ActorId(1), &report.replica.bindings, &report.replica.init);
+        let mut edges = Vec::new();
+        for (i, spec) in edge_devices.iter().enumerate() {
+            let mut server = ServerProcess::from_program(report.replica.program.clone());
+            server.init()?;
+            report.replica.init.restore(&mut server);
+            let crdts = CrdtSet::initialize(
+                ActorId(2 + i as u64),
+                &report.replica.bindings,
+                &report.replica.init,
+            );
+            edges.push(EdgeReplica {
+                server,
+                device: Device::new(spec.clone()),
+                crdts,
+                to_cloud: SyncEndpoint::new(),
+                inflight: Vec::new(),
+                active: true,
+            });
+        }
+        let cloud_endpoints = (0..edges.len()).map(|_| SyncEndpoint::new()).collect();
+        let balancer = LoadBalancer::new(options.balance);
+        Ok(ThreeTierSystem {
+            cloud,
+            cloud_device: Device::new(DeviceSpec::cloud_server()),
+            cloud_crdts,
+            cloud_endpoints,
+            edges,
+            balancer,
+            lan_up: LinkChannel::new(options.lan),
+            lan_down: LinkChannel::new(options.lan),
+            wan_up: LinkChannel::new(options.wan),
+            wan_down: LinkChannel::new(options.wan),
+            options,
+            replicated: report.replica.replicated.iter().cloned().collect(),
+            mobile: MobilePower::default(),
+        })
+    }
+
+    /// One bidirectional background sync round between every edge and the
+    /// cloud master; returns the WAN bytes spent.
+    pub fn sync_round(&mut self) -> usize {
+        let mut bytes = 0;
+        for (i, edge) in self.edges.iter_mut().enumerate() {
+            // edge -> cloud (edge_state message)
+            let delta = edge.to_cloud.generate(&edge.crdts);
+            bytes += delta.wire_size_nonempty();
+            self.cloud_endpoints[i].receive(&mut self.cloud_crdts, &mut self.cloud, &delta);
+            // cloud -> edge (cloud_state message)
+            let delta = self.cloud_endpoints[i].generate(&self.cloud_crdts);
+            bytes += delta.wire_size_nonempty();
+            edge.to_cloud
+                .receive(&mut edge.crdts, &mut edge.server, &delta);
+        }
+        bytes
+    }
+
+    /// Execute `workload`, returning measurements.
+    pub fn run(&mut self, workload: &Workload) -> RunStats {
+        let mut stats = RunStats::default();
+        let mut next_sync = SimTime::ZERO + self.options.sync_interval;
+        for tr in &workload.requests {
+            let now = tr.at;
+            // background sync ticks that elapsed before this arrival
+            while !self.options.synchronous_sync && next_sync <= now {
+                stats.wan_sync_bytes += self.sync_round();
+                next_sync += self.options.sync_interval;
+            }
+            // autoscaler: adjust active replica set
+            for e in self.edges.iter_mut() {
+                e.prune(now);
+            }
+            if let Some(scaler) = self.options.autoscaler {
+                let inflight: usize = self.edges.iter().map(EdgeReplica::connections).sum();
+                let desired = scaler.desired(inflight.max(1), self.edges.len());
+                for (i, e) in self.edges.iter_mut().enumerate() {
+                    let should_be_active = i < desired;
+                    if should_be_active && !e.active {
+                        e.active = true;
+                        e.device.set_power_state(PowerState::Idle, now);
+                    } else if !should_be_active && e.active && e.connections() == 0 {
+                        e.active = false;
+                        e.device.set_power_state(PowerState::LowPower, now);
+                    }
+                }
+                let active = self.edges.iter().filter(|e| e.active).count();
+                stats.replica_samples.push((now, active));
+            }
+            // route to an edge
+            let connections: Vec<usize> =
+                self.edges.iter().map(EdgeReplica::connections).collect();
+            let active: Vec<bool> = self.edges.iter().map(|e| e.active).collect();
+            let Some(idx) = self.balancer.pick(&connections, &active) else {
+                stats.failed += 1;
+                continue;
+            };
+            let req_size = tr.request.size();
+            let lan_arrive = self.lan_up.send(now, req_size);
+            let up = lan_arrive - now;
+            stats.lan_bytes += req_size;
+            let wake = self.edges[idx].device.wake_penalty();
+            let arrive = lan_arrive + wake;
+            let key = (tr.request.verb, tr.request.path.clone());
+            let local = self.replicated.contains(&key);
+            let local_result = if local {
+                self.edges[idx].server.handle(&tr.request)
+            } else {
+                Err(ServerError::NoSuchRoute {
+                    verb: tr.request.verb,
+                    path: tr.request.path.clone(),
+                })
+            };
+            let (done, resp_size, up_total, down_total, wait) = match local_result {
+                Ok(out) => {
+                    let edge = &mut self.edges[idx];
+                    edge.crdts.absorb_outcome(&out, &edge.server);
+                    let (_, finish) = edge.device.schedule_work(arrive, out.cycles);
+                    let resp_size = out.response.size();
+                    let done = self.lan_down.send(finish, resp_size);
+                    let down = done - finish;
+                    stats.lan_bytes += resp_size;
+                    edge.inflight.push(done);
+                    if self.options.synchronous_sync {
+                        stats.wan_sync_bytes += self.sync_round();
+                    }
+                    (done, resp_size, up, down, finish - arrive)
+                }
+                Err(_) => {
+                    // failure forwarding: the edge proxies the request to
+                    // the cloud master over the WAN (§II-B)
+                    stats.forwarded += 1;
+                    match self.cloud.handle(&tr.request) {
+                        Ok(out) => {
+                            self.cloud_crdts.absorb_outcome(&out, &self.cloud);
+                            let cloud_arrive = self.wan_up.send(arrive, req_size);
+                            let (_, finish) =
+                                self.cloud_device.schedule_work(cloud_arrive, out.cycles);
+                            let resp_size = out.response.size();
+                            let back_at_edge = self.wan_down.send(finish, resp_size);
+                            let done = self.lan_down.send(back_at_edge, resp_size);
+                            let lan_down = done - back_at_edge;
+                            stats.wan_request_bytes += req_size + resp_size;
+                            stats.lan_bytes += resp_size;
+                            self.edges[idx].inflight.push(done);
+                            (done, resp_size, up, lan_down, back_at_edge - arrive)
+                        }
+                        Err(_) => {
+                            stats.failed += 1;
+                            continue;
+                        }
+                    }
+                }
+            };
+            let _ = resp_size;
+            let latency = done - tr.at;
+            stats.latency.record(latency);
+            stats.completed += 1;
+            stats.client_energy_j +=
+                self.mobile.request_energy_j(up_total, down_total, wait);
+            if done > stats.makespan {
+                stats.makespan = done;
+            }
+        }
+        // final flush so replicas converge
+        stats.wan_sync_bytes += self.sync_round();
+        stats.wan_sync_bytes += self.sync_round();
+        stats.cloud_energy_j = self.cloud_device.energy_joules(stats.makespan);
+        stats.edge_energy_j = self
+            .edges
+            .iter()
+            .map(|e| e.device.energy_joules(stats.makespan))
+            .sum();
+        stats
+    }
+}
+
+impl crate::crdtset::SetChanges {
+    fn wire_size_nonempty(&self) -> usize {
+        if self.is_empty() {
+            0
+        } else {
+            self.wire_size()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgstr_core::{capture_and_transform, EdgStrConfig};
+    use serde_json::json;
+
+    const APP: &str = r#"
+        db.query("CREATE TABLE notes (id INT PRIMARY KEY, text TEXT)");
+        var written = 0;
+        app.post("/note", function (req, res) {
+            written = written + 1;
+            db.query("INSERT INTO notes VALUES (" + req.body.id + ", '" + req.body.text + "')");
+            res.send({ n: written });
+        });
+        app.get("/count", function (req, res) {
+            var rows = db.query("SELECT COUNT(*) FROM notes");
+            res.send(rows[0]);
+        });
+    "#;
+
+    fn transformed() -> edgstr_core::TransformationReport {
+        let reqs = vec![
+            HttpRequest::post("/note", json!({"id": 900, "text": "warm"}), vec![]),
+            HttpRequest::get("/count", json!({})),
+        ];
+        capture_and_transform(APP, &reqs, &EdgStrConfig::default())
+            .unwrap()
+            .0
+    }
+
+    fn unique_note(i: usize) -> HttpRequest {
+        HttpRequest::post("/note", json!({"id": i, "text": format!("t{i}")}), vec![])
+    }
+
+    #[test]
+    fn two_tier_runs_workload() {
+        let mut sys = TwoTierSystem::new(
+            APP,
+            DeviceSpec::cloud_server(),
+            LinkSpec::limited_cloud(),
+        )
+        .unwrap();
+        let reqs: Vec<HttpRequest> = (0..20).map(unique_note).collect();
+        let wl = Workload::constant_rate(&reqs, 10.0, 20);
+        let stats = sys.run(&wl);
+        assert_eq!(stats.completed, 20);
+        assert!(stats.latency.mean().unwrap() > SimDuration::from_millis(100));
+        assert!(stats.client_energy_j > 0.0);
+        assert!(stats.wan_request_bytes > 0);
+    }
+
+    #[test]
+    fn three_tier_serves_locally_and_syncs() {
+        let report = transformed();
+        let mut sys = ThreeTierSystem::deploy(
+            APP,
+            &report,
+            &[DeviceSpec::rpi4(), DeviceSpec::rpi3()],
+            ThreeTierOptions::default(),
+        )
+        .unwrap();
+        let reqs: Vec<HttpRequest> = (0..20).map(unique_note).collect();
+        let wl = Workload::constant_rate(&reqs, 10.0, 20);
+        let stats = sys.run(&wl);
+        assert_eq!(stats.completed, 20);
+        assert_eq!(stats.forwarded, 0, "replicated service must run locally");
+        assert!(stats.wan_sync_bytes > 0, "background sync must ship changes");
+        assert_eq!(stats.wan_request_bytes, 0, "no request traffic on the WAN");
+        // all replicas and cloud converge on the notes table
+        let cloud_rows = sys.cloud_crdts.tables["notes"].len();
+        for e in &sys.edges {
+            assert_eq!(e.crdts.tables["notes"].len(), cloud_rows);
+        }
+        assert!(cloud_rows >= 20);
+    }
+
+    #[test]
+    fn three_tier_beats_two_tier_on_slow_wan() {
+        let report = transformed();
+        let slow_wan = LinkSpec::from_kbps_ms(200.0, 800.0);
+        let mut two = TwoTierSystem::new(APP, DeviceSpec::cloud_server(), slow_wan).unwrap();
+        let reqs: Vec<HttpRequest> = (0..30).map(unique_note).collect();
+        let wl = Workload::constant_rate(&reqs, 20.0, 30);
+        let two_stats = two.run(&wl);
+        let mut three = ThreeTierSystem::deploy(
+            APP,
+            &report,
+            &[DeviceSpec::rpi4()],
+            ThreeTierOptions {
+                wan: slow_wan,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let three_stats = three.run(&wl);
+        assert!(
+            three_stats.latency.mean().unwrap() < two_stats.latency.mean().unwrap(),
+            "edge must win under a degraded WAN: {:?} vs {:?}",
+            three_stats.latency.mean(),
+            two_stats.latency.mean()
+        );
+    }
+
+    #[test]
+    fn failure_forwarding_reaches_cloud() {
+        let report = transformed();
+        let mut sys = ThreeTierSystem::deploy(
+            APP,
+            &report,
+            &[DeviceSpec::rpi4()],
+            ThreeTierOptions::default(),
+        )
+        .unwrap();
+        // break the edge's database host calls
+        sys.edges[0]
+            .server
+            .inject_failures(vec!["db.query".to_string()]);
+        let reqs: Vec<HttpRequest> = (0..5).map(unique_note).collect();
+        let wl = Workload::constant_rate(&reqs, 5.0, 5);
+        let stats = sys.run(&wl);
+        assert_eq!(stats.completed, 5);
+        assert_eq!(stats.forwarded, 5, "all requests must be forwarded");
+        assert!(stats.wan_request_bytes > 0);
+        // the cloud applied the writes
+        assert!(sys.cloud_crdts.tables["notes"].len() >= 5);
+    }
+
+    #[test]
+    fn autoscaler_parks_replicas_under_light_load() {
+        let report = transformed();
+        let mut sys = ThreeTierSystem::deploy(
+            APP,
+            &report,
+            &[
+                DeviceSpec::rpi3(),
+                DeviceSpec::rpi3(),
+                DeviceSpec::rpi4(),
+                DeviceSpec::rpi4(),
+            ],
+            ThreeTierOptions {
+                autoscaler: Some(Autoscaler::default()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // light load: 2 rps
+        let reqs: Vec<HttpRequest> = (0..40).map(unique_note).collect();
+        let wl = Workload::constant_rate(&reqs, 2.0, 40);
+        let stats = sys.run(&wl);
+        assert_eq!(stats.completed, 40);
+        let min_active = stats
+            .replica_samples
+            .iter()
+            .map(|(_, n)| *n)
+            .min()
+            .unwrap();
+        assert_eq!(min_active, 1, "light load should park down to one replica");
+        // parked replicas draw less energy than a hypothetical always-on set
+        assert!(stats.edge_energy_j > 0.0);
+    }
+
+    #[test]
+    fn workload_generators_produce_expected_counts() {
+        let reqs = vec![HttpRequest::get("/count", json!({}))];
+        let wl = Workload::constant_rate(&reqs, 100.0, 50);
+        assert_eq!(wl.len(), 50);
+        assert!(wl.requests[49].at > wl.requests[0].at);
+        let wl = Workload::phases(&reqs, &[(10.0, 1.0), (50.0, 1.0)]);
+        assert!(wl.len() >= 58 && wl.len() <= 62, "got {}", wl.len());
+    }
+
+    #[test]
+    fn workload_shift_moves_every_arrival() {
+        let reqs = vec![HttpRequest::get("/count", json!({}))];
+        let wl = Workload::constant_rate(&reqs, 10.0, 5)
+            .shifted(edgstr_sim::SimTime::from_secs_f64(100.0));
+        assert!(wl.requests[0].at >= edgstr_sim::SimTime::from_secs_f64(100.0));
+        assert!(wl.requests[4].at > wl.requests[0].at);
+    }
+
+    #[test]
+    fn mobile_power_integrates_components() {
+        let m = MobilePower::default();
+        let j = m.request_energy_j(
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(10),
+        );
+        let expected = m.tx_w * 2.0 + m.rx_w * 1.0 + m.wait_w * 10.0;
+        assert!((j - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_tier_failed_requests_counted_not_recorded() {
+        let mut sys = TwoTierSystem::new(
+            APP,
+            DeviceSpec::cloud_server(),
+            LinkSpec::limited_cloud(),
+        )
+        .unwrap();
+        // duplicate primary keys: every second insert fails at the server
+        let req = unique_note(1);
+        let wl = Workload::constant_rate(std::slice::from_ref(&req), 10.0, 3);
+        let stats = sys.run(&wl);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 2);
+        assert_eq!(stats.latency.len(), 1);
+    }
+}

@@ -1,0 +1,259 @@
+//! Measurement collection: latency distributions, throughput, and simple
+//! linear regression (used to reproduce the regression analysis of
+//! Fig. 6b).
+
+use crate::time::{SimDuration, SimTime};
+
+/// A collection of latency samples with distribution statistics.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    samples_us: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// Empty collection.
+    pub fn new() -> Self {
+        LatencyStats::default()
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples_us.push(d.0);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples_us.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (0.0–1.0) by nearest-rank.
+    pub fn quantile(&mut self, q: f64) -> Option<SimDuration> {
+        if self.samples_us.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let idx = ((self.samples_us.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        Some(SimDuration(self.samples_us[idx]))
+    }
+
+    /// Minimum sample.
+    pub fn min(&mut self) -> Option<SimDuration> {
+        self.quantile(0.0)
+    }
+
+    /// Maximum sample.
+    pub fn max(&mut self) -> Option<SimDuration> {
+        self.quantile(1.0)
+    }
+
+    /// Median (p50).
+    pub fn median(&mut self) -> Option<SimDuration> {
+        self.quantile(0.5)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<SimDuration> {
+        if self.samples_us.is_empty() {
+            return None;
+        }
+        let sum: u64 = self.samples_us.iter().sum();
+        Some(SimDuration(sum / self.samples_us.len() as u64))
+    }
+
+    /// The five-number summary the proxy-strategy benchmark reports
+    /// (Fig. 10b): min, Q1, median, Q3, max.
+    pub fn five_number_summary(&mut self) -> Option<FiveNumber> {
+        Some(FiveNumber {
+            min: self.quantile(0.0)?,
+            q1: self.quantile(0.25)?,
+            median: self.quantile(0.5)?,
+            q3: self.quantile(0.75)?,
+            max: self.quantile(1.0)?,
+        })
+    }
+}
+
+/// Box-plot summary: min / Q1 / median / Q3 / max.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FiveNumber {
+    pub min: SimDuration,
+    pub q1: SimDuration,
+    pub median: SimDuration,
+    pub q3: SimDuration,
+    pub max: SimDuration,
+}
+
+/// Completed-requests-per-second over an observation window.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Throughput {
+    pub completed: u64,
+    pub window: SimDuration,
+}
+
+impl Throughput {
+    /// Requests per second.
+    pub fn rps(&self) -> f64 {
+        let s = self.window.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / s
+        }
+    }
+}
+
+/// Ordinary least-squares fit `y = slope * x + intercept`, as used by the
+/// paper's throughput regression analysis (Fig. 6b).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    pub slope: f64,
+    pub intercept: f64,
+    pub r2: f64,
+}
+
+/// Fit a line to `(x, y)` points.
+///
+/// Returns `None` for fewer than two points or zero x-variance.
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        return None;
+    }
+    let sx: f64 = points.iter().map(|(x, _)| x).sum();
+    let sy: f64 = points.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = points.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|(x, y)| (y - (slope * x + intercept)).powi(2))
+        .sum();
+    let r2 = if ss_tot.abs() < 1e-12 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r2,
+    })
+}
+
+/// Convenience: observation window helper tracking first/last completion.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Window {
+    pub first: Option<SimTime>,
+    pub last: Option<SimTime>,
+    pub count: u64,
+}
+
+impl Window {
+    /// Record a completion at `t`.
+    pub fn record(&mut self, t: SimTime) {
+        if self.first.is_none() {
+            self.first = Some(t);
+        }
+        self.last = Some(t);
+        self.count += 1;
+    }
+
+    /// Throughput over the observed span.
+    pub fn throughput(&self) -> Throughput {
+        match (self.first, self.last) {
+            (Some(f), Some(l)) if l > f => Throughput {
+                completed: self.count,
+                window: l - f,
+            },
+            _ => Throughput {
+                completed: self.count,
+                window: SimDuration::ZERO,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_and_summary() {
+        let mut s = LatencyStats::new();
+        for ms in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            s.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(s.min().unwrap(), SimDuration::from_millis(10));
+        assert_eq!(s.max().unwrap(), SimDuration::from_millis(100));
+        let five = s.five_number_summary().unwrap();
+        assert!(five.q1 < five.median && five.median < five.q3);
+        assert_eq!(s.mean().unwrap(), SimDuration::from_millis(55));
+    }
+
+    #[test]
+    fn empty_stats_return_none() {
+        let mut s = LatencyStats::new();
+        assert!(s.median().is_none());
+        assert!(s.mean().is_none());
+        assert!(s.five_number_summary().is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn throughput_computation() {
+        let t = Throughput {
+            completed: 500,
+            window: SimDuration::from_secs(10),
+        };
+        assert_eq!(t.rps(), 50.0);
+        let zero = Throughput::default();
+        assert_eq!(zero.rps(), 0.0);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let pts: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 3.0 * i as f64 + 1.0)).collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-9);
+        assert!((fit.intercept - 1.0).abs() < 1e-9);
+        assert!(fit.r2 > 0.999);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_cases() {
+        assert!(linear_fit(&[(1.0, 1.0)]).is_none());
+        assert!(linear_fit(&[(2.0, 1.0), (2.0, 5.0)]).is_none());
+    }
+
+    #[test]
+    fn window_tracks_span() {
+        let mut w = Window::default();
+        w.record(SimTime::from_secs_f64(1.0));
+        w.record(SimTime::from_secs_f64(2.0));
+        w.record(SimTime::from_secs_f64(3.0));
+        let t = w.throughput();
+        assert_eq!(t.completed, 3);
+        assert!((t.rps() - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,154 @@
+//! A generic discrete-event queue.
+
+use crate::time::SimTime;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a virtual time.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // reversed for min-heap behaviour in BinaryHeap; ties broken by
+        // insertion order for determinism
+        other
+            .time
+            .cmp(&self.time)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-heap event queue driving a simulation loop.
+///
+/// # Examples
+///
+/// ```
+/// use edgstr_sim::{EventQueue, SimTime, SimDuration};
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule(SimTime::ZERO + SimDuration::from_millis(5), "later");
+/// q.schedule(SimTime::ZERO, "first");
+/// assert_eq!(q.pop().unwrap().1, "first");
+/// assert_eq!(q.pop().unwrap().1, "later");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at `time`. Events scheduled in the past fire at the
+    /// current time (never travel backwards).
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        let time = if time < self.now { self.now } else { time };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Pop the next event, advancing the queue's clock.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| {
+            self.now = s.time;
+            (s.time, s.event)
+        })
+    }
+
+    /// The current virtual time (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(30), "c");
+        q.schedule(SimTime(10), "a");
+        q.schedule(SimTime(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_broken_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(5), 1);
+        q.schedule(SimTime(5), 2);
+        q.schedule(SimTime(5), 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clock_advances_and_past_events_clamp() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(100), "x");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime(100));
+        assert_eq!(q.now(), SimTime(100));
+        // scheduling in the past clamps to now
+        q.schedule(SimTime(50), "past");
+        let (t2, _) = q.pop().unwrap();
+        assert_eq!(t2, SimTime(100));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::ZERO + SimDuration::from_secs(1), ());
+        assert_eq!(q.len(), 1);
+    }
+}

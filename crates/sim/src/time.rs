@@ -1,0 +1,150 @@
+//! Virtual time: instants and durations in microseconds.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A virtual instant, in microseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Seconds since start as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Milliseconds since start as a float.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Construct from seconds.
+    pub fn from_secs_f64(s: f64) -> SimTime {
+        SimTime((s * 1e6).round().max(0.0) as u64)
+    }
+
+    /// Duration since an earlier instant (saturating).
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}s", self.as_secs_f64())
+    }
+}
+
+/// A virtual duration, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From whole milliseconds.
+    pub fn from_millis(ms: u64) -> SimDuration {
+        SimDuration(ms * 1000)
+    }
+
+    /// From whole seconds.
+    pub fn from_secs(s: u64) -> SimDuration {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// From fractional seconds.
+    pub fn from_secs_f64(s: f64) -> SimDuration {
+        SimDuration((s * 1e6).round().max(0.0) as u64)
+    }
+
+    /// Duration in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1000 {
+            write!(f, "{}µs", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.2}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, o: SimDuration) -> SimDuration {
+        SimDuration(self.0 + o.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, o: SimDuration) {
+        self.0 += o.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, o: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(o.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_millis(5);
+        assert_eq!(t.0, 5000);
+        assert_eq!((t + SimDuration::from_secs(1)).as_secs_f64(), 1.005);
+        assert_eq!(t - SimTime(1000), SimDuration(4000));
+    }
+
+    #[test]
+    fn saturating_subtraction() {
+        assert_eq!(SimTime(5).since(SimTime(10)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let d = SimDuration::from_secs_f64(0.125);
+        assert_eq!(d.as_secs_f64(), 0.125);
+        assert_eq!(SimTime::from_secs_f64(2.5).as_millis_f64(), 2500.0);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(SimDuration(500).to_string(), "500µs");
+        assert_eq!(SimDuration::from_millis(12).to_string(), "12.00ms");
+        assert_eq!(SimDuration::from_secs(3).to_string(), "3.000s");
+    }
+}

@@ -1,0 +1,181 @@
+//! SQL values and types.
+
+use serde_json::Value as Json;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Column type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SqlType {
+    Int,
+    Real,
+    Text,
+    Blob,
+}
+
+impl fmt::Display for SqlType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlType::Int => write!(f, "INT"),
+            SqlType::Real => write!(f, "REAL"),
+            SqlType::Text => write!(f, "TEXT"),
+            SqlType::Blob => write!(f, "BLOB"),
+        }
+    }
+}
+
+/// A SQL cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlValue {
+    Null,
+    Int(i64),
+    Real(f64),
+    Text(String),
+    Blob(Vec<u8>),
+}
+
+impl SqlValue {
+    /// Approximate storage/wire size in bytes.
+    pub fn size(&self) -> usize {
+        match self {
+            SqlValue::Null => 1,
+            SqlValue::Int(_) => 8,
+            SqlValue::Real(_) => 8,
+            SqlValue::Text(s) => s.len() + 2,
+            SqlValue::Blob(b) => b.len(),
+        }
+    }
+
+    /// SQL-style three-valued comparison (NULL is incomparable; numeric
+    /// types compare cross-type).
+    pub fn compare(&self, other: &SqlValue) -> Option<Ordering> {
+        use SqlValue::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Real(a), Real(b)) => a.partial_cmp(b),
+            (Int(a), Real(b)) => (*a as f64).partial_cmp(b),
+            (Real(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Text(a), Text(b)) => Some(a.cmp(b)),
+            (Blob(a), Blob(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Convert to JSON for CRDT mirroring and HTTP responses.
+    pub fn to_json(&self) -> Json {
+        match self {
+            SqlValue::Null => Json::Null,
+            SqlValue::Int(i) => Json::from(*i),
+            SqlValue::Real(r) => serde_json::Number::from_f64(*r)
+                .map(Json::Number)
+                .unwrap_or(Json::Null),
+            SqlValue::Text(s) => Json::String(s.clone()),
+            SqlValue::Blob(b) => Json::String(format!("0x{}", hex(b))),
+        }
+    }
+
+    /// Convert from JSON (inverse of [`SqlValue::to_json`] for scalars).
+    pub fn from_json(json: &Json) -> SqlValue {
+        match json {
+            Json::Null => SqlValue::Null,
+            Json::Bool(b) => SqlValue::Int(i64::from(*b)),
+            Json::Number(n) => {
+                if let Some(i) = n.as_i64() {
+                    SqlValue::Int(i)
+                } else {
+                    SqlValue::Real(n.as_f64().unwrap_or(0.0))
+                }
+            }
+            Json::String(s) => SqlValue::Text(s.clone()),
+            other => SqlValue::Text(other.to_string()),
+        }
+    }
+}
+
+fn hex(data: &[u8]) -> String {
+    data.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+impl fmt::Display for SqlValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlValue::Null => write!(f, "NULL"),
+            SqlValue::Int(i) => write!(f, "{i}"),
+            SqlValue::Real(r) => write!(f, "{r}"),
+            SqlValue::Text(s) => write!(f, "'{s}'"),
+            SqlValue::Blob(b) => write!(f, "X'{}'", hex(b)),
+        }
+    }
+}
+
+impl From<i64> for SqlValue {
+    fn from(i: i64) -> Self {
+        SqlValue::Int(i)
+    }
+}
+
+impl From<f64> for SqlValue {
+    fn from(r: f64) -> Self {
+        SqlValue::Real(r)
+    }
+}
+
+impl From<&str> for SqlValue {
+    fn from(s: &str) -> Self {
+        SqlValue::Text(s.to_string())
+    }
+}
+
+impl From<String> for SqlValue {
+    fn from(s: String) -> Self {
+        SqlValue::Text(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_type_numeric_compare() {
+        assert_eq!(
+            SqlValue::Int(2).compare(&SqlValue::Real(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            SqlValue::Real(3.0).compare(&SqlValue::Int(3)),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn null_is_incomparable() {
+        assert_eq!(SqlValue::Null.compare(&SqlValue::Int(1)), None);
+        assert_eq!(SqlValue::Int(1).compare(&SqlValue::Null), None);
+    }
+
+    #[test]
+    fn json_round_trip_scalars() {
+        for v in [
+            SqlValue::Null,
+            SqlValue::Int(-7),
+            SqlValue::Real(2.25),
+            SqlValue::Text("hello".into()),
+        ] {
+            assert_eq!(SqlValue::from_json(&v.to_json()), v);
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SqlValue::Text("a".into()).to_string(), "'a'");
+        assert_eq!(SqlValue::Blob(vec![0xab]).to_string(), "X'ab'");
+        assert_eq!(SqlValue::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn size_scales() {
+        assert!(SqlValue::Blob(vec![0; 100]).size() > SqlValue::Int(1).size());
+    }
+}

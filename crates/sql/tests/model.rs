@@ -1,0 +1,143 @@
+//! Model-based property tests: the SQL engine agrees with a naive
+//! in-memory model over random insert/update/delete/select sequences, and
+//! snapshot/rollback restore exact state.
+
+use edgstr_sql::{SqlDb, SqlResult, SqlValue};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { id: i64, v: i64 },
+    Update { id: i64, v: i64 },
+    Delete { id: i64 },
+    SelectGe { v: i64 },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..40, -100i64..100).prop_map(|(id, v)| Op::Insert { id, v }),
+        (0i64..40, -100i64..100).prop_map(|(id, v)| Op::Update { id, v }),
+        (0i64..40).prop_map(|id| Op::Delete { id }),
+        (-100i64..100).prop_map(|v| Op::SelectGe { v }),
+    ]
+}
+
+fn fresh() -> SqlDb {
+    let mut db = SqlDb::new();
+    db.exec("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The engine matches a BTreeMap model on every read.
+    #[test]
+    fn engine_matches_model(ops in prop::collection::vec(op(), 1..60)) {
+        let mut db = fresh();
+        let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+        for o in &ops {
+            match o {
+                Op::Insert { id, v } => {
+                    let r = db.exec(&format!("INSERT INTO t VALUES ({id}, {v})"));
+                    if model.contains_key(id) {
+                        prop_assert!(r.is_err(), "duplicate pk must be rejected");
+                    } else {
+                        prop_assert!(r.is_ok());
+                        model.insert(*id, *v);
+                    }
+                }
+                Op::Update { id, v } => {
+                    let r = db
+                        .exec(&format!("UPDATE t SET v = {v} WHERE id = {id}"))
+                        .unwrap();
+                    let expected = usize::from(model.contains_key(id));
+                    prop_assert_eq!(r, SqlResult::Affected(expected));
+                    if let Some(slot) = model.get_mut(id) {
+                        *slot = *v;
+                    }
+                }
+                Op::Delete { id } => {
+                    let r = db
+                        .exec(&format!("DELETE FROM t WHERE id = {id}"))
+                        .unwrap();
+                    let expected = usize::from(model.remove(id).is_some());
+                    prop_assert_eq!(r, SqlResult::Affected(expected));
+                }
+                Op::SelectGe { v } => {
+                    let r = db
+                        .exec(&format!("SELECT id FROM t WHERE v >= {v} ORDER BY id"))
+                        .unwrap();
+                    let got: Vec<i64> = match r {
+                        SqlResult::Rows { rows, .. } => rows
+                            .into_iter()
+                            .map(|r| match &r[0] {
+                                SqlValue::Int(i) => *i,
+                                other => panic!("unexpected {other:?}"),
+                            })
+                            .collect(),
+                        other => panic!("unexpected {other:?}"),
+                    };
+                    let want: Vec<i64> = model
+                        .iter()
+                        .filter(|(_, mv)| **mv >= *v)
+                        .map(|(id, _)| *id)
+                        .collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        // final full-content check
+        let r = db.exec("SELECT id, v FROM t ORDER BY id").unwrap();
+        if let SqlResult::Rows { rows, .. } = r {
+            prop_assert_eq!(rows.len(), model.len());
+        }
+    }
+
+    /// `BEGIN … ROLLBACK` restores the exact pre-transaction contents, no
+    /// matter what ran inside.
+    #[test]
+    fn rollback_is_exact(setup in prop::collection::vec(op(), 0..20),
+                         inside in prop::collection::vec(op(), 1..20)) {
+        let mut db = fresh();
+        for o in &setup {
+            apply_lossy(&mut db, o);
+        }
+        let before = db.snapshot();
+        db.exec("BEGIN").unwrap();
+        for o in &inside {
+            apply_lossy(&mut db, o);
+        }
+        db.exec("ROLLBACK").unwrap();
+        prop_assert_eq!(db.snapshot().to_json(), before.to_json());
+    }
+
+    /// `snapshot`/`restore` is an exact checkpoint (the paper's
+    /// save/restore "init").
+    #[test]
+    fn snapshot_restore_is_exact(setup in prop::collection::vec(op(), 0..20),
+                                 after in prop::collection::vec(op(), 1..20)) {
+        let mut db = fresh();
+        for o in &setup {
+            apply_lossy(&mut db, o);
+        }
+        let checkpoint = db.snapshot();
+        for o in &after {
+            apply_lossy(&mut db, o);
+        }
+        db.restore(&checkpoint);
+        prop_assert_eq!(db.snapshot().to_json(), checkpoint.to_json());
+    }
+}
+
+/// Apply an op, ignoring expected errors (duplicate keys).
+fn apply_lossy(db: &mut SqlDb, o: &Op) {
+    let sql = match o {
+        Op::Insert { id, v } => format!("INSERT INTO t VALUES ({id}, {v})"),
+        Op::Update { id, v } => format!("UPDATE t SET v = {v} WHERE id = {id}"),
+        Op::Delete { id } => format!("DELETE FROM t WHERE id = {id}"),
+        Op::SelectGe { v } => format!("SELECT id FROM t WHERE v >= {v}"),
+    };
+    let _ = db.exec(&sql);
+}

@@ -1,0 +1,427 @@
+//! # edgstr-template — handlebars-style text templating
+//!
+//! EdgStr generates edge-replica source code "readable … that can be
+//! tweaked by hand" using the handlebars template framework (§III-G.2).
+//! This crate is a small from-scratch engine supporting the constructs the
+//! code generator needs:
+//!
+//! - `{{path.to.value}}` — interpolation (HTML-escaping is *not* applied:
+//!   output is source code, not HTML);
+//! - `{{#each items}} ... {{/each}}` — iteration, with `{{this}}`,
+//!   `{{@index}}`, and field access on the element;
+//! - `{{#if cond}} ... {{else}} ... {{/if}}` — conditionals (JSON
+//!   truthiness: `false`, `null`, `0`, `""`, `[]`, `{}` are falsy).
+//!
+//! ## Example
+//!
+//! ```
+//! use edgstr_template::render;
+//! use serde_json::json;
+//!
+//! let out = render(
+//!     "{{#each routes}}app.get(\"{{this.path}}\", {{this.handler}});\n{{/each}}",
+//!     &json!({"routes": [
+//!         {"path": "/predict", "handler": "ftn_predict"},
+//!     ]}),
+//! ).unwrap();
+//! assert_eq!(out, "app.get(\"/predict\", ftn_predict);\n");
+//! ```
+
+use serde_json::Value as Json;
+use std::fmt;
+
+/// Error raised while parsing or rendering a template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemplateError(pub String);
+
+impl fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "template error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Text(String),
+    Interp(String),
+    Each { path: String, body: Vec<Node> },
+    If {
+        path: String,
+        then_body: Vec<Node>,
+        else_body: Vec<Node>,
+    },
+}
+
+/// A parsed template, reusable across renders.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Template {
+    nodes: Vec<Node>,
+}
+
+impl Template {
+    /// Parse template text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TemplateError`] on unbalanced or malformed tags.
+    pub fn parse(source: &str) -> Result<Template, TemplateError> {
+        let tokens = lex(source)?;
+        let mut pos = 0;
+        let nodes = parse_nodes(&tokens, &mut pos, None)?;
+        if pos != tokens.len() {
+            return Err(TemplateError("unexpected closing tag".into()));
+        }
+        Ok(Template { nodes })
+    }
+
+    /// Render with a JSON context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TemplateError`] if an `{{#each}}` target is not an array.
+    pub fn render(&self, ctx: &Json) -> Result<String, TemplateError> {
+        let mut out = String::new();
+        render_nodes(&self.nodes, ctx, None, &mut out)?;
+        Ok(out)
+    }
+}
+
+/// One-shot parse + render.
+///
+/// # Errors
+///
+/// Propagates parse and render errors.
+pub fn render(source: &str, ctx: &Json) -> Result<String, TemplateError> {
+    Template::parse(source)?.render(ctx)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Text(String),
+    Interp(String),
+    OpenEach(String),
+    OpenIf(String),
+    Else,
+    CloseEach,
+    CloseIf,
+}
+
+fn lex(source: &str) -> Result<Vec<Token>, TemplateError> {
+    let mut tokens = Vec::new();
+    let mut rest = source;
+    while let Some(start) = rest.find("{{") {
+        if start > 0 {
+            tokens.push(Token::Text(rest[..start].to_string()));
+        }
+        let after = &rest[start + 2..];
+        let end = after
+            .find("}}")
+            .ok_or_else(|| TemplateError("unterminated '{{'".into()))?;
+        let tag = after[..end].trim();
+        let token = if let Some(path) = tag.strip_prefix("#each") {
+            Token::OpenEach(path.trim().to_string())
+        } else if let Some(path) = tag.strip_prefix("#if") {
+            Token::OpenIf(path.trim().to_string())
+        } else if tag == "else" {
+            Token::Else
+        } else if tag == "/each" {
+            Token::CloseEach
+        } else if tag == "/if" {
+            Token::CloseIf
+        } else if tag.starts_with('#') || tag.starts_with('/') {
+            return Err(TemplateError(format!("unknown block tag '{tag}'")));
+        } else {
+            Token::Interp(tag.to_string())
+        };
+        tokens.push(token);
+        rest = &after[end + 2..];
+    }
+    if !rest.is_empty() {
+        tokens.push(Token::Text(rest.to_string()));
+    }
+    Ok(tokens)
+}
+
+fn parse_nodes(
+    tokens: &[Token],
+    pos: &mut usize,
+    until: Option<&str>,
+) -> Result<Vec<Node>, TemplateError> {
+    let mut nodes = Vec::new();
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            Token::Text(t) => {
+                nodes.push(Node::Text(t.clone()));
+                *pos += 1;
+            }
+            Token::Interp(p) => {
+                nodes.push(Node::Interp(p.clone()));
+                *pos += 1;
+            }
+            Token::OpenEach(path) => {
+                *pos += 1;
+                let body = parse_nodes(tokens, pos, Some("each"))?;
+                nodes.push(Node::Each {
+                    path: path.clone(),
+                    body,
+                });
+            }
+            Token::OpenIf(path) => {
+                *pos += 1;
+                let then_body = parse_nodes(tokens, pos, Some("if"))?;
+                // parse_nodes for "if" stops either at {{else}} or {{/if}}
+                let else_body = if matches!(tokens.get(*pos - 1), Some(Token::Else)) {
+                    parse_nodes(tokens, pos, Some("if-else"))?
+                } else {
+                    Vec::new()
+                };
+                nodes.push(Node::If {
+                    path: path.clone(),
+                    then_body,
+                    else_body,
+                });
+            }
+            Token::CloseEach => {
+                if until == Some("each") {
+                    *pos += 1;
+                    return Ok(nodes);
+                }
+                return Err(TemplateError("unmatched {{/each}}".into()));
+            }
+            Token::CloseIf => {
+                if until == Some("if") || until == Some("if-else") {
+                    *pos += 1;
+                    return Ok(nodes);
+                }
+                return Err(TemplateError("unmatched {{/if}}".into()));
+            }
+            Token::Else => {
+                if until == Some("if") {
+                    *pos += 1;
+                    return Ok(nodes);
+                }
+                return Err(TemplateError("unexpected {{else}}".into()));
+            }
+        }
+    }
+    if until.is_some() {
+        return Err(TemplateError("unterminated block".into()));
+    }
+    Ok(nodes)
+}
+
+struct LoopCtx<'a> {
+    this: &'a Json,
+    index: usize,
+}
+
+fn render_nodes(
+    nodes: &[Node],
+    ctx: &Json,
+    loop_ctx: Option<&LoopCtx>,
+    out: &mut String,
+) -> Result<(), TemplateError> {
+    for node in nodes {
+        match node {
+            Node::Text(t) => out.push_str(t),
+            Node::Interp(path) => {
+                let v = resolve(path, ctx, loop_ctx);
+                out.push_str(&json_to_text(&v));
+            }
+            Node::Each { path, body } => {
+                let v = resolve(path, ctx, loop_ctx);
+                match v {
+                    Json::Array(items) => {
+                        for (index, item) in items.iter().enumerate() {
+                            let lc = LoopCtx { this: item, index };
+                            render_nodes(body, ctx, Some(&lc), out)?;
+                        }
+                    }
+                    Json::Null => {}
+                    other => {
+                        return Err(TemplateError(format!(
+                            "{{{{#each {path}}}}} target is not an array: {other}"
+                        )))
+                    }
+                }
+            }
+            Node::If {
+                path,
+                then_body,
+                else_body,
+            } => {
+                let v = resolve(path, ctx, loop_ctx);
+                let body = if truthy(&v) { then_body } else { else_body };
+                render_nodes(body, ctx, loop_ctx, out)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn resolve(path: &str, ctx: &Json, loop_ctx: Option<&LoopCtx>) -> Json {
+    if path == "@index" {
+        return loop_ctx
+            .map(|l| Json::from(l.index))
+            .unwrap_or(Json::Null);
+    }
+    let (root, rest): (&Json, &str) = if path == "this" {
+        return loop_ctx.map(|l| l.this.clone()).unwrap_or(Json::Null);
+    } else if let Some(r) = path.strip_prefix("this.") {
+        match loop_ctx {
+            Some(l) => (l.this, r),
+            None => return Json::Null,
+        }
+    } else {
+        (ctx, path)
+    };
+    let mut cur = root;
+    for seg in rest.split('.') {
+        match cur {
+            Json::Object(m) => match m.get(seg) {
+                Some(v) => cur = v,
+                None => return Json::Null,
+            },
+            Json::Array(items) => match seg.parse::<usize>().ok().and_then(|i| items.get(i)) {
+                Some(v) => cur = v,
+                None => return Json::Null,
+            },
+            _ => return Json::Null,
+        }
+    }
+    cur.clone()
+}
+
+fn truthy(v: &Json) -> bool {
+    match v {
+        Json::Null => false,
+        Json::Bool(b) => *b,
+        Json::Number(n) => n.as_f64().map(|f| f != 0.0).unwrap_or(false),
+        Json::String(s) => !s.is_empty(),
+        Json::Array(a) => !a.is_empty(),
+        Json::Object(o) => !o.is_empty(),
+    }
+}
+
+fn json_to_text(v: &Json) -> String {
+    match v {
+        Json::Null => String::new(),
+        Json::String(s) => s.clone(),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn plain_interpolation() {
+        let out = render("hello {{name}}!", &json!({"name": "edge"})).unwrap();
+        assert_eq!(out, "hello edge!");
+    }
+
+    #[test]
+    fn nested_path_interpolation() {
+        let out = render("{{svc.route}}", &json!({"svc": {"route": "/predict"}})).unwrap();
+        assert_eq!(out, "/predict");
+    }
+
+    #[test]
+    fn missing_path_renders_empty() {
+        let out = render("[{{nope.deep}}]", &json!({})).unwrap();
+        assert_eq!(out, "[]");
+    }
+
+    #[test]
+    fn each_with_this_and_index() {
+        let out = render(
+            "{{#each xs}}{{@index}}:{{this}};{{/each}}",
+            &json!({"xs": ["a", "b"]}),
+        )
+        .unwrap();
+        assert_eq!(out, "0:a;1:b;");
+    }
+
+    #[test]
+    fn each_with_field_access() {
+        let out = render(
+            "{{#each routes}}{{this.verb}} {{this.path}}\n{{/each}}",
+            &json!({"routes": [
+                {"verb": "GET", "path": "/a"},
+                {"verb": "POST", "path": "/b"},
+            ]}),
+        )
+        .unwrap();
+        assert_eq!(out, "GET /a\nPOST /b\n");
+    }
+
+    #[test]
+    fn if_else_branches() {
+        let t = Template::parse("{{#if on}}yes{{else}}no{{/if}}").unwrap();
+        assert_eq!(t.render(&json!({"on": true})).unwrap(), "yes");
+        assert_eq!(t.render(&json!({"on": false})).unwrap(), "no");
+        assert_eq!(t.render(&json!({})).unwrap(), "no");
+    }
+
+    #[test]
+    fn if_without_else() {
+        let out = render("{{#if xs}}has{{/if}}", &json!({"xs": []})).unwrap();
+        assert_eq!(out, "");
+    }
+
+    #[test]
+    fn nested_blocks() {
+        let out = render(
+            "{{#each svcs}}{{#if this.replicated}}{{this.name}} {{/if}}{{/each}}",
+            &json!({"svcs": [
+                {"name": "a", "replicated": true},
+                {"name": "b", "replicated": false},
+                {"name": "c", "replicated": true},
+            ]}),
+        )
+        .unwrap();
+        assert_eq!(out, "a c ");
+    }
+
+    #[test]
+    fn each_over_null_renders_nothing() {
+        assert_eq!(render("{{#each missing}}x{{/each}}", &json!({})).unwrap(), "");
+    }
+
+    #[test]
+    fn each_over_scalar_errors() {
+        assert!(render("{{#each n}}x{{/each}}", &json!({"n": 5})).is_err());
+    }
+
+    #[test]
+    fn unbalanced_blocks_error() {
+        assert!(Template::parse("{{#if a}}x").is_err());
+        assert!(Template::parse("x{{/each}}").is_err());
+        assert!(Template::parse("{{#bogus a}}{{/bogus}}").is_err());
+        assert!(Template::parse("{{unclosed").is_err());
+    }
+
+    #[test]
+    fn numbers_render_without_quotes() {
+        assert_eq!(render("{{n}}", &json!({"n": 42})).unwrap(), "42");
+        assert_eq!(render("{{n}}", &json!({"n": 2.5})).unwrap(), "2.5");
+    }
+
+    #[test]
+    fn no_html_escaping() {
+        let out = render("{{code}}", &json!({"code": "if (a < b) { c(\"x\"); }"})).unwrap();
+        assert_eq!(out, "if (a < b) { c(\"x\"); }");
+    }
+
+    #[test]
+    fn array_index_in_path() {
+        assert_eq!(
+            render("{{xs.1}}", &json!({"xs": [10, 20]})).unwrap(),
+            "20"
+        );
+    }
+}

@@ -1,0 +1,316 @@
+//! # edgstr-vfs — virtual file system for the EdgStr substrate
+//!
+//! Cloud services access files "both locally and remotely"; EdgStr
+//! identifies file accesses by instrumenting invocations whose arguments
+//! are file URLs, then duplicates the identified files by copying or
+//! downloading (§III-C). This crate provides the file store those
+//! operations run against: an in-memory [`VirtualFs`] with snapshot/restore
+//! (state isolation) and cross-store duplication (edge replica
+//! provisioning).
+//!
+//! ## Example
+//!
+//! ```
+//! use edgstr_vfs::VirtualFs;
+//!
+//! let mut cloud = VirtualFs::new();
+//! cloud.write("/models/resnet.bin", vec![0u8; 1024]);
+//! let mut edge = VirtualFs::new();
+//! edge.duplicate_from(&cloud, "/models/resnet.bin").unwrap();
+//! assert_eq!(edge.peek("/models/resnet.bin").unwrap().len(), 1024);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error raised by file operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VfsError {
+    /// The file does not exist.
+    NotFound(String),
+}
+
+impl fmt::Display for VfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VfsError::NotFound(p) => write!(f, "file not found: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for VfsError {}
+
+/// One stored file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileEntry {
+    /// File contents.
+    pub data: Vec<u8>,
+    /// Logical modification counter (monotonic per store).
+    pub version: u64,
+}
+
+/// A snapshot of the whole file system (the `save "init"` analog for the
+/// files state unit).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FsSnapshot {
+    files: BTreeMap<String, FileEntry>,
+}
+
+impl FsSnapshot {
+    /// Total bytes held by the snapshot.
+    pub fn byte_size(&self) -> usize {
+        self.files.values().map(|f| f.data.len()).sum()
+    }
+
+    /// Paths captured, sorted.
+    pub fn paths(&self) -> Vec<String> {
+        self.files.keys().cloned().collect()
+    }
+
+    /// `(path, contents)` pairs for CRDT-Files initialization.
+    pub fn entries(&self) -> Vec<(String, Vec<u8>)> {
+        self.files
+            .iter()
+            .map(|(p, f)| (p.clone(), f.data.clone()))
+            .collect()
+    }
+}
+
+/// An in-memory file system.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VirtualFs {
+    files: BTreeMap<String, FileEntry>,
+    next_version: u64,
+    reads: u64,
+    writes: u64,
+}
+
+impl VirtualFs {
+    /// An empty file system.
+    pub fn new() -> Self {
+        VirtualFs::default()
+    }
+
+    /// Create or overwrite `path` with `data`.
+    pub fn write(&mut self, path: impl Into<String>, data: Vec<u8>) {
+        self.next_version += 1;
+        self.writes += 1;
+        self.files.insert(
+            path.into(),
+            FileEntry {
+                data,
+                version: self.next_version,
+            },
+        );
+    }
+
+    /// Read the contents of `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::NotFound`] when the file does not exist.
+    pub fn read(&mut self, path: &str) -> Result<&[u8], VfsError> {
+        self.reads += 1;
+        self.files
+            .get(path)
+            .map(|f| f.data.as_slice())
+            .ok_or_else(|| VfsError::NotFound(path.to_string()))
+    }
+
+    /// Read without bumping access counters (for assertions/inspection).
+    pub fn peek(&self, path: &str) -> Option<&[u8]> {
+        self.files.get(path).map(|f| f.data.as_slice())
+    }
+
+    /// Remove `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::NotFound`] when the file does not exist.
+    pub fn remove(&mut self, path: &str) -> Result<(), VfsError> {
+        self.files
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| VfsError::NotFound(path.to_string()))
+    }
+
+    /// Whether `path` exists.
+    pub fn contains(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Size of `path` in bytes, if it exists.
+    pub fn size(&self, path: &str) -> Option<usize> {
+        self.files.get(path).map(|f| f.data.len())
+    }
+
+    /// All paths, sorted.
+    pub fn list(&self) -> Vec<String> {
+        self.files.keys().cloned().collect()
+    }
+
+    /// Paths under a prefix (directory-style listing).
+    pub fn list_prefix(&self, prefix: &str) -> Vec<String> {
+        self.files
+            .keys()
+            .filter(|p| p.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Total bytes stored.
+    pub fn byte_size(&self) -> usize {
+        self.files.values().map(|f| f.data.len()).sum()
+    }
+
+    /// `(reads, writes)` access counters (used by the dynamic analysis to
+    /// detect file-touching services).
+    pub fn access_counts(&self) -> (u64, u64) {
+        (self.reads, self.writes)
+    }
+
+    /// Copy a file within this store (the paper's local duplication).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::NotFound`] when `src` does not exist.
+    pub fn copy(&mut self, src: &str, dst: impl Into<String>) -> Result<(), VfsError> {
+        let data = self
+            .files
+            .get(src)
+            .map(|f| f.data.clone())
+            .ok_or_else(|| VfsError::NotFound(src.to_string()))?;
+        self.write(dst, data);
+        Ok(())
+    }
+
+    /// Copy a file from another store (the paper's download-based
+    /// duplication when provisioning an edge replica). Returns the number
+    /// of bytes transferred, for traffic accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::NotFound`] when `path` does not exist in `other`.
+    pub fn duplicate_from(&mut self, other: &VirtualFs, path: &str) -> Result<usize, VfsError> {
+        let data = other
+            .peek(path)
+            .ok_or_else(|| VfsError::NotFound(path.to_string()))?
+            .to_vec();
+        let n = data.len();
+        self.write(path, data);
+        Ok(n)
+    }
+
+    /// Snapshot the whole file system (the `save "init"` operation).
+    pub fn snapshot(&self) -> FsSnapshot {
+        FsSnapshot {
+            files: self.files.clone(),
+        }
+    }
+
+    /// Restore a snapshot (the `restore "init"` operation).
+    pub fn restore(&mut self, snapshot: &FsSnapshot) {
+        self.files = snapshot.files.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut fs = VirtualFs::new();
+        fs.write("/a.txt", b"hello".to_vec());
+        assert_eq!(fs.read("/a.txt").unwrap(), b"hello");
+        assert_eq!(fs.size("/a.txt"), Some(5));
+    }
+
+    #[test]
+    fn read_missing_errors() {
+        let mut fs = VirtualFs::new();
+        assert_eq!(
+            fs.read("/nope"),
+            Err(VfsError::NotFound("/nope".to_string()))
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut fs = VirtualFs::new();
+        fs.write("/keep", b"original".to_vec());
+        let snap = fs.snapshot();
+        fs.write("/keep", b"mutated".to_vec());
+        fs.write("/extra", b"junk".to_vec());
+        fs.restore(&snap);
+        assert_eq!(fs.peek("/keep"), Some(&b"original"[..]));
+        assert!(!fs.contains("/extra"));
+    }
+
+    #[test]
+    fn duplicate_from_reports_bytes() {
+        let mut cloud = VirtualFs::new();
+        cloud.write("/model.bin", vec![1u8; 2048]);
+        let mut edge = VirtualFs::new();
+        let n = edge.duplicate_from(&cloud, "/model.bin").unwrap();
+        assert_eq!(n, 2048);
+        assert_eq!(edge.peek("/model.bin"), cloud.peek("/model.bin"));
+    }
+
+    #[test]
+    fn copy_within_store() {
+        let mut fs = VirtualFs::new();
+        fs.write("/src", b"x".to_vec());
+        fs.copy("/src", "/dst").unwrap();
+        assert_eq!(fs.peek("/dst"), Some(&b"x"[..]));
+        assert!(fs.copy("/missing", "/y").is_err());
+    }
+
+    #[test]
+    fn prefix_listing() {
+        let mut fs = VirtualFs::new();
+        fs.write("/img/1.png", vec![]);
+        fs.write("/img/2.png", vec![]);
+        fs.write("/other", vec![]);
+        assert_eq!(fs.list_prefix("/img/").len(), 2);
+        assert_eq!(fs.list().len(), 3);
+    }
+
+    #[test]
+    fn access_counters_track() {
+        let mut fs = VirtualFs::new();
+        fs.write("/a", vec![]);
+        let _ = fs.read("/a");
+        let _ = fs.read("/a");
+        assert_eq!(fs.access_counts(), (2, 1));
+    }
+
+    #[test]
+    fn remove_deletes() {
+        let mut fs = VirtualFs::new();
+        fs.write("/a", vec![1]);
+        fs.remove("/a").unwrap();
+        assert!(!fs.contains("/a"));
+        assert!(fs.remove("/a").is_err());
+    }
+
+    #[test]
+    fn byte_size_sums() {
+        let mut fs = VirtualFs::new();
+        fs.write("/a", vec![0; 10]);
+        fs.write("/b", vec![0; 20]);
+        assert_eq!(fs.byte_size(), 30);
+        assert_eq!(fs.snapshot().byte_size(), 30);
+        assert_eq!(fs.snapshot().entries().len(), 2);
+    }
+}

@@ -1,0 +1,203 @@
+//! `edgstr` — command-line front end for the transformation pipeline.
+//!
+//! ```text
+//! edgstr transform <server.njs> <traffic.json> [--out replica.njs] [--reject <unit>...]
+//! edgstr inspect   <server.njs> <traffic.json>
+//! ```
+//!
+//! `traffic.json` describes the captured client traffic as an array of
+//! requests:
+//!
+//! ```json
+//! [
+//!   {"verb": "POST", "path": "/predict", "params": {"w": 640}, "body_kib": 256},
+//!   {"verb": "GET",  "path": "/labels",  "params": {}}
+//! ]
+//! ```
+//!
+//! `--reject` marks state units for which the developer declines eventual
+//! consistency (the Consult Developer step): `table:<name>`,
+//! `file:<path>`, or `global:<name>`.
+
+use edgstr_analysis::StateUnit;
+use edgstr_core::{capture_and_transform, ConsistencyPolicy, EdgStrConfig};
+use edgstr_net::{HttpRequest, Verb};
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("edgstr: {msg}");
+            eprintln!();
+            eprintln!("usage:");
+            eprintln!("  edgstr transform <server.njs> <traffic.json> [--out replica.njs] [--reject unit]...");
+            eprintln!("  edgstr inspect   <server.njs> <traffic.json>");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mode = args.first().ok_or("missing subcommand")?;
+    if !matches!(mode.as_str(), "transform" | "inspect") {
+        return Err(format!("unknown subcommand '{mode}'"));
+    }
+    let server_path = args.get(1).ok_or("missing <server.njs>")?;
+    let traffic_path = args.get(2).ok_or("missing <traffic.json>")?;
+    let mut out_path: Option<String> = None;
+    let mut rejects: BTreeSet<StateUnit> = BTreeSet::new();
+    let mut i = 3;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_path = Some(
+                    args.get(i + 1)
+                        .ok_or("--out needs a path")?
+                        .to_string(),
+                );
+                i += 2;
+            }
+            "--reject" => {
+                let spec = args.get(i + 1).ok_or("--reject needs a unit spec")?;
+                rejects.insert(parse_unit(spec)?);
+                i += 2;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+
+    let source = std::fs::read_to_string(server_path)
+        .map_err(|e| format!("cannot read {server_path}: {e}"))?;
+    let traffic = std::fs::read_to_string(traffic_path)
+        .map_err(|e| format!("cannot read {traffic_path}: {e}"))?;
+    let requests = parse_traffic(&traffic)?;
+
+    let policy = if rejects.is_empty() {
+        ConsistencyPolicy::AcceptAll
+    } else {
+        ConsistencyPolicy::Reject(rejects)
+    };
+    let app_name = server_path
+        .rsplit('/')
+        .next()
+        .unwrap_or(server_path)
+        .trim_end_matches(".njs")
+        .to_string();
+    let (report, capture) = capture_and_transform(
+        &source,
+        &requests,
+        &EdgStrConfig {
+            app_name,
+            fuzz_iters: 3,
+            policy,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    println!("captured {} exchanges over {} services", capture.len(), report.services.len());
+    println!();
+    println!("{:<8} {:<28} {:<11} state units / rejection", "verb", "service", "replicated");
+    for s in &report.services {
+        let detail = match (&s.rejection, &s.profile) {
+            (Some(r), _) => r.clone(),
+            (None, Some(p)) => p
+                .state_units
+                .iter()
+                .map(|u| u.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            (None, None) => String::new(),
+        };
+        println!(
+            "{:<8} {:<28} {:<11} {}",
+            s.verb.to_string(),
+            s.path,
+            if s.replicated { "yes" } else { "no" },
+            detail
+        );
+    }
+    println!();
+    println!("CRDT bindings: {}", report.replica.bindings);
+    println!(
+        "init snapshot: {} KB (cross-ISA S_app equivalent)",
+        report.full_state_bytes / 1024
+    );
+
+    if mode == "transform" {
+        let out = out_path.unwrap_or_else(|| format!("{server_path}.replica.njs"));
+        std::fs::write(&out, &report.replica.source)
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("replica written to {out}");
+    } else {
+        println!("\n--- generated replica (not written; use `transform`) ---\n");
+        println!("{}", report.replica.source);
+    }
+    Ok(())
+}
+
+fn parse_unit(spec: &str) -> Result<StateUnit, String> {
+    let (kind, name) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("bad unit spec '{spec}' (want kind:name)"))?;
+    match kind {
+        "table" => Ok(StateUnit::DbTable(name.to_string())),
+        "file" => Ok(StateUnit::File(name.to_string())),
+        "global" => Ok(StateUnit::Global(name.to_string())),
+        other => Err(format!("unknown unit kind '{other}'")),
+    }
+}
+
+fn parse_traffic(json: &str) -> Result<Vec<HttpRequest>, String> {
+    let spec: serde_json::Value =
+        serde_json::from_str(json).map_err(|e| format!("traffic JSON: {e}"))?;
+    let items = spec
+        .as_array()
+        .ok_or("traffic JSON must be an array of requests")?;
+    let mut out = Vec::new();
+    for (i, item) in items.iter().enumerate() {
+        let verb = match item
+            .get("verb")
+            .and_then(serde_json::Value::as_str)
+            .unwrap_or("GET")
+            .to_ascii_uppercase()
+            .as_str()
+        {
+            "GET" => Verb::Get,
+            "POST" => Verb::Post,
+            "PUT" => Verb::Put,
+            "DELETE" => Verb::Delete,
+            other => return Err(format!("request {i}: unknown verb '{other}'")),
+        };
+        let path = item
+            .get("path")
+            .and_then(serde_json::Value::as_str)
+            .ok_or_else(|| format!("request {i}: missing path"))?
+            .to_string();
+        let params = item
+            .get("params")
+            .cloned()
+            .unwrap_or(serde_json::json!({}));
+        let body_kib = item
+            .get("body_kib")
+            .and_then(serde_json::Value::as_u64)
+            .unwrap_or(0) as usize;
+        let body = if body_kib > 0 {
+            edgstr_apps::synthetic_payload(i as u64 + 1, body_kib)
+        } else {
+            Vec::new()
+        };
+        out.push(HttpRequest {
+            verb,
+            path,
+            params,
+            body,
+        });
+    }
+    if out.is_empty() {
+        return Err("traffic JSON contains no requests".to_string());
+    }
+    Ok(out)
+}

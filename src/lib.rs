@@ -1,0 +1,43 @@
+//! # edgstr — automating client-cloud → client-edge-cloud transformation
+//!
+//! The facade crate of the EdgStr reproduction (ICDCS 2024). It re-exports
+//! the public APIs of every workspace crate; see the README for the
+//! architecture and `DESIGN.md` for the paper-to-crate mapping.
+//!
+//! ```
+//! use edgstr::core::{capture_and_transform, EdgStrConfig};
+//! use edgstr::net::HttpRequest;
+//! use serde_json::json;
+//!
+//! let app = r#"app.get("/ping", function (req, res) { res.send({ n: req.params.n }); });"#;
+//! let reqs = vec![HttpRequest::get("/ping", json!({"n": 1}))];
+//! let (report, _) = capture_and_transform(app, &reqs, &EdgStrConfig::default()).unwrap();
+//! assert_eq!(report.replicated_count(), 1);
+//! ```
+
+/// The transformation pipeline (capture → analyze → consult → generate).
+pub use edgstr_core as core;
+/// Dynamic analysis: server process, tracing, fuzzing, slicing.
+pub use edgstr_analysis as analysis;
+/// The seven subject applications of the evaluation.
+pub use edgstr_apps as apps;
+/// Comparator systems: caching proxy, batching proxy, cross-ISA sync.
+pub use edgstr_baselines as baselines;
+/// Conflict-free replicated data types (CRDT-JSON/Table/Files).
+pub use edgstr_crdt as crdt;
+/// Stratified Datalog engine for dependence analysis.
+pub use edgstr_datalog as datalog;
+/// NodeScript: the Node.js-like mini language.
+pub use edgstr_lang as lang;
+/// Emulated networking, HTTP model, traffic capture.
+pub use edgstr_net as net;
+/// Three-tier runtime: replicas, sync daemon, balancer, autoscaler.
+pub use edgstr_runtime as runtime;
+/// Virtual time, device CPU/energy models, metrics.
+pub use edgstr_sim as sim;
+/// In-memory SQL engine with snapshot/rollback.
+pub use edgstr_sql as sql;
+/// Handlebars-style template engine for replica codegen.
+pub use edgstr_template as template;
+/// In-memory virtual file system.
+pub use edgstr_vfs as vfs;
