@@ -125,7 +125,11 @@ impl AnalysisFacts {
                     }
                 }
                 Stmt::For {
-                    id, init, update, body, ..
+                    id,
+                    init,
+                    update,
+                    body,
+                    ..
                 } => {
                     db.add_fact("control_dep", vec![sid(init.id()), sid(*id)]);
                     db.add_fact("control_dep", vec![sid(update.id()), sid(*id)]);
@@ -164,7 +168,8 @@ impl AnalysisFacts {
             }
         }
 
-        db.evaluate(&rules()).expect("static rule set is well-formed");
+        db.evaluate(&rules())
+            .expect("static rule set is well-formed");
         AnalysisFacts {
             db,
             base_order: base.trace.executed_stmts(),
@@ -186,7 +191,11 @@ impl AnalysisFacts {
             .into_iter()
             .map(|t| stmt_of(&t[0]))
             .collect();
-        let entry = self.base_order.iter().copied().find(|s| unmar.contains(s))?;
+        let entry = self
+            .base_order
+            .iter()
+            .copied()
+            .find(|s| unmar.contains(s))?;
         let exit = self.base_order.iter().copied().find(|s| mar.contains(s))?;
         let unmar_var = program.find(entry).and_then(|s| s.written_var());
         let mar_var = program.find(exit).and_then(|s| {
@@ -435,10 +444,10 @@ mod tests {
         let slice = facts.slice(Some(&ee));
         // the INSERT statement's enclosing stmt must be kept although the
         // response does not depend on it
-        let has_insert = program.all_stmts().into_iter().any(|s| {
-            slice.contains(&s.id())
-                && format!("{s:?}").contains("INSERT INTO audit")
-        });
+        let has_insert = program
+            .all_stmts()
+            .into_iter()
+            .any(|s| slice.contains(&s.id()) && format!("{s:?}").contains("INSERT INTO audit"));
         assert!(has_insert, "side-effecting INSERT sliced away");
     }
 

@@ -82,11 +82,7 @@ fn fuzz_json(v: &Json, iteration: usize, dict: &mut FuzzDictionary) -> Json {
     match v {
         Json::String(s) => {
             let fuzzed = format!("{s}_fz{iteration}");
-            dict.record(
-                iteration,
-                Atom::Str(s.clone()),
-                Atom::Str(fuzzed.clone()),
-            );
+            dict.record(iteration, Atom::Str(s.clone()), Atom::Str(fuzzed.clone()));
             Json::String(fuzzed)
         }
         Json::Number(n) => {

@@ -7,8 +7,7 @@
 //! the live cloud server and edge replicas.
 
 use edgstr_lang::{
-    parse, Host, HostOutcome, Instrument, Interpreter, NoopInstrument, Program, RuntimeError,
-    Value,
+    parse, Host, HostOutcome, Instrument, Interpreter, NoopInstrument, Program, RuntimeError, Value,
 };
 use edgstr_net::{HttpRequest, HttpResponse, Verb};
 use edgstr_sql::{RowEffect, SqlDb};
@@ -157,11 +156,7 @@ impl Host for ServerHost<'_> {
                     .first()
                     .and_then(|v| v.as_str())
                     .ok_or("fs.readFile needs a path")?;
-                let data = self
-                    .fs
-                    .read(path)
-                    .map_err(|e| e.to_string())?
-                    .to_vec();
+                let data = self.fs.read(path).map_err(|e| e.to_string())?.to_vec();
                 let cycles = cost::HOST_BASE + cost::FILE_PER_BYTE * data.len() as u64;
                 Ok(HostOutcome::with_cycles(Value::bytes(data), cycles))
             }
@@ -334,10 +329,12 @@ impl Host for ServerHost<'_> {
     }
 
     fn native_names(&self) -> Vec<String> {
-        ["app", "db", "fs", "res", "tensor", "JSON", "Math", "util", "console"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect()
+        [
+            "app", "db", "fs", "res", "tensor", "JSON", "Math", "util", "console",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
     }
 }
 
@@ -504,7 +501,9 @@ impl ServerProcess {
 
     /// Look up a route by verb and path.
     pub fn route(&self, verb: Verb, path: &str) -> Option<&Route> {
-        self.routes.iter().find(|r| r.verb == verb && r.path == path)
+        self.routes
+            .iter()
+            .find(|r| r.verb == verb && r.path == path)
     }
 
     /// Deep-copied snapshot of mutable global state (functions and natives

@@ -75,7 +75,12 @@ fn filter_stmt(s: &Stmt, slice: &BTreeSet<StmtId>) -> Option<Stmt> {
                 else_block: filter_block(else_block, slice),
             })
         }
-        Stmt::While { id, line, cond, body } => {
+        Stmt::While {
+            id,
+            line,
+            cond,
+            body,
+        } => {
             if !contains_any(s, slice) {
                 return None;
             }
@@ -191,9 +196,7 @@ pub fn extract_function(
     let support: Vec<Stmt> = program
         .all_stmts()
         .into_iter()
-        .filter(|s| {
-            matches!(s, Stmt::Function { name, .. } if support_names.contains(name))
-        })
+        .filter(|s| matches!(s, Stmt::Function { name, .. } if support_names.contains(name)))
         .cloned()
         .collect();
     Some(ExtractedService {

@@ -44,11 +44,7 @@ impl ExecutionTrace {
 
     /// Names of global variables written during the execution.
     pub fn written_globals(&self) -> Vec<String> {
-        let mut out: Vec<String> = self
-            .global_writes
-            .iter()
-            .map(|(_, v)| v.clone())
-            .collect();
+        let mut out: Vec<String> = self.global_writes.iter().map(|(_, v)| v.clone()).collect();
         out.sort();
         out.dedup();
         out
@@ -156,7 +152,10 @@ impl Instrument for Tracer {
                 self.trace.rw_events.push((*stmt, var.clone(), true));
             }
             TraceEvent::Invoke {
-                stmt, func, args, ret,
+                stmt,
+                func,
+                args,
+                ret,
             } => {
                 let mut atoms = BTreeSet::new();
                 for a in args {
@@ -210,9 +209,12 @@ impl Instrument for Tracer {
 /// Heuristic: does a string look like a SQL command?
 pub fn looks_like_sql(s: &str) -> bool {
     let t = s.trim_start().to_ascii_lowercase();
-    ["select", "insert", "update", "delete", "create", "drop", "begin", "start", "commit", "rollback"]
-        .iter()
-        .any(|kw| t.starts_with(kw))
+    [
+        "select", "insert", "update", "delete", "create", "drop", "begin", "start", "commit",
+        "rollback",
+    ]
+    .iter()
+    .any(|kw| t.starts_with(kw))
 }
 
 #[cfg(test)]
@@ -224,8 +226,14 @@ mod tests {
 
     #[test]
     fn table_of_extracts_names() {
-        assert_eq!(table_of("SELECT * FROM books WHERE id = 1"), Some("books".into()));
-        assert_eq!(table_of("INSERT INTO notes VALUES (1)"), Some("notes".into()));
+        assert_eq!(
+            table_of("SELECT * FROM books WHERE id = 1"),
+            Some("books".into())
+        );
+        assert_eq!(
+            table_of("INSERT INTO notes VALUES (1)"),
+            Some("notes".into())
+        );
         assert_eq!(table_of("UPDATE users SET a = 1"), Some("users".into()));
         assert_eq!(
             table_of("CREATE TABLE IF NOT EXISTS t (id INT)"),
@@ -257,11 +265,8 @@ mod tests {
         let mut s = ServerProcess::from_source(src).unwrap();
         s.init().unwrap();
         let mut tracer = Tracer::new();
-        s.handle_traced(
-            &HttpRequest::post("/add", json!({}), vec![]),
-            &mut tracer,
-        )
-        .unwrap();
+        s.handle_traced(&HttpRequest::post("/add", json!({}), vec![]), &mut tracer)
+            .unwrap();
         let t = tracer.into_trace();
         assert_eq!(t.sql_tables(), vec!["t".to_string()]);
         assert_eq!(t.files_touched(), vec![("/log.txt".to_string(), true)]);
@@ -277,9 +282,6 @@ mod tests {
             stmt_order: vec![StmtId(3), StmtId(1), StmtId(3), StmtId(2)],
             ..Default::default()
         };
-        assert_eq!(
-            t.executed_stmts(),
-            vec![StmtId(3), StmtId(1), StmtId(2)]
-        );
+        assert_eq!(t.executed_stmts(), vec![StmtId(3), StmtId(1), StmtId(2)]);
     }
 }

@@ -172,7 +172,9 @@ mod tests {
             vec![],
         ))
         .unwrap();
-        let v = s.handle(&HttpRequest::get("/violations", json!({}))).unwrap();
+        let v = s
+            .handle(&HttpRequest::get("/violations", json!({})))
+            .unwrap();
         assert_eq!(v.response.body["violations"], json!(["outside"]));
     }
 }

@@ -169,8 +169,9 @@ mod tests {
                 app.name
             );
             for req in &app.regression_requests {
-                s.handle(req)
-                    .unwrap_or_else(|e| panic!("{}: regression {} failed: {e}", app.name, req.path));
+                s.handle(req).unwrap_or_else(|e| {
+                    panic!("{}: regression {} failed: {e}", app.name, req.path)
+                });
             }
         }
     }

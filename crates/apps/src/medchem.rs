@@ -137,7 +137,11 @@ mod tests {
         let mut s = ServerProcess::from_source(&a.source).unwrap();
         s.init().unwrap();
         let before = s
-            .handle(&HttpRequest::post("/screen", json!({"smiles": "SS"}), vec![]))
+            .handle(&HttpRequest::post(
+                "/screen",
+                json!({"smiles": "SS"}),
+                vec![],
+            ))
             .unwrap()
             .response
             .body["score"]
@@ -145,7 +149,11 @@ mod tests {
         assert_eq!(before, json!(0));
         s.handle(&a.service_requests[2]).unwrap(); // add sulfur rule
         let after = s
-            .handle(&HttpRequest::post("/screen", json!({"smiles": "SS"}), vec![]))
+            .handle(&HttpRequest::post(
+                "/screen",
+                json!({"smiles": "SS"}),
+                vec![],
+            ))
             .unwrap()
             .response
             .body["score"]

@@ -136,8 +136,12 @@ mod tests {
             vec![],
         ))
         .unwrap();
-        s.handle(&HttpRequest::post("/threshold", json!({"limit": 25}), vec![]))
-            .unwrap();
+        s.handle(&HttpRequest::post(
+            "/threshold",
+            json!({"limit": 25}),
+            vec![],
+        ))
+        .unwrap();
         let alerts = s.handle(&HttpRequest::get("/alerts", json!({}))).unwrap();
         assert_eq!(alerts.response.body["alerts"].as_array().unwrap().len(), 1);
     }

@@ -99,19 +99,11 @@ pub fn app() -> SubjectApp {
                  Replicas converge through CRDTs.";
     let service_requests = vec![
         HttpRequest::post("/analyze", json!({"text": essay}), vec![]),
-        HttpRequest::post(
-            "/document",
-            json!({"name": "notes", "text": essay}),
-            vec![],
-        ),
+        HttpRequest::post("/document", json!({"name": "notes", "text": essay}), vec![]),
         HttpRequest::get("/document", json!({"name": "notes"})),
         HttpRequest::get("/wordfreq", json!({"name": "notes"})),
         HttpRequest::get("/docs", json!({})),
-        HttpRequest::post(
-            "/summarize",
-            json!({"text": essay, "sentences": 2}),
-            vec![],
-        ),
+        HttpRequest::post("/summarize", json!({"text": essay, "sentences": 2}), vec![]),
     ];
     let regression_requests = vec![
         HttpRequest::post("/analyze", json!({"text": "alpha beta alpha"}), vec![]),

@@ -85,11 +85,9 @@ impl CachingProxySystem {
                 let done = tr.at + lan_up + lan_down;
                 stats.latency.record(done - tr.at);
                 stats.completed += 1;
-                stats.client_energy_j += self.mobile.request_energy_j(
-                    lan_up,
-                    lan_down,
-                    edgstr_sim::SimDuration::ZERO,
-                );
+                stats.client_energy_j +=
+                    self.mobile
+                        .request_energy_j(lan_up, lan_down, edgstr_sim::SimDuration::ZERO);
                 if done > stats.makespan {
                     stats.makespan = done;
                 }
@@ -152,12 +150,7 @@ pub struct BatchingProxySystem {
 
 impl BatchingProxySystem {
     /// Build around an initialized cloud server.
-    pub fn new(
-        cloud: ServerProcess,
-        wan: LinkSpec,
-        lan: LinkSpec,
-        batch_size: usize,
-    ) -> Self {
+    pub fn new(cloud: ServerProcess, wan: LinkSpec, lan: LinkSpec, batch_size: usize) -> Self {
         BatchingProxySystem {
             cloud,
             device: Device::new(DeviceSpec::cloud_server()),
@@ -207,11 +200,9 @@ impl BatchingProxySystem {
                 let finish = done + lan_down;
                 stats.latency.record(finish - submitted);
                 stats.completed += 1;
-                stats.client_energy_j += self.mobile.request_energy_j(
-                    lan_up,
-                    lan_down,
-                    finish - submitted,
-                );
+                stats.client_energy_j +=
+                    self.mobile
+                        .request_energy_j(lan_up, lan_down, finish - submitted);
                 if finish > stats.makespan {
                     stats.makespan = finish;
                 }
@@ -247,11 +238,8 @@ mod tests {
 
     #[test]
     fn cache_hits_are_fast_and_counted() {
-        let mut sys = CachingProxySystem::new(
-            cloud(),
-            LinkSpec::limited_cloud(),
-            LinkSpec::edge_lan(),
-        );
+        let mut sys =
+            CachingProxySystem::new(cloud(), LinkSpec::limited_cloud(), LinkSpec::edge_lan());
         let stats = sys.run(&read_workload(10));
         assert_eq!(stats.completed, 10);
         assert_eq!(sys.misses, 1);
@@ -264,11 +252,8 @@ mod tests {
 
     #[test]
     fn cache_serves_stale_data_after_writes() {
-        let mut sys = CachingProxySystem::new(
-            cloud(),
-            LinkSpec::limited_cloud(),
-            LinkSpec::edge_lan(),
-        );
+        let mut sys =
+            CachingProxySystem::new(cloud(), LinkSpec::limited_cloud(), LinkSpec::edge_lan());
         let list = HttpRequest::get("/books", json!({}));
         let wl = Workload::constant_rate(std::slice::from_ref(&list), 5.0, 1);
         sys.run(&wl);
@@ -290,19 +275,11 @@ mod tests {
 
     #[test]
     fn batching_reduces_wan_messages_but_adds_wait() {
-        let mut unbatched = BatchingProxySystem::new(
-            cloud(),
-            LinkSpec::limited_cloud(),
-            LinkSpec::edge_lan(),
-            1,
-        );
+        let mut unbatched =
+            BatchingProxySystem::new(cloud(), LinkSpec::limited_cloud(), LinkSpec::edge_lan(), 1);
         let s1 = unbatched.run(&read_workload(8));
-        let mut batched = BatchingProxySystem::new(
-            cloud(),
-            LinkSpec::limited_cloud(),
-            LinkSpec::edge_lan(),
-            4,
-        );
+        let mut batched =
+            BatchingProxySystem::new(cloud(), LinkSpec::limited_cloud(), LinkSpec::edge_lan(), 4);
         let s4 = batched.run(&read_workload(8));
         assert_eq!(s1.completed, 8);
         assert_eq!(s4.completed, 8);

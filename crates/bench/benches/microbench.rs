@@ -59,7 +59,8 @@ fn bench_crdt(c: &mut Criterion) {
                 let mut bdoc = Doc::new(ActorId(2));
                 for i in 0..50 {
                     a.put(&[PathSeg::Key(format!("a{i}"))], json!(i)).unwrap();
-                    bdoc.put(&[PathSeg::Key(format!("b{i}"))], json!(i)).unwrap();
+                    bdoc.put(&[PathSeg::Key(format!("b{i}"))], json!(i))
+                        .unwrap();
                 }
                 (a, bdoc)
             },
@@ -113,7 +114,8 @@ fn bench_sql(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut db = SqlDb::new();
-                db.exec("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+                db.exec("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+                    .unwrap();
                 db
             },
             |mut db| {
@@ -128,9 +130,11 @@ fn bench_sql(c: &mut Criterion) {
     });
     g.bench_function("select_filtered", |b| {
         let mut db = SqlDb::new();
-        db.exec("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+        db.exec("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+            .unwrap();
         for i in 0..500 {
-            db.exec(&format!("INSERT INTO t VALUES ({i}, {})", i % 17)).unwrap();
+            db.exec(&format!("INSERT INTO t VALUES ({i}, {})", i % 17))
+                .unwrap();
         }
         b.iter(|| {
             db.exec("SELECT id FROM t WHERE v >= 5 AND v < 9 ORDER BY id DESC LIMIT 20")

@@ -24,7 +24,10 @@ fn main() {
     let wl = Workload::constant_rate(&reqs, 240.0, 240);
     let mut rows = Vec::new();
     for (label, strategy) in [
-        ("least connections (EdgStr)", BalanceStrategy::LeastConnections),
+        (
+            "least connections (EdgStr)",
+            BalanceStrategy::LeastConnections,
+        ),
         ("round robin", BalanceStrategy::RoundRobin),
     ] {
         let report = transform_app(&app);

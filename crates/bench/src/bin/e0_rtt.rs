@@ -37,9 +37,16 @@ fn main() {
     }
     print_table(
         "E0: /predict latency, same- vs cross-continent cloud (Fig. 1 motivation)",
-        &["deployment", "base RTT (ms)", "mean latency (ms)", "p95 (ms)"],
+        &[
+            "deployment",
+            "base RTT (ms)",
+            "mean latency (ms)",
+            "p95 (ms)",
+        ],
         &rows,
     );
     let ratio = means[1].as_secs_f64() / means[0].as_secs_f64();
-    println!("\ncross/same latency ratio: {ratio:.1}x (paper: \"an order of magnitude larger\" RTT)");
+    println!(
+        "\ncross/same latency ratio: {ratio:.1}x (paper: \"an order of magnitude larger\" RTT)"
+    );
 }

@@ -38,8 +38,8 @@ fn main() {
             }
         }
         replicated_total += report.replicated_count();
-        ok_total += usize::from(matches == app.regression_requests.len())
-            * report.replicated_count();
+        ok_total +=
+            usize::from(matches == app.regression_requests.len()) * report.replicated_count();
         rows.push(vec![
             app.name.to_string(),
             format!("{}", report.replicated_count()),
@@ -49,7 +49,12 @@ fn main() {
     }
     print_table(
         "E10 / §IV-B: regression equivalence of original vs EdgStr replica",
-        &["app", "services replicated", "regression matches", "CRDT bindings"],
+        &[
+            "app",
+            "services replicated",
+            "regression matches",
+            "CRDT bindings",
+        ],
         &rows,
     );
     println!("\nservices passing: {ok_total}/{replicated_total} (paper: 42/42)");

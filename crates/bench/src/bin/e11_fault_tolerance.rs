@@ -1,0 +1,196 @@
+//! E11 — fault tolerance: loss-tolerant CRDT sync and degraded-mode
+//! forwarding.
+//!
+//! The paper assumes the WAN between edge and cloud is slow but reliable;
+//! real client-edge-cloud deployments see packet loss, link flaps, and
+//! partitions. This experiment measures how the ack-driven sync protocol
+//! and the retry/backoff/breaker forwarding pipeline hold up:
+//!
+//! 1. **Loss sweep** (0–30% WAN loss): goodput vs the no-fault baseline,
+//!    and sync rounds + virtual time until the cluster reconverges after
+//!    the run. The optimistic (pre-fix) protocol is run side by side as
+//!    the ablation — it diverges permanently at any nonzero loss.
+//! 2. **Partition sweep**: a full edge↔cloud partition of growing
+//!    duration; reports the divergence-window size (changes queued at the
+//!    edge when the partition heals) and the time to reconverge.
+//!
+//! Everything is driven by a fixed fault seed, so results reproduce
+//! exactly.
+
+use edgstr_apps::all_apps;
+use edgstr_bench::{print_table, service_workload, transform_app};
+use edgstr_crdt::AdvanceMode;
+use edgstr_net::{FaultPlan, LossModel};
+use edgstr_runtime::{RunStats, ThreeTierOptions, ThreeTierSystem};
+use edgstr_sim::{DeviceSpec, SimTime};
+
+const SEED: u64 = 0x0E11_F417;
+const REQUESTS: usize = 40;
+const RPS: f64 = 10.0;
+const MAX_ROUNDS: usize = 200;
+
+fn options(faults: Option<FaultPlan>, mode: AdvanceMode) -> ThreeTierOptions {
+    ThreeTierOptions {
+        faults,
+        sync_advance: mode,
+        ..Default::default()
+    }
+}
+
+fn deploy(
+    app_source: &str,
+    report: &edgstr_core::TransformationReport,
+    opts: ThreeTierOptions,
+) -> ThreeTierSystem {
+    ThreeTierSystem::deploy(
+        app_source,
+        report,
+        &[DeviceSpec::rpi4(), DeviceSpec::rpi3()],
+        opts,
+    )
+    .expect("three-tier deploys")
+}
+
+fn goodput(stats: &RunStats) -> f64 {
+    stats.throughput_rps()
+}
+
+/// Total changes summarized by a replica's clock (divergence metric).
+fn clock_total(set: &edgstr_runtime::CrdtSet) -> u64 {
+    let c = set.clock();
+    c.tables
+        .values()
+        .map(edgstr_crdt::VClock::total)
+        .sum::<u64>()
+        + c.files.total()
+        + c.globals.total()
+}
+
+fn main() {
+    let apps = all_apps();
+    let app = &apps[0];
+    let report = transform_app(app);
+    let wl = service_workload(&app.service_requests[0], RPS, REQUESTS);
+
+    // --- baseline: no faults -------------------------------------------
+    let mut base = deploy(&app.source, &report, options(None, AdvanceMode::OnAck));
+    let base_stats = base.run(&wl);
+    assert!(
+        base.converged(),
+        "fault-free run must converge at the flush"
+    );
+    let base_goodput = goodput(&base_stats);
+
+    // --- 1. loss sweep --------------------------------------------------
+    let mut rows = Vec::new();
+    for loss_pct in [0u32, 5, 10, 20, 30] {
+        let p = f64::from(loss_pct) / 100.0;
+        let mut faults = FaultPlan::new(SEED);
+        faults.set_default_loss(LossModel::bursty(p, 0.5, 3));
+        let mut sys = deploy(
+            &app.source,
+            &report,
+            options(Some(faults), AdvanceMode::OnAck),
+        );
+        let stats = sys.run(&wl);
+        let converged = sys.sync_until_converged(stats.makespan, MAX_ROUNDS);
+        let (rounds, conv_at) =
+            converged.expect("ack-driven sync must reconverge within the round budget");
+        let conv_secs = conv_at.since(stats.makespan).as_secs_f64();
+
+        // ablation: same seed and workload under optimistic advancement
+        let mut faults = FaultPlan::new(SEED);
+        faults.set_default_loss(LossModel::bursty(p, 0.5, 3));
+        let mut opt = deploy(
+            &app.source,
+            &report,
+            options(Some(faults), AdvanceMode::Optimistic),
+        );
+        let opt_stats = opt.run(&wl);
+        let opt_outcome = match opt.sync_until_converged(opt_stats.makespan, MAX_ROUNDS) {
+            Some((r, _)) => format!("{r} rounds"),
+            None => "diverged".to_string(),
+        };
+
+        rows.push(vec![
+            format!("{loss_pct}%"),
+            format!("{}", stats.completed),
+            format!("{:.1}", goodput(&stats)),
+            format!("{:.0}%", 100.0 * goodput(&stats) / base_goodput),
+            format!("{rounds}"),
+            format!("{conv_secs:.1}"),
+            opt_outcome,
+        ]);
+    }
+    print_table(
+        &format!("E11a: WAN loss sweep ({}, seed {SEED:#x})", app.name),
+        &[
+            "loss",
+            "completed",
+            "goodput rps",
+            "vs no-fault",
+            "sync rounds",
+            "converge s",
+            "optimistic (ablation)",
+        ],
+        &rows,
+    );
+
+    // --- 2. partition sweep ---------------------------------------------
+    let mut rows = Vec::new();
+    for part_secs in [2u64, 5, 10] {
+        let mut faults = FaultPlan::new(SEED);
+        faults.partition(
+            "edge0",
+            "cloud",
+            SimTime::from_secs_f64(0.5),
+            SimTime::from_secs_f64(0.5 + part_secs as f64),
+        );
+        let mut sys = deploy(
+            &app.source,
+            &report,
+            options(Some(faults), AdvanceMode::OnAck),
+        );
+        let stats = sys.run(&wl);
+        // divergence window at the end of the run: how far edge0 and the
+        // master drifted apart while the partition held
+        let edge_total = clock_total(&sys.edges[0].crdts);
+        let cloud_total = clock_total(&sys.cloud_crdts);
+        let window = edge_total.abs_diff(cloud_total);
+        let heal = SimTime::from_secs_f64(0.5 + part_secs as f64);
+        let from = if stats.makespan > heal {
+            stats.makespan
+        } else {
+            heal
+        };
+        let (rounds, conv_at) = sys
+            .sync_until_converged(from, MAX_ROUNDS)
+            .expect("cluster must reconverge after the partition heals");
+        rows.push(vec![
+            format!("{part_secs}s"),
+            format!("{}", stats.completed),
+            format!("{window}"),
+            format!("{rounds}"),
+            format!("{:.1}", conv_at.since(heal).as_secs_f64()),
+        ]);
+    }
+    print_table(
+        "E11b: partition sweep (edge0 <-> cloud)",
+        &[
+            "partition",
+            "completed",
+            "divergence window (changes)",
+            "sync rounds",
+            "converge after heal s",
+        ],
+        &rows,
+    );
+
+    println!(
+        "\nAck-driven delta sync regenerates every dropped message, so loss and\n\
+         partitions only stretch the convergence tail; goodput stays at the\n\
+         no-fault baseline because replicated services never block on the WAN.\n\
+         The optimistic ablation (pre-fix protocol) silently diverges at any\n\
+         nonzero loss rate."
+    );
+}

@@ -47,7 +47,11 @@ fn main() {
             let mut lo = two_stats.latency;
             let mut le = three_stats.latency;
             rows.push(vec![
-                if i == 0 { app.name.to_string() } else { String::new() },
+                if i == 0 {
+                    app.name.to_string()
+                } else {
+                    String::new()
+                },
                 format!("{} {}", req.verb, req.path),
                 kb(wan_o),
                 kb(wan_e_avg),

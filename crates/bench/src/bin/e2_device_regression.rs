@@ -54,13 +54,17 @@ fn main() {
     );
     let fit3 = linear_fit(&cloud_vs_rpi3).expect("regression");
     let fit4 = linear_fit(&cloud_vs_rpi4).expect("regression");
-    println!("\nregression rpi3 = f(cloud): slope {:.4} (r2 {:.3})", fit3.slope, fit3.r2);
-    println!("regression rpi4 = f(cloud): slope {:.4} (r2 {:.3})", fit4.slope, fit4.r2);
+    println!(
+        "\nregression rpi3 = f(cloud): slope {:.4} (r2 {:.3})",
+        fit3.slope, fit3.r2
+    );
+    println!(
+        "regression rpi4 = f(cloud): slope {:.4} (r2 {:.3})",
+        fit4.slope, fit4.r2
+    );
     println!(
         "slope ratio rpi4/rpi3: {:.2} (paper: 1.71 measured, 1.8 from CPU benchmarks)",
         fit4.slope / fit3.slope
     );
-    println!(
-        "slopes are far below y = x, confirming subjects are optimized for a powerful server"
-    );
+    println!("slopes are far below y = x, confirming subjects are optimized for a powerful server");
 }

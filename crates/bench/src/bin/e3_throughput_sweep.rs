@@ -50,7 +50,12 @@ fn main() {
                 format!("{mb:.2}"),
                 format!("{cloud_tput:.1}"),
                 format!("{edge_tput:.1}"),
-                if edge_tput > cloud_tput { "edge" } else { "cloud" }.to_string(),
+                if edge_tput > cloud_tput {
+                    "edge"
+                } else {
+                    "cloud"
+                }
+                .to_string(),
             ]);
         }
         print_table(
@@ -58,13 +63,18 @@ fn main() {
                 "E3 / Fig. 7: {} — WAN bandwidth vs saturated throughput ({} requests)",
                 app.name, REQUESTS
             ),
-            &["WAN MB/s", "client-cloud rps", "client-edge-cloud rps", "winner"],
+            &[
+                "WAN MB/s",
+                "client-cloud rps",
+                "client-edge-cloud rps",
+                "winner",
+            ],
             &rows,
         );
         match cloud_takes_over {
-            Some(mb) => println!(
-                "crossover: the cloud overtakes the edge at ~{mb} MB/s (edge wins below)"
-            ),
+            Some(mb) => {
+                println!("crossover: the cloud overtakes the edge at ~{mb} MB/s (edge wins below)")
+            }
             None => println!(
                 "no crossover in the sweep: the edge wins throughout (heavy-data or \
                  light-compute subject)"

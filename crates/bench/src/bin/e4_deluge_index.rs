@@ -73,8 +73,7 @@ fn main() {
             .expect("three-tier deploys");
             let s = three.run(&wl);
             edge_tputs.push(s.throughput_rps());
-            edge_rates
-                .push(s.wan_sync_bytes as f64 / 1024.0 / s.makespan.as_secs_f64().max(1e-9));
+            edge_rates.push(s.wan_sync_bytes as f64 / 1024.0 / s.makespan.as_secs_f64().max(1e-9));
             edge_per_req = s.wan_sync_bytes as f64 / s.completed.max(1) as f64;
         }
         let i_cloud = deluge(&cloud_rates, &cloud_tputs);

@@ -50,7 +50,13 @@ fn main() {
     }
     print_table(
         "E5 / Fig. 8: mobile client energy per request, limited network (J)",
-        &["app", "client-cloud J", "client-edge-cloud J", "saved J", "ratio"],
+        &[
+            "app",
+            "client-cloud J",
+            "client-edge-cloud J",
+            "saved J",
+            "ratio",
+        ],
         &rows,
     );
     let min = savings.iter().cloned().fold(f64::MAX, f64::min);

@@ -16,7 +16,13 @@ use edgstr_sim::DeviceSpec;
 fn cluster(n: usize) -> Vec<DeviceSpec> {
     // interleave RPI-3s and RPI-4s as in the paper's 2+2 setup
     (0..n)
-        .map(|i| if i % 2 == 0 { DeviceSpec::rpi4() } else { DeviceSpec::rpi3() })
+        .map(|i| {
+            if i % 2 == 0 {
+                DeviceSpec::rpi4()
+            } else {
+                DeviceSpec::rpi3()
+            }
+        })
         .collect()
 }
 

@@ -60,9 +60,7 @@ fn main() {
         ],
         &rows,
     );
-    let geo_mean = (reductions.iter().map(|r| r.ln()).sum::<f64>()
-        / reductions.len() as f64)
-        .exp();
+    let geo_mean = (reductions.iter().map(|r| r.ln()).sum::<f64>() / reductions.len() as f64).exp();
     println!(
         "\nEdgStr ships {geo_mean:.0}x less sync data than cross-ISA whole-state \
          synchronization (geometric mean) — the paper's \"orders of magnitude\"."

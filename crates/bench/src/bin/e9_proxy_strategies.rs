@@ -78,8 +78,8 @@ fn main() {
     for app in all_apps() {
         let wl = mixed_workload(&app, n);
         // baseline: unproxied cloud execution
-        let mut two = TwoTierSystem::new(&app.source, DeviceSpec::cloud_server(), wan)
-            .expect("two-tier");
+        let mut two =
+            TwoTierSystem::new(&app.source, DeviceSpec::cloud_server(), wan).expect("two-tier");
         let s = two.run(&wl);
         merge(&mut base_all, s.latency);
         // caching proxy
@@ -139,7 +139,11 @@ fn merge(into: &mut LatencyStats, mut from: LatencyStats) {
     // fine granularity to preserve the distribution shape
     let n = from.len();
     for i in 0..n {
-        let q = if n == 1 { 0.5 } else { i as f64 / (n - 1) as f64 };
+        let q = if n == 1 {
+            0.5
+        } else {
+            i as f64 / (n - 1) as f64
+        };
         if let Some(d) = from.quantile(q) {
             into.record(d);
         }

@@ -39,7 +39,6 @@ impl fmt::Debug for ConsistencyPolicy {
     }
 }
 
-
 impl ConsistencyPolicy {
     /// Whether the developer accepts eventual consistency for `unit`.
     pub fn accepts(&self, unit: &StateUnit) -> bool {
@@ -93,9 +92,9 @@ mod tests {
 
     #[test]
     fn custom_predicate() {
-        let p = ConsistencyPolicy::Custom(Box::new(|u| {
-            !matches!(u, StateUnit::DbTable(t) if t.starts_with("pay"))
-        }));
+        let p = ConsistencyPolicy::Custom(Box::new(
+            |u| !matches!(u, StateUnit::DbTable(t) if t.starts_with("pay")),
+        ));
         assert!(!p.accepts(&StateUnit::DbTable("payments".into())));
         assert!(p.accepts(&StateUnit::DbTable("logs".into())));
     }

@@ -214,14 +214,8 @@ pub fn transform(
             .flat_map(|s| s.state_units.iter().cloned()),
     );
     let full_state_bytes = init.byte_size();
-    let replica = generate_replica(
-        &config.app_name,
-        &extracted,
-        forwarded,
-        bindings,
-        init,
-    )
-    .map_err(TransformError::Codegen)?;
+    let replica = generate_replica(&config.app_name, &extracted, forwarded, bindings, init)
+        .map_err(TransformError::Codegen)?;
 
     Ok(TransformationReport {
         services,
@@ -291,7 +285,11 @@ mod tests {
         assert!(report
             .presented_state_units()
             .contains(&StateUnit::DbTable("readings".into())));
-        assert!(report.replica.bindings.tables.contains(&"readings".to_string()));
+        assert!(report
+            .replica
+            .bindings
+            .tables
+            .contains(&"readings".to_string()));
         assert!(report.full_state_bytes > 0);
     }
 
@@ -325,7 +323,9 @@ mod tests {
         replica.init().unwrap();
         report.replica.init.restore(&mut replica);
         // the replica answers /avg exactly like the warmed-up original
-        let out = replica.handle(&HttpRequest::get("/avg", json!({}))).unwrap();
+        let out = replica
+            .handle(&HttpRequest::get("/avg", json!({})))
+            .unwrap();
         assert_eq!(out.response.body["avg(celsius)"], json!(22));
         // and handles new writes locally
         let out = replica

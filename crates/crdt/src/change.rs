@@ -3,16 +3,86 @@
 
 use crate::ids::{ActorId, OpId, VClock};
 use serde::{Deserialize, Serialize};
-use serde_json::Value as Json;
+use serde_json::{Error as JsonError, Value as Json};
 use std::fmt;
 
+// ---- manual (de)serialization helpers -----------------------------------
+//
+// The offline serde stand-in has no derive macros, so the wire formats
+// below are hand-rolled: enums use the externally-tagged shape derives
+// would produce ({"Variant": payload} / "Variant" for unit variants),
+// structs use plain objects.
+
+fn tag(name: &str, payload: Json) -> Json {
+    let mut m = serde_json::Map::new();
+    m.insert(name.to_string(), payload);
+    Json::Object(m)
+}
+
+/// Split `{"Variant": payload}` into its single tag/payload pair.
+fn untag(v: &Json) -> Result<(&str, &Json), JsonError> {
+    let obj = v
+        .as_object()
+        .ok_or_else(|| JsonError::custom("expected externally tagged enum"))?;
+    let mut it = obj.iter();
+    match (it.next(), it.next()) {
+        (Some((k, payload)), None) => Ok((k.as_str(), payload)),
+        _ => Err(JsonError::custom("expected single-key tag object")),
+    }
+}
+
+fn field<'v>(obj: &'v serde_json::Map, name: &str) -> Result<&'v Json, JsonError> {
+    obj.get(name)
+        .ok_or_else(|| JsonError::custom(format!("missing field '{name}'")))
+}
+
+fn as_struct(v: &Json) -> Result<&serde_json::Map, JsonError> {
+    v.as_object()
+        .ok_or_else(|| JsonError::custom("expected struct object"))
+}
+
+fn vec_to_json<T: Serialize>(items: &[T]) -> Json {
+    Json::Array(items.iter().map(Serialize::to_json_value).collect())
+}
+
+fn vec_from_json<T: Deserialize>(v: &Json) -> Result<Vec<T>, JsonError> {
+    v.as_array()
+        .ok_or_else(|| JsonError::custom("expected array"))?
+        .iter()
+        .map(T::from_json_value)
+        .collect()
+}
+
 /// Reference to a container object inside a document.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ObjId {
     /// The document root (a map).
     Root,
     /// A map or list created by a `MakeMap`/`MakeList` operation.
     Made(OpId),
+}
+
+impl Serialize for ObjId {
+    fn to_json_value(&self) -> Json {
+        match self {
+            ObjId::Root => Json::from("Root"),
+            ObjId::Made(id) => tag("Made", id.to_json_value()),
+        }
+    }
+}
+
+impl Deserialize for ObjId {
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        if v.as_str() == Some("Root") {
+            return Ok(ObjId::Root);
+        }
+        match untag(v)? {
+            ("Made", payload) => Ok(ObjId::Made(OpId::from_json_value(payload)?)),
+            (other, _) => Err(JsonError::custom(format!(
+                "ObjId: unknown variant '{other}'"
+            ))),
+        }
+    }
 }
 
 impl fmt::Display for ObjId {
@@ -27,7 +97,7 @@ impl fmt::Display for ObjId {
 /// The value carried by a `Set`/`Insert` operation: either an atomic JSON
 /// scalar/subtree, or a reference to a container created in the same or an
 /// earlier change.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum OpValue {
     /// An atomic JSON payload (merged as a unit).
     Scalar(Json),
@@ -35,13 +105,57 @@ pub enum OpValue {
     Obj(ObjId),
 }
 
+impl Serialize for OpValue {
+    fn to_json_value(&self) -> Json {
+        match self {
+            OpValue::Scalar(j) => tag("Scalar", j.clone()),
+            OpValue::Obj(o) => tag("Obj", o.to_json_value()),
+        }
+    }
+}
+
+impl Deserialize for OpValue {
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        match untag(v)? {
+            ("Scalar", payload) => Ok(OpValue::Scalar(payload.clone())),
+            ("Obj", payload) => Ok(OpValue::Obj(ObjId::from_json_value(payload)?)),
+            (other, _) => Err(JsonError::custom(format!(
+                "OpValue: unknown variant '{other}'"
+            ))),
+        }
+    }
+}
+
 /// Position reference for list insertion.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ElemRef {
     /// Insert at the head of the list.
     Head,
     /// Insert after the element created by this op.
     After(OpId),
+}
+
+impl Serialize for ElemRef {
+    fn to_json_value(&self) -> Json {
+        match self {
+            ElemRef::Head => Json::from("Head"),
+            ElemRef::After(id) => tag("After", id.to_json_value()),
+        }
+    }
+}
+
+impl Deserialize for ElemRef {
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        if v.as_str() == Some("Head") {
+            return Ok(ElemRef::Head);
+        }
+        match untag(v)? {
+            ("After", payload) => Ok(ElemRef::After(OpId::from_json_value(payload)?)),
+            (other, _) => Err(JsonError::custom(format!(
+                "ElemRef: unknown variant '{other}'"
+            ))),
+        }
+    }
 }
 
 /// A single CRDT operation.
@@ -50,7 +164,7 @@ pub enum ElemRef {
 /// the writer at generation time); apply removes exactly those, so
 /// concurrent writes survive as multi-values resolved by op-id order, and
 /// concurrent adds survive deletes (add-wins).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Op {
     /// Create an empty map object with identity `id`.
     MakeMap { id: OpId },
@@ -97,6 +211,146 @@ pub enum Op {
     },
 }
 
+impl Serialize for Op {
+    fn to_json_value(&self) -> Json {
+        let mut m = serde_json::Map::new();
+        let variant = match self {
+            Op::MakeMap { id } => {
+                m.insert("id".into(), id.to_json_value());
+                "MakeMap"
+            }
+            Op::MakeList { id } => {
+                m.insert("id".into(), id.to_json_value());
+                "MakeList"
+            }
+            Op::Set {
+                id,
+                obj,
+                key,
+                value,
+                pred,
+            } => {
+                m.insert("id".into(), id.to_json_value());
+                m.insert("obj".into(), obj.to_json_value());
+                m.insert("key".into(), Json::from(key.as_str()));
+                m.insert("value".into(), value.to_json_value());
+                m.insert("pred".into(), vec_to_json(pred));
+                "Set"
+            }
+            Op::DelKey { id, obj, key, pred } => {
+                m.insert("id".into(), id.to_json_value());
+                m.insert("obj".into(), obj.to_json_value());
+                m.insert("key".into(), Json::from(key.as_str()));
+                m.insert("pred".into(), vec_to_json(pred));
+                "DelKey"
+            }
+            Op::Insert {
+                id,
+                obj,
+                after,
+                value,
+            } => {
+                m.insert("id".into(), id.to_json_value());
+                m.insert("obj".into(), obj.to_json_value());
+                m.insert("after".into(), after.to_json_value());
+                m.insert("value".into(), value.to_json_value());
+                "Insert"
+            }
+            Op::SetElem {
+                id,
+                obj,
+                elem,
+                value,
+                pred,
+            } => {
+                m.insert("id".into(), id.to_json_value());
+                m.insert("obj".into(), obj.to_json_value());
+                m.insert("elem".into(), elem.to_json_value());
+                m.insert("value".into(), value.to_json_value());
+                m.insert("pred".into(), vec_to_json(pred));
+                "SetElem"
+            }
+            Op::DelElem { id, obj, elem } => {
+                m.insert("id".into(), id.to_json_value());
+                m.insert("obj".into(), obj.to_json_value());
+                m.insert("elem".into(), elem.to_json_value());
+                "DelElem"
+            }
+            Op::Inc {
+                id,
+                obj,
+                key,
+                delta,
+            } => {
+                m.insert("id".into(), id.to_json_value());
+                m.insert("obj".into(), obj.to_json_value());
+                m.insert("key".into(), Json::from(key.as_str()));
+                m.insert("delta".into(), Json::from(*delta));
+                "Inc"
+            }
+        };
+        tag(variant, Json::Object(m))
+    }
+}
+
+impl Deserialize for Op {
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        let (variant, payload) = untag(v)?;
+        let obj = as_struct(payload)?;
+        let id = OpId::from_json_value(field(obj, "id")?)?;
+        let key_of = |name: &str| -> Result<String, JsonError> {
+            field(obj, name)?
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| JsonError::custom(format!("Op: '{name}' must be a string")))
+        };
+        match variant {
+            "MakeMap" => Ok(Op::MakeMap { id }),
+            "MakeList" => Ok(Op::MakeList { id }),
+            "Set" => Ok(Op::Set {
+                id,
+                obj: ObjId::from_json_value(field(obj, "obj")?)?,
+                key: key_of("key")?,
+                value: OpValue::from_json_value(field(obj, "value")?)?,
+                pred: vec_from_json(field(obj, "pred")?)?,
+            }),
+            "DelKey" => Ok(Op::DelKey {
+                id,
+                obj: ObjId::from_json_value(field(obj, "obj")?)?,
+                key: key_of("key")?,
+                pred: vec_from_json(field(obj, "pred")?)?,
+            }),
+            "Insert" => Ok(Op::Insert {
+                id,
+                obj: ObjId::from_json_value(field(obj, "obj")?)?,
+                after: ElemRef::from_json_value(field(obj, "after")?)?,
+                value: OpValue::from_json_value(field(obj, "value")?)?,
+            }),
+            "SetElem" => Ok(Op::SetElem {
+                id,
+                obj: ObjId::from_json_value(field(obj, "obj")?)?,
+                elem: OpId::from_json_value(field(obj, "elem")?)?,
+                value: OpValue::from_json_value(field(obj, "value")?)?,
+                pred: vec_from_json(field(obj, "pred")?)?,
+            }),
+            "DelElem" => Ok(Op::DelElem {
+                id,
+                obj: ObjId::from_json_value(field(obj, "obj")?)?,
+                elem: OpId::from_json_value(field(obj, "elem")?)?,
+            }),
+            "Inc" => Ok(Op::Inc {
+                id,
+                obj: ObjId::from_json_value(field(obj, "obj")?)?,
+                key: key_of("key")?,
+                delta: field(obj, "delta")?
+                    .as_i64()
+                    .ok_or_else(|| JsonError::custom("Op::Inc: delta must be i64"))?,
+            }),
+            other => Err(JsonError::custom(format!("Op: unknown variant '{other}'"))),
+        }
+    }
+}
+
 impl Op {
     /// The id of this operation.
     pub fn id(&self) -> OpId {
@@ -115,7 +369,7 @@ impl Op {
 
 /// A batch of operations from one actor: the unit returned by
 /// `get_changes` and consumed by `apply_changes` (§III-G.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Change {
     /// The replica that generated this change.
     pub actor: ActorId,
@@ -128,6 +382,31 @@ pub struct Change {
     pub ops: Vec<Op>,
 }
 
+impl Serialize for Change {
+    fn to_json_value(&self) -> Json {
+        let mut m = serde_json::Map::new();
+        m.insert("actor".into(), self.actor.to_json_value());
+        m.insert("seq".into(), Json::from(self.seq));
+        m.insert("deps".into(), self.deps.to_json_value());
+        m.insert("ops".into(), vec_to_json(&self.ops));
+        Json::Object(m)
+    }
+}
+
+impl Deserialize for Change {
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        let obj = as_struct(v)?;
+        Ok(Change {
+            actor: ActorId::from_json_value(field(obj, "actor")?)?,
+            seq: field(obj, "seq")?
+                .as_u64()
+                .ok_or_else(|| JsonError::custom("Change: seq must be u64"))?,
+            deps: VClock::from_json_value(field(obj, "deps")?)?,
+            ops: vec_from_json(field(obj, "ops")?)?,
+        })
+    }
+}
+
 impl Change {
     /// Highest op counter used inside this change (0 when empty).
     pub fn max_counter(&self) -> u64 {
@@ -136,8 +415,14 @@ impl Change {
 
     /// Serialized size in bytes — the WAN traffic cost of shipping this
     /// change, used for the synchronization-overhead experiments (Fig. 10a).
+    ///
+    /// A change that cannot be serialized is a protocol-level bug; silently
+    /// reporting 0 bytes would corrupt every traffic experiment, so this
+    /// panics instead.
     pub fn wire_size(&self) -> usize {
-        serde_json::to_vec(self).map(|v| v.len()).unwrap_or(0)
+        serde_json::to_vec(self)
+            .expect("Change must serialize for traffic accounting")
+            .len()
     }
 }
 

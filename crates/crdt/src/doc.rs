@@ -112,7 +112,9 @@ struct ListObj {
 
 impl ListObj {
     fn visible(&self) -> impl Iterator<Item = &ListElem> {
-        self.elems.iter().filter(|e| !e.deleted && !e.values.is_empty())
+        self.elems
+            .iter()
+            .filter(|e| !e.deleted && !e.values.is_empty())
     }
 
     fn visible_id(&self, index: usize) -> Option<OpId> {
@@ -360,14 +362,12 @@ impl Doc {
                 });
             }
             PathSeg::Index(i) => {
-                let elem = self
-                    .lists
-                    .get(&obj)
-                    .and_then(|l| l.visible_id(*i))
-                    .ok_or(CrdtError::IndexOutOfBounds {
+                let elem = self.lists.get(&obj).and_then(|l| l.visible_id(*i)).ok_or(
+                    CrdtError::IndexOutOfBounds {
                         index: *i,
                         len: self.lists.get(&obj).map(ListObj::visible_len).unwrap_or(0),
-                    })?;
+                    },
+                )?;
                 let id = self.next_op();
                 ops.push(Op::DelElem { id, obj, elem });
             }
@@ -544,8 +544,8 @@ impl Doc {
     /// Returns [`CrdtError::CorruptChange`] when the bytes do not decode
     /// or the history does not apply cleanly.
     pub fn load(actor: ActorId, bytes: &[u8]) -> Result<Doc, CrdtError> {
-        let history: Vec<Change> = serde_json::from_slice(bytes)
-            .map_err(|e| CrdtError::CorruptChange(e.to_string()))?;
+        let history: Vec<Change> =
+            serde_json::from_slice(bytes).map_err(|e| CrdtError::CorruptChange(e.to_string()))?;
         let mut doc = Doc::new(actor);
         doc.apply_changes(&history)?;
         if doc.pending_len() > 0 {
@@ -664,9 +664,7 @@ impl Doc {
                             OpValue::Obj(o) => Some(*o),
                             OpValue::Scalar(_) => None,
                         });
-                    o.ok_or_else(|| {
-                        CrdtError::BadPath(format!("no container at index {i}"))
-                    })?
+                    o.ok_or_else(|| CrdtError::BadPath(format!("no container at index {i}")))?
                 }
             };
         }
@@ -870,7 +868,12 @@ impl Doc {
                     e.deleted = true;
                 }
             }
-            Op::Inc { id, obj, key, delta } => {
+            Op::Inc {
+                id,
+                obj,
+                key,
+                delta,
+            } => {
                 let map = self
                     .maps
                     .get_mut(obj)

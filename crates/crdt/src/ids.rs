@@ -1,6 +1,7 @@
 //! Actor identifiers, operation identifiers, and vector clocks.
 
 use serde::{Deserialize, Serialize};
+use serde_json::{Error as JsonError, Value};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -8,10 +9,22 @@ use std::fmt;
 ///
 /// Actor ids totally order concurrent operations (ties on the Lamport
 /// counter are broken by actor), so they must be unique per replica.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ActorId(pub u64);
+
+impl Serialize for ActorId {
+    fn to_json_value(&self) -> Value {
+        Value::from(self.0)
+    }
+}
+
+impl Deserialize for ActorId {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        v.as_u64()
+            .map(ActorId)
+            .ok_or_else(|| JsonError::custom("ActorId: expected u64"))
+    }
+}
 
 impl ActorId {
     /// Construct an actor id from a raw integer.
@@ -29,12 +42,31 @@ impl fmt::Display for ActorId {
 /// Identifier of a single CRDT operation: a Lamport counter paired with the
 /// actor that generated it. The derived lexicographic order (counter first,
 /// then actor) is the total order used for last-writer-wins resolution.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct OpId {
     pub counter: u64,
     pub actor: ActorId,
+}
+
+// Wire format: the compact pair `[counter, actor]`.
+impl Serialize for OpId {
+    fn to_json_value(&self) -> Value {
+        Value::Array(vec![Value::from(self.counter), self.actor.to_json_value()])
+    }
+}
+
+impl Deserialize for OpId {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        match v.as_array().map(Vec::as_slice) {
+            Some([counter, actor]) => Ok(OpId {
+                counter: counter
+                    .as_u64()
+                    .ok_or_else(|| JsonError::custom("OpId: counter must be u64"))?,
+                actor: ActorId::from_json_value(actor)?,
+            }),
+            _ => Err(JsonError::custom("OpId: expected [counter, actor]")),
+        }
+    }
 }
 
 impl OpId {
@@ -53,8 +85,39 @@ impl fmt::Display for OpId {
 /// A vector clock mapping each actor to the highest *change sequence
 /// number* observed from it. Used both as change dependencies and as the
 /// "since" cursor of `get_changes` (§III-G.1).
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct VClock(pub BTreeMap<ActorId, u64>);
+
+// Wire format: an object with decimal actor ids as keys (JSON object keys
+// must be strings).
+impl Serialize for VClock {
+    fn to_json_value(&self) -> Value {
+        let mut m = serde_json::Map::new();
+        for (a, s) in &self.0 {
+            m.insert(a.0.to_string(), Value::from(*s));
+        }
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for VClock {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| JsonError::custom("VClock: expected object"))?;
+        let mut out = BTreeMap::new();
+        for (k, val) in obj {
+            let actor: u64 = k
+                .parse()
+                .map_err(|_| JsonError::custom("VClock: non-numeric actor key"))?;
+            let seq = val
+                .as_u64()
+                .ok_or_else(|| JsonError::custom("VClock: seq must be u64"))?;
+            out.insert(ActorId(actor), seq);
+        }
+        Ok(VClock(out))
+    }
+}
 
 impl VClock {
     /// The empty clock (nothing observed).
@@ -92,6 +155,16 @@ impl VClock {
     /// Total number of changes summarized by this clock.
     pub fn total(&self) -> u64 {
         self.0.values().sum()
+    }
+
+    /// Number of actors with a nonzero entry.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether no actor has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
     }
 }
 

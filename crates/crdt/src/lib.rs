@@ -54,7 +54,7 @@ pub use change::{batch_wire_size, Change, ElemRef, ObjId, Op, OpValue};
 pub use doc::{CrdtError, Doc, PathSeg, GENESIS_ACTOR};
 pub use files::CrdtFiles;
 pub use ids::{ActorId, OpId, VClock};
-pub use sync::{PeerSync, SyncMessage};
+pub use sync::{AdvanceMode, PeerSync, SyncMessage};
 pub use table::CrdtTable;
 
 /// Stable content hash (FNV-1a) used to fingerprint file payloads.

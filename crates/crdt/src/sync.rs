@@ -5,41 +5,116 @@
 //! [`PeerSync`] tracks what a peer is known to have, so each sync round
 //! ships only the delta; [`SyncMessage::wire_size`] is the WAN cost the
 //! synchronization experiments account for (Fig. 10a, Table II `WAN_e`).
+//!
+//! Delivery is *not* assumed reliable. A [`SyncMessage`] carries an
+//! explicit [`SyncMessage::ack`] clock — the sender's applied state — and
+//! by default a [`PeerSync`] advances its view of the peer only when such
+//! an acknowledgment arrives ([`AdvanceMode::OnAck`]). A dropped message
+//! therefore leaves `peer_clock` untouched and the missing changes are
+//! regenerated on the next round. The pre-fix behavior, advancing
+//! optimistically at send time, is kept as [`AdvanceMode::Optimistic`]
+//! purely as an ablation: under loss it silently diverges (see the
+//! `optimistic_mode_diverges_on_loss` test).
 
 use crate::change::{batch_wire_size, Change};
 use crate::ids::{ActorId, VClock};
 use serde::{Deserialize, Serialize};
+use serde_json::{Error as JsonError, Value as Json};
 
-/// One synchronization message: the sender's clock plus the changes the
+/// One synchronization message: the sender's clocks plus the changes the
 /// peer was missing at generation time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SyncMessage {
     /// Replica that produced this message.
     pub sender: ActorId,
     /// The sender's clock after including `changes`.
     pub clock: VClock,
+    /// Everything the sender has durably applied — a cumulative
+    /// acknowledgment of changes received from the peer. The receiver may
+    /// advance its `peer_clock` this far even if `changes` is empty.
+    pub ack: VClock,
     /// The delta for the peer.
     pub changes: Vec<Change>,
 }
 
+impl Serialize for SyncMessage {
+    fn to_json_value(&self) -> Json {
+        let mut m = serde_json::Map::new();
+        m.insert("sender".into(), self.sender.to_json_value());
+        m.insert("clock".into(), self.clock.to_json_value());
+        m.insert("ack".into(), self.ack.to_json_value());
+        m.insert(
+            "changes".into(),
+            Json::Array(self.changes.iter().map(Serialize::to_json_value).collect()),
+        );
+        Json::Object(m)
+    }
+}
+
+impl Deserialize for SyncMessage {
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| JsonError::custom("SyncMessage: expected object"))?;
+        let get = |name: &str| -> Result<&Json, JsonError> {
+            obj.get(name)
+                .ok_or_else(|| JsonError::custom(format!("SyncMessage: missing '{name}'")))
+        };
+        Ok(SyncMessage {
+            sender: ActorId::from_json_value(get("sender")?)?,
+            clock: VClock::from_json_value(get("clock")?)?,
+            ack: VClock::from_json_value(get("ack")?)?,
+            changes: get("changes")?
+                .as_array()
+                .ok_or_else(|| JsonError::custom("SyncMessage: changes must be an array"))?
+                .iter()
+                .map(Change::from_json_value)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
 impl SyncMessage {
     /// Bytes this message costs on the wire (clock overhead + changes).
+    ///
+    /// Serialization failure here would silently zero out the traffic
+    /// accounting the experiments are built on, so it panics instead.
     pub fn wire_size(&self) -> usize {
-        let clock_bytes = serde_json::to_vec(&self.clock).map(|v| v.len()).unwrap_or(0);
-        16 + clock_bytes + batch_wire_size(&self.changes)
+        let clock_bytes = serde_json::to_vec(&self.clock)
+            .expect("SyncMessage clock must serialize for traffic accounting")
+            .len();
+        let ack_bytes = serde_json::to_vec(&self.ack)
+            .expect("SyncMessage ack must serialize for traffic accounting")
+            .len();
+        16 + clock_bytes + ack_bytes + batch_wire_size(&self.changes)
     }
 
-    /// Whether the message carries no changes (pure heartbeat).
+    /// Whether the message carries no changes (pure heartbeat/ack).
     pub fn is_empty(&self) -> bool {
         self.changes.is_empty()
     }
 }
 
+/// How a [`PeerSync`] advances its model of the peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdvanceMode {
+    /// Advance `peer_clock` only when the peer acknowledges (default:
+    /// loss-tolerant — dropped deltas are regenerated).
+    #[default]
+    OnAck,
+    /// Advance at send time, assuming delivery (the pre-fix behavior,
+    /// kept as an ablation knob; diverges permanently under loss).
+    Optimistic,
+}
+
 /// Synchronization state this replica keeps about one peer.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PeerSync {
-    /// The peer's clock as far as we know (from its last message).
+    /// The peer's clock as far as we know (from its last acknowledgment —
+    /// or, in [`AdvanceMode::Optimistic`], from our own sends).
     pub peer_clock: VClock,
+    /// Advancement policy for `peer_clock`.
+    pub mode: AdvanceMode,
     /// Total bytes sent to this peer.
     pub bytes_sent: usize,
     /// Total bytes received from this peer.
@@ -51,13 +126,25 @@ pub struct PeerSync {
 }
 
 impl PeerSync {
-    /// Fresh state: assume the peer has nothing.
+    /// Fresh ack-driven state: assume the peer has nothing until it says
+    /// otherwise.
     pub fn new() -> Self {
         PeerSync::default()
     }
 
+    /// Fresh state using the pre-fix optimistic advancement (ablation
+    /// only).
+    pub fn optimistic() -> Self {
+        PeerSync {
+            mode: AdvanceMode::Optimistic,
+            ..PeerSync::default()
+        }
+    }
+
     /// Build the next outgoing message for this peer from any replicated
-    /// structure exposing `get_changes`.
+    /// structure exposing `get_changes`. `clock` is the sender's applied
+    /// clock after the enclosed changes; it doubles as the cumulative
+    /// acknowledgment.
     pub fn generate<F>(&mut self, sender: ActorId, clock: VClock, get_changes: F) -> SyncMessage
     where
         F: FnOnce(&VClock) -> Vec<Change>,
@@ -65,24 +152,33 @@ impl PeerSync {
         let changes = get_changes(&self.peer_clock);
         let msg = SyncMessage {
             sender,
+            ack: clock.clone(),
             clock,
             changes,
         };
         self.bytes_sent += msg.wire_size();
         self.messages_sent += 1;
-        // optimistically assume delivery; the peer's next message corrects
-        // the view if the link dropped it
-        for c in &msg.changes {
-            self.peer_clock.observe(c.actor, c.seq);
+        if self.mode == AdvanceMode::Optimistic {
+            // Pre-fix behavior: assume delivery. If the link drops this
+            // message nothing ever regenerates the changes — the peers
+            // diverge until an unrelated write happens to cover the gap.
+            for c in &msg.changes {
+                self.peer_clock.observe(c.actor, c.seq);
+            }
         }
         msg
     }
 
     /// Record an incoming message and return its changes for application.
+    ///
+    /// Both clocks advance `peer_clock`: `msg.clock` covers the changes
+    /// the peer itself generated, `msg.ack` covers what it has applied
+    /// from us — the acknowledgment that lets us stop resending.
     pub fn receive<'m>(&mut self, msg: &'m SyncMessage) -> &'m [Change] {
         self.bytes_received += msg.wire_size();
         self.messages_received += 1;
         self.peer_clock.merge(&msg.clock);
+        self.peer_clock.merge(&msg.ack);
         &msg.changes
     }
 }
@@ -107,6 +203,12 @@ mod tests {
         });
         assert_eq!(m1.changes.len(), 1);
         edge.apply_changes(edge_view.receive(&m1)).unwrap();
+
+        // The edge acknowledges; only then does the cloud stop resending.
+        let ack = edge_view.generate(edge.actor(), edge.clock().clone(), |since| {
+            edge.get_changes(since)
+        });
+        cloud.apply_changes(cloud_view.receive(&ack)).unwrap();
 
         // next round with no new changes is empty
         let m2 = cloud_view.generate(cloud.actor(), cloud.clock().clone(), |since| {
@@ -147,5 +249,76 @@ mod tests {
         let mb = b_of_a.generate(b.actor(), b.clock().clone(), |s| b.get_changes(s));
         a.apply_changes(a_of_b.receive(&mb)).unwrap();
         assert_eq!(a.to_json(), b.to_json());
+    }
+
+    /// Regression anchor for the lost-delta bug: a dropped message's
+    /// changes must be regenerated on the next round.
+    #[test]
+    fn dropped_message_is_regenerated_under_ack() {
+        let mut cloud = Doc::new(ActorId(1));
+        let mut edge = Doc::new(ActorId(2));
+        let mut cloud_view = PeerSync::new();
+        let mut edge_view = PeerSync::new();
+
+        cloud.put(&path!["a"], json!(1)).unwrap();
+        let dropped = cloud_view.generate(cloud.actor(), cloud.clock().clone(), |s| {
+            cloud.get_changes(s)
+        });
+        assert_eq!(dropped.changes.len(), 1);
+        // The network eats `dropped`. peer_clock must not have advanced:
+        assert_eq!(cloud_view.peer_clock, VClock::new());
+
+        // Next round regenerates the same delta and the edge converges.
+        let retry = cloud_view.generate(cloud.actor(), cloud.clock().clone(), |s| {
+            cloud.get_changes(s)
+        });
+        assert_eq!(retry.changes, dropped.changes);
+        edge.apply_changes(edge_view.receive(&retry)).unwrap();
+        assert_eq!(edge.to_json(), cloud.to_json());
+
+        // Applying the late-arriving duplicate is harmless (idempotent).
+        edge.apply_changes(&dropped.changes).unwrap();
+        assert_eq!(edge.to_json(), cloud.to_json());
+    }
+
+    /// The pre-fix behavior, preserved as an ablation: optimistic
+    /// advancement permanently diverges when a message is lost.
+    #[test]
+    fn optimistic_mode_diverges_on_loss() {
+        let mut cloud = Doc::new(ActorId(1));
+        let mut edge = Doc::new(ActorId(2));
+        let mut cloud_view = PeerSync::optimistic();
+        let mut edge_view = PeerSync::optimistic();
+
+        cloud.put(&path!["a"], json!(1)).unwrap();
+        let dropped = cloud_view.generate(cloud.actor(), cloud.clock().clone(), |s| {
+            cloud.get_changes(s)
+        });
+        assert_eq!(dropped.changes.len(), 1);
+        // The network eats the message, but the cloud already counted it
+        // as delivered — every later round believes there is no delta.
+        for _ in 0..5 {
+            let m = cloud_view.generate(cloud.actor(), cloud.clock().clone(), |s| {
+                cloud.get_changes(s)
+            });
+            assert!(m.is_empty(), "optimistic sender believes peer is current");
+            edge.apply_changes(edge_view.receive(&m)).unwrap();
+        }
+        assert_ne!(
+            edge.to_json(),
+            cloud.to_json(),
+            "replicas silently diverged"
+        );
+    }
+
+    #[test]
+    fn sync_message_serde_round_trip() {
+        let mut doc = Doc::new(ActorId(3));
+        doc.put(&path!["k"], json!({"nested": [1, 2]})).unwrap();
+        let mut view = PeerSync::new();
+        let m = view.generate(doc.actor(), doc.clock().clone(), |s| doc.get_changes(s));
+        let bytes = serde_json::to_vec(&m).unwrap();
+        let back: SyncMessage = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(m, back);
     }
 }

@@ -34,11 +34,7 @@ impl CrdtTable {
     ///
     /// Master and replicas initialized from the same snapshot share object
     /// identities, so subsequent changes interleave cleanly.
-    pub fn from_snapshot(
-        actor: ActorId,
-        name: impl Into<String>,
-        rows: &[(String, Json)],
-    ) -> Self {
+    pub fn from_snapshot(actor: ActorId, name: impl Into<String>, rows: &[(String, Json)]) -> Self {
         let mut map = serde_json::Map::new();
         for (pk, row) in rows {
             map.insert(pk.clone(), row.clone());
@@ -141,7 +137,9 @@ impl CrdtTable {
 
     /// Full table contents as JSON (`pk → row`).
     pub fn to_json(&self) -> Json {
-        self.doc.get(&path!["rows"]).unwrap_or(Json::Object(Default::default()))
+        self.doc
+            .get(&path!["rows"])
+            .unwrap_or(Json::Object(Default::default()))
     }
 }
 
@@ -153,7 +151,8 @@ mod tests {
     #[test]
     fn upsert_get_delete() {
         let mut t = CrdtTable::new(ActorId(1), "books");
-        t.upsert_row("1", &json!({"title": "Dune", "stock": 3})).unwrap();
+        t.upsert_row("1", &json!({"title": "Dune", "stock": 3}))
+            .unwrap();
         assert_eq!(t.get_row("1").unwrap()["title"], json!("Dune"));
         assert_eq!(t.len(), 1);
         t.delete_row("1").unwrap();
@@ -166,7 +165,9 @@ mod tests {
         let snap = vec![("1".to_string(), json!({"title": "Dune", "stock": 3}))];
         let mut cloud = CrdtTable::from_snapshot(ActorId(1), "books", &snap);
         let mut edge = CrdtTable::from_snapshot(ActorId(2), "books", &snap);
-        cloud.update_cell("1", "title", &json!("Dune (2nd ed)")).unwrap();
+        cloud
+            .update_cell("1", "title", &json!("Dune (2nd ed)"))
+            .unwrap();
         edge.update_cell("1", "stock", &json!(2)).unwrap();
         let cc = cloud.get_changes(edge.clock());
         let ec = edge.get_changes(cloud.clock());

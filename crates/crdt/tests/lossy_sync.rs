@@ -1,0 +1,234 @@
+//! Property tests for the ack-driven sync protocol under an adversarial
+//! network: arbitrary schedules of message drops, reorderings, and
+//! duplications never prevent convergence once the link heals — the
+//! loss-tolerance guarantee the runtime's fault-injection experiments
+//! (E11) rely on.
+
+use edgstr_crdt::{ActorId, Doc, PathSeg, PeerSync, SyncMessage};
+use proptest::prelude::*;
+use serde_json::json;
+
+/// A randomly generated document operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Put { key: u8, value: i64 },
+    Delete { key: u8 },
+    Increment { key: u8, delta: i64 },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..5, -1000i64..1000).prop_map(|(key, value)| Op::Put { key, value }),
+        (0u8..5).prop_map(|key| Op::Delete { key }),
+        (0u8..3, -50i64..50).prop_map(|(key, delta)| Op::Increment { key, delta }),
+    ]
+}
+
+fn apply_op(doc: &mut Doc, op: &Op) {
+    let path = |k: u8| vec![PathSeg::Key(format!("k{k}"))];
+    match op {
+        Op::Put { key, value } => doc.put(&path(*key), json!(value)).unwrap(),
+        Op::Delete { key } => {
+            let _ = doc.delete(&path(*key));
+        }
+        Op::Increment { key, delta } => {
+            // counters and plain puts on the same key conflict by design;
+            // keep increments on their own key range
+            doc.increment(&[PathSeg::Key(format!("n{key}"))], *delta)
+                .unwrap();
+        }
+    }
+}
+
+/// What the network does to the oldest in-flight message of one direction
+/// in one round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum NetEvent {
+    /// Deliver the oldest queued message.
+    Deliver,
+    /// Silently drop the oldest queued message.
+    Drop,
+    /// Deliver the oldest queued message twice (duplication).
+    Duplicate,
+    /// Deliver the *newest* queued message first (reordering); older
+    /// messages stay queued and may arrive later or never.
+    ReorderNewestFirst,
+}
+
+fn net_event() -> impl Strategy<Value = NetEvent> {
+    prop_oneof![
+        Just(NetEvent::Deliver),
+        Just(NetEvent::Drop),
+        Just(NetEvent::Duplicate),
+        Just(NetEvent::ReorderNewestFirst),
+    ]
+}
+
+/// One endpoint of the simulated link.
+struct Node {
+    doc: Doc,
+    view: PeerSync,
+}
+
+impl Node {
+    fn new(actor: u64) -> Node {
+        Node {
+            doc: Doc::from_snapshot(ActorId(actor), &json!({})),
+            view: PeerSync::new(),
+        }
+    }
+
+    fn send(&mut self) -> SyncMessage {
+        let actor = self.doc.actor();
+        let clock = self.doc.clock().clone();
+        let doc = &self.doc;
+        self.view
+            .generate(actor, clock, |since| doc.get_changes(since))
+    }
+
+    fn deliver(&mut self, msg: &SyncMessage) {
+        let changes = self.view.receive(msg).to_vec();
+        self.doc.apply_changes(&changes).unwrap();
+    }
+}
+
+fn perturb(queue: &mut Vec<SyncMessage>, event: NetEvent, dst: &mut Node) {
+    match event {
+        NetEvent::Deliver => {
+            if !queue.is_empty() {
+                let m = queue.remove(0);
+                dst.deliver(&m);
+            }
+        }
+        NetEvent::Drop => {
+            if !queue.is_empty() {
+                queue.remove(0);
+            }
+        }
+        NetEvent::Duplicate => {
+            if !queue.is_empty() {
+                let m = queue.remove(0);
+                dst.deliver(&m);
+                dst.deliver(&m);
+            }
+        }
+        NetEvent::ReorderNewestFirst => {
+            if let Some(m) = queue.pop() {
+                dst.deliver(&m);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any schedule of drops, reorderings, and duplications over the
+    /// ack-driven protocol converges within two reliable rounds once the
+    /// link heals.
+    #[test]
+    fn chaotic_delivery_always_converges(
+        rounds in prop::collection::vec(
+            (
+                prop::collection::vec(op(), 0..4),
+                prop::collection::vec(op(), 0..4),
+                net_event(),
+                net_event(),
+            ),
+            1..12,
+        ),
+        flush_stragglers in any::<bool>(),
+    ) {
+        let mut a = Node::new(1);
+        let mut b = Node::new(2);
+        let mut a2b: Vec<SyncMessage> = Vec::new();
+        let mut b2a: Vec<SyncMessage> = Vec::new();
+
+        for (ops_a, ops_b, ev_a2b, ev_b2a) in &rounds {
+            for o in ops_a {
+                apply_op(&mut a.doc, o);
+            }
+            for o in ops_b {
+                apply_op(&mut b.doc, o);
+            }
+            a2b.push(a.send());
+            b2a.push(b.send());
+            perturb(&mut a2b, *ev_a2b, &mut b);
+            perturb(&mut b2a, *ev_b2a, &mut a);
+        }
+
+        // optionally the stragglers arrive very late, possibly reordered —
+        // idempotent application must shrug them off
+        if flush_stragglers {
+            for m in a2b.drain(..).rev() {
+                b.deliver(&m);
+            }
+            for m in b2a.drain(..).rev() {
+                a.deliver(&m);
+            }
+        }
+
+        // the link heals: two reliable bidirectional rounds must converge
+        // (round 1 ships a's state to b and b's state + ack back; round 2
+        // carries the final ack so neither side has anything left to send)
+        for _ in 0..2 {
+            let m = a.send();
+            b.deliver(&m);
+            let m = b.send();
+            a.deliver(&m);
+        }
+        prop_assert_eq!(a.doc.to_json(), b.doc.to_json());
+        prop_assert_eq!(a.doc.clock(), b.doc.clock());
+        // quiescent: no further deltas in either direction
+        prop_assert!(a.send().is_empty());
+        prop_assert!(b.send().is_empty());
+        prop_assert_eq!(a.doc.pending_len(), 0);
+        prop_assert_eq!(b.doc.pending_len(), 0);
+    }
+
+    /// Pure duplication/reordering without loss is exactly as safe as
+    /// in-order delivery (idempotence + commutativity of apply).
+    #[test]
+    fn duplicated_reordered_stream_matches_in_order(
+        ops in prop::collection::vec(op(), 1..15),
+        pick in prop::collection::vec(any::<bool>(), 1..15),
+    ) {
+        let mut src = Node::new(1);
+        for o in &ops {
+            apply_op(&mut src.doc, o);
+        }
+        let full = src.send();
+
+        // in-order replica
+        let mut ordered = Node::new(2);
+        ordered.deliver(&full);
+
+        // chaotic replica: per-change messages delivered back-to-front or
+        // front-to-back depending on `pick`, each twice
+        let mut chaotic = Node::new(3);
+        let mut singles: Vec<SyncMessage> = full
+            .changes
+            .iter()
+            .map(|c| SyncMessage {
+                sender: full.sender,
+                clock: full.clock.clone(),
+                ack: full.ack.clone(),
+                changes: vec![c.clone()],
+            })
+            .collect();
+        let mut i = 0;
+        while !singles.is_empty() {
+            let from_front = pick[i % pick.len()];
+            let m = if from_front {
+                singles.remove(0)
+            } else {
+                singles.pop().unwrap()
+            };
+            chaotic.deliver(&m);
+            chaotic.deliver(&m);
+            i += 1;
+        }
+        prop_assert_eq!(chaotic.doc.pending_len(), 0);
+        prop_assert_eq!(chaotic.doc.to_json(), ordered.doc.to_json());
+    }
+}

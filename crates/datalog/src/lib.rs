@@ -254,11 +254,7 @@ impl Database {
     pub fn add_fact(&mut self, relation: impl Into<String>, args: Vec<Const>) -> bool {
         let relation = relation.into();
         let arity = self.arities.entry(relation.clone()).or_insert(args.len());
-        assert_eq!(
-            *arity,
-            args.len(),
-            "arity mismatch for relation {relation}"
-        );
+        assert_eq!(*arity, args.len(), "arity mismatch for relation {relation}");
         self.relations.entry(relation).or_default().insert(args)
     }
 
@@ -482,8 +478,7 @@ impl Database {
 /// lower strata.
 fn stratify(rules: &[Rule]) -> Result<Vec<Vec<Rule>>, DatalogError> {
     let heads: BTreeSet<&str> = rules.iter().map(|r| r.head.relation.as_str()).collect();
-    let mut stratum: BTreeMap<String, usize> =
-        heads.iter().map(|h| (h.to_string(), 0)).collect();
+    let mut stratum: BTreeMap<String, usize> = heads.iter().map(|h| (h.to_string(), 0)).collect();
     let max_iter = heads.len() + 2;
     let mut round = 0;
     loop {

@@ -376,7 +376,11 @@ impl Stmt {
                 }
             }
             Stmt::For {
-                init, cond, update, body, ..
+                init,
+                cond,
+                update,
+                body,
+                ..
             } => {
                 init.visit(f);
                 cond.visit_stmts(f);

@@ -458,7 +458,11 @@ impl<'h> Interpreter<'h> {
                 ..
             } => {
                 let c = self.eval(cond, tracer)?;
-                let block = if c.is_truthy() { then_block } else { else_block };
+                let block = if c.is_truthy() {
+                    then_block
+                } else {
+                    else_block
+                };
                 for s in block {
                     if let Flow::Return(v) = self.exec_stmt(s, tracer)? {
                         return Ok(Flow::Return(v));
@@ -517,7 +521,11 @@ impl<'h> Interpreter<'h> {
                 Ok(Flow::Return(v))
             }
             Stmt::Function {
-                id, name, params, body, ..
+                id,
+                name,
+                params,
+                body,
+                ..
             } => {
                 let closure = Value::Function(Rc::new(Closure {
                     name: Some(name.clone()),
@@ -587,10 +595,7 @@ impl<'h> Interpreter<'h> {
             Expr::Str(s) => Ok(Value::str(s.clone())),
             Expr::Var(name) => {
                 let v = self.lookup(name).ok_or_else(|| {
-                    RuntimeError::new(
-                        Some(self.cur_stmt),
-                        format!("undefined variable '{name}'"),
-                    )
+                    RuntimeError::new(Some(self.cur_stmt), format!("undefined variable '{name}'"))
                 })?;
                 tracer.on_event(&TraceEvent::Read {
                     stmt: self.cur_stmt,
@@ -703,8 +708,7 @@ impl<'h> Interpreter<'h> {
                                 let name =
                                     c.name.clone().unwrap_or_else(|| "<anonymous>".to_string());
                                 let call_site = self.cur_stmt;
-                                let ret =
-                                    self.call_closure_value(&c, argv.clone(), tracer)?;
+                                let ret = self.call_closure_value(&c, argv.clone(), tracer)?;
                                 self.cur_stmt = call_site;
                                 tracer.on_event(&TraceEvent::Invoke {
                                     stmt: call_site,
@@ -714,9 +718,7 @@ impl<'h> Interpreter<'h> {
                                 });
                                 Ok(ret)
                             }
-                            Value::Native(n) => {
-                                self.host_call(&n, argv, tracer).map(|o| o.value)
-                            }
+                            Value::Native(n) => self.host_call(&n, argv, tracer).map(|o| o.value),
                             other => Err(RuntimeError::new(
                                 Some(self.cur_stmt),
                                 format!("cannot call {other}"),
@@ -849,10 +851,9 @@ impl<'h> Interpreter<'h> {
                         )?;
                         match method {
                             "map" => out.push(r),
-                            "filter"
-                                if r.is_truthy() => {
-                                    out.push(item);
-                                }
+                            "filter" if r.is_truthy() => {
+                                out.push(item);
+                            }
                             _ => {}
                         }
                     }
@@ -872,9 +873,7 @@ impl<'h> Interpreter<'h> {
                 "toLowerCase" => Ok(Value::str(s.to_lowercase())),
                 "indexOf" => {
                     let needle = args.first().and_then(|v| v.as_str()).unwrap_or("");
-                    Ok(Value::Num(
-                        s.find(needle).map(|i| i as f64).unwrap_or(-1.0),
-                    ))
+                    Ok(Value::Num(s.find(needle).map(|i| i as f64).unwrap_or(-1.0)))
                 }
                 "includes" => {
                     let needle = args.first().and_then(|v| v.as_str()).unwrap_or("");
@@ -1033,17 +1032,13 @@ impl<'h> Interpreter<'h> {
         match op {
             Add => match (&a, &b) {
                 (Value::Num(x), Value::Num(y)) => Ok(Value::Num(x + y)),
-                (Value::Str(_), Value::Bytes(bb)) => Ok(Value::str(format!(
-                    "{a}{}",
-                    String::from_utf8_lossy(bb)
-                ))),
-                (Value::Bytes(ab), Value::Str(_)) => Ok(Value::str(format!(
-                    "{}{b}",
-                    String::from_utf8_lossy(ab)
-                ))),
-                (Value::Str(_), _) | (_, Value::Str(_)) => {
-                    Ok(Value::str(format!("{a}{b}")))
+                (Value::Str(_), Value::Bytes(bb)) => {
+                    Ok(Value::str(format!("{a}{}", String::from_utf8_lossy(bb))))
                 }
+                (Value::Bytes(ab), Value::Str(_)) => {
+                    Ok(Value::str(format!("{}{b}", String::from_utf8_lossy(ab))))
+                }
+                (Value::Str(_), _) | (_, Value::Str(_)) => Ok(Value::str(format!("{a}{b}"))),
                 _ => Err(err(format!("cannot add {a} and {b}"))),
             },
             Sub | Mul | Div | Rem => match (a.as_num(), b.as_num()) {
@@ -1169,19 +1164,18 @@ mod tests {
 
     #[test]
     fn array_map_and_filter() {
-        let (g, _) = run(
-            "var a = [1, 2, 3, 4];
+        let (g, _) = run("var a = [1, 2, 3, 4];
              var doubled = a.map(function (x) { return x * 2; });
              var evens = a.filter(function (x) { return x % 2 == 0; });
-             var d1 = doubled[3]; var e0 = evens[0];",
-        );
+             var d1 = doubled[3]; var e0 = evens[0];");
         assert_eq!(g["d1"], Value::Num(8.0));
         assert_eq!(g["e0"], Value::Num(2.0));
     }
 
     #[test]
     fn string_methods() {
-        let (g, _) = run("var s = ' Hello '; var t = s.trim().toLowerCase(); var p = t.split('l');");
+        let (g, _) =
+            run("var s = ' Hello '; var t = s.trim().toLowerCase(); var p = t.split('l');");
         assert_eq!(g["t"], Value::str("hello"));
         if let Value::Array(items) = &g["p"] {
             assert_eq!(items.borrow().len(), 3);

@@ -52,14 +52,19 @@ fn renumber_stmt(stmt: Stmt, counter: &mut u32) -> Stmt {
         id
     };
     match stmt {
-        Stmt::Let { line, name, init, .. } => Stmt::Let {
+        Stmt::Let {
+            line, name, init, ..
+        } => Stmt::Let {
             id: fresh(),
             line,
             name,
             init: init.map(|e| renumber_expr(e, counter)),
         },
         Stmt::Assign {
-            line, target, value, ..
+            line,
+            target,
+            value,
+            ..
         } => Stmt::Assign {
             id: fresh(),
             line,
@@ -93,13 +98,18 @@ fn renumber_stmt(stmt: Stmt, counter: &mut u32) -> Stmt {
                     .collect(),
             }
         }
-        Stmt::While { line, cond, body, .. } => {
+        Stmt::While {
+            line, cond, body, ..
+        } => {
             let id = fresh();
             Stmt::While {
                 id,
                 line,
                 cond: renumber_expr(cond, counter),
-                body: body.into_iter().map(|s| renumber_stmt(s, counter)).collect(),
+                body: body
+                    .into_iter()
+                    .map(|s| renumber_stmt(s, counter))
+                    .collect(),
             }
         }
         Stmt::For {
@@ -117,7 +127,10 @@ fn renumber_stmt(stmt: Stmt, counter: &mut u32) -> Stmt {
                 init: Box::new(renumber_stmt(*init, counter)),
                 cond: renumber_expr(cond, counter),
                 update: Box::new(renumber_stmt(*update, counter)),
-                body: body.into_iter().map(|s| renumber_stmt(s, counter)).collect(),
+                body: body
+                    .into_iter()
+                    .map(|s| renumber_stmt(s, counter))
+                    .collect(),
             }
         }
         Stmt::Return { line, value, .. } => Stmt::Return {
@@ -138,7 +151,10 @@ fn renumber_stmt(stmt: Stmt, counter: &mut u32) -> Stmt {
                 line,
                 name,
                 params,
-                body: body.into_iter().map(|s| renumber_stmt(s, counter)).collect(),
+                body: body
+                    .into_iter()
+                    .map(|s| renumber_stmt(s, counter))
+                    .collect(),
             }
         }
     }
@@ -148,7 +164,10 @@ fn renumber_expr(expr: Expr, counter: &mut u32) -> Expr {
     match expr {
         Expr::Function { params, body } => Expr::Function {
             params,
-            body: body.into_iter().map(|s| renumber_stmt(s, counter)).collect(),
+            body: body
+                .into_iter()
+                .map(|s| renumber_stmt(s, counter))
+                .collect(),
         },
         Expr::Array(items) => Expr::Array(
             items
@@ -212,7 +231,9 @@ impl Normalizer {
     fn normalize_stmt(&mut self, stmt: &Stmt, out: &mut Vec<Stmt>) {
         let dummy = StmtId(0);
         match stmt {
-            Stmt::Let { line, name, init, .. } => {
+            Stmt::Let {
+                line, name, init, ..
+            } => {
                 let init = init
                     .as_ref()
                     .map(|e| self.hoist(e, *line, out, /*keep_top_call=*/ true));
@@ -224,7 +245,10 @@ impl Normalizer {
                 });
             }
             Stmt::Assign {
-                line, target, value, ..
+                line,
+                target,
+                value,
+                ..
             } => {
                 let value = self.hoist(value, *line, out, true);
                 out.push(Stmt::Assign {
@@ -265,7 +289,9 @@ impl Normalizer {
                     else_block: self.normalize_block(else_block),
                 });
             }
-            Stmt::While { line, cond, body, .. } => {
+            Stmt::While {
+                line, cond, body, ..
+            } => {
                 out.push(Stmt::While {
                     id: dummy,
                     line: *line,
@@ -367,10 +393,9 @@ impl Normalizer {
                     .map(|(k, e)| (k.clone(), self.hoist(e, line, out, false)))
                     .collect(),
             ),
-            Expr::Member(base, f) => Expr::Member(
-                Box::new(self.hoist(base, line, out, false)),
-                f.clone(),
-            ),
+            Expr::Member(base, f) => {
+                Expr::Member(Box::new(self.hoist(base, line, out, false)), f.clone())
+            }
             Expr::Index(base, i) => Expr::Index(
                 Box::new(self.hoist(base, line, out, false)),
                 Box::new(self.hoist(i, line, out, false)),
@@ -437,10 +462,8 @@ mod tests {
 
     #[test]
     fn normalizes_handler_bodies() {
-        let p = parse(
-            r#"app.get("/p", function (req, res) { res.send(work(req.body)); });"#,
-        )
-        .unwrap();
+        let p =
+            parse(r#"app.get("/p", function (req, res) { res.send(work(req.body)); });"#).unwrap();
         let n = normalize(&p);
         let src = print_program(&n);
         assert!(src.contains("var tv1 = work(req.body);"), "got:\n{src}");

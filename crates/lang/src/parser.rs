@@ -563,7 +563,9 @@ mod tests {
     fn parses_function_decl_and_return() {
         let p = parse("function add(a, b) { return a + b; }").unwrap();
         match &p.stmts[0] {
-            Stmt::Function { name, params, body, .. } => {
+            Stmt::Function {
+                name, params, body, ..
+            } => {
                 assert_eq!(name, "add");
                 assert_eq!(params, &["a", "b"]);
                 assert!(matches!(body[0], Stmt::Return { .. }));
@@ -576,7 +578,10 @@ mod tests {
     fn parses_express_style_route() {
         let p = parse(r#"app.get("/predict", function (req, res) { res.send(1); });"#).unwrap();
         match &p.stmts[0] {
-            Stmt::Expr { expr: Expr::Call { callee, args }, .. } => {
+            Stmt::Expr {
+                expr: Expr::Call { callee, args },
+                ..
+            } => {
                 assert!(matches!(**callee, Expr::Member(_, ref m) if m == "get"));
                 assert_eq!(args.len(), 2);
                 assert!(matches!(args[1], Expr::Function { .. }));
@@ -612,7 +617,10 @@ mod tests {
     fn parses_object_and_array_literals() {
         let p = parse(r#"var o = { a: 1, "b c": [1, 2, 3] };"#).unwrap();
         match &p.stmts[0] {
-            Stmt::Let { init: Some(Expr::Object(fields)), .. } => {
+            Stmt::Let {
+                init: Some(Expr::Object(fields)),
+                ..
+            } => {
                 assert_eq!(fields.len(), 2);
                 assert_eq!(fields[1].0, "b c");
             }
@@ -630,7 +638,10 @@ mod tests {
     fn parses_new_expression() {
         let p = parse("var b = new Uint8Array(raw);").unwrap();
         match &p.stmts[0] {
-            Stmt::Let { init: Some(Expr::New { ctor, args }), .. } => {
+            Stmt::Let {
+                init: Some(Expr::New { ctor, args }),
+                ..
+            } => {
                 assert_eq!(ctor, "Uint8Array");
                 assert_eq!(args.len(), 1);
             }
@@ -664,7 +675,10 @@ mod tests {
     fn logical_operators_precedence() {
         let p = parse("var r = a && b || c;").unwrap();
         match &p.stmts[0] {
-            Stmt::Let { init: Some(Expr::Binary(BinOp::Or, lhs, _)), .. } => {
+            Stmt::Let {
+                init: Some(Expr::Binary(BinOp::Or, lhs, _)),
+                ..
+            } => {
                 assert!(matches!(**lhs, Expr::Binary(BinOp::And, _, _)));
             }
             other => panic!("bad precedence: {other:?}"),

@@ -412,7 +412,11 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Token> {
-        tokenize(src).unwrap().into_iter().map(|t| t.token).collect()
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
     }
 
     #[test]
@@ -446,7 +450,12 @@ mod tests {
     fn skips_line_and_block_comments() {
         assert_eq!(
             toks("// hi\nvar /* mid */ y;"),
-            vec![Token::Var, Token::Ident("y".into()), Token::Semi, Token::Eof]
+            vec![
+                Token::Var,
+                Token::Ident("y".into()),
+                Token::Semi,
+                Token::Eof
+            ]
         );
     }
 

@@ -21,8 +21,7 @@ pub struct Closure {
 /// matching JavaScript. Use [`Value::deep_clone`] to snapshot a value — the
 /// operation EdgStr applies to global variables when capturing the `init`
 /// state (§III-C).
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub enum Value {
     #[default]
     Null,
@@ -123,7 +122,11 @@ impl Value {
             Value::Str(s) => s.len() + 2,
             Value::Bytes(b) => b.len(),
             Value::Array(items) => {
-                2 + items.borrow().iter().map(|v| v.wire_size() + 1).sum::<usize>()
+                2 + items
+                    .borrow()
+                    .iter()
+                    .map(|v| v.wire_size() + 1)
+                    .sum::<usize>()
             }
             Value::Object(map) => {
                 2 + map
@@ -157,9 +160,7 @@ impl Value {
                 "$bytes": b.len(),
                 "$hash": fnv1a(b),
             }),
-            Value::Array(items) => {
-                Json::Array(items.borrow().iter().map(Value::to_json).collect())
-            }
+            Value::Array(items) => Json::Array(items.borrow().iter().map(Value::to_json).collect()),
             Value::Object(map) => Json::Object(
                 map.borrow()
                     .iter()
@@ -238,7 +239,6 @@ impl PartialEq for Value {
         self.structural_eq(other)
     }
 }
-
 
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -331,7 +331,10 @@ mod tests {
         let v = Value::object([
             ("n".to_string(), Value::Num(3.5)),
             ("s".to_string(), Value::str("hi")),
-            ("a".to_string(), Value::array(vec![Value::Bool(true), Value::Null])),
+            (
+                "a".to_string(),
+                Value::array(vec![Value::Bool(true), Value::Null]),
+            ),
         ]);
         let j = v.to_json();
         let back = Value::from_json(&j);

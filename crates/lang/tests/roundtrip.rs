@@ -11,8 +11,20 @@ fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
         !matches!(
             s.as_str(),
-            "var" | "let" | "const" | "function" | "if" | "else" | "while" | "for" | "return"
-                | "true" | "false" | "null" | "undefined" | "new"
+            "var"
+                | "let"
+                | "const"
+                | "function"
+                | "if"
+                | "else"
+                | "while"
+                | "for"
+                | "return"
+                | "true"
+                | "false"
+                | "null"
+                | "undefined"
+                | "new"
         )
     })
 }
@@ -36,8 +48,11 @@ fn expr(depth: u32) -> BoxedStrategy<Expr> {
         prop_oneof![
             literal(),
             ident().prop_map(Expr::Var),
-            (inner.clone(), inner.clone(), binop())
-                .prop_map(|(a, b, op)| Expr::Binary(op, Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), binop()).prop_map(|(a, b, op)| Expr::Binary(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
             (inner.clone(), prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)])
                 .prop_map(|(a, op)| Expr::Unary(op, Box::new(a))),
             prop::collection::vec(inner.clone(), 0..3).prop_map(Expr::Array),
@@ -81,17 +96,28 @@ fn binop() -> impl Strategy<Value = BinOp> {
 fn stmt(depth: u32) -> BoxedStrategy<Stmt> {
     let e = || expr(2);
     let leaf = prop_oneof![
-        (ident(), proptest::option::of(e()))
-            .prop_map(|(name, init)| Stmt::Let { id: StmtId(0), line: 1, name, init }),
+        (ident(), proptest::option::of(e())).prop_map(|(name, init)| Stmt::Let {
+            id: StmtId(0),
+            line: 1,
+            name,
+            init
+        }),
         (ident(), e()).prop_map(|(v, value)| Stmt::Assign {
             id: StmtId(0),
             line: 1,
             target: LValue::Var(v),
             value
         }),
-        e().prop_map(|expr| Stmt::Expr { id: StmtId(0), line: 1, expr }),
-        proptest::option::of(e())
-            .prop_map(|value| Stmt::Return { id: StmtId(0), line: 1, value }),
+        e().prop_map(|expr| Stmt::Expr {
+            id: StmtId(0),
+            line: 1,
+            expr
+        }),
+        proptest::option::of(e()).prop_map(|value| Stmt::Return {
+            id: StmtId(0),
+            line: 1,
+            value
+        }),
     ];
     if depth == 0 {
         leaf.boxed()
@@ -99,7 +125,11 @@ fn stmt(depth: u32) -> BoxedStrategy<Stmt> {
         let inner = stmt(depth - 1);
         prop_oneof![
             leaf,
-            (e(), prop::collection::vec(inner.clone(), 0..3), prop::collection::vec(inner.clone(), 0..2))
+            (
+                e(),
+                prop::collection::vec(inner.clone(), 0..3),
+                prop::collection::vec(inner.clone(), 0..2)
+            )
                 .prop_map(|(cond, then_block, else_block)| Stmt::If {
                     id: StmtId(0),
                     line: 1,
@@ -107,20 +137,29 @@ fn stmt(depth: u32) -> BoxedStrategy<Stmt> {
                     then_block,
                     else_block
                 }),
-            (e(), prop::collection::vec(inner.clone(), 0..3)).prop_map(|(cond, body)| Stmt::While {
-                id: StmtId(0),
-                line: 1,
-                cond,
-                body
+            (e(), prop::collection::vec(inner.clone(), 0..3)).prop_map(|(cond, body)| {
+                Stmt::While {
+                    id: StmtId(0),
+                    line: 1,
+                    cond,
+                    body,
+                }
             }),
-            (ident(), prop::collection::vec(ident(), 0..3), prop::collection::vec(inner, 0..3))
+            (
+                ident(),
+                prop::collection::vec(ident(), 0..3),
+                prop::collection::vec(inner, 0..3)
+            )
                 .prop_map(|(name, params, body)| {
                     let mut seen = std::collections::BTreeSet::new();
                     Stmt::Function {
                         id: StmtId(0),
                         line: 1,
                         name,
-                        params: params.into_iter().filter(|p| seen.insert(p.clone())).collect(),
+                        params: params
+                            .into_iter()
+                            .filter(|p| seen.insert(p.clone()))
+                            .collect(),
                         body,
                     }
                 }),

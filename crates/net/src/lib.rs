@@ -16,6 +16,10 @@
 //!   exchange and aggregates per-service observations, which
 //!   `edgstr-core` turns into the `Subject` interface (Eq. 1).
 
+pub mod fault;
+
+pub use fault::{DropCause, FaultPlan, LossModel};
+
 use edgstr_sim::SimDuration;
 use serde_json::Value as Json;
 use std::collections::BTreeMap;
@@ -395,8 +399,7 @@ mod tests {
     fn cross_continent_rtt_order_of_magnitude_slower() {
         let same = LinkSpec::wan_same_continent();
         let cross = LinkSpec::wan_cross_continent();
-        let ratio =
-            cross.round_trip(0, 0).as_secs_f64() / same.round_trip(0, 0).as_secs_f64();
+        let ratio = cross.round_trip(0, 0).as_secs_f64() / same.round_trip(0, 0).as_secs_f64();
         assert!(ratio >= 9.0, "RTT gap {ratio} below an order of magnitude");
     }
 

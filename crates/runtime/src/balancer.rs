@@ -40,9 +40,9 @@ impl LoadBalancer {
             return None;
         }
         match self.strategy {
-            BalanceStrategy::LeastConnections => candidates
-                .into_iter()
-                .min_by_key(|&i| (connections[i], i)),
+            BalanceStrategy::LeastConnections => {
+                candidates.into_iter().min_by_key(|&i| (connections[i], i))
+            }
             BalanceStrategy::RoundRobin => {
                 self.rr_cursor += 1;
                 Some(candidates[self.rr_cursor % candidates.len()])

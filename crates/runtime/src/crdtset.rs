@@ -9,7 +9,7 @@
 
 use edgstr_analysis::{HandleOutcome, InitState, ServerProcess};
 use edgstr_core::CrdtBindings;
-use edgstr_crdt::{ActorId, Change, CrdtFiles, CrdtTable, Doc, PathSeg, VClock};
+use edgstr_crdt::{ActorId, AdvanceMode, Change, CrdtFiles, CrdtTable, Doc, PathSeg, VClock};
 use edgstr_sql::RowEffect;
 use serde_json::Value as Json;
 use std::collections::BTreeMap;
@@ -20,6 +20,37 @@ pub struct SetClock {
     pub tables: BTreeMap<String, VClock>,
     pub files: VClock,
     pub globals: VClock,
+}
+
+impl SetClock {
+    /// Pointwise maximum with `other`, structure by structure.
+    pub fn merge(&mut self, other: &SetClock) {
+        for (n, c) in &other.tables {
+            self.tables.entry(n.clone()).or_default().merge(c);
+        }
+        self.files.merge(&other.files);
+        self.globals.merge(&other.globals);
+    }
+
+    /// True if this clock has observed at least everything `other` has.
+    pub fn dominates(&self, other: &SetClock) -> bool {
+        let empty = VClock::new();
+        other
+            .tables
+            .iter()
+            .all(|(n, c)| self.tables.get(n).unwrap_or(&empty).dominates(c))
+            && self.files.dominates(&other.files)
+            && self.globals.dominates(&other.globals)
+    }
+
+    /// Bytes this clock costs inside a sync envelope (one `(actor, seq)`
+    /// pair is 16 bytes).
+    fn wire_size(&self) -> usize {
+        let pairs: usize = self.tables.values().map(VClock::len).sum::<usize>()
+            + self.files.len()
+            + self.globals.len();
+        pairs * 16
+    }
 }
 
 /// A batch of changes across all structures — the payload of one
@@ -34,9 +65,7 @@ pub struct SetChanges {
 impl SetChanges {
     /// Total changes carried.
     pub fn len(&self) -> usize {
-        self.tables.values().map(Vec::len).sum::<usize>()
-            + self.files.len()
-            + self.globals.len()
+        self.tables.values().map(Vec::len).sum::<usize>() + self.files.len() + self.globals.len()
     }
 
     /// Whether the batch is empty.
@@ -77,7 +106,11 @@ impl CrdtSet {
             let rows: Vec<(String, Json)> = db_json
                 .get(t)
                 .and_then(Json::as_object)
-                .map(|m| m.iter().map(|(pk, row)| (pk.clone(), row.clone())).collect())
+                .map(|m| {
+                    m.iter()
+                        .map(|(pk, row)| (pk.clone(), row.clone()))
+                        .collect()
+                })
                 .unwrap_or_default();
             tables.insert(t.clone(), CrdtTable::from_snapshot(actor, t.clone(), &rows));
         }
@@ -179,11 +212,7 @@ impl CrdtSet {
     /// Apply remote changes to the CRDTs and materialize the merged state
     /// into the server (database rows, file contents, global values).
     /// Returns the number of changes applied.
-    pub fn apply_remote(
-        &mut self,
-        changes: &SetChanges,
-        server: &mut ServerProcess,
-    ) -> usize {
+    pub fn apply_remote(&mut self, changes: &SetChanges, server: &mut ServerProcess) -> usize {
         let mut applied = 0;
         for (name, cs) in &changes.tables {
             if let Some(t) = self.tables.get_mut(name) {
@@ -221,12 +250,44 @@ impl CrdtSet {
     }
 }
 
+/// One `cloud_state` / `edge_state` sync envelope (Fig. 5b): the delta
+/// batch plus the sender's full clock, which doubles as a cumulative
+/// acknowledgment of everything the sender has applied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetSyncMessage {
+    /// The replica that produced this message.
+    pub sender: ActorId,
+    /// The sender's clock across all structures — acknowledges every
+    /// change the sender has locally applied, including changes it
+    /// received from the destination.
+    pub ack: SetClock,
+    /// Changes the sender believes the destination is missing.
+    pub changes: SetChanges,
+}
+
+impl SetSyncMessage {
+    /// Bytes this message costs on the WAN (envelope + ack clock + delta).
+    pub fn wire_size(&self) -> usize {
+        16 + self.ack.wire_size() + self.changes.wire_size()
+    }
+}
+
 /// Per-peer synchronization endpoint with traffic accounting — one side of
 /// the bidirectional `socket.io`-style channel (§III-G.1).
+///
+/// Delivery tracking is **ack-driven** by default: [`SyncEndpoint::generate`]
+/// does not assume its outgoing delta arrives. `peer_clock` only advances
+/// when [`SyncEndpoint::receive`] merges the peer's acknowledged clock, so
+/// a dropped message simply causes the same changes to be regenerated on
+/// the next round (safe because `apply_remote` is idempotent). The
+/// pre-fix optimistic behaviour is kept behind
+/// [`AdvanceMode::Optimistic`] as an ablation.
 #[derive(Debug, Default)]
 pub struct SyncEndpoint {
-    /// What the peer is known to have.
+    /// What the peer is known (or, under `Optimistic`, assumed) to have.
     pub peer_clock: SetClock,
+    /// How `peer_clock` advances on send.
+    pub mode: AdvanceMode,
     /// Total bytes sent to the peer.
     pub bytes_sent: usize,
     /// Total bytes received from the peer.
@@ -236,59 +297,68 @@ pub struct SyncEndpoint {
 }
 
 impl SyncEndpoint {
-    /// Fresh endpoint assuming the peer has only the shared snapshot.
+    /// Fresh ack-driven endpoint assuming the peer has only the shared
+    /// snapshot.
     pub fn new() -> Self {
         SyncEndpoint::default()
     }
 
-    /// Build the next outgoing delta for the peer.
-    pub fn generate(&mut self, set: &CrdtSet) -> SetChanges {
+    /// Fresh endpoint with the pre-fix optimistic advancement (assumes
+    /// every generated delta is delivered). Diverges under message loss;
+    /// kept for the fault-model ablation.
+    pub fn optimistic() -> Self {
+        SyncEndpoint {
+            mode: AdvanceMode::Optimistic,
+            ..SyncEndpoint::default()
+        }
+    }
+
+    /// Build the next outgoing sync message for the peer.
+    pub fn generate(&mut self, set: &CrdtSet) -> SetSyncMessage {
         let changes = set.get_changes(&self.peer_clock);
-        if !changes.is_empty() {
-            self.bytes_sent += changes.wire_size();
+        let msg = SetSyncMessage {
+            sender: set.actor(),
+            ack: set.clock(),
+            changes,
+        };
+        if !msg.changes.is_empty() {
+            self.bytes_sent += msg.wire_size();
             self.messages += 1;
-            // optimistically mark as delivered
-            for (n, cs) in &changes.tables {
+        }
+        if self.mode == AdvanceMode::Optimistic && !msg.changes.is_empty() {
+            // pre-fix behaviour: assume delivery without an ack
+            for (n, cs) in &msg.changes.tables {
                 let c = self.peer_clock.tables.entry(n.clone()).or_default();
                 for ch in cs {
                     c.observe(ch.actor, ch.seq);
                 }
             }
-            for ch in &changes.files {
+            for ch in &msg.changes.files {
                 self.peer_clock.files.observe(ch.actor, ch.seq);
             }
-            for ch in &changes.globals {
+            for ch in &msg.changes.globals {
                 self.peer_clock.globals.observe(ch.actor, ch.seq);
             }
         }
-        changes
+        msg
     }
 
-    /// Record receipt of a peer's delta and apply it.
+    /// Record receipt of a peer's message and apply its delta. The
+    /// message's ack clock tells us exactly what the peer has applied —
+    /// including our own earlier deltas — so this is where `peer_clock`
+    /// actually advances.
     pub fn receive(
         &mut self,
         set: &mut CrdtSet,
         server: &mut ServerProcess,
-        changes: &SetChanges,
+        msg: &SetSyncMessage,
     ) -> usize {
-        if changes.is_empty() {
-            return 0;
+        self.bytes_received += msg.wire_size();
+        if !msg.changes.is_empty() {
+            self.messages += 1;
         }
-        self.bytes_received += changes.wire_size();
-        self.messages += 1;
-        for (n, cs) in &changes.tables {
-            let c = self.peer_clock.tables.entry(n.clone()).or_default();
-            for ch in cs {
-                c.observe(ch.actor, ch.seq);
-            }
-        }
-        for ch in &changes.files {
-            self.peer_clock.files.observe(ch.actor, ch.seq);
-        }
-        for ch in &changes.globals {
-            self.peer_clock.globals.observe(ch.actor, ch.seq);
-        }
-        set.apply_remote(changes, server)
+        self.peer_clock.merge(&msg.ack);
+        set.apply_remote(&msg.changes, server)
     }
 }
 
@@ -349,15 +419,19 @@ mod tests {
 
         // a client writes at the edge
         let out = edge
-            .handle(&HttpRequest::post("/put", json!({"k": "x", "v": 42}), vec![]))
+            .handle(&HttpRequest::post(
+                "/put",
+                json!({"k": "x", "v": 42}),
+                vec![],
+            ))
             .unwrap();
         edge_set.absorb_outcome(&out, &edge);
 
         // background sync: edge -> cloud
-        let delta = edge_to_cloud.generate(&edge_set);
-        assert!(!delta.is_empty());
-        assert!(delta.wire_size() > 0);
-        cloud_from_edge.receive(&mut cloud_set, &mut cloud, &delta);
+        let msg = edge_to_cloud.generate(&edge_set);
+        assert!(!msg.changes.is_empty());
+        assert!(msg.wire_size() > 0);
+        cloud_from_edge.receive(&mut cloud_set, &mut cloud, &msg);
 
         // the cloud now serves the edge-written row
         let got = cloud
@@ -365,7 +439,10 @@ mod tests {
             .unwrap();
         assert_eq!(got.response.body[0]["v"], json!(42));
         // and the bound global converged
-        assert_eq!(cloud_set.globals.get(&[PathSeg::Key("hits".into())]), Some(json!(1)));
+        assert_eq!(
+            cloud_set.globals.get(&[PathSeg::Key("hits".into())]),
+            Some(json!(1))
+        );
     }
 
     #[test]
@@ -377,11 +454,19 @@ mod tests {
         let mut e2c = SyncEndpoint::new();
 
         let oc = cloud
-            .handle(&HttpRequest::post("/put", json!({"k": "from-cloud", "v": 1}), vec![]))
+            .handle(&HttpRequest::post(
+                "/put",
+                json!({"k": "from-cloud", "v": 1}),
+                vec![],
+            ))
             .unwrap();
         cloud_set.absorb_outcome(&oc, &cloud);
         let oe = edge
-            .handle(&HttpRequest::post("/put", json!({"k": "from-edge", "v": 2}), vec![]))
+            .handle(&HttpRequest::post(
+                "/put",
+                json!({"k": "from-edge", "v": 2}),
+                vec![],
+            ))
             .unwrap();
         edge_set.absorb_outcome(&oe, &edge);
 
@@ -397,11 +482,8 @@ mod tests {
             edge_set.tables["kv"].to_json()
         );
         assert_eq!(cloud_set.tables["kv"].len(), 3); // seed + 2 concurrent
-        // both servers answer queries about both rows
-        for (srv, k, v) in [
-            (&mut cloud, "from-edge", 2),
-            (&mut edge, "from-cloud", 1),
-        ] {
+                                                     // both servers answer queries about both rows
+        for (srv, k, v) in [(&mut cloud, "from-edge", 2), (&mut edge, "from-cloud", 1)] {
             let got = srv
                 .handle(&HttpRequest::get("/get", json!({"k": k})))
                 .unwrap();
@@ -427,14 +509,17 @@ mod tests {
                 ))
                 .unwrap();
             edge_set.absorb_outcome(&out, &edge);
-            let delta = e2c.generate(&edge_set);
-            sizes.push(delta.wire_size());
-            c_recv.receive(&mut cloud_set, &mut cloud, &delta);
+            let msg = e2c.generate(&edge_set);
+            sizes.push(msg.wire_size());
+            c_recv.receive(&mut cloud_set, &mut cloud, &msg);
+            // the cloud's reply carries its ack, advancing the edge's view
+            let ack = c_recv.generate(&cloud_set);
+            e2c.receive(&mut edge_set, &mut edge, &ack);
         }
         // deltas stay roughly constant instead of growing with history
         assert!(sizes[2] < sizes[0] * 3);
         // nothing left to send
-        assert!(e2c.generate(&edge_set).is_empty());
+        assert!(e2c.generate(&edge_set).changes.is_empty());
     }
 
     #[test]
@@ -445,7 +530,11 @@ mod tests {
         let mut e2c = SyncEndpoint::new();
         let mut c_recv = SyncEndpoint::new();
         let out = edge
-            .handle(&HttpRequest::post("/put", json!({"k": "zzz", "v": 9}), vec![]))
+            .handle(&HttpRequest::post(
+                "/put",
+                json!({"k": "zzz", "v": 9}),
+                vec![],
+            ))
             .unwrap();
         edge_set.absorb_outcome(&out, &edge);
         let delta = e2c.generate(&edge_set);
@@ -462,7 +551,11 @@ mod tests {
         init.restore(&mut edge);
         let mut edge_set = CrdtSet::initialize(ActorId(2), &narrow, &init);
         let out = edge
-            .handle(&HttpRequest::post("/put", json!({"k": "q", "v": 1}), vec![]))
+            .handle(&HttpRequest::post(
+                "/put",
+                json!({"k": "q", "v": 1}),
+                vec![],
+            ))
             .unwrap();
         edge_set.absorb_outcome(&out, &edge);
         let delta = edge_set.get_changes(&SetClock::default());
@@ -554,8 +647,9 @@ mod partition_tests {
         }
     }
 
-    /// Message loss: deltas are regenerated until acknowledged through the
-    /// peer's clock, so a dropped sync message only delays convergence.
+    /// Message loss: under the ack protocol the endpoint does not advance
+    /// its view of the peer on send, so a dropped delta is regenerated
+    /// verbatim on the next round and a late duplicate is harmless.
     #[test]
     fn dropped_sync_message_is_recovered() {
         let mut seed = ServerProcess::from_source(APP).unwrap();
@@ -572,28 +666,79 @@ mod partition_tests {
         let mut edge_set = CrdtSet::initialize(ActorId(2), &bindings, &init);
 
         let out = edge
-            .handle(&HttpRequest::post("/log", json!({"id": 1, "msg": "x"}), vec![]))
+            .handle(&HttpRequest::post(
+                "/log",
+                json!({"id": 1, "msg": "x"}),
+                vec![],
+            ))
             .unwrap();
         edge_set.absorb_outcome(&out, &edge);
 
         let mut e2c = SyncEndpoint::new();
         let mut c2e = SyncEndpoint::new();
         // first delta is LOST in transit (never received)
-        let _lost = e2c.generate(&edge_set);
-        // the endpoint optimistically assumed delivery; the cloud's next
-        // message carries its (unchanged) clock, correcting the view
-        let from_cloud = c2e.generate(&cloud_set);
-        e2c.receive(&mut edge_set, &mut edge, &from_cloud);
-        // after the correction the edge regenerates the missing delta
-        e2c.peer_clock = from_cloud_clock(&from_cloud, &cloud_set);
+        let lost = e2c.generate(&edge_set);
+        assert!(!lost.changes.is_empty());
+        // no ack arrived, so peer_clock is unchanged and the next round
+        // regenerates exactly the same changes
         let retry = e2c.generate(&edge_set);
-        assert!(!retry.is_empty(), "delta must be regenerated after loss");
+        assert_eq!(retry.changes, lost.changes, "delta must be regenerated");
         c2e.receive(&mut cloud_set, &mut cloud, &retry);
         assert_eq!(cloud_set.tables["log"].len(), 1);
+        // the original message finally arrives late: idempotent
+        c2e.receive(&mut cloud_set, &mut cloud, &lost);
+        assert_eq!(cloud_set.tables["log"].len(), 1);
+        // the cloud's ack reaches the edge; nothing further to send
+        let ack = c2e.generate(&cloud_set);
+        e2c.receive(&mut edge_set, &mut edge, &ack);
+        assert!(e2c.generate(&edge_set).changes.is_empty());
     }
 
-    fn from_cloud_clock(_msg: &SetChanges, cloud: &CrdtSet) -> SetClock {
-        // the real protocol carries the sender's clock; reconstruct it here
-        cloud.clock()
+    /// Pre-fix ablation: an endpoint in `Optimistic` mode assumes every
+    /// generated delta is delivered, so a single dropped message leaves
+    /// the replicas permanently diverged no matter how many further
+    /// rounds run.
+    #[test]
+    fn optimistic_endpoint_diverges_on_loss() {
+        let mut seed = ServerProcess::from_source(APP).unwrap();
+        seed.init().unwrap();
+        let init = InitState::capture(&seed);
+        let bindings = CrdtBindings::from_units([StateUnit::DbTable("log".into())]);
+        let mut cloud = ServerProcess::from_source(APP).unwrap();
+        cloud.init().unwrap();
+        init.restore(&mut cloud);
+        let mut cloud_set = CrdtSet::initialize(ActorId(1), &bindings, &init);
+        let mut edge = ServerProcess::from_source(APP).unwrap();
+        edge.init().unwrap();
+        init.restore(&mut edge);
+        let mut edge_set = CrdtSet::initialize(ActorId(2), &bindings, &init);
+
+        let out = edge
+            .handle(&HttpRequest::post(
+                "/log",
+                json!({"id": 1, "msg": "x"}),
+                vec![],
+            ))
+            .unwrap();
+        edge_set.absorb_outcome(&out, &edge);
+
+        let mut e2c = SyncEndpoint::optimistic();
+        let mut c2e = SyncEndpoint::optimistic();
+        // the delta is LOST, but the optimistic sender marks it delivered
+        let _lost = e2c.generate(&edge_set);
+        // further rounds never resend it
+        for _ in 0..5 {
+            let up = e2c.generate(&edge_set);
+            assert!(up.changes.is_empty(), "optimistic endpoint never retries");
+            c2e.receive(&mut cloud_set, &mut cloud, &up);
+            let down = c2e.generate(&cloud_set);
+            e2c.receive(&mut edge_set, &mut edge, &down);
+        }
+        assert_eq!(cloud_set.tables["log"].len(), 0, "cloud never sees the row");
+        assert_ne!(
+            cloud_set.tables["log"].to_json(),
+            edge_set.tables["log"].to_json(),
+            "replicas stay diverged under optimistic advancement"
+        );
     }
 }

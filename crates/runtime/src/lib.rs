@@ -20,8 +20,8 @@ pub mod crdtset;
 pub mod system;
 
 pub use balancer::{Autoscaler, BalanceStrategy, LoadBalancer};
-pub use crdtset::{CrdtSet, SetChanges, SetClock, SyncEndpoint};
+pub use crdtset::{CrdtSet, SetChanges, SetClock, SetSyncMessage, SyncEndpoint};
 pub use system::{
-    EdgeReplica, MobilePower, RunStats, ThreeTierOptions, ThreeTierSystem, TimedRequest,
-    TwoTierSystem, Workload,
+    EdgeReplica, FaultPolicy, MobilePower, RunStats, ThreeTierOptions, ThreeTierSystem,
+    TimedRequest, TwoTierSystem, Workload,
 };

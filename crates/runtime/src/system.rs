@@ -8,11 +8,12 @@
 
 use crate::balancer::{Autoscaler, BalanceStrategy, LoadBalancer};
 use crate::crdtset::{CrdtSet, SyncEndpoint};
-use edgstr_analysis::{ServerError, ServerProcess};
-use edgstr_core::TransformationReport;
-use edgstr_crdt::ActorId;
-use edgstr_net::{HttpRequest, LinkChannel, LinkSpec, Verb};
-use edgstr_sim::{Device, DeviceSpec, LatencyStats, PowerState, SimDuration, SimTime};
+use edgstr_analysis::{InitState, ServerError, ServerProcess};
+use edgstr_core::{CrdtBindings, TransformationReport};
+use edgstr_crdt::{ActorId, AdvanceMode};
+use edgstr_lang::Program;
+use edgstr_net::{FaultPlan, HttpRequest, LinkChannel, LinkSpec, Verb};
+use edgstr_sim::{DetRng, Device, DeviceSpec, LatencyStats, PowerState, SimDuration, SimTime};
 use std::collections::BTreeSet;
 
 /// Radio/idle power draw of the mobile client, used to integrate the
@@ -40,12 +41,7 @@ impl Default for MobilePower {
 
 impl MobilePower {
     /// Energy for one request given its transfer and wait durations.
-    pub fn request_energy_j(
-        &self,
-        up: SimDuration,
-        down: SimDuration,
-        wait: SimDuration,
-    ) -> f64 {
+    pub fn request_energy_j(&self, up: SimDuration, down: SimDuration, wait: SimDuration) -> f64 {
         self.tx_w * up.as_secs_f64()
             + self.rx_w * down.as_secs_f64()
             + self.wait_w * wait.as_secs_f64()
@@ -123,6 +119,44 @@ impl Workload {
     }
 }
 
+/// Retry/timeout/circuit-breaker policy for WAN failure forwarding.
+///
+/// When an edge forwards a request to the cloud and the WAN drops it, the
+/// edge retransmits with exponential backoff plus seeded jitter, up to a
+/// retry cap and an end-to-end deadline. A run of consecutive forwarding
+/// failures opens a circuit breaker: while it is open the edge stops
+/// attempting the WAN entirely (degraded mode) until a cooldown elapses,
+/// after which one probe request may half-open it.
+#[derive(Debug, Clone)]
+pub struct FaultPolicy {
+    /// End-to-end deadline for one forwarded request, retries included.
+    pub forward_deadline: SimDuration,
+    /// Retransmissions allowed after the first attempt.
+    pub max_retries: u32,
+    /// Backoff before retry `k` is `backoff_base * 2^k`, plus jitter in
+    /// `[0, backoff_base)`.
+    pub backoff_base: SimDuration,
+    /// Consecutive forwarding failures that open the breaker.
+    pub breaker_threshold: u32,
+    /// How long the breaker stays open before a probe is allowed.
+    pub breaker_cooldown: SimDuration,
+    /// Seed for the retry-jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            forward_deadline: SimDuration::from_secs(10),
+            max_retries: 3,
+            backoff_base: SimDuration::from_millis(100),
+            breaker_threshold: 3,
+            breaker_cooldown: SimDuration::from_secs(5),
+            jitter_seed: 0xED657,
+        }
+    }
+}
+
 /// Measurements from one run.
 #[derive(Debug, Default)]
 pub struct RunStats {
@@ -132,6 +166,14 @@ pub struct RunStats {
     /// Requests the edge forwarded to the cloud (failure forwarding or
     /// non-replicated services).
     pub forwarded: usize,
+    /// WAN retransmissions performed by failure forwarding.
+    pub retries: usize,
+    /// Forwarded requests abandoned at the retry cap or deadline.
+    pub timed_out: usize,
+    /// Requests handled in degraded mode while the circuit breaker was
+    /// open: replicated services served locally with deltas queued,
+    /// non-replicated requests failed fast without touching the WAN.
+    pub degraded: usize,
     /// Virtual time of the last completion.
     pub makespan: SimTime,
     /// Client request/response bytes crossing the WAN.
@@ -245,6 +287,7 @@ pub struct EdgeReplica {
     pub to_cloud: SyncEndpoint,
     inflight: Vec<SimTime>,
     active: bool,
+    crashed: bool,
 }
 
 impl EdgeReplica {
@@ -255,6 +298,11 @@ impl EdgeReplica {
     /// Current active connection count.
     pub fn connections(&self) -> usize {
         self.inflight.len()
+    }
+
+    /// Whether the replica is down (crashed, not merely parked).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
     }
 }
 
@@ -271,6 +319,16 @@ pub struct ThreeTierOptions {
     /// When true, state changes sync synchronously with each request
     /// (write-through ablation) instead of in the background.
     pub synchronous_sync: bool,
+    /// `Some` injects faults: every WAN message (forwarded requests and
+    /// sync deltas) consults the plan before delivery. Endpoint names are
+    /// `"cloud"` and `"edge{i}"`.
+    pub faults: Option<FaultPlan>,
+    /// Retry/timeout/breaker policy for failure forwarding.
+    pub policy: FaultPolicy,
+    /// How sync endpoints track peer state. `OnAck` (default) regenerates
+    /// dropped deltas; `Optimistic` is the pre-fix ablation that assumes
+    /// delivery and diverges under loss.
+    pub sync_advance: AdvanceMode,
 }
 
 impl Default for ThreeTierOptions {
@@ -282,6 +340,9 @@ impl Default for ThreeTierOptions {
             autoscaler: None,
             sync_interval: SimDuration::from_secs(1),
             synchronous_sync: false,
+            faults: None,
+            policy: FaultPolicy::default(),
+            sync_advance: AdvanceMode::OnAck,
         }
     }
 }
@@ -302,6 +363,20 @@ pub struct ThreeTierSystem {
     lan_down: LinkChannel,
     wan_up: LinkChannel,
     wan_down: LinkChannel,
+    /// Jitter stream for retry backoff (forked from the policy seed).
+    jitter: DetRng,
+    /// Consecutive forwarding failures (breaker input).
+    breaker_failures: u32,
+    /// While `Some(t)`, the breaker is open until `t`.
+    breaker_open_until: Option<SimTime>,
+    /// Replica template kept for crash/restart re-deployment.
+    replica_program: Program,
+    replica_bindings: CrdtBindings,
+    replica_init: InitState,
+    /// Next fresh actor id handed to a restarted replica (reusing a
+    /// crashed incarnation's actor would collide with its sequence
+    /// numbers).
+    next_actor: u64,
 }
 
 impl ThreeTierSystem {
@@ -321,7 +396,8 @@ impl ThreeTierSystem {
         let mut cloud = ServerProcess::from_source(cloud_source)?;
         cloud.init()?;
         report.replica.init.restore(&mut cloud);
-        let cloud_crdts = CrdtSet::initialize(ActorId(1), &report.replica.bindings, &report.replica.init);
+        let cloud_crdts =
+            CrdtSet::initialize(ActorId(1), &report.replica.bindings, &report.replica.init);
         let mut edges = Vec::new();
         for (i, spec) in edge_devices.iter().enumerate() {
             let mut server = ServerProcess::from_program(report.replica.program.clone());
@@ -336,13 +412,24 @@ impl ThreeTierSystem {
                 server,
                 device: Device::new(spec.clone()),
                 crdts,
-                to_cloud: SyncEndpoint::new(),
+                to_cloud: SyncEndpoint {
+                    mode: options.sync_advance,
+                    ..SyncEndpoint::new()
+                },
                 inflight: Vec::new(),
                 active: true,
+                crashed: false,
             });
         }
-        let cloud_endpoints = (0..edges.len()).map(|_| SyncEndpoint::new()).collect();
+        let cloud_endpoints = (0..edges.len())
+            .map(|_| SyncEndpoint {
+                mode: options.sync_advance,
+                ..SyncEndpoint::new()
+            })
+            .collect();
         let balancer = LoadBalancer::new(options.balance);
+        let jitter = DetRng::new(options.policy.jitter_seed);
+        let next_actor = 2 + edges.len() as u64;
         Ok(ThreeTierSystem {
             cloud,
             cloud_device: Device::new(DeviceSpec::cloud_server()),
@@ -354,28 +441,245 @@ impl ThreeTierSystem {
             lan_down: LinkChannel::new(options.lan),
             wan_up: LinkChannel::new(options.wan),
             wan_down: LinkChannel::new(options.wan),
+            jitter,
+            breaker_failures: 0,
+            breaker_open_until: None,
+            replica_program: report.replica.program.clone(),
+            replica_bindings: report.replica.bindings.clone(),
+            replica_init: report.replica.init.clone(),
+            next_actor,
             options,
             replicated: report.replica.replicated.iter().cloned().collect(),
             mobile: MobilePower::default(),
         })
     }
 
-    /// One bidirectional background sync round between every edge and the
-    /// cloud master; returns the WAN bytes spent.
-    pub fn sync_round(&mut self) -> usize {
+    /// One bidirectional background sync round between every live edge and
+    /// the cloud master at virtual time `at`; returns the WAN bytes spent
+    /// (dropped messages still consume bandwidth). When a fault plan is
+    /// configured, each direction of each exchange may be dropped; under
+    /// the ack protocol the lost delta is simply regenerated next round.
+    pub fn sync_round(&mut self, at: SimTime) -> usize {
         let mut bytes = 0;
         for (i, edge) in self.edges.iter_mut().enumerate() {
+            if edge.crashed {
+                continue;
+            }
+            let edge_name = format!("edge{i}");
             // edge -> cloud (edge_state message)
-            let delta = edge.to_cloud.generate(&edge.crdts);
-            bytes += delta.wire_size_nonempty();
-            self.cloud_endpoints[i].receive(&mut self.cloud_crdts, &mut self.cloud, &delta);
+            let msg = edge.to_cloud.generate(&edge.crdts);
+            if !msg.changes.is_empty() {
+                bytes += msg.wire_size();
+            }
+            let dropped = self
+                .options
+                .faults
+                .as_mut()
+                .is_some_and(|p| p.should_drop(&edge_name, "cloud", at));
+            if !dropped {
+                self.cloud_endpoints[i].receive(&mut self.cloud_crdts, &mut self.cloud, &msg);
+            }
             // cloud -> edge (cloud_state message)
-            let delta = self.cloud_endpoints[i].generate(&self.cloud_crdts);
-            bytes += delta.wire_size_nonempty();
-            edge.to_cloud
-                .receive(&mut edge.crdts, &mut edge.server, &delta);
+            let msg = self.cloud_endpoints[i].generate(&self.cloud_crdts);
+            if !msg.changes.is_empty() {
+                bytes += msg.wire_size();
+            }
+            let dropped = self
+                .options
+                .faults
+                .as_mut()
+                .is_some_and(|p| p.should_drop("cloud", &edge_name, at));
+            if !dropped {
+                edge.to_cloud
+                    .receive(&mut edge.crdts, &mut edge.server, &msg);
+            }
         }
         bytes
+    }
+
+    /// Whether every live replica has observed exactly what the cloud
+    /// master has (mutual clock domination — the strong-eventual-
+    /// consistency convergence criterion).
+    pub fn converged(&self) -> bool {
+        let master = self.cloud_crdts.clock();
+        self.edges.iter().filter(|e| !e.crashed).all(|e| {
+            let c = e.crdts.clock();
+            c.dominates(&master) && master.dominates(&c)
+        })
+    }
+
+    /// Run sync rounds every `sync_interval` starting at `from` until the
+    /// cluster converges or `max_rounds` is exhausted. Returns
+    /// `Some((rounds_used, virtual_time))` on convergence.
+    pub fn sync_until_converged(
+        &mut self,
+        from: SimTime,
+        max_rounds: usize,
+    ) -> Option<(usize, SimTime)> {
+        let mut at = from;
+        for round in 0..max_rounds {
+            if self.converged() {
+                return Some((round, at));
+            }
+            at += self.options.sync_interval;
+            self.sync_round(at);
+        }
+        if self.converged() {
+            return Some((max_rounds, at));
+        }
+        None
+    }
+
+    /// Crash an edge replica: it loses all volatile state, stops serving,
+    /// and stops syncing until [`ThreeTierSystem::restart_edge`].
+    pub fn crash_edge(&mut self, i: usize) {
+        let e = &mut self.edges[i];
+        e.crashed = true;
+        e.active = false;
+        e.inflight.clear();
+    }
+
+    /// Restart a crashed edge: a fresh server and CRDT set are built from
+    /// the deployment snapshot under a brand-new actor id, both sync
+    /// endpoints reset, and the next sync rounds re-initialize the replica
+    /// from the cloud master's full state. The crashed incarnation's actor
+    /// id is retired (reusing it would collide with already-synced
+    /// sequence numbers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates replica init failures.
+    pub fn restart_edge(&mut self, i: usize) -> Result<(), ServerError> {
+        let mut server = ServerProcess::from_program(self.replica_program.clone());
+        server.init()?;
+        self.replica_init.restore(&mut server);
+        let actor = ActorId(self.next_actor);
+        self.next_actor += 1;
+        let crdts = CrdtSet::initialize(actor, &self.replica_bindings, &self.replica_init);
+        let e = &mut self.edges[i];
+        e.server = server;
+        e.crdts = crdts;
+        e.to_cloud = SyncEndpoint {
+            mode: self.options.sync_advance,
+            ..SyncEndpoint::new()
+        };
+        e.inflight.clear();
+        e.crashed = false;
+        e.active = true;
+        // the cloud must re-send everything since the snapshot
+        self.cloud_endpoints[i] = SyncEndpoint {
+            mode: self.options.sync_advance,
+            ..SyncEndpoint::new()
+        };
+        Ok(())
+    }
+
+    /// Whether the circuit breaker blocks WAN forwarding at `at`.
+    pub fn breaker_open(&self, at: SimTime) -> bool {
+        self.breaker_open_until.is_some_and(|until| at < until)
+    }
+
+    fn record_forward_success(&mut self) {
+        self.breaker_failures = 0;
+        self.breaker_open_until = None;
+    }
+
+    fn record_forward_failure(&mut self, at: SimTime) {
+        self.breaker_failures += 1;
+        if self.breaker_failures >= self.options.policy.breaker_threshold {
+            self.breaker_open_until = Some(at + self.options.policy.breaker_cooldown);
+        }
+    }
+
+    /// Forward one request to the cloud with bounded retries, exponential
+    /// backoff and seeded jitter, under the run's fault plan and deadline.
+    /// Returns `Some((time_back_at_edge, response_bytes))` on success. The
+    /// cloud executes the request at most once: if only the response is
+    /// lost, retries retransmit the response rather than re-running the
+    /// handler (the proxy holds the connection, §II-B).
+    fn forward_to_cloud(
+        &mut self,
+        idx: usize,
+        request: &HttpRequest,
+        arrive: SimTime,
+        stats: &mut RunStats,
+    ) -> Option<(SimTime, usize)> {
+        let policy = self.options.policy.clone();
+        let edge_name = format!("edge{idx}");
+        let req_size = request.size();
+        let deadline = arrive + policy.forward_deadline;
+        // `Some` once the cloud has executed: (compute finish, resp bytes)
+        let mut executed: Option<(SimTime, usize)> = None;
+        let mut t = arrive;
+        let mut attempt: u32 = 0;
+        loop {
+            if let Some((finish, resp_size)) = executed {
+                // only the response was lost: retransmit it
+                let back = self.wan_down.send(t.max(finish), resp_size);
+                stats.wan_request_bytes += resp_size;
+                let dropped = self
+                    .options
+                    .faults
+                    .as_mut()
+                    .is_some_and(|p| p.should_drop("cloud", &edge_name, t));
+                if !dropped {
+                    self.record_forward_success();
+                    return Some((back, resp_size));
+                }
+            } else {
+                let cloud_arrive = self.wan_up.send(t, req_size);
+                stats.wan_request_bytes += req_size;
+                let dropped = self
+                    .options
+                    .faults
+                    .as_mut()
+                    .is_some_and(|p| p.should_drop(&edge_name, "cloud", t));
+                if !dropped {
+                    match self.cloud.handle(request) {
+                        Ok(out) => {
+                            self.cloud_crdts.absorb_outcome(&out, &self.cloud);
+                            let (_, finish) =
+                                self.cloud_device.schedule_work(cloud_arrive, out.cycles);
+                            let resp_size = out.response.size();
+                            executed = Some((finish, resp_size));
+                            let back = self.wan_down.send(finish, resp_size);
+                            stats.wan_request_bytes += resp_size;
+                            let resp_dropped = self
+                                .options
+                                .faults
+                                .as_mut()
+                                .is_some_and(|p| p.should_drop("cloud", &edge_name, finish));
+                            if !resp_dropped {
+                                self.record_forward_success();
+                                return Some((back, resp_size));
+                            }
+                        }
+                        Err(_) => {
+                            // application error: the WAN worked, no retry
+                            self.record_forward_success();
+                            return None;
+                        }
+                    }
+                }
+            }
+            // this attempt failed in transit: back off, maybe retry
+            if attempt >= policy.max_retries {
+                stats.timed_out += 1;
+                self.record_forward_failure(t);
+                return None;
+            }
+            let backoff_us = policy.backoff_base.0 << attempt;
+            let jitter_us = self.jitter.below(policy.backoff_base.0.max(1));
+            let next = t + SimDuration(backoff_us + jitter_us);
+            if next > deadline {
+                stats.timed_out += 1;
+                self.record_forward_failure(next);
+                return None;
+            }
+            attempt += 1;
+            stats.retries += 1;
+            t = next;
+        }
     }
 
     /// Execute `workload`, returning measurements.
@@ -386,7 +690,8 @@ impl ThreeTierSystem {
             let now = tr.at;
             // background sync ticks that elapsed before this arrival
             while !self.options.synchronous_sync && next_sync <= now {
-                stats.wan_sync_bytes += self.sync_round();
+                let tick = next_sync;
+                stats.wan_sync_bytes += self.sync_round(tick);
                 next_sync += self.options.sync_interval;
             }
             // autoscaler: adjust active replica set
@@ -410,8 +715,7 @@ impl ThreeTierSystem {
                 stats.replica_samples.push((now, active));
             }
             // route to an edge
-            let connections: Vec<usize> =
-                self.edges.iter().map(EdgeReplica::connections).collect();
+            let connections: Vec<usize> = self.edges.iter().map(EdgeReplica::connections).collect();
             let active: Vec<bool> = self.edges.iter().map(|e| e.active).collect();
             let Some(idx) = self.balancer.pick(&connections, &active) else {
                 stats.failed += 1;
@@ -435,6 +739,11 @@ impl ThreeTierSystem {
             };
             let (done, resp_size, up_total, down_total, wait) = match local_result {
                 Ok(out) => {
+                    if self.breaker_open(arrive) {
+                        // replicated service under an open breaker: still
+                        // served locally, deltas queue until the WAN heals
+                        stats.degraded += 1;
+                    }
                     let edge = &mut self.edges[idx];
                     edge.crdts.absorb_outcome(&out, &edge.server);
                     let (_, finish) = edge.device.schedule_work(arrive, out.cycles);
@@ -444,7 +753,7 @@ impl ThreeTierSystem {
                     stats.lan_bytes += resp_size;
                     edge.inflight.push(done);
                     if self.options.synchronous_sync {
-                        stats.wan_sync_bytes += self.sync_round();
+                        stats.wan_sync_bytes += self.sync_round(finish);
                     }
                     (done, resp_size, up, down, finish - arrive)
                 }
@@ -452,22 +761,21 @@ impl ThreeTierSystem {
                     // failure forwarding: the edge proxies the request to
                     // the cloud master over the WAN (§II-B)
                     stats.forwarded += 1;
-                    match self.cloud.handle(&tr.request) {
-                        Ok(out) => {
-                            self.cloud_crdts.absorb_outcome(&out, &self.cloud);
-                            let cloud_arrive = self.wan_up.send(arrive, req_size);
-                            let (_, finish) =
-                                self.cloud_device.schedule_work(cloud_arrive, out.cycles);
-                            let resp_size = out.response.size();
-                            let back_at_edge = self.wan_down.send(finish, resp_size);
+                    if self.breaker_open(arrive) {
+                        // degraded mode: fail fast without a WAN attempt
+                        stats.degraded += 1;
+                        stats.failed += 1;
+                        continue;
+                    }
+                    match self.forward_to_cloud(idx, &tr.request, arrive, &mut stats) {
+                        Some((back_at_edge, resp_size)) => {
                             let done = self.lan_down.send(back_at_edge, resp_size);
                             let lan_down = done - back_at_edge;
-                            stats.wan_request_bytes += req_size + resp_size;
                             stats.lan_bytes += resp_size;
                             self.edges[idx].inflight.push(done);
                             (done, resp_size, up, lan_down, back_at_edge - arrive)
                         }
-                        Err(_) => {
+                        None => {
                             stats.failed += 1;
                             continue;
                         }
@@ -478,15 +786,16 @@ impl ThreeTierSystem {
             let latency = done - tr.at;
             stats.latency.record(latency);
             stats.completed += 1;
-            stats.client_energy_j +=
-                self.mobile.request_energy_j(up_total, down_total, wait);
+            stats.client_energy_j += self.mobile.request_energy_j(up_total, down_total, wait);
             if done > stats.makespan {
                 stats.makespan = done;
             }
         }
-        // final flush so replicas converge
-        stats.wan_sync_bytes += self.sync_round();
-        stats.wan_sync_bytes += self.sync_round();
+        // final flush so replicas converge (fault-free runs need at most
+        // two rounds: deltas out, acks back)
+        let flush_at = stats.makespan;
+        stats.wan_sync_bytes += self.sync_round(flush_at);
+        stats.wan_sync_bytes += self.sync_round(flush_at + self.options.sync_interval);
         stats.cloud_energy_j = self.cloud_device.energy_joules(stats.makespan);
         stats.edge_energy_j = self
             .edges
@@ -494,16 +803,6 @@ impl ThreeTierSystem {
             .map(|e| e.device.energy_joules(stats.makespan))
             .sum();
         stats
-    }
-}
-
-impl crate::crdtset::SetChanges {
-    fn wire_size_nonempty(&self) -> usize {
-        if self.is_empty() {
-            0
-        } else {
-            self.wire_size()
-        }
     }
 }
 
@@ -543,12 +842,8 @@ mod tests {
 
     #[test]
     fn two_tier_runs_workload() {
-        let mut sys = TwoTierSystem::new(
-            APP,
-            DeviceSpec::cloud_server(),
-            LinkSpec::limited_cloud(),
-        )
-        .unwrap();
+        let mut sys =
+            TwoTierSystem::new(APP, DeviceSpec::cloud_server(), LinkSpec::limited_cloud()).unwrap();
         let reqs: Vec<HttpRequest> = (0..20).map(unique_note).collect();
         let wl = Workload::constant_rate(&reqs, 10.0, 20);
         let stats = sys.run(&wl);
@@ -573,7 +868,10 @@ mod tests {
         let stats = sys.run(&wl);
         assert_eq!(stats.completed, 20);
         assert_eq!(stats.forwarded, 0, "replicated service must run locally");
-        assert!(stats.wan_sync_bytes > 0, "background sync must ship changes");
+        assert!(
+            stats.wan_sync_bytes > 0,
+            "background sync must ship changes"
+        );
         assert_eq!(stats.wan_request_bytes, 0, "no request traffic on the WAN");
         // all replicas and cloud converge on the notes table
         let cloud_rows = sys.cloud_crdts.tables["notes"].len();
@@ -657,12 +955,7 @@ mod tests {
         let wl = Workload::constant_rate(&reqs, 2.0, 40);
         let stats = sys.run(&wl);
         assert_eq!(stats.completed, 40);
-        let min_active = stats
-            .replica_samples
-            .iter()
-            .map(|(_, n)| *n)
-            .min()
-            .unwrap();
+        let min_active = stats.replica_samples.iter().map(|(_, n)| *n).min().unwrap();
         assert_eq!(min_active, 1, "light load should park down to one replica");
         // parked replicas draw less energy than a hypothetical always-on set
         assert!(stats.edge_energy_j > 0.0);
@@ -699,14 +992,239 @@ mod tests {
         assert!((j - expected).abs() < 1e-9);
     }
 
+    /// Acceptance: a cloud + 2-edge cluster under 20% WAN loss converges
+    /// within a bounded number of sync rounds, deterministically from the
+    /// fault seed, because ack-driven endpoints regenerate dropped deltas.
     #[test]
-    fn two_tier_failed_requests_counted_not_recorded() {
-        let mut sys = TwoTierSystem::new(
+    fn lossy_cluster_converges_within_bounded_rounds() {
+        let report = transformed();
+        let mut faults = FaultPlan::new(0x2025_0805);
+        faults.set_default_loss(edgstr_net::LossModel::uniform(0.20));
+        let mut sys = ThreeTierSystem::deploy(
             APP,
-            DeviceSpec::cloud_server(),
-            LinkSpec::limited_cloud(),
+            &report,
+            &[DeviceSpec::rpi4(), DeviceSpec::rpi3()],
+            ThreeTierOptions {
+                faults: Some(faults),
+                ..Default::default()
+            },
         )
         .unwrap();
+        let reqs: Vec<HttpRequest> = (0..30).map(unique_note).collect();
+        let wl = Workload::constant_rate(&reqs, 10.0, 30);
+        let stats = sys.run(&wl);
+        assert_eq!(stats.completed, 30, "replicated writes serve locally");
+        let (rounds, _) = sys
+            .sync_until_converged(stats.makespan, 50)
+            .expect("cluster must converge within 50 rounds at 20% loss");
+        assert!(rounds <= 50);
+        let cloud_rows = sys.cloud_crdts.tables["notes"].to_json();
+        for e in &sys.edges {
+            assert_eq!(e.crdts.tables["notes"].to_json(), cloud_rows);
+        }
+        assert!(sys.cloud_crdts.tables["notes"].len() >= 30);
+    }
+
+    /// Pre-fix ablation at system level: the same lossy cluster with
+    /// optimistic clock advancement never recovers the dropped deltas.
+    #[test]
+    fn optimistic_sync_diverges_under_loss() {
+        let report = transformed();
+        let mut faults = FaultPlan::new(0x2025_0805);
+        faults.set_default_loss(edgstr_net::LossModel::uniform(0.20));
+        let mut sys = ThreeTierSystem::deploy(
+            APP,
+            &report,
+            &[DeviceSpec::rpi4(), DeviceSpec::rpi3()],
+            ThreeTierOptions {
+                faults: Some(faults),
+                sync_advance: AdvanceMode::Optimistic,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let reqs: Vec<HttpRequest> = (0..30).map(unique_note).collect();
+        let wl = Workload::constant_rate(&reqs, 10.0, 30);
+        let stats = sys.run(&wl);
+        assert_eq!(
+            sys.sync_until_converged(stats.makespan, 50),
+            None,
+            "optimistic advancement must leave the cluster diverged"
+        );
+    }
+
+    /// Lossy failure forwarding: retransmission with backoff recovers
+    /// dropped WAN messages, and the retry counter records the cost.
+    #[test]
+    fn forwarding_retries_recover_wan_loss() {
+        let report = transformed();
+        let mut faults = FaultPlan::new(17);
+        faults.set_default_loss(edgstr_net::LossModel::uniform(0.30));
+        let mut sys = ThreeTierSystem::deploy(
+            APP,
+            &report,
+            &[DeviceSpec::rpi4()],
+            ThreeTierOptions {
+                faults: Some(faults),
+                policy: FaultPolicy {
+                    max_retries: 6,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // break the edge's database so every request forwards over the WAN
+        sys.edges[0]
+            .server
+            .inject_failures(vec!["db.query".to_string()]);
+        let reqs: Vec<HttpRequest> = (0..10).map(unique_note).collect();
+        let wl = Workload::constant_rate(&reqs, 5.0, 10);
+        let stats = sys.run(&wl);
+        assert_eq!(stats.forwarded, 10);
+        assert!(stats.retries > 0, "30% loss must force retransmissions");
+        assert_eq!(stats.completed + stats.failed, 10);
+        assert!(
+            stats.completed >= 8,
+            "retries should recover most requests, got {}",
+            stats.completed
+        );
+    }
+
+    /// A full partition makes forwarding time out; after enough
+    /// consecutive failures the circuit breaker opens and later requests
+    /// fail fast in degraded mode without touching the WAN.
+    #[test]
+    fn breaker_opens_under_partition_and_degrades() {
+        let report = transformed();
+        let mut faults = FaultPlan::new(23);
+        faults.partition(
+            "edge0",
+            "cloud",
+            SimTime::ZERO,
+            SimTime::from_secs_f64(3600.0),
+        );
+        let mut sys = ThreeTierSystem::deploy(
+            APP,
+            &report,
+            &[DeviceSpec::rpi4()],
+            ThreeTierOptions {
+                faults: Some(faults),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        sys.edges[0]
+            .server
+            .inject_failures(vec!["db.query".to_string()]);
+        let reqs: Vec<HttpRequest> = (0..10).map(unique_note).collect();
+        let wl = Workload::constant_rate(&reqs, 5.0, 10);
+        let stats = sys.run(&wl);
+        assert_eq!(stats.failed, 10, "nothing completes across a partition");
+        assert!(
+            stats.timed_out >= sys.options.policy.breaker_threshold as usize,
+            "enough timeouts to trip the breaker, got {}",
+            stats.timed_out
+        );
+        assert!(
+            stats.degraded > 0,
+            "post-trip requests must fail fast in degraded mode"
+        );
+        assert!(
+            stats.timed_out + stats.degraded == 10,
+            "every failure is either a timeout or a fast-fail: {} + {}",
+            stats.timed_out,
+            stats.degraded
+        );
+    }
+
+    /// Degraded mode still serves replicated requests locally while the
+    /// breaker is open, queuing deltas until the WAN heals.
+    #[test]
+    fn replicated_requests_serve_locally_while_breaker_open() {
+        let report = transformed();
+        let mut faults = FaultPlan::new(29);
+        faults.partition(
+            "edge0",
+            "cloud",
+            SimTime::ZERO,
+            SimTime::from_secs_f64(3600.0),
+        );
+        let mut sys = ThreeTierSystem::deploy(
+            APP,
+            &report,
+            &[DeviceSpec::rpi4()],
+            ThreeTierOptions {
+                faults: Some(faults),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // trip the breaker through the public failure path: a broken edge
+        // db forces forwards, and the partition times them out
+        sys.edges[0]
+            .server
+            .inject_failures(vec!["db.query".to_string()]);
+        let trip: Vec<HttpRequest> = (100..103).map(unique_note).collect();
+        let stats = sys.run(&Workload::constant_rate(&trip, 2.0, 3));
+        assert!(stats.timed_out >= 3);
+        // heal the edge server; replicated requests now serve locally in
+        // degraded mode while the breaker is still open
+        sys.edges[0].server.inject_failures(Vec::new());
+        let reqs: Vec<HttpRequest> = (0..5).map(unique_note).collect();
+        let stats = sys.run(&Workload::constant_rate(&reqs, 5.0, 5));
+        assert_eq!(stats.completed, 5, "local service continues degraded");
+        assert!(stats.degraded >= 1, "degraded local serves are counted");
+        // deltas queued at the edge: the cloud is still missing them
+        assert!(!sys.converged());
+    }
+
+    /// Crash/restart: a restarted replica re-initializes from the cloud
+    /// master under a fresh actor id and rejoins sync cleanly.
+    #[test]
+    fn crashed_edge_rejoins_from_cloud_master() {
+        let report = transformed();
+        let mut sys = ThreeTierSystem::deploy(
+            APP,
+            &report,
+            &[DeviceSpec::rpi4(), DeviceSpec::rpi3()],
+            ThreeTierOptions::default(),
+        )
+        .unwrap();
+        let reqs: Vec<HttpRequest> = (0..20).map(unique_note).collect();
+        let stats = sys.run(&Workload::constant_rate(&reqs, 10.0, 20));
+        assert_eq!(stats.completed, 20);
+        let old_actor = sys.edges[0].crdts.actor();
+
+        sys.crash_edge(0);
+        assert!(sys.edges[0].is_crashed());
+        // the survivor keeps serving while edge 0 is down
+        let more: Vec<HttpRequest> = (200..210).map(unique_note).collect();
+        let stats = sys.run(&Workload::constant_rate(&more, 10.0, 10).shifted(stats.makespan));
+        assert_eq!(stats.completed, 10);
+
+        sys.restart_edge(0).unwrap();
+        assert_ne!(
+            sys.edges[0].crdts.actor(),
+            old_actor,
+            "restart must not reuse the crashed incarnation's actor id"
+        );
+        // fresh replica starts from the snapshot, then catches up fully
+        let (rounds, _) = sys
+            .sync_until_converged(stats.makespan, 10)
+            .expect("restarted replica must converge");
+        assert!(rounds <= 10);
+        assert_eq!(
+            sys.edges[0].crdts.tables["notes"].to_json(),
+            sys.cloud_crdts.tables["notes"].to_json()
+        );
+        assert!(sys.edges[0].crdts.tables["notes"].len() >= 30);
+    }
+
+    #[test]
+    fn two_tier_failed_requests_counted_not_recorded() {
+        let mut sys =
+            TwoTierSystem::new(APP, DeviceSpec::cloud_server(), LinkSpec::limited_cloud()).unwrap();
         // duplicate primary keys: every second insert fails at the server
         let req = unique_note(1);
         let wl = Workload::constant_rate(std::slice::from_ref(&req), 10.0, 3);

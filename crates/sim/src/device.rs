@@ -196,7 +196,11 @@ impl Device {
 
     /// The earliest time a new request could start executing.
     pub fn next_free(&self) -> SimTime {
-        self.core_free.iter().copied().min().unwrap_or(SimTime::ZERO)
+        self.core_free
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Number of cores that are busy at `now`.
@@ -360,7 +364,10 @@ mod tests {
         let (_, finish) = d.schedule_work(SimTime::ZERO, cycles);
         let e = d.energy_joules(finish);
         let idle_only = spec.power.idle_w * finish.as_secs_f64();
-        assert!(e > idle_only, "busy energy {e} should exceed idle-only {idle_only}");
+        assert!(
+            e > idle_only,
+            "busy energy {e} should exceed idle-only {idle_only}"
+        );
     }
 
     #[test]

@@ -22,9 +22,11 @@
 pub mod device;
 pub mod metrics;
 pub mod queue;
+pub mod rng;
 pub mod time;
 
 pub use device::{Device, DeviceSpec, EnergyMeter, PowerModel, PowerState};
 pub use metrics::{linear_fit, FiveNumber, LatencyStats, LinearFit, Throughput, Window};
 pub use queue::EventQueue;
+pub use rng::{splitmix64, DetRng};
 pub use time::{SimDuration, SimTime};

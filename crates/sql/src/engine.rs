@@ -226,10 +226,7 @@ impl SqlDb {
     /// # Errors
     ///
     /// Returns [`SqlError`] on execution failure.
-    pub fn exec_stmt(
-        &mut self,
-        stmt: &Statement,
-    ) -> Result<(SqlResult, Vec<RowEffect>), SqlError> {
+    pub fn exec_stmt(&mut self, stmt: &Statement) -> Result<(SqlResult, Vec<RowEffect>), SqlError> {
         match stmt {
             Statement::CreateTable {
                 name,
@@ -304,9 +301,7 @@ impl SqlDb {
                     };
                     if let Some(pki) = t.pk_index() {
                         if t.rows.iter().any(|r| r[pki] == full_row[pki]) {
-                            return Err(SqlError::DuplicatePrimaryKey(
-                                full_row[pki].to_string(),
-                            ));
+                            return Err(SqlError::DuplicatePrimaryKey(full_row[pki].to_string()));
                         }
                     }
                     let idx = t.rows.len();
@@ -343,9 +338,7 @@ impl SqlDb {
                         column: col.clone(),
                     })?;
                     selected.sort_by(|a, b| {
-                        let ord = a[idx]
-                            .compare(&b[idx])
-                            .unwrap_or(std::cmp::Ordering::Equal);
+                        let ord = a[idx].compare(&b[idx]).unwrap_or(std::cmp::Ordering::Equal);
                         if *desc {
                             ord.reverse()
                         } else {
@@ -552,10 +545,7 @@ impl SqlDb {
                     .map(|r| &r[idx])
                     .filter(|v| !matches!(v, SqlValue::Null))
                     .min_by(|a, b| a.compare(b).unwrap_or(std::cmp::Ordering::Equal));
-                (
-                    format!("min({c})"),
-                    m.cloned().unwrap_or(SqlValue::Null),
-                )
+                (format!("min({c})"), m.cloned().unwrap_or(SqlValue::Null))
             }
             SelectItem::Max(c) => {
                 let idx = col_idx(c)?;
@@ -564,10 +554,7 @@ impl SqlDb {
                     .map(|r| &r[idx])
                     .filter(|v| !matches!(v, SqlValue::Null))
                     .max_by(|a, b| a.compare(b).unwrap_or(std::cmp::Ordering::Equal));
-                (
-                    format!("max({c})"),
-                    m.cloned().unwrap_or(SqlValue::Null),
-                )
+                (format!("max({c})"), m.cloned().unwrap_or(SqlValue::Null))
             }
             _ => unreachable!(),
         })
@@ -672,11 +659,7 @@ impl SqlDb {
     /// # Errors
     ///
     /// Returns [`SqlError::NoSuchTable`] when the table does not exist.
-    pub fn replace_table_rows(
-        &mut self,
-        name: &str,
-        rows: &[Json],
-    ) -> Result<(), SqlError> {
+    pub fn replace_table_rows(&mut self, name: &str, rows: &[Json]) -> Result<(), SqlError> {
         let t = self
             .tables
             .get_mut(name)
@@ -751,7 +734,9 @@ mod tests {
     fn create_insert_select() {
         let db = db_with_books();
         let mut db = db;
-        let r = db.exec("SELECT title FROM books WHERE price > 8 ORDER BY price DESC").unwrap();
+        let r = db
+            .exec("SELECT title FROM books WHERE price > 8 ORDER BY price DESC")
+            .unwrap();
         match r {
             SqlResult::Rows { rows, .. } => {
                 assert_eq!(rows.len(), 2);
@@ -829,7 +814,8 @@ mod tests {
         let mut db = db_with_books();
         let snap = db.snapshot();
         db.exec("UPDATE books SET price = 0").unwrap();
-        db.exec("INSERT INTO books VALUES (9, 'X', 1.0, 1)").unwrap();
+        db.exec("INSERT INTO books VALUES (9, 'X', 1.0, 1)")
+            .unwrap();
         db.restore(&snap);
         let r = db.exec("SELECT COUNT(*) FROM books").unwrap();
         match r {
@@ -944,13 +930,11 @@ mod replace_tests {
     #[test]
     fn replace_table_rows_materializes_json() {
         let mut db = SqlDb::new();
-        db.exec("CREATE TABLE t (id INT PRIMARY KEY, name TEXT)").unwrap();
+        db.exec("CREATE TABLE t (id INT PRIMARY KEY, name TEXT)")
+            .unwrap();
         db.exec("INSERT INTO t VALUES (1, 'old')").unwrap();
-        db.replace_table_rows(
-            "t",
-            &[json!({"id": 2, "name": "new"}), json!({"id": 3})],
-        )
-        .unwrap();
+        db.replace_table_rows("t", &[json!({"id": 2, "name": "new"}), json!({"id": 3})])
+            .unwrap();
         let r = db.exec("SELECT * FROM t ORDER BY id").unwrap();
         match r {
             SqlResult::Rows { rows, .. } => {

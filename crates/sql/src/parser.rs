@@ -43,7 +43,10 @@ pub enum WhereExpr {
     },
     And(Box<WhereExpr>, Box<WhereExpr>),
     Or(Box<WhereExpr>, Box<WhereExpr>),
-    IsNull { column: String, negated: bool },
+    IsNull {
+        column: String,
+        negated: bool,
+    },
 }
 
 /// Projection item of a `SELECT`.
@@ -174,9 +177,9 @@ fn tokenize(sql: &str) -> Result<Vec<Tok>, SqlParseError> {
                 .step_by(2)
                 .map(|j| u8::from_str_radix(&hexs[j..j + 2], 16))
                 .collect();
-            out.push(Tok::Blob(bytes.map_err(|_| {
-                SqlParseError("invalid blob literal".into())
-            })?));
+            out.push(Tok::Blob(
+                bytes.map_err(|_| SqlParseError("invalid blob literal".into()))?,
+            ));
         } else if c.is_ascii_digit()
             || (c == '-' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit())
         {
@@ -273,7 +276,9 @@ impl P {
     fn ident(&mut self) -> Result<String, SqlParseError> {
         match self.next() {
             Some(Tok::Word(w)) => Ok(w),
-            other => Err(SqlParseError(format!("expected identifier, found {other:?}"))),
+            other => Err(SqlParseError(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -499,7 +504,11 @@ pub fn parse_sql(sql: &str) -> Result<Statement, SqlParseError> {
                     n.parse::<usize>()
                         .map_err(|_| SqlParseError(format!("bad limit {n}")))?,
                 ),
-                other => return Err(SqlParseError(format!("expected limit count, found {other:?}"))),
+                other => {
+                    return Err(SqlParseError(format!(
+                        "expected limit count, found {other:?}"
+                    )))
+                }
             }
         } else {
             None
@@ -519,9 +528,7 @@ pub fn parse_sql(sql: &str) -> Result<Statement, SqlParseError> {
             let col = p.ident()?;
             match p.next() {
                 Some(Tok::Op(o)) if o == "=" => {}
-                other => {
-                    return Err(SqlParseError(format!("expected '=', found {other:?}")))
-                }
+                other => return Err(SqlParseError(format!("expected '=', found {other:?}"))),
             }
             let v = p.value()?;
             sets.push((col, v));

@@ -25,7 +25,8 @@ fn op() -> impl Strategy<Value = Op> {
 
 fn fresh() -> SqlDb {
     let mut db = SqlDb::new();
-    db.exec("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+    db.exec("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        .unwrap();
     db
 }
 

@@ -46,7 +46,10 @@ impl std::error::Error for TemplateError {}
 enum Node {
     Text(String),
     Interp(String),
-    Each { path: String, body: Vec<Node> },
+    Each {
+        path: String,
+        body: Vec<Node>,
+    },
     If {
         path: String,
         then_body: Vec<Node>,
@@ -263,9 +266,7 @@ fn render_nodes(
 
 fn resolve(path: &str, ctx: &Json, loop_ctx: Option<&LoopCtx>) -> Json {
     if path == "@index" {
-        return loop_ctx
-            .map(|l| Json::from(l.index))
-            .unwrap_or(Json::Null);
+        return loop_ctx.map(|l| Json::from(l.index)).unwrap_or(Json::Null);
     }
     let (root, rest): (&Json, &str) = if path == "this" {
         return loop_ctx.map(|l| l.this.clone()).unwrap_or(Json::Null);
@@ -389,7 +390,10 @@ mod tests {
 
     #[test]
     fn each_over_null_renders_nothing() {
-        assert_eq!(render("{{#each missing}}x{{/each}}", &json!({})).unwrap(), "");
+        assert_eq!(
+            render("{{#each missing}}x{{/each}}", &json!({})).unwrap(),
+            ""
+        );
     }
 
     #[test]
@@ -419,9 +423,6 @@ mod tests {
 
     #[test]
     fn array_index_in_path() {
-        assert_eq!(
-            render("{{xs.1}}", &json!({"xs": [10, 20]})).unwrap(),
-            "20"
-        );
+        assert_eq!(render("{{xs.1}}", &json!({"xs": [10, 20]})).unwrap(), "20");
     }
 }

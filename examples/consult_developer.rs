@@ -40,7 +40,11 @@ app.post("/purchase", function (req, res) {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let traffic = vec![
         HttpRequest::get("/catalog", json!({})),
-        HttpRequest::post("/restock", json!({"id": 3, "item": "mug", "price": 9.0}), vec![]),
+        HttpRequest::post(
+            "/restock",
+            json!({"id": 3, "item": "mug", "price": 9.0}),
+            vec![],
+        ),
         HttpRequest::post("/purchase", json!({"item": 1}), vec![]),
     ];
 
@@ -73,7 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if s.replicated {
                 "replicated at the edge".to_string()
             } else {
-                format!("kept on the cloud ({})", s.rejection.as_deref().unwrap_or(""))
+                format!(
+                    "kept on the cloud ({})",
+                    s.rejection.as_deref().unwrap_or("")
+                )
             }
         );
     }

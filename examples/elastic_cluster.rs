@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &templates,
         &[(20.0, 5.0), (250.0, 10.0), (60.0, 10.0), (5.0, 30.0)],
     );
-    println!("workload: {} sample uploads over ~55 virtual seconds", wl.len());
+    println!(
+        "workload: {} sample uploads over ~55 virtual seconds",
+        wl.len()
+    );
 
     let mut sys = ThreeTierSystem::deploy(
         &app.source,
@@ -55,7 +58,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let samples = &stats.replica_samples;
     let step = (samples.len() / 12).max(1);
     for (t, n) in samples.iter().step_by(step) {
-        println!("  t={:>6.1}s  {} active  {}", t.as_secs_f64(), n, "#".repeat(*n));
+        println!(
+            "  t={:>6.1}s  {} active  {}",
+            t.as_secs_f64(),
+            n,
+            "#".repeat(*n)
+        );
     }
     println!(
         "\nedge energy: {:.1} J across the cluster; cloud stayed the system of record \

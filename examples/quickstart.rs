@@ -48,22 +48,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for unit in report.presented_state_units() {
         println!("  - {unit}");
     }
-    println!("\ngenerated edge replica source:\n{}", report.replica.source);
+    println!(
+        "\ngenerated edge replica source:\n{}",
+        report.replica.source
+    );
 
     // 4. deploy: cloud master + one edge replica, initialized from the
     //    shared snapshot, wired to CRDTs
     let mut cloud = ServerProcess::from_source(CLOUD_SERVICE)?;
     cloud.init()?;
     report.replica.init.restore(&mut cloud);
-    let mut cloud_crdts = CrdtSet::initialize(ActorId(1), &report.replica.bindings, &report.replica.init);
+    let mut cloud_crdts =
+        CrdtSet::initialize(ActorId(1), &report.replica.bindings, &report.replica.init);
 
     let mut edge = ServerProcess::from_program(report.replica.program.clone());
     edge.init()?;
     report.replica.init.restore(&mut edge);
-    let mut edge_crdts = CrdtSet::initialize(ActorId(2), &report.replica.bindings, &report.replica.init);
+    let mut edge_crdts =
+        CrdtSet::initialize(ActorId(2), &report.replica.bindings, &report.replica.init);
 
     // a client writes at the edge (no WAN round trip!)
-    let out = edge.handle(&HttpRequest::post("/visit", json!({"city": "Seoul"}), vec![]))?;
+    let out = edge.handle(&HttpRequest::post(
+        "/visit",
+        json!({"city": "Seoul"}),
+        vec![],
+    ))?;
     edge_crdts.absorb_outcome(&out, &edge);
     println!("edge handled POST /visit -> {}", out.response.body);
 
@@ -71,7 +80,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut e2c = SyncEndpoint::new();
     let mut c_recv = SyncEndpoint::new();
     let delta = e2c.generate(&edge_crdts);
-    println!("sync message: {} change(s), {} bytes", delta.len(), delta.wire_size());
+    println!(
+        "sync message: {} change(s), {} bytes",
+        delta.changes.len(),
+        delta.wire_size()
+    );
     c_recv.receive(&mut cloud_crdts, &mut cloud, &delta);
 
     // the cloud now sees the edge-written row

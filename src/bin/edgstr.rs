@@ -53,11 +53,7 @@ fn run(args: &[String]) -> Result<(), String> {
     while i < args.len() {
         match args[i].as_str() {
             "--out" => {
-                out_path = Some(
-                    args.get(i + 1)
-                        .ok_or("--out needs a path")?
-                        .to_string(),
-                );
+                out_path = Some(args.get(i + 1).ok_or("--out needs a path")?.to_string());
                 i += 2;
             }
             "--reject" => {
@@ -97,9 +93,16 @@ fn run(args: &[String]) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
 
-    println!("captured {} exchanges over {} services", capture.len(), report.services.len());
+    println!(
+        "captured {} exchanges over {} services",
+        capture.len(),
+        report.services.len()
+    );
     println!();
-    println!("{:<8} {:<28} {:<11} state units / rejection", "verb", "service", "replicated");
+    println!(
+        "{:<8} {:<28} {:<11} state units / rejection",
+        "verb", "service", "replicated"
+    );
     for s in &report.services {
         let detail = match (&s.rejection, &s.profile) {
             (Some(r), _) => r.clone(),
@@ -176,10 +179,7 @@ fn parse_traffic(json: &str) -> Result<Vec<HttpRequest>, String> {
             .and_then(serde_json::Value::as_str)
             .ok_or_else(|| format!("request {i}: missing path"))?
             .to_string();
-        let params = item
-            .get("params")
-            .cloned()
-            .unwrap_or(serde_json::json!({}));
+        let params = item.get("params").cloned().unwrap_or(serde_json::json!({}));
         let body_kib = item
             .get("body_kib")
             .and_then(serde_json::Value::as_u64)

@@ -15,14 +15,14 @@
 //! assert_eq!(report.replicated_count(), 1);
 //! ```
 
-/// The transformation pipeline (capture → analyze → consult → generate).
-pub use edgstr_core as core;
 /// Dynamic analysis: server process, tracing, fuzzing, slicing.
 pub use edgstr_analysis as analysis;
 /// The seven subject applications of the evaluation.
 pub use edgstr_apps as apps;
 /// Comparator systems: caching proxy, batching proxy, cross-ISA sync.
 pub use edgstr_baselines as baselines;
+/// The transformation pipeline (capture → analyze → consult → generate).
+pub use edgstr_core as core;
 /// Conflict-free replicated data types (CRDT-JSON/Table/Files).
 pub use edgstr_crdt as crdt;
 /// Stratified Datalog engine for dependence analysis.

@@ -46,12 +46,17 @@ fn slicing_removes_dead_statements() {
     let reqs = vec![HttpRequest::get("/lean", json!({"x": 21}))];
     let (report, _) = capture_and_transform(src, &reqs, &EdgStrConfig::default()).unwrap();
     let replica_src = &report.replica.source;
-    assert!(!replica_src.contains("dead1"), "dead code kept:\n{replica_src}");
-    assert!(!replica_src.contains("dead2"), "dead code kept:\n{replica_src}");
+    assert!(
+        !replica_src.contains("dead1"),
+        "dead code kept:\n{replica_src}"
+    );
+    assert!(
+        !replica_src.contains("dead2"),
+        "dead code kept:\n{replica_src}"
+    );
     assert!(replica_src.contains("var y = x * 2;"));
     // and the lean replica still answers correctly
-    let mut replica =
-        edgstr_analysis::ServerProcess::from_program(report.replica.program.clone());
+    let mut replica = edgstr_analysis::ServerProcess::from_program(report.replica.program.clone());
     replica.init().unwrap();
     report.replica.init.restore(&mut replica);
     let out = replica
@@ -101,8 +106,12 @@ fn only_modified_state_units_are_bound() {
         let report = transform(&app);
         for f in &report.replica.bindings.files {
             assert!(
-                !f.contains("models/") && !f.contains("maps/") && !f.contains("assets/")
-                    && !f.contains("corpora/") && !f.contains("calib/") && !f.contains("data/"),
+                !f.contains("models/")
+                    && !f.contains("maps/")
+                    && !f.contains("assets/")
+                    && !f.contains("corpora/")
+                    && !f.contains("calib/")
+                    && !f.contains("data/"),
                 "{}: read-only asset '{}' must not be CRDT-bound",
                 app.name,
                 f

@@ -62,7 +62,12 @@ fn four_edge_cluster_converges_with_cloud() {
     let used: usize = sys
         .edges
         .iter()
-        .filter(|e| e.crdts.tables["events"].get_changes(&Default::default()).len() > 1)
+        .filter(|e| {
+            e.crdts.tables["events"]
+                .get_changes(&Default::default())
+                .len()
+                > 1
+        })
         .count();
     assert!(used >= 2, "load should spread across replicas");
     // cloud and all edges agree on the full event set
@@ -111,7 +116,10 @@ fn reject_all_policy_forwards_everything() {
     let reqs: Vec<HttpRequest> = (200..210).map(event).collect();
     let stats = sys.run(&Workload::constant_rate(&reqs, 10.0, 10));
     assert_eq!(stats.completed, 10);
-    assert_eq!(stats.forwarded, 10, "rejected service must be proxied to the cloud");
+    assert_eq!(
+        stats.forwarded, 10,
+        "rejected service must be proxied to the cloud"
+    );
     assert!(stats.wan_request_bytes > 0);
 }
 
@@ -173,7 +181,10 @@ fn round_robin_spreads_differently_from_least_connections() {
     // round robin is ~even; least-connections shifts work toward the
     // faster RPI-4
     assert!((rr[0] as i64 - rr[1] as i64).abs() <= 1);
-    assert!(lc[0] >= rr[0], "least-connections should favor the faster device");
+    assert!(
+        lc[0] >= rr[0],
+        "least-connections should favor the faster device"
+    );
 }
 
 #[test]
@@ -182,8 +193,8 @@ fn two_tier_and_three_tier_agree_on_final_state() {
     // the same event set in both deployments
     let reqs: Vec<HttpRequest> = (500..520).map(event).collect();
     let wl = Workload::constant_rate(&reqs, 10.0, 20);
-    let mut two = TwoTierSystem::new(APP, DeviceSpec::cloud_server(), LinkSpec::limited_cloud())
-        .unwrap();
+    let mut two =
+        TwoTierSystem::new(APP, DeviceSpec::cloud_server(), LinkSpec::limited_cloud()).unwrap();
     two.run(&wl);
     let two_count = match two.server.db.exec("SELECT COUNT(*) FROM events").unwrap() {
         edgstr_sql::SqlResult::Rows { rows, .. } => rows[0][0].clone(),
@@ -237,12 +248,9 @@ fn forwarded_responses_match_the_original_service() {
     // two-tier service would have returned (§II-B failure handling)
     use edgstr_analysis::ServerProcess;
     for app in edgstr_apps::all_apps().into_iter().take(3) {
-        let (report, _) = capture_and_transform(
-            &app.source,
-            &app.service_requests,
-            &EdgStrConfig::default(),
-        )
-        .unwrap();
+        let (report, _) =
+            capture_and_transform(&app.source, &app.service_requests, &EdgStrConfig::default())
+                .unwrap();
         let mut sys = ThreeTierSystem::deploy(
             &app.source,
             &report,

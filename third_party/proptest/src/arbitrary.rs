@@ -1,0 +1,72 @@
+//! `any::<T>()` — full-domain strategies for primitives.
+
+use crate::rng::TestRng;
+use crate::strategy::{BoolTree, IntTree, IntValue, Strategy, ValueTree};
+use std::marker::PhantomData;
+
+pub trait Arbitrary: Sized + 'static {
+    fn any_tree(rng: &mut TestRng) -> Box<dyn ValueTree<Value = Self>>;
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = T>> {
+        T::any_tree(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn any_tree(rng: &mut TestRng) -> Box<dyn ValueTree<Value = $t>> {
+                let raw = rng.next_u64() as $t;
+                Box::new(IntTree::<$t>::new(
+                    raw.to_i128(),
+                    <$t as IntValue>::MIN_I128,
+                    <$t as IntValue>::MAX_I128 + 1,
+                ))
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn any_tree(rng: &mut TestRng) -> Box<dyn ValueTree<Value = bool>> {
+        Box::new(BoolTree::new(rng.next_u64() & 1 == 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_i64_covers_negatives() {
+        let mut rng = TestRng::new(17);
+        let strat = any::<i64>();
+        let mut saw_neg = false;
+        let mut saw_pos = false;
+        for _ in 0..64 {
+            let v = strat.new_tree(&mut rng).current();
+            saw_neg |= v < 0;
+            saw_pos |= v > 0;
+        }
+        assert!(saw_neg && saw_pos);
+    }
+
+    #[test]
+    fn bool_shrinks_to_false() {
+        let mut t = BoolTree::new(true);
+        assert!(t.simplify());
+        assert!(!t.current());
+        assert!(!t.simplify());
+    }
+}

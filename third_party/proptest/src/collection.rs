@@ -1,0 +1,170 @@
+//! `prop::collection::vec` — variable-length vectors with removal-then-
+//! element shrinking.
+
+use crate::rng::TestRng;
+use crate::strategy::{Strategy, ValueTree};
+use std::ops::Range;
+
+pub fn vec<S>(element: S, size: Range<usize>) -> VecStrategy<S>
+where
+    S: Strategy,
+{
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for VecStrategy<S>
+where
+    S: Strategy,
+    S::Value: 'static,
+{
+    type Value = Vec<S::Value>;
+
+    fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = Vec<S::Value>>> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        let trees = (0..len).map(|_| self.element.new_tree(rng)).collect();
+        Box::new(VecTree {
+            trees,
+            included: vec![true; len],
+            min: self.size.start,
+            remove_cursor: 0,
+            shrink_cursor: 0,
+            removing: true,
+            last: Last::None,
+        })
+    }
+}
+
+enum Last {
+    None,
+    Removed(usize),
+    Shrunk(usize),
+}
+
+struct VecTree<T> {
+    trees: Vec<Box<dyn ValueTree<Value = T>>>,
+    included: Vec<bool>,
+    min: usize,
+    remove_cursor: usize,
+    shrink_cursor: usize,
+    removing: bool,
+    last: Last,
+}
+
+impl<T> VecTree<T> {
+    fn included_count(&self) -> usize {
+        self.included.iter().filter(|&&b| b).count()
+    }
+}
+
+impl<T> ValueTree for VecTree<T> {
+    type Value = Vec<T>;
+
+    fn current(&self) -> Vec<T> {
+        self.trees
+            .iter()
+            .zip(&self.included)
+            .filter(|(_, &inc)| inc)
+            .map(|(t, _)| t.current())
+            .collect()
+    }
+
+    fn simplify(&mut self) -> bool {
+        if self.removing {
+            while self.remove_cursor < self.trees.len() {
+                let i = self.remove_cursor;
+                self.remove_cursor += 1;
+                if self.included[i] && self.included_count() > self.min {
+                    self.included[i] = false;
+                    self.last = Last::Removed(i);
+                    return true;
+                }
+            }
+            self.removing = false;
+        }
+        while self.shrink_cursor < self.trees.len() {
+            let i = self.shrink_cursor;
+            if !self.included[i] {
+                self.shrink_cursor += 1;
+                continue;
+            }
+            if self.trees[i].simplify() {
+                self.last = Last::Shrunk(i);
+                return true;
+            }
+            self.shrink_cursor += 1;
+        }
+        false
+    }
+
+    fn complicate(&mut self) -> bool {
+        match self.last {
+            Last::Removed(i) => {
+                // The removed element was load-bearing: restore it (the
+                // cursor has already moved past it).
+                self.included[i] = true;
+                self.last = Last::None;
+                true
+            }
+            Last::Shrunk(i) => {
+                // Even if the element reports exhaustion it restores its
+                // last failing value, so re-testing is safe.
+                self.trees[i].complicate();
+                true
+            }
+            Last::None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_lengths_in_range() {
+        let strat = vec(0u8..10, 2..7);
+        let mut rng = TestRng::new(5);
+        for _ in 0..100 {
+            let v = strat.new_tree(&mut rng).current();
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn shrinks_away_irrelevant_elements() {
+        // Failure depends only on "contains a value >= 50": the minimal
+        // counterexample is a single-element vector [50].
+        let strat = vec(0i64..100, 0..12);
+        let mut rng = TestRng::new(11);
+        loop {
+            let mut tree = strat.new_tree(&mut rng);
+            let fails = |v: &Vec<i64>| v.iter().any(|&x| x >= 50);
+            if !fails(&tree.current()) {
+                continue;
+            }
+            let mut steps = 0;
+            'outer: while steps < 10_000 {
+                steps += 1;
+                if !tree.simplify() {
+                    break;
+                }
+                while !fails(&tree.current()) {
+                    steps += 1;
+                    if steps >= 10_000 || !tree.complicate() {
+                        break 'outer;
+                    }
+                }
+            }
+            assert_eq!(tree.current(), vec![50]);
+            break;
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Offline mini property-testing framework.
+//!
+//! The build environment for this workspace has no crates.io access, so
+//! the real `proptest` cannot be fetched. This crate reimplements the
+//! subset of its API the workspace's tests use: [`strategy::Strategy`]
+//! with `prop_map`/`prop_filter`/`boxed`, integer-range and regex-subset
+//! string strategies, [`collection::vec`], [`option::of`],
+//! [`arbitrary::any`], tuple strategies, and the `proptest!`,
+//! `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`/`_ne!` macros —
+//! including deterministic seeding and binary-search shrinking with
+//! backtracking.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod rng;
+pub mod strategy;
+pub mod strings;
+pub mod test_runner;
+
+pub mod prelude {
+    /// The conventional short alias used as `prop::collection::vec(..)`.
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice among strategy arms producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Assert inside a property body; failure aborts only this case and feeds
+/// the shrinker.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseFailure::new(
+                format!($($fmt)*),
+                file!(),
+                line!(),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Declare property tests. Each `fn` becomes a `#[test]` that runs the
+/// body over generated inputs, shrinking failures.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let strategy = ($($strat,)+);
+            $crate::test_runner::run(
+                config,
+                concat!(module_path!(), "::", stringify!($name)),
+                strategy,
+                |($($pat,)+)| {
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_even() -> impl Strategy<Value = i64> {
+        (0i64..200).prop_filter("even", |v| v % 2 == 0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_multiple_params(
+            xs in prop::collection::vec(any::<i64>(), 0..8),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(xs.len() < 8);
+            let _ = flag;
+        }
+
+        #[test]
+        fn oneof_and_filter_compose(v in prop_oneof![small_even(), Just(1000i64)]) {
+            prop_assert!(v % 2 == 0 || v == 1000);
+            prop_assert_ne!(v, 999);
+        }
+
+        #[test]
+        fn option_strategy_in_macro(ov in prop::option::of(1u8..5)) {
+            if let Some(v) = ov {
+                prop_assert!((1..5).contains(&v));
+            }
+        }
+
+        #[test]
+        fn string_strategy_in_macro(s in "[a-c]{1,3}") {
+            prop_assert!(!s.is_empty() && s.len() <= 3);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+}

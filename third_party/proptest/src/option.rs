@@ -1,0 +1,118 @@
+//! `proptest::option::of` — optional values (shrink tries `None` first).
+
+use crate::rng::TestRng;
+use crate::strategy::{Strategy, ValueTree};
+
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S> Strategy for OptionStrategy<S>
+where
+    S: Strategy,
+    S::Value: 'static,
+{
+    type Value = Option<S::Value>;
+    fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = Option<S::Value>>> {
+        let inner = if rng.chance(1, 4) {
+            None
+        } else {
+            Some(self.inner.new_tree(rng))
+        };
+        Box::new(OptionTree {
+            inner,
+            forced_none: false,
+            tried_none: false,
+        })
+    }
+}
+
+struct OptionTree<T> {
+    inner: Option<Box<dyn ValueTree<Value = T>>>,
+    forced_none: bool,
+    tried_none: bool,
+}
+
+impl<T> ValueTree for OptionTree<T> {
+    type Value = Option<T>;
+
+    fn current(&self) -> Option<T> {
+        if self.forced_none {
+            None
+        } else {
+            self.inner.as_ref().map(|t| t.current())
+        }
+    }
+
+    fn simplify(&mut self) -> bool {
+        match &mut self.inner {
+            None => false,
+            Some(_) if self.forced_none => false,
+            Some(tree) => {
+                if !self.tried_none {
+                    self.tried_none = true;
+                    self.forced_none = true;
+                    true
+                } else {
+                    tree.simplify()
+                }
+            }
+        }
+    }
+
+    fn complicate(&mut self) -> bool {
+        if self.forced_none {
+            self.forced_none = false;
+            true
+        } else {
+            match &mut self.inner {
+                Some(tree) => tree.complicate(),
+                None => false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let strat = of(0u8..10);
+        let mut rng = TestRng::new(23);
+        let mut none = 0;
+        let mut some = 0;
+        for _ in 0..100 {
+            match strat.new_tree(&mut rng).current() {
+                None => none += 1,
+                Some(v) => {
+                    assert!(v < 10);
+                    some += 1;
+                }
+            }
+        }
+        assert!(none > 0 && some > 0);
+    }
+
+    #[test]
+    fn shrink_tries_none_then_restores() {
+        let strat = of(5u8..10);
+        let mut rng = TestRng::new(1);
+        loop {
+            let mut tree = strat.new_tree(&mut rng);
+            if tree.current().is_none() {
+                continue;
+            }
+            assert!(tree.simplify());
+            assert_eq!(tree.current(), None);
+            assert!(tree.complicate());
+            assert!(tree.current().is_some());
+            break;
+        }
+    }
+}

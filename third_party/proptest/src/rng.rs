@@ -1,0 +1,60 @@
+//! Deterministic RNG for test-case generation (splitmix64).
+
+/// One round of splitmix64 — also used to derive per-case seeds.
+pub fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic generator handed to [`crate::strategy::Strategy::new_tree`].
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix(self.state)
+    }
+
+    /// Uniform value in `0..n`. Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        // Modulo bias is irrelevant at test-generation fidelity.
+        self.next_u64() % n
+    }
+
+    /// True with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a: Vec<u64> = (0..4).map(|_| TestRng::new(7).next_u64()).collect();
+        assert!(a.iter().all(|&x| x == a[0]));
+        let mut r = TestRng::new(7);
+        let b: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(b[0], a[0]);
+        assert!(b.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = TestRng::new(42);
+        for _ in 0..200 {
+            assert!(r.below(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,512 @@
+//! Core strategy/value-tree machinery: generation plus binary-search
+//! shrinking.
+//!
+//! Contract between the runner and a [`ValueTree`]:
+//! - `simplify()` is called only when `current()` FAILS the test; it moves
+//!   to a simpler candidate and returns false when no simpler candidate
+//!   exists (leaving `current()` at the best known failing value).
+//! - `complicate()` is called only when `current()` PASSES; it backtracks
+//!   toward the last known failing value. Returning false restores that
+//!   failing value.
+
+use crate::rng::TestRng;
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+pub trait ValueTree {
+    type Value;
+    fn current(&self) -> Self::Value;
+    fn simplify(&mut self) -> bool;
+    fn complicate(&mut self) -> bool;
+}
+
+pub trait Strategy {
+    type Value;
+
+    fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = Self::Value>>;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            source: self,
+            f: Rc::new(f),
+        }
+    }
+
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            source: self,
+            whence,
+            pred: Rc::new(f),
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy (`Rc` under the hood).
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = T>> {
+        self.0.new_tree(rng)
+    }
+}
+
+// ---------------------------------------------------------------- Just
+
+/// Strategy producing one constant value; never shrinks.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+struct JustTree<T: Clone>(T);
+
+impl<T: Clone> ValueTree for JustTree<T> {
+    type Value = T;
+    fn current(&self) -> T {
+        self.0.clone()
+    }
+    fn simplify(&mut self) -> bool {
+        false
+    }
+    fn complicate(&mut self) -> bool {
+        false
+    }
+}
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn new_tree(&self, _rng: &mut TestRng) -> Box<dyn ValueTree<Value = T>> {
+        Box::new(JustTree(self.0.clone()))
+    }
+}
+
+// ----------------------------------------------------------------- Map
+
+pub struct Map<S, F: ?Sized> {
+    source: S,
+    f: Rc<F>,
+}
+
+struct MapTree<I, O, F: ?Sized + Fn(I) -> O> {
+    inner: Box<dyn ValueTree<Value = I>>,
+    f: Rc<F>,
+}
+
+impl<I, O, F: ?Sized + Fn(I) -> O> ValueTree for MapTree<I, O, F> {
+    type Value = O;
+    fn current(&self) -> O {
+        (self.f)(self.inner.current())
+    }
+    fn simplify(&mut self) -> bool {
+        self.inner.simplify()
+    }
+    fn complicate(&mut self) -> bool {
+        self.inner.complicate()
+    }
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    S::Value: 'static,
+    O: 'static,
+    F: Fn(S::Value) -> O + 'static,
+{
+    type Value = O;
+    fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = O>> {
+        Box::new(MapTree {
+            inner: self.source.new_tree(rng),
+            f: Rc::clone(&self.f),
+        })
+    }
+}
+
+// -------------------------------------------------------------- Filter
+
+pub struct Filter<S, F: ?Sized> {
+    source: S,
+    whence: &'static str,
+    pred: Rc<F>,
+}
+
+struct FilterTree<I, F: ?Sized + Fn(&I) -> bool> {
+    inner: Box<dyn ValueTree<Value = I>>,
+    pred: Rc<F>,
+}
+
+impl<I, F: ?Sized + Fn(&I) -> bool> ValueTree for FilterTree<I, F> {
+    type Value = I;
+    fn current(&self) -> I {
+        self.inner.current()
+    }
+    fn simplify(&mut self) -> bool {
+        if !self.inner.simplify() {
+            return false;
+        }
+        // Skip candidates the predicate rejects by telling the inner tree
+        // to backtrack (a rejected candidate is unusable, same as passing).
+        let mut tries = 0;
+        while !(self.pred)(&self.inner.current()) {
+            tries += 1;
+            if tries > 32 || !self.inner.complicate() {
+                return false;
+            }
+        }
+        true
+    }
+    fn complicate(&mut self) -> bool {
+        let mut ok = self.inner.complicate();
+        let mut tries = 0;
+        while ok && !(self.pred)(&self.inner.current()) {
+            tries += 1;
+            if tries > 32 {
+                return false;
+            }
+            ok = self.inner.complicate();
+        }
+        ok
+    }
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    S::Value: 'static,
+    F: Fn(&S::Value) -> bool + 'static,
+{
+    type Value = S::Value;
+    fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = S::Value>> {
+        for _ in 0..200 {
+            let tree = self.source.new_tree(rng);
+            if (self.pred)(&tree.current()) {
+                return Box::new(FilterTree {
+                    inner: tree,
+                    pred: Rc::clone(&self.pred),
+                });
+            }
+        }
+        panic!(
+            "prop_filter '{}' rejected 200 samples in a row",
+            self.whence
+        );
+    }
+}
+
+// --------------------------------------------------------------- OneOf
+
+/// Uniform choice between boxed alternatives (backs `prop_oneof!`).
+pub struct OneOf<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = T>> {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].new_tree(rng)
+    }
+}
+
+// ------------------------------------------------------------ integers
+
+/// Integer primitives usable with range strategies and `any`.
+pub trait IntValue: Copy + 'static {
+    fn from_i128(v: i128) -> Self;
+    fn to_i128(self) -> i128;
+    const MIN_I128: i128;
+    const MAX_I128: i128;
+}
+
+macro_rules! impl_int_value {
+    ($($t:ty),*) => {$(
+        impl IntValue for $t {
+            fn from_i128(v: i128) -> $t { v as $t }
+            fn to_i128(self) -> i128 { self as i128 }
+            const MIN_I128: i128 = <$t>::MIN as i128;
+            const MAX_I128: i128 = <$t>::MAX as i128;
+        }
+    )*};
+}
+
+impl_int_value!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Binary-search shrinker over a single integer, moving toward a target
+/// (0 when the range contains it, else the closest bound).
+pub struct IntTree<T> {
+    target: i128,
+    dir: i128,
+    /// Distance of the candidate from the target, along `dir`.
+    p_curr: i128,
+    /// Distance of the last known failing value.
+    p_hi: i128,
+    /// Distance of the largest known passing value below `p_curr`.
+    p_lo: Option<i128>,
+    _marker: PhantomData<T>,
+}
+
+impl<T: IntValue> IntTree<T> {
+    pub fn new(value: i128, lo_bound: i128, hi_bound_excl: i128) -> IntTree<T> {
+        let target = if lo_bound <= 0 && 0 < hi_bound_excl {
+            0
+        } else if lo_bound > 0 {
+            lo_bound
+        } else {
+            hi_bound_excl - 1
+        };
+        let dir = (value - target).signum();
+        IntTree {
+            target,
+            dir,
+            p_curr: (value - target) * dir,
+            p_hi: (value - target) * dir,
+            p_lo: None,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: IntValue> ValueTree for IntTree<T> {
+    type Value = T;
+
+    fn current(&self) -> T {
+        T::from_i128(self.target + self.dir * self.p_curr)
+    }
+
+    fn simplify(&mut self) -> bool {
+        self.p_hi = self.p_curr;
+        let low = self.p_lo.map(|l| l + 1).unwrap_or(0);
+        if self.p_curr <= low {
+            return false;
+        }
+        self.p_curr = low + (self.p_curr - low) / 2;
+        true
+    }
+
+    fn complicate(&mut self) -> bool {
+        self.p_lo = Some(self.p_curr);
+        if self.p_curr >= self.p_hi {
+            return false;
+        }
+        self.p_curr += (self.p_hi - self.p_curr + 1) / 2;
+        true
+    }
+}
+
+impl<T: IntValue> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = T>> {
+        let lo = self.start.to_i128();
+        let hi = self.end.to_i128();
+        assert!(lo < hi, "empty integer range strategy");
+        let span = (hi - lo) as u128;
+        let offset = (rng.next_u64() as u128) % span;
+        Box::new(IntTree::<T>::new(lo + offset as i128, lo, hi))
+    }
+}
+
+/// Shrinks `true` to `false` once.
+pub struct BoolTree {
+    curr: bool,
+    exhausted: bool,
+}
+
+impl BoolTree {
+    pub fn new(curr: bool) -> BoolTree {
+        BoolTree {
+            curr,
+            exhausted: false,
+        }
+    }
+}
+
+impl ValueTree for BoolTree {
+    type Value = bool;
+    fn current(&self) -> bool {
+        self.curr
+    }
+    fn simplify(&mut self) -> bool {
+        if self.curr && !self.exhausted {
+            self.curr = false;
+            true
+        } else {
+            false
+        }
+    }
+    fn complicate(&mut self) -> bool {
+        self.curr = true;
+        self.exhausted = true;
+        false
+    }
+}
+
+// -------------------------------------------------------------- tuples
+
+macro_rules! tuple_strategy {
+    ($Tree:ident: $($V:ident => $idx:tt),+) => {
+        pub struct $Tree<$($V),+> {
+            trees: ($(Box<dyn ValueTree<Value = $V>>,)+),
+            idx: usize,
+        }
+
+        impl<$($V),+> ValueTree for $Tree<$($V),+> {
+            type Value = ($($V,)+);
+
+            fn current(&self) -> Self::Value {
+                ($(self.trees.$idx.current(),)+)
+            }
+
+            fn simplify(&mut self) -> bool {
+                $(
+                    if self.idx == $idx {
+                        if self.trees.$idx.simplify() {
+                            return true;
+                        }
+                        self.idx += 1;
+                    }
+                )+
+                false
+            }
+
+            fn complicate(&mut self) -> bool {
+                $(
+                    if self.idx == $idx {
+                        // The component restores its last failing value even
+                        // when it reports exhaustion, so re-testing is safe
+                        // and lets later components keep shrinking.
+                        self.trees.$idx.complicate();
+                        return true;
+                    }
+                )+
+                false
+            }
+        }
+
+        impl<$($V: Strategy + 'static),+> Strategy for ($($V,)+)
+        where
+            $($V::Value: 'static),+
+        {
+            type Value = ($($V::Value,)+);
+            fn new_tree(
+                &self,
+                rng: &mut TestRng,
+            ) -> Box<dyn ValueTree<Value = Self::Value>> {
+                Box::new($Tree {
+                    trees: ($(self.$idx.new_tree(rng),)+),
+                    idx: 0,
+                })
+            }
+        }
+    };
+}
+
+tuple_strategy!(TupleTree1: V0 => 0);
+tuple_strategy!(TupleTree2: V0 => 0, V1 => 1);
+tuple_strategy!(TupleTree3: V0 => 0, V1 => 1, V2 => 2);
+tuple_strategy!(TupleTree4: V0 => 0, V1 => 1, V2 => 2, V3 => 3);
+tuple_strategy!(TupleTree5: V0 => 0, V1 => 1, V2 => 2, V3 => 3, V4 => 4);
+tuple_strategy!(TupleTree6: V0 => 0, V1 => 1, V2 => 2, V3 => 3, V4 => 4, V5 => 5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shrink_to_minimal<T, F>(tree: &mut dyn ValueTree<Value = T>, fails: F) -> T
+    where
+        F: Fn(&T) -> bool,
+    {
+        assert!(fails(&tree.current()), "initial value must fail");
+        let mut steps = 0;
+        'outer: while steps < 10_000 {
+            steps += 1;
+            if !tree.simplify() {
+                break;
+            }
+            while !fails(&tree.current()) {
+                steps += 1;
+                if steps >= 10_000 || !tree.complicate() {
+                    break 'outer;
+                }
+            }
+        }
+        tree.current()
+    }
+
+    #[test]
+    fn int_shrinks_to_boundary() {
+        // Fails when >= 57: the minimal failing value is exactly 57.
+        let mut tree = IntTree::<i64>::new(100_000, 0, 1_000_000);
+        let min = shrink_to_minimal(&mut tree, |v| *v >= 57);
+        assert_eq!(min, 57);
+    }
+
+    #[test]
+    fn negative_int_shrinks_toward_zero() {
+        let mut tree = IntTree::<i64>::new(-9000, -10_000, 10_000);
+        let min = shrink_to_minimal(&mut tree, |v| *v <= -13);
+        assert_eq!(min, -13);
+    }
+
+    #[test]
+    fn tuple_shrinks_componentwise() {
+        let strat = (0i64..1000, 0i64..1000);
+        let mut rng = TestRng::new(99);
+        loop {
+            let mut tree = strat.new_tree(&mut rng);
+            let (a, b) = tree.current();
+            if a + b < 150 {
+                continue; // need an initially failing case
+            }
+            let (x, y) = shrink_to_minimal(&mut *tree, |(a, b)| a + b >= 150);
+            assert_eq!(x + y, 150, "minimal boundary pair, got ({x},{y})");
+            break;
+        }
+    }
+
+    #[test]
+    fn filter_never_yields_rejected_values() {
+        let strat = (0i64..100).prop_filter("even", |v| v % 2 == 0);
+        let mut rng = TestRng::new(3);
+        for _ in 0..50 {
+            let mut tree = strat.new_tree(&mut rng);
+            assert_eq!(tree.current() % 2, 0);
+            while tree.simplify() {
+                assert_eq!(tree.current() % 2, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn map_applies_function() {
+        let strat = (1i64..10).prop_map(|v| v * 3);
+        let mut rng = TestRng::new(1);
+        let tree = strat.new_tree(&mut rng);
+        assert_eq!(tree.current() % 3, 0);
+    }
+}

@@ -1,0 +1,342 @@
+//! String strategies from a regex subset, as `impl Strategy for &str`.
+//!
+//! Supported syntax (what the workspace's tests use, plus a little):
+//! literal chars, `\`-escapes, char classes `[...]` with ranges,
+//! leading-`^` negation, `&&` intersection and nested classes, and the
+//! quantifiers `{m}`, `{m,n}`, `?`, `*`, `+` (the unbounded ones cap at 8).
+//! Negation is relative to printable ASCII (0x20..=0x7E).
+
+use crate::rng::TestRng;
+use crate::strategy::{Strategy, ValueTree};
+use std::collections::BTreeSet;
+
+#[derive(Clone)]
+struct Segment {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Result<Vec<Segment>, String> {
+    let cs: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut segs = Vec::new();
+    while i < cs.len() {
+        let choices: Vec<char> = match cs[i] {
+            '[' => {
+                let (set, ni) = parse_class(&cs, i)?;
+                i = ni;
+                set.into_iter().collect()
+            }
+            '\\' => {
+                let c = *cs.get(i + 1).ok_or("trailing backslash")?;
+                i += 2;
+                vec![unescape(c)]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        if choices.is_empty() {
+            return Err(format!("empty character class in '{pattern}'"));
+        }
+        let (min, max) = parse_quantifier(&cs, &mut i)?;
+        segs.push(Segment { choices, min, max });
+    }
+    Ok(segs)
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        other => other,
+    }
+}
+
+fn parse_quantifier(cs: &[char], i: &mut usize) -> Result<(usize, usize), String> {
+    match cs.get(*i) {
+        Some('?') => {
+            *i += 1;
+            Ok((0, 1))
+        }
+        Some('*') => {
+            *i += 1;
+            Ok((0, 8))
+        }
+        Some('+') => {
+            *i += 1;
+            Ok((1, 8))
+        }
+        Some('{') => {
+            let close = cs[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .ok_or("unterminated quantifier")?
+                + *i;
+            let body: String = cs[*i + 1..close].iter().collect();
+            *i = close + 1;
+            let (lo, hi) = match body.split_once(',') {
+                Some((lo, hi)) => (lo.trim().to_string(), hi.trim().to_string()),
+                None => (body.trim().to_string(), body.trim().to_string()),
+            };
+            let lo: usize = lo
+                .parse()
+                .map_err(|_| format!("bad quantifier {{{body}}}"))?;
+            let hi: usize = hi
+                .parse()
+                .map_err(|_| format!("bad quantifier {{{body}}}"))?;
+            if lo > hi {
+                return Err(format!("inverted quantifier {{{body}}}"));
+            }
+            Ok((lo, hi))
+        }
+        _ => Ok((1, 1)),
+    }
+}
+
+/// Parse a class starting at `cs[i] == '['`; returns the set and the index
+/// one past the closing `]`.
+fn parse_class(cs: &[char], mut i: usize) -> Result<(BTreeSet<char>, usize), String> {
+    i += 1; // consume '['
+    let negated = if cs.get(i) == Some(&'^') {
+        i += 1;
+        true
+    } else {
+        false
+    };
+    let mut operands: Vec<BTreeSet<char>> = Vec::new();
+    let mut current: BTreeSet<char> = BTreeSet::new();
+    loop {
+        match cs.get(i) {
+            None => return Err("unterminated character class".into()),
+            Some(']') => {
+                i += 1;
+                break;
+            }
+            Some('&') if cs.get(i + 1) == Some(&'&') => {
+                i += 2;
+                operands.push(std::mem::take(&mut current));
+            }
+            Some('[') => {
+                let (inner, ni) = parse_class(cs, i)?;
+                i = ni;
+                current.extend(inner);
+            }
+            Some('\\') => {
+                let c = unescape(*cs.get(i + 1).ok_or("trailing backslash in class")?);
+                i += 2;
+                current.insert(c);
+            }
+            Some(&c) => {
+                i += 1;
+                if cs.get(i) == Some(&'-') && cs.get(i + 1).is_some_and(|&n| n != ']') {
+                    let mut hi = cs[i + 1];
+                    i += 2;
+                    if hi == '\\' {
+                        hi = unescape(*cs.get(i).ok_or("trailing backslash in range")?);
+                        i += 1;
+                    }
+                    if c > hi {
+                        return Err(format!("inverted range {c}-{hi}"));
+                    }
+                    current.extend(c..=hi);
+                } else {
+                    current.insert(c);
+                }
+            }
+        }
+    }
+    operands.push(current);
+    let mut set = operands
+        .into_iter()
+        .reduce(|a, b| a.intersection(&b).copied().collect())
+        .unwrap_or_default();
+    if negated {
+        let universe: BTreeSet<char> = (0x20u8..=0x7E).map(char::from).collect();
+        set = universe.difference(&set).copied().collect();
+    }
+    Ok((set, i))
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = String>> {
+        let segments =
+            parse_pattern(self).unwrap_or_else(|e| panic!("bad string pattern '{self}': {e}"));
+        let samples = segments
+            .iter()
+            .map(|seg| {
+                let count = seg.min + rng.below((seg.max - seg.min + 1) as u64) as usize;
+                let chars = (0..count)
+                    .map(|_| seg.choices[rng.below(seg.choices.len() as u64) as usize])
+                    .collect();
+                SegSample {
+                    choices: seg.choices.clone(),
+                    min: seg.min,
+                    chars,
+                }
+            })
+            .collect();
+        Box::new(StringTree {
+            segs: samples,
+            truncating: true,
+            trunc_cursor: 0,
+            char_cursor: (0, 0),
+            last: None,
+        })
+    }
+}
+
+struct SegSample {
+    choices: Vec<char>,
+    min: usize,
+    chars: Vec<char>,
+}
+
+enum Undo {
+    Pop(usize, char),
+    Replace(usize, usize, char),
+}
+
+struct StringTree {
+    segs: Vec<SegSample>,
+    truncating: bool,
+    trunc_cursor: usize,
+    char_cursor: (usize, usize),
+    last: Option<Undo>,
+}
+
+impl ValueTree for StringTree {
+    type Value = String;
+
+    fn current(&self) -> String {
+        self.segs.iter().flat_map(|s| s.chars.iter()).collect()
+    }
+
+    fn simplify(&mut self) -> bool {
+        if self.truncating {
+            while self.trunc_cursor < self.segs.len() {
+                let seg = &mut self.segs[self.trunc_cursor];
+                if seg.chars.len() > seg.min {
+                    let c = seg.chars.pop().expect("non-empty");
+                    self.last = Some(Undo::Pop(self.trunc_cursor, c));
+                    return true;
+                }
+                self.trunc_cursor += 1;
+            }
+            self.truncating = false;
+        }
+        let (mut si, mut ci) = self.char_cursor;
+        while si < self.segs.len() {
+            let seg = &mut self.segs[si];
+            let lowest = seg.choices[0];
+            while ci < seg.chars.len() {
+                if seg.chars[ci] != lowest {
+                    let old = seg.chars[ci];
+                    seg.chars[ci] = lowest;
+                    self.char_cursor = (si, ci);
+                    self.last = Some(Undo::Replace(si, ci, old));
+                    return true;
+                }
+                ci += 1;
+            }
+            si += 1;
+            ci = 0;
+        }
+        self.char_cursor = (si, 0);
+        false
+    }
+
+    fn complicate(&mut self) -> bool {
+        match self.last.take() {
+            Some(Undo::Pop(i, c)) => {
+                self.segs[i].chars.push(c);
+                // This element was load-bearing; stop truncating this
+                // segment.
+                self.trunc_cursor = i + 1;
+                true
+            }
+            Some(Undo::Replace(i, j, c)) => {
+                self.segs[i].chars[j] = c;
+                self.char_cursor = (i, j + 1);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(pattern: &'static str, seed: u64) -> String {
+        let mut rng = TestRng::new(seed);
+        pattern.new_tree(&mut rng).current()
+    }
+
+    #[test]
+    fn ident_pattern_shape() {
+        for seed in 0..50 {
+            let s = sample("[a-z][a-z0-9_]{0,6}", seed);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            let mut it = s.chars();
+            assert!(it.next().unwrap().is_ascii_lowercase());
+            assert!(it.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn intersection_with_negated_class() {
+        // Printable ASCII except double quote, backslash, single quote.
+        for seed in 0..50 {
+            let s = sample("[ -~&&[^\"\\\\']]{0,12}", seed);
+            assert!(s.len() <= 12);
+            assert!(
+                s.chars()
+                    .all(|c| (' '..='~').contains(&c) && c != '"' && c != '\\' && c != '\''),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        assert_eq!(sample("abc", 1), "abc");
+        let s = sample("x{3}", 9);
+        assert_eq!(s, "xxx");
+        let s = sample("[01]{2,4}", 4);
+        assert!((2..=4).contains(&s.len()));
+        assert!(s.chars().all(|c| c == '0' || c == '1'));
+    }
+
+    #[test]
+    fn shrinks_toward_shortest_lowest() {
+        let mut rng = TestRng::new(77);
+        let mut tree = "[a-z]{0,8}".new_tree(&mut rng);
+        // Fail whenever the string is non-empty: minimal should be one
+        // lowest char.
+        while tree.current().is_empty() {
+            tree = "[a-z]{0,8}".new_tree(&mut rng);
+        }
+        let fails = |s: &String| !s.is_empty();
+        let mut steps = 0;
+        'outer: while steps < 1000 {
+            steps += 1;
+            if !tree.simplify() {
+                break;
+            }
+            while !fails(&tree.current()) {
+                steps += 1;
+                if steps >= 1000 || !tree.complicate() {
+                    break 'outer;
+                }
+            }
+        }
+        assert_eq!(tree.current(), "a");
+    }
+}

@@ -1,0 +1,198 @@
+//! Case loop + shrinking driver behind the `proptest!` macro.
+
+use crate::rng::{splitmix, TestRng};
+use crate::strategy::Strategy;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A failed assertion inside a property body (`prop_assert*` early
+/// return).
+#[derive(Clone, Debug)]
+pub struct TestCaseFailure {
+    pub message: String,
+    pub file: &'static str,
+    pub line: u32,
+}
+
+impl TestCaseFailure {
+    pub fn new(message: String, file: &'static str, line: u32) -> TestCaseFailure {
+        TestCaseFailure {
+            message,
+            file,
+            line,
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at {}:{}", self.message, self.file, self.line)
+    }
+}
+
+/// Total simplify/complicate steps spent per failing case.
+const SHRINK_BUDGET: usize = 4096;
+
+fn run_case<V, F>(test: &F, value: V) -> Result<(), TestCaseFailure>
+where
+    F: Fn(V) -> Result<(), TestCaseFailure>,
+{
+    match catch_unwind(AssertUnwindSafe(|| test(value))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "test body panicked".to_string());
+            Err(TestCaseFailure::new(format!("panic: {msg}"), "<body>", 0))
+        }
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run `config.cases` generated cases of `test`, shrinking and panicking
+/// on the first failure. Deterministic: seeds derive from the test name
+/// and case index, so failures reproduce run-to-run.
+pub fn run<S, F>(config: ProptestConfig, name: &str, strategy: S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseFailure>,
+{
+    let base = hash_name(name);
+    for case in 0..config.cases {
+        let seed = base ^ splitmix(u64::from(case));
+        let mut rng = TestRng::new(seed);
+        let mut tree = strategy.new_tree(&mut rng);
+        let first_failure = match run_case(&test, tree.current()) {
+            Ok(()) => continue,
+            Err(e) => e,
+        };
+
+        let mut steps = 0usize;
+        'outer: while steps < SHRINK_BUDGET {
+            steps += 1;
+            if !tree.simplify() {
+                break;
+            }
+            while run_case(&test, tree.current()).is_ok() {
+                steps += 1;
+                if steps >= SHRINK_BUDGET || !tree.complicate() {
+                    break 'outer;
+                }
+            }
+        }
+
+        // The tree normally rests on the minimal failing value; if the
+        // shrink budget expired mid-backtrack, fall back to the original
+        // failure message.
+        let final_failure = run_case(&test, tree.current())
+            .err()
+            .unwrap_or(first_failure);
+        panic!(
+            "proptest '{name}' failed (case {case}, seed {seed:#018x}, \
+             {steps} shrink steps): {final_failure}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_completes() {
+        run(
+            ProptestConfig::with_cases(16),
+            "unit::passing",
+            0u8..10,
+            |v| {
+                if v < 10 {
+                    Ok(())
+                } else {
+                    Err(TestCaseFailure::new(
+                        "out of range".into(),
+                        file!(),
+                        line!(),
+                    ))
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn failing_property_shrinks_and_panics() {
+        let result = catch_unwind(|| {
+            run(
+                ProptestConfig::with_cases(64),
+                "unit::failing",
+                (0i64..10_000).prop_map(|v| v),
+                |v| {
+                    if v < 123 {
+                        Ok(())
+                    } else {
+                        Err(TestCaseFailure::new(
+                            format!("too big: {v}"),
+                            file!(),
+                            line!(),
+                        ))
+                    }
+                },
+            )
+        });
+        let msg = match result {
+            Err(payload) => payload
+                .downcast_ref::<String>()
+                .cloned()
+                .expect("panic message is a String"),
+            Ok(()) => panic!("property should have failed"),
+        };
+        // Binary-search shrinking must land exactly on the boundary.
+        assert!(msg.contains("too big: 123"), "unshrunk failure: {msg}");
+    }
+
+    #[test]
+    fn panicking_body_is_caught_and_reported() {
+        let result = catch_unwind(|| {
+            run(
+                ProptestConfig::with_cases(8),
+                "unit::panicking",
+                0u8..4,
+                |v| {
+                    assert!(v > 100, "boom {v}");
+                    Ok(())
+                },
+            )
+        });
+        let msg = match result {
+            Err(payload) => payload.downcast_ref::<String>().cloned().unwrap(),
+            Ok(()) => panic!("property should have failed"),
+        };
+        assert!(msg.contains("panic: boom 0"), "{msg}");
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds without registry access, so the real `serde` is
+//! unavailable. The local `serde_json` stub defines value-model
+//! [`Serialize`]/[`Deserialize`] traits; this crate re-exports them under
+//! the usual `serde::` paths so `use serde::{Serialize, Deserialize}`
+//! keeps compiling. The `derive` feature is accepted but inert — types
+//! that previously used `#[derive(Serialize, Deserialize)]` carry manual
+//! impls instead.
+
+pub use serde_json::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::{Deserialize, Serialize};
+
+    #[test]
+    fn traits_are_the_serde_json_ones() {
+        let v = 42u64.to_json_value();
+        assert_eq!(u64::from_json_value(&v).unwrap(), 42);
+    }
+}

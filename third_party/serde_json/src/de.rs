@@ -1,0 +1,305 @@
+//! Recursive-descent JSON parser.
+
+use crate::{Deserialize, Error, Map, Number, Value};
+
+/// Parse a JSON string into any [`Deserialize`] type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser::new(s);
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    T::from_json_value(&v)
+}
+
+/// Parse JSON bytes (must be UTF-8) into any [`Deserialize`] type.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::msg(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+/// Nesting limit mirroring the real crate's recursion guard.
+const MAX_DEPTH: usize = 128;
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+            depth: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        let mut line = 1;
+        let mut col = 1;
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        Error::at(msg, line, col)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("recursion limit exceeded"));
+        }
+        let v = match self.peek() {
+            Some(b'n') => self.eat_keyword("null", Value::Null),
+            Some(b't') => self.eat_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }?;
+        self.depth -= 1;
+        Ok(v)
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(items)),
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(map)),
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0c}'),
+                    Some(b'u') => out.push(self.parse_unicode_escape()?),
+                    _ => return Err(self.err("invalid escape")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // multi-byte UTF-8: the input is a valid str, so
+                    // re-decode from the byte position
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("invalid UTF-8"))?;
+                    self.pos = start + c.len_utf8();
+                    let _ = b;
+                    out.push(c);
+                }
+            }
+        }
+    }
+
+    fn parse_unicode_escape(&mut self) -> Result<char, Error> {
+        let first = self.parse_hex4()?;
+        // surrogate pair
+        if (0xD800..0xDC00).contains(&first) {
+            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                return Err(self.err("unpaired surrogate"));
+            }
+            let second = self.parse_hex4()?;
+            if !(0xDC00..0xE000).contains(&second) {
+                return Err(self.err("invalid low surrogate"));
+            }
+            let c = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+            char::from_u32(c).ok_or_else(|| self.err("invalid surrogate pair"))
+        } else {
+            char::from_u32(first).ok_or_else(|| self.err("invalid unicode escape"))
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.bump() {
+                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("invalid hex escape")),
+            };
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::from(u)));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::from(i)));
+            }
+        }
+        let f: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+        Number::from_f64(f)
+            .map(Value::Number)
+            .ok_or_else(|| self.err("non-finite number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        let v: Value = from_str(r#"{"a": [1, -2, 3.5, true, null], "s": "x"}"#).unwrap();
+        assert_eq!(v, json!({"a": [1, -2, 3.5, true, null], "s": "x"}));
+    }
+
+    #[test]
+    fn parses_escapes_and_surrogates() {
+        let v: Value = from_str(r#""line\nA😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("line\nA\u{1F600}"));
+    }
+
+    #[test]
+    fn big_u64_stays_exact() {
+        let v: Value = from_str("18446744073709551615").unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{,}").is_err());
+        assert!(from_str::<Value>("[1 2]").is_err());
+        assert!(from_str::<Value>("01x").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn typed_deserialization() {
+        let xs: Vec<u64> = from_str("[1,2,3]").unwrap();
+        assert_eq!(xs, vec![1, 2, 3]);
+        let s: String = from_slice(b"\"hi\"").unwrap();
+        assert_eq!(s, "hi");
+        assert!(from_str::<u64>("-1").is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! Offline drop-in subset of `serde_json`.
+//!
+//! The build environment for this workspace has no access to a crates.io
+//! registry, so the real `serde_json` cannot be fetched. This crate
+//! implements the subset of its API the workspace uses: [`Value`],
+//! [`Number`], [`Map`], the [`json!`] macro, a JSON parser/printer, and
+//! value-model [`Serialize`]/[`Deserialize`] traits (re-exported by the
+//! sibling `serde` stub) backing `to_string`/`to_vec`/`from_str`/
+//! `from_slice`.
+//!
+//! Fidelity notes:
+//! - `Map` is a `BTreeMap` alias (the real crate's default, sorted keys);
+//! - number equality follows the real crate: integers compare across
+//!   signedness by numeric value, floats only equal floats;
+//! - serialization is compact (no pretty printer) and deterministic.
+
+mod de;
+mod number;
+mod ser;
+mod value;
+
+pub use de::{from_slice, from_str};
+pub use number::Number;
+pub use ser::{to_string, to_vec};
+pub use value::{to_value, Map, Value};
+
+use std::fmt;
+
+/// Error raised by parsing or (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    /// 1-based line of the parse error (0 for data-model errors).
+    line: usize,
+    /// 1-based column of the parse error (0 for data-model errors).
+    column: usize,
+}
+
+impl Error {
+    pub(crate) fn msg(msg: impl Into<String>) -> Error {
+        Error {
+            msg: msg.into(),
+            line: 0,
+            column: 0,
+        }
+    }
+
+    /// Data-model error raised by a [`Deserialize`] impl (no position).
+    pub fn custom(msg: impl Into<String>) -> Error {
+        Error::msg(msg)
+    }
+
+    pub(crate) fn at(msg: impl Into<String>, line: usize, column: usize) -> Error {
+        Error {
+            msg: msg.into(),
+            line,
+            column,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(
+                f,
+                "{} at line {} column {}",
+                self.msg, self.line, self.column
+            )
+        } else {
+            f.write_str(&self.msg)
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize into the JSON data model.
+///
+/// This is a value-model trait (`self` → [`Value`]) rather than the real
+/// serde's visitor architecture; it is what the workspace's manual impls
+/// provide and what [`to_string`]/[`to_vec`] consume.
+pub trait Serialize {
+    /// The JSON value representing `self`.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Deserialize from the JSON data model.
+pub trait Deserialize: Sized {
+    /// Reconstruct `Self` from a JSON value.
+    fn from_json_value(v: &Value) -> Result<Self, Error>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_builds_nested_values() {
+        let v = json!({
+            "a": 1,
+            "b": [true, null, "s"],
+            "c": {"inner": 2.5},
+        });
+        assert_eq!(v["a"], json!(1));
+        assert_eq!(v["b"][0], Value::Bool(true));
+        assert!(v["b"][1].is_null());
+        assert_eq!(v["c"]["inner"].as_f64(), Some(2.5));
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let v = json!({"k": [1, -2, 3.5, "x\n\"y\"", {"n": null}], "z": true});
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn integers_compare_across_signedness() {
+        assert_eq!(json!(1i64), json!(1u64));
+        assert_ne!(json!(1), json!(1.0));
+    }
+
+    #[test]
+    fn missing_index_is_null() {
+        let v = json!({"a": 1});
+        assert!(v["nope"].is_null());
+        assert!(v[3].is_null());
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let e = from_str::<Value>("{\"a\": }").unwrap_err();
+        assert!(e.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn escapes_and_unicode_round_trip() {
+        let v = json!("tab\t backslash \\ quote \" control \u{1} emoji \u{1F600}");
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+}

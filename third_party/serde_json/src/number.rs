@@ -1,0 +1,161 @@
+//! JSON numbers: integers kept exact, floats kept finite.
+
+use std::fmt;
+
+#[derive(Debug, Clone, Copy)]
+enum N {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Finite float.
+    Float(f64),
+}
+
+/// A JSON number. Integers are stored exactly; floats are always finite
+/// ([`Number::from_f64`] rejects NaN and infinities, as the real crate
+/// does).
+#[derive(Debug, Clone, Copy)]
+pub struct Number(N);
+
+impl Number {
+    /// A float number, or `None` for NaN/infinite input.
+    pub fn from_f64(f: f64) -> Option<Number> {
+        if f.is_finite() {
+            Some(Number(N::Float(f)))
+        } else {
+            None
+        }
+    }
+
+    /// The value as `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::PosInt(u) => i64::try_from(u).ok(),
+            N::NegInt(i) => Some(i),
+            N::Float(_) => None,
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::PosInt(u) => Some(u),
+            N::NegInt(_) | N::Float(_) => None,
+        }
+    }
+
+    /// The value as `f64` (integers convert losslessly up to 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.0 {
+            N::PosInt(u) => Some(u as f64),
+            N::NegInt(i) => Some(i as f64),
+            N::Float(f) => Some(f),
+        }
+    }
+
+    /// Whether the number is an integer representable as `i64`.
+    pub fn is_i64(&self) -> bool {
+        self.as_i64().is_some()
+    }
+
+    /// Whether the number is a non-negative integer.
+    pub fn is_u64(&self) -> bool {
+        matches!(self.0, N::PosInt(_))
+    }
+
+    /// Whether the number is a float.
+    pub fn is_f64(&self) -> bool {
+        matches!(self.0, N::Float(_))
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Number) -> bool {
+        match (self.0, other.0) {
+            (N::PosInt(a), N::PosInt(b)) => a == b,
+            (N::NegInt(a), N::NegInt(b)) => a == b,
+            // NegInt is only constructed for negatives, so cross-variant
+            // integers are never numerically equal.
+            (N::Float(a), N::Float(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            N::PosInt(u) => write!(f, "{u}"),
+            N::NegInt(i) => write!(f, "{i}"),
+            // {:?} keeps a trailing ".0" on integral floats, matching the
+            // real crate's output (and keeping floats distinguishable).
+            N::Float(x) => write!(f, "{x:?}"),
+        }
+    }
+}
+
+macro_rules! impl_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Number {
+            fn from(u: $t) -> Number {
+                Number(N::PosInt(u as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Number {
+            fn from(i: $t) -> Number {
+                if i < 0 {
+                    Number(N::NegInt(i as i64))
+                } else {
+                    Number(N::PosInt(i as u64))
+                }
+            }
+        }
+    )*};
+}
+
+impl_from_unsigned!(u8, u16, u32, u64, usize);
+impl_from_signed!(i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_equality_across_signedness() {
+        assert_eq!(Number::from(5i64), Number::from(5u64));
+        assert_ne!(Number::from(-5i64), Number::from(5u64));
+    }
+
+    #[test]
+    fn float_never_equals_integer() {
+        assert_ne!(Number::from_f64(5.0).unwrap(), Number::from(5i64));
+    }
+
+    #[test]
+    fn from_f64_rejects_non_finite() {
+        assert!(Number::from_f64(f64::NAN).is_none());
+        assert!(Number::from_f64(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn display_keeps_float_marker() {
+        assert_eq!(Number::from_f64(2.0).unwrap().to_string(), "2.0");
+        assert_eq!(Number::from(2u64).to_string(), "2");
+        assert_eq!(Number::from(-7i64).to_string(), "-7");
+    }
+
+    #[test]
+    fn conversions() {
+        let n = Number::from(-3i64);
+        assert_eq!(n.as_i64(), Some(-3));
+        assert_eq!(n.as_u64(), None);
+        assert_eq!(n.as_f64(), Some(-3.0));
+        assert!(n.is_i64() && !n.is_u64() && !n.is_f64());
+    }
+}

@@ -1,0 +1,84 @@
+//! Compact JSON text output.
+
+use crate::{Error, Serialize, Value};
+use std::fmt::{self, Write};
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write!(out, "{}", value.to_json_value()).map_err(|e| Error::msg(e.to_string()))?;
+    Ok(out)
+}
+
+/// Serialize to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Write `v` as compact JSON into any formatter (backs `Display for Value`).
+pub(crate) fn write_value(f: &mut fmt::Formatter<'_>, v: &Value) -> fmt::Result {
+    match v {
+        Value::Null => f.write_str("null"),
+        Value::Bool(true) => f.write_str("true"),
+        Value::Bool(false) => f.write_str("false"),
+        Value::Number(n) => write!(f, "{n}"),
+        Value::String(s) => write_escaped(f, s),
+        Value::Array(items) => {
+            f.write_char('[')?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    f.write_char(',')?;
+                }
+                write_value(f, item)?;
+            }
+            f.write_char(']')
+        }
+        Value::Object(map) => {
+            f.write_char('{')?;
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    f.write_char(',')?;
+                }
+                write_escaped(f, k)?;
+                f.write_char(':')?;
+                write_value(f, val)?;
+            }
+            f.write_char('}')
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            '\u{08}' => f.write_str("\\b")?,
+            '\u{0c}' => f.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_char(c)?,
+        }
+    }
+    f.write_char('"')
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::json;
+
+    #[test]
+    fn compact_output_sorted_keys() {
+        let v = json!({"b": 2, "a": [1, null, "x"]});
+        assert_eq!(v.to_string(), r#"{"a":[1,null,"x"],"b":2}"#);
+    }
+
+    #[test]
+    fn control_characters_escape() {
+        assert_eq!(json!("a\u{1}b").to_string(), r#""a\u0001b""#);
+        assert_eq!(json!("q\"\\").to_string(), r#""q\"\\""#);
+    }
+}

@@ -1,0 +1,562 @@
+//! The JSON value tree, its accessors, and the `json!` macro.
+
+use crate::{Deserialize, Error, Number, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The map type behind [`Value::Object`]. The real crate's default build
+/// also sorts keys, so a `BTreeMap` alias is behavior-compatible.
+pub type Map<K = String, V = Value> = BTreeMap<K, V>;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Member of an object by key, `None` for non-objects/missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Mutable member of an object by key.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        match self {
+            Value::Object(m) => m.get_mut(key),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Whether this is a boolean.
+    pub fn is_boolean(&self) -> bool {
+        matches!(self, Value::Bool(_))
+    }
+
+    /// Whether this is a number.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    /// Whether this is an integer representable as `i64`.
+    pub fn is_i64(&self) -> bool {
+        matches!(self, Value::Number(n) if n.is_i64())
+    }
+
+    /// Whether this is a non-negative integer.
+    pub fn is_u64(&self) -> bool {
+        matches!(self, Value::Number(n) if n.is_u64())
+    }
+
+    /// Whether this is a float.
+    pub fn is_f64(&self) -> bool {
+        matches!(self, Value::Number(n) if n.is_f64())
+    }
+
+    /// Whether this is a string.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    /// Whether this is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// Whether this is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// The boolean payload, if any.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if any.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Mutable array payload, if any.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object payload, if any.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Mutable object payload, if any.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Replace with `Null`, returning the previous value.
+    pub fn take(&mut self) -> Value {
+        std::mem::take(self)
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON text (the same bytes [`crate::to_string`] produces).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::ser::write_value(f, self)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Object member access; `Null` for non-objects and missing keys.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<String> for Value {
+    type Output = Value;
+
+    fn index(&self, key: String) -> &Value {
+        &self[key.as_str()]
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    /// Array element access; `Null` out of bounds or for non-arrays.
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<Number> for Value {
+    fn from(n: Number) -> Value {
+        Value::Number(n)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Value {
+        Number::from_f64(f)
+            .map(Value::Number)
+            .unwrap_or(Value::Null)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(f: f32) -> Value {
+        Value::from(f64::from(f))
+    }
+}
+
+macro_rules! impl_value_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(i: $t) -> Value {
+                Value::Number(Number::from(i))
+            }
+        }
+    )*};
+}
+
+impl_value_from_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Value {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(opt: Option<T>) -> Value {
+        opt.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+impl From<Map<String, Value>> for Value {
+    fn from(m: Map<String, Value>) -> Value {
+        Value::Object(m)
+    }
+}
+
+impl FromIterator<Value> for Value {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Value {
+        Value::Array(iter.into_iter().collect())
+    }
+}
+
+/// Convert any serializable value into a [`Value`].
+///
+/// Unlike the real crate this cannot fail (the value model is total), so
+/// it returns `Value` directly; `json!` relies on it for interpolation.
+pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Value {
+    v.to_json_value()
+}
+
+// --- Serialize / Deserialize impls for the standard types the workspace
+// --- feeds through `json!`, `to_vec`, and `from_slice`.
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Value, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+macro_rules! impl_serde_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::from(*self))
+            }
+        }
+    )*};
+}
+
+impl_serde_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::from(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::from(*self)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty: $via:ident),*) => {$(
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<$t, Error> {
+                v.$via()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| Error::msg(concat!("expected ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_de_int!(u8: as_u64, u16: as_u64, u32: as_u64, u64: as_u64, usize: as_u64,
+             i8: as_i64, i16: as_i64, i32: as_i64, i64: as_i64, isize: as_i64);
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<bool, Error> {
+        v.as_bool().ok_or_else(|| Error::msg("expected bool"))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json_value(v: &Value) -> Result<f64, Error> {
+        v.as_f64().ok_or_else(|| Error::msg("expected number"))
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<String, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::msg("expected string"))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Vec<T>, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::msg("expected array"))?
+            .iter()
+            .map(T::from_json_value)
+            .collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Option<T>, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_json_value(v).map(Some)
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_json_value(v: &Value) -> Result<BTreeMap<String, V>, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::msg("expected object"))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_json_value(val)?)))
+            .collect()
+    }
+}
+
+/// Build a [`Value`] from JSON-shaped syntax with expression interpolation.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => { $crate::json_internal!(@array [] $($tt)+) };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut object = $crate::Map::new();
+        $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Recursive muncher behind [`json!`]. Not public API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_internal {
+    // ---- arrays: accumulate parsed elements, munch one element at a time
+    (@array [$($elems:expr),*]) => {
+        $crate::Value::Array(::std::vec![$($elems),*])
+    };
+    (@array [$($elems:expr),*] null $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!(null)] $($($rest)*)?)
+    };
+    (@array [$($elems:expr),*] true $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!(true)] $($($rest)*)?)
+    };
+    (@array [$($elems:expr),*] false $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!(false)] $($($rest)*)?)
+    };
+    (@array [$($elems:expr),*] [$($arr:tt)*] $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!([$($arr)*])] $($($rest)*)?)
+    };
+    (@array [$($elems:expr),*] {$($map:tt)*} $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!({$($map)*})] $($($rest)*)?)
+    };
+    (@array [$($elems:expr),*] $next:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!($next)] $($($rest)*)?)
+    };
+
+    // ---- objects: munch "key: value," pairs into `$object`
+    (@object $object:ident () () ()) => {};
+    // insert a completed entry whose value was a munched tt-group
+    (@object $object:ident [$key:expr] ($value:expr) , $($rest:tt)*) => {
+        $object.insert(($key).into(), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    (@object $object:ident [$key:expr] ($value:expr)) => {
+        $object.insert(($key).into(), $value);
+    };
+    // next entry: key literal followed by a value of each shape
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json!(null)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json!(true)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json!(false)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($arr:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json!([$($arr)*])) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json!({$($map)*})) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json!($value)) , $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json!($value)));
+    };
+    // accumulate key tokens until the ':' is reached
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) $copy);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolation_accepts_references_and_exprs() {
+        let n: i64 = 7;
+        let r = &n;
+        let s = format!("x{n}");
+        let v = json!({"n": r, "s": s, "list": (0..3).map(Value::from).collect::<Vec<_>>()});
+        assert_eq!(v["n"], json!(7));
+        assert_eq!(v["s"], json!("x7"));
+        assert_eq!(v["list"][2], json!(2));
+    }
+
+    #[test]
+    fn trailing_commas_allowed() {
+        let v = json!({"a": 1,});
+        assert_eq!(v["a"].as_i64(), Some(1));
+        let a = json!([1, 2,]);
+        assert_eq!(a[1].as_i64(), Some(2));
+    }
+
+    #[test]
+    fn option_maps_to_null() {
+        let some: Option<i64> = Some(3);
+        let none: Option<i64> = None;
+        assert_eq!(json!(some), json!(3));
+        assert!(json!(none).is_null());
+    }
+
+    #[test]
+    fn take_leaves_null() {
+        let mut v = json!({"a": 1});
+        let t = v.take();
+        assert!(v.is_null());
+        assert_eq!(t["a"].as_i64(), Some(1));
+    }
+}
