@@ -45,7 +45,7 @@ fn vec_to_json<T: Serialize>(items: &[T]) -> Json {
     Json::Array(items.iter().map(Serialize::to_json_value).collect())
 }
 
-fn vec_from_json<T: Deserialize>(v: &Json) -> Result<Vec<T>, JsonError> {
+pub(crate) fn vec_from_json<T: Deserialize>(v: &Json) -> Result<Vec<T>, JsonError> {
     v.as_array()
         .ok_or_else(|| JsonError::custom("expected array"))?
         .iter()

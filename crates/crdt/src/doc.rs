@@ -8,12 +8,25 @@
 //! last-writer-wins by op id; deletes are add-wins; lists use RGA ordering
 //! with tombstones. The result is strong eventual consistency: replicas
 //! that have applied the same set of changes read the same JSON.
+//!
+//! # Log structure
+//!
+//! History is kept as a per-actor indexed log: each actor maps to a
+//! seq-contiguous run of its changes, so [`Doc::get_changes`] costs
+//! O(actors + delta) — an index computation and a slice copy per actor —
+//! instead of a scan over the full lifetime history. Acked prefixes of the
+//! log can be folded into the materialized state with [`Doc::compact`],
+//! after which [`Doc::save`] emits a snapshot plus the retained tail.
 
 use crate::change::{Change, ElemRef, ObjId, Op, OpValue};
 use crate::ids::{ActorId, OpId, VClock};
+use serde::{Deserialize, Serialize};
 use serde_json::Value as Json;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+
+/// Format marker of the snapshot+tail save layout produced by [`Doc::save`].
+const SAVE_FORMAT: &str = "edgstr-doc-v2";
 
 /// One segment of a path into the document tree.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -126,8 +139,135 @@ impl ListObj {
     }
 }
 
+// ---- snapshot (de)serialization -----------------------------------------
+//
+// The internal object tables must round-trip exactly (op ids included):
+// future changes reference existing values by op id (`pred` lists), so a
+// snapshot cannot be rebuilt from plain JSON state.
+
+fn slots_to_json<T: Serialize>(slots: &[(OpId, T)]) -> Json {
+    Json::Array(
+        slots
+            .iter()
+            .map(|(id, v)| Json::Array(vec![id.to_json_value(), v.to_json_value()]))
+            .collect(),
+    )
+}
+
+fn slots_from_json<T: Deserialize>(v: &Json) -> Result<Vec<(OpId, T)>, CrdtError> {
+    let corrupt = |m: &str| CrdtError::CorruptChange(m.to_string());
+    v.as_array()
+        .ok_or_else(|| corrupt("snapshot slot: expected array"))?
+        .iter()
+        .map(|pair| {
+            let pair = pair
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| corrupt("snapshot slot: expected [opid, value]"))?;
+            let id = OpId::from_json_value(&pair[0]).map_err(|e| corrupt(&e.to_string()))?;
+            let val = T::from_json_value(&pair[1]).map_err(|e| corrupt(&e.to_string()))?;
+            Ok((id, val))
+        })
+        .collect()
+}
+
+fn map_obj_to_json(m: &MapObj) -> Json {
+    let mut entries = serde_json::Map::new();
+    for (k, slots) in &m.entries {
+        entries.insert(k.clone(), slots_to_json(slots));
+    }
+    let mut counters = serde_json::Map::new();
+    for (k, incs) in &m.counters {
+        counters.insert(k.clone(), slots_to_json(incs));
+    }
+    let mut out = serde_json::Map::new();
+    out.insert("entries".into(), Json::Object(entries));
+    out.insert("counters".into(), Json::Object(counters));
+    Json::Object(out)
+}
+
+fn map_obj_from_json(v: &Json) -> Result<MapObj, CrdtError> {
+    let corrupt = |m: &str| CrdtError::CorruptChange(m.to_string());
+    let obj = v.as_object().ok_or_else(|| corrupt("bad map object"))?;
+    let mut out = MapObj::default();
+    for (k, slots) in obj
+        .get("entries")
+        .and_then(Json::as_object)
+        .ok_or_else(|| corrupt("map object: missing entries"))?
+    {
+        out.entries.insert(k.clone(), slots_from_json(slots)?);
+    }
+    for (k, incs) in obj
+        .get("counters")
+        .and_then(Json::as_object)
+        .ok_or_else(|| corrupt("map object: missing counters"))?
+    {
+        out.counters.insert(k.clone(), slots_from_json(incs)?);
+    }
+    Ok(out)
+}
+
+fn list_obj_to_json(l: &ListObj) -> Json {
+    Json::Array(
+        l.elems
+            .iter()
+            .map(|e| {
+                let mut m = serde_json::Map::new();
+                m.insert("id".into(), e.id.to_json_value());
+                m.insert("values".into(), slots_to_json(&e.values));
+                m.insert("deleted".into(), Json::from(e.deleted));
+                Json::Object(m)
+            })
+            .collect(),
+    )
+}
+
+fn list_obj_from_json(v: &Json) -> Result<ListObj, CrdtError> {
+    let corrupt = |m: &str| CrdtError::CorruptChange(m.to_string());
+    let elems = v
+        .as_array()
+        .ok_or_else(|| corrupt("bad list object"))?
+        .iter()
+        .map(|e| {
+            let obj = e.as_object().ok_or_else(|| corrupt("bad list element"))?;
+            let id = obj
+                .get("id")
+                .ok_or_else(|| corrupt("list element: missing id"))
+                .and_then(|v| OpId::from_json_value(v).map_err(|e| corrupt(&e.to_string())))?;
+            let values = slots_from_json(
+                obj.get("values")
+                    .ok_or_else(|| corrupt("list element: missing values"))?,
+            )?;
+            let deleted = obj
+                .get("deleted")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| corrupt("list element: missing deleted"))?;
+            Ok(ListElem {
+                id,
+                values,
+                deleted,
+            })
+        })
+        .collect::<Result<Vec<_>, CrdtError>>()?;
+    Ok(ListObj { elems })
+}
+
 /// The actor id used for deterministic snapshot initialization.
 pub const GENESIS_ACTOR: ActorId = ActorId(0);
+
+/// One actor's seq-contiguous run of retained changes.
+///
+/// `changes[i].seq == base + 1 + i`: everything at or below `base` has been
+/// folded into the snapshot by [`Doc::compact`]. Because sequence numbers
+/// are gapless, locating the suffix a peer is missing is a direct offset
+/// computation (the degenerate case of a binary search over sorted seqs).
+#[derive(Debug, Clone, Default)]
+struct ActorLog {
+    /// Highest seq folded into the snapshot (0 when never compacted).
+    base: u64,
+    /// Retained changes, ascending and contiguous in seq.
+    changes: Vec<Change>,
+}
 
 /// A replicated JSON document.
 ///
@@ -150,8 +290,15 @@ pub struct Doc {
     counter: u64,
     seq: u64,
     clock: VClock,
-    history: Vec<Change>,
-    pending: Vec<Change>,
+    /// Everything at or below this clock has been folded into the
+    /// materialized state and is no longer individually replayable.
+    snapshot_clock: VClock,
+    /// Per-actor indexed change log (the tail above `snapshot_clock`).
+    history: BTreeMap<ActorId, ActorLog>,
+    /// Changes buffered awaiting causal dependencies, keyed by
+    /// `(actor, seq)` so each retry pass probes exactly the next
+    /// applicable seq per actor instead of re-scanning a queue.
+    pending: BTreeMap<(ActorId, u64), Change>,
     maps: HashMap<ObjId, MapObj>,
     lists: HashMap<ObjId, ListObj>,
 }
@@ -166,8 +313,9 @@ impl Doc {
             counter: 0,
             seq: 0,
             clock: VClock::new(),
-            history: Vec::new(),
-            pending: Vec::new(),
+            snapshot_clock: VClock::new(),
+            history: BTreeMap::new(),
+            pending: BTreeMap::new(),
             maps,
             lists: HashMap::new(),
         }
@@ -224,9 +372,17 @@ impl Doc {
         &self.clock
     }
 
-    /// Number of changes in this replica's history.
+    /// Number of changes resident in this replica's history (the retained
+    /// tail — changes folded away by [`Doc::compact`] no longer count).
     pub fn history_len(&self) -> usize {
-        self.history.len()
+        self.history.values().map(|log| log.changes.len()).sum()
+    }
+
+    /// The compaction frontier: everything at or below this clock has been
+    /// folded into the snapshot and cannot be re-served by
+    /// [`Doc::get_changes`].
+    pub fn snapshot_clock(&self) -> &VClock {
+        &self.snapshot_clock
     }
 
     /// Number of changes buffered awaiting causal dependencies.
@@ -472,13 +628,23 @@ impl Doc {
 
     // ---- replication API (the paper's initialize/getChanges/applyChanges) --
 
-    /// All changes this replica knows that `since` has not yet observed.
+    /// All retained changes this replica knows that `since` has not yet
+    /// observed, grouped by actor in ascending seq order.
+    ///
+    /// Cost is O(actors + delta): per actor the missing suffix is located
+    /// by offset into its seq-contiguous run and copied as a slice.
+    /// Changes below the compaction frontier ([`Doc::snapshot_clock`]) are
+    /// gone; callers must only compact up to the minimum acked clock of
+    /// their peers (see [`Doc::compact`]) or provision stragglers via
+    /// [`Doc::save`]/[`Doc::load`].
     pub fn get_changes(&self, since: &VClock) -> Vec<Change> {
-        self.history
-            .iter()
-            .filter(|c| c.seq > since.get(c.actor))
-            .cloned()
-            .collect()
+        let mut out = Vec::new();
+        for (actor, log) in &self.history {
+            let have = since.get(*actor);
+            let skip = have.saturating_sub(log.base).min(log.changes.len() as u64) as usize;
+            out.extend_from_slice(&log.changes[skip..]);
+        }
+        out
     }
 
     /// Apply remote changes. Changes already applied are skipped; changes
@@ -491,32 +657,59 @@ impl Doc {
     /// Returns [`CrdtError::CorruptChange`] on malformed input (e.g. an op
     /// referencing an object that its own dependencies cannot provide).
     pub fn apply_changes(&mut self, changes: &[Change]) -> Result<usize, CrdtError> {
-        let mut queue: Vec<Change> = changes.to_vec();
-        queue.append(&mut self.pending);
+        self.apply_changes_owned(changes.to_vec())
+    }
+
+    /// Consuming variant of [`Doc::apply_changes`]: takes ownership of the
+    /// batch so the hot sync path avoids cloning every delta.
+    ///
+    /// The incoming batch and the pending buffer are indexed by
+    /// `(actor, seq)`; each pass probes only the next applicable seq per
+    /// actor, so a pass costs O(actors·log pending) rather than a scan of
+    /// everything buffered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrdtError::CorruptChange`] on malformed input (e.g. an op
+    /// referencing an object that its own dependencies cannot provide).
+    pub fn apply_changes_owned(&mut self, changes: Vec<Change>) -> Result<usize, CrdtError> {
+        let mut queue = std::mem::take(&mut self.pending);
+        for change in changes {
+            if change.seq <= self.clock.get(change.actor) {
+                continue; // duplicate
+            }
+            queue.entry((change.actor, change.seq)).or_insert(change);
+        }
         let mut applied = 0;
         loop {
             let mut progress = false;
-            let mut still_pending = Vec::new();
-            for change in queue.drain(..) {
-                if change.seq <= self.clock.get(change.actor) {
-                    continue; // duplicate
-                }
-                let ready = self.clock.dominates(&change.deps)
-                    && change.seq == self.clock.get(change.actor) + 1;
-                if ready {
-                    self.apply_one(&change)?;
-                    applied += 1;
-                    progress = true;
-                } else {
-                    still_pending.push(change);
+            let mut actors: Vec<ActorId> = queue.keys().map(|(actor, _)| *actor).collect();
+            actors.dedup();
+            for actor in actors {
+                loop {
+                    let next = self.clock.get(actor) + 1;
+                    let Some(change) = queue.remove(&(actor, next)) else {
+                        break;
+                    };
+                    if self.clock.dominates(&change.deps) {
+                        self.apply_one(change)?;
+                        applied += 1;
+                        progress = true;
+                    } else {
+                        queue.insert((actor, next), change);
+                        break;
+                    }
                 }
             }
-            queue = still_pending;
-            if !progress || queue.is_empty() {
-                self.pending = queue;
-                return Ok(applied);
+            if !progress {
+                break;
             }
         }
+        // What's left awaits causal dependencies we have not seen; entries
+        // the clock overtook during this batch are stale duplicates.
+        queue.retain(|(actor, seq), _| *seq > self.clock.get(*actor));
+        self.pending = queue;
+        Ok(applied)
     }
 
     /// Convenience: pull everything missing from `other` into `self`.
@@ -529,25 +722,125 @@ impl Doc {
         self.apply_changes(&changes)
     }
 
-    /// Serialize the full change history. A document restored by
-    /// [`Doc::load`] is a faithful replica: it reads the same state and
-    /// can exchange changes with the original — the wire format for
-    /// provisioning a fresh edge node.
+    /// Fold every retained change at or below `frontier` into the
+    /// materialized snapshot, freeing its memory. Returns the number of
+    /// changes dropped from the log.
+    ///
+    /// Safety contract: `frontier` must be at or below the minimum acked
+    /// clock across all live peers — a compacted change can never be
+    /// re-served by [`Doc::get_changes`], so a peer that had not acked it
+    /// would stall forever (it can only recover via [`Doc::save`]/
+    /// [`Doc::load`] provisioning). The runtime computes this frontier as
+    /// the pointwise-min (`VClock::meet`) of peer ack clocks.
+    ///
+    /// Entries of `frontier` above this replica's own clock are clamped:
+    /// only applied changes can be folded into state.
+    pub fn compact(&mut self, frontier: &VClock) -> usize {
+        let mut dropped = 0;
+        for (actor, log) in self.history.iter_mut() {
+            let target = frontier.get(*actor).min(self.clock.get(*actor));
+            if target <= log.base {
+                continue;
+            }
+            let n = (target - log.base) as usize;
+            log.changes.drain(..n);
+            log.base = target;
+            self.snapshot_clock.observe(*actor, target);
+            dropped += n;
+        }
+        dropped
+    }
+
+    /// Serialize this replica as a state snapshot plus the retained change
+    /// tail. A document restored by [`Doc::load`] is a faithful replica: it
+    /// reads the same state and can exchange changes with the original —
+    /// the wire format for provisioning a fresh edge node. Unlike a raw
+    /// change log, the size is bounded by current state plus the
+    /// uncompacted tail, not by lifetime mutation count.
     pub fn save(&self) -> Vec<u8> {
-        serde_json::to_vec(&self.history).expect("changes are serializable")
+        serde_json::to_vec(&self.save_json()).expect("snapshot is serializable")
+    }
+
+    /// [`Doc::save`] as a JSON value, for embedding into larger envelopes
+    /// (e.g. a whole-replica provisioning payload) without re-parsing.
+    pub fn save_json(&self) -> Json {
+        let mut maps: Vec<(&ObjId, &MapObj)> = self.maps.iter().collect();
+        maps.sort_by_key(|(id, _)| **id);
+        let mut lists: Vec<(&ObjId, &ListObj)> = self.lists.iter().collect();
+        lists.sort_by_key(|(id, _)| **id);
+        let mut snapshot = serde_json::Map::new();
+        snapshot.insert("clock".into(), self.clock.to_json_value());
+        snapshot.insert("snapshot_clock".into(), self.snapshot_clock.to_json_value());
+        snapshot.insert("counter".into(), Json::from(self.counter));
+        snapshot.insert(
+            "maps".into(),
+            Json::Array(
+                maps.iter()
+                    .map(|(id, m)| Json::Array(vec![id.to_json_value(), map_obj_to_json(m)]))
+                    .collect(),
+            ),
+        );
+        snapshot.insert(
+            "lists".into(),
+            Json::Array(
+                lists
+                    .iter()
+                    .map(|(id, l)| Json::Array(vec![id.to_json_value(), list_obj_to_json(l)]))
+                    .collect(),
+            ),
+        );
+        let tail: Vec<Json> = self
+            .history
+            .values()
+            .flat_map(|log| log.changes.iter().map(serde::Serialize::to_json_value))
+            .collect();
+        let mut root = serde_json::Map::new();
+        root.insert("format".into(), Json::from(SAVE_FORMAT));
+        root.insert("snapshot".into(), Json::Object(snapshot));
+        root.insert("tail".into(), Json::Array(tail));
+        Json::Object(root)
     }
 
     /// Reconstruct a document from [`Doc::save`] output, owned by `actor`.
     ///
+    /// Accepts both the snapshot+tail format and a legacy raw change
+    /// array (the pre-compaction save format, still produced by external
+    /// tooling and fixtures).
+    ///
     /// # Errors
     ///
-    /// Returns [`CrdtError::CorruptChange`] when the bytes do not decode
-    /// or the history does not apply cleanly.
+    /// Returns [`CrdtError::CorruptChange`] when the bytes do not decode,
+    /// the tail is not contiguous with the snapshot, or a legacy history
+    /// does not apply cleanly.
     pub fn load(actor: ActorId, bytes: &[u8]) -> Result<Doc, CrdtError> {
-        let history: Vec<Change> =
+        let value: Json =
             serde_json::from_slice(bytes).map_err(|e| CrdtError::CorruptChange(e.to_string()))?;
+        Doc::load_json(actor, &value)
+    }
+
+    /// [`Doc::load`] from an already-parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Doc::load`].
+    pub fn load_json(actor: ActorId, value: &Json) -> Result<Doc, CrdtError> {
+        match value {
+            Json::Array(_) => Doc::load_legacy(actor, value),
+            Json::Object(obj) if obj.get("format").and_then(Json::as_str) == Some(SAVE_FORMAT) => {
+                Doc::load_v2(actor, obj)
+            }
+            _ => Err(CrdtError::CorruptChange(
+                "unrecognized save format".to_string(),
+            )),
+        }
+    }
+
+    /// Legacy format: a bare JSON array of changes, replayed from scratch.
+    fn load_legacy(actor: ActorId, value: &Json) -> Result<Doc, CrdtError> {
+        let history: Vec<Change> = crate::change::vec_from_json(value)
+            .map_err(|e| CrdtError::CorruptChange(e.to_string()))?;
         let mut doc = Doc::new(actor);
-        doc.apply_changes(&history)?;
+        doc.apply_changes_owned(history)?;
         if doc.pending_len() > 0 {
             return Err(CrdtError::CorruptChange(
                 "saved history is causally incomplete".to_string(),
@@ -556,6 +849,94 @@ impl Doc {
         // continue this actor's own sequence where the history left off
         doc.seq = doc.clock.get(actor);
         Ok(doc)
+    }
+
+    fn load_v2(actor: ActorId, obj: &serde_json::Map) -> Result<Doc, CrdtError> {
+        let corrupt = |m: &str| CrdtError::CorruptChange(m.to_string());
+        let snap = obj
+            .get("snapshot")
+            .and_then(Json::as_object)
+            .ok_or_else(|| corrupt("missing snapshot"))?;
+        let clock = snap
+            .get("clock")
+            .ok_or_else(|| corrupt("missing clock"))
+            .and_then(|v| {
+                VClock::from_json_value(v).map_err(|e| CrdtError::CorruptChange(e.to_string()))
+            })?;
+        let snapshot_clock = snap
+            .get("snapshot_clock")
+            .ok_or_else(|| corrupt("missing snapshot_clock"))
+            .and_then(|v| {
+                VClock::from_json_value(v).map_err(|e| CrdtError::CorruptChange(e.to_string()))
+            })?;
+        let counter = snap
+            .get("counter")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| corrupt("missing counter"))?;
+        let mut maps = HashMap::new();
+        for entry in snap
+            .get("maps")
+            .and_then(Json::as_array)
+            .ok_or_else(|| corrupt("missing maps"))?
+        {
+            let pair = entry
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| corrupt("bad map entry"))?;
+            let id = ObjId::from_json_value(&pair[0]).map_err(|e| corrupt(&e.to_string()))?;
+            maps.insert(id, map_obj_from_json(&pair[1])?);
+        }
+        let mut lists = HashMap::new();
+        for entry in snap
+            .get("lists")
+            .and_then(Json::as_array)
+            .ok_or_else(|| corrupt("missing lists"))?
+        {
+            let pair = entry
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| corrupt("bad list entry"))?;
+            let id = ObjId::from_json_value(&pair[0]).map_err(|e| corrupt(&e.to_string()))?;
+            lists.insert(id, list_obj_from_json(&pair[1])?);
+        }
+        maps.entry(ObjId::Root).or_default();
+        let tail: Vec<Change> =
+            crate::change::vec_from_json(obj.get("tail").ok_or_else(|| corrupt("missing tail"))?)
+                .map_err(|e| CrdtError::CorruptChange(e.to_string()))?;
+
+        let mut history: BTreeMap<ActorId, ActorLog> = BTreeMap::new();
+        for change in tail {
+            let log = history.entry(change.actor).or_insert_with(|| ActorLog {
+                base: snapshot_clock.get(change.actor),
+                changes: Vec::new(),
+            });
+            if change.seq != log.base + log.changes.len() as u64 + 1 {
+                return Err(corrupt("tail is not contiguous with the snapshot"));
+            }
+            log.changes.push(change);
+        }
+        // every applied change must be accounted for: snapshot prefix + tail
+        for (a, s) in &clock.0 {
+            let covered = history
+                .get(a)
+                .map(|log| log.base + log.changes.len() as u64)
+                .unwrap_or_else(|| snapshot_clock.get(*a));
+            if covered != *s {
+                return Err(corrupt("saved history is causally incomplete"));
+            }
+        }
+        let seq = clock.get(actor);
+        Ok(Doc {
+            actor,
+            counter,
+            seq,
+            clock,
+            snapshot_clock,
+            history,
+            pending: BTreeMap::new(),
+            maps,
+            lists,
+        })
     }
 
     // ---- internals ----------------------------------------------------------
@@ -743,10 +1124,10 @@ impl Doc {
             self.apply_op(op).expect("local ops are well-formed");
         }
         self.clock.observe(self.actor, self.seq);
-        self.history.push(change);
+        self.push_history(change);
     }
 
-    fn apply_one(&mut self, change: &Change) -> Result<(), CrdtError> {
+    fn apply_one(&mut self, change: Change) -> Result<(), CrdtError> {
         for op in &change.ops {
             self.apply_op(op)?;
         }
@@ -755,8 +1136,22 @@ impl Doc {
             self.counter = max;
         }
         self.clock.observe(change.actor, change.seq);
-        self.history.push(change.clone());
+        self.push_history(change);
         Ok(())
+    }
+
+    /// Append an applied change to its actor's contiguous run.
+    fn push_history(&mut self, change: Change) {
+        let base = self.snapshot_clock.get(change.actor);
+        let log = self
+            .history
+            .entry(change.actor)
+            .or_insert_with(|| ActorLog {
+                base,
+                changes: Vec::new(),
+            });
+        debug_assert_eq!(change.seq, log.base + log.changes.len() as u64 + 1);
+        log.changes.push(change);
     }
 
     fn apply_op(&mut self, op: &Op) -> Result<(), CrdtError> {
@@ -1201,6 +1596,25 @@ mod save_load_tests {
     }
 
     #[test]
+    fn load_v2_rejects_tampered_tail() {
+        let mut a = Doc::new(ActorId(1));
+        a.put(&path!["x"], json!(1)).unwrap();
+        a.put(&path!["x"], json!(2)).unwrap();
+        let bytes = a.save();
+        let mut v: serde_json::Value = serde_json::from_slice(&bytes).unwrap();
+        // drop the first tail change: the snapshot no longer connects
+        v.get_mut("tail")
+            .and_then(|t| t.as_array_mut())
+            .unwrap()
+            .remove(0);
+        let tampered = serde_json::to_vec(&v).unwrap();
+        assert!(matches!(
+            Doc::load(ActorId(2), &tampered),
+            Err(CrdtError::CorruptChange(_))
+        ));
+    }
+
+    #[test]
     fn load_rejects_garbage_and_gaps() {
         assert!(matches!(
             Doc::load(ActorId(1), b"not json"),
@@ -1215,5 +1629,119 @@ mod save_load_tests {
             Doc::load(ActorId(2), &partial),
             Err(CrdtError::CorruptChange(_))
         ));
+    }
+}
+
+#[cfg(test)]
+mod compaction_tests {
+    use super::*;
+    use serde_json::json;
+
+    /// Two replicas exchanging everything, then compacting at the shared
+    /// clock: reads, future changes, and convergence are unaffected.
+    #[test]
+    fn compact_folds_acked_prefix_and_preserves_behaviour() {
+        let mut a = Doc::new(ActorId(1));
+        let mut b = Doc::new(ActorId(2));
+        for i in 0..20 {
+            a.put(&path!["k", format!("a{i}")], json!(i)).unwrap();
+            b.put(&path!["k", format!("b{i}")], json!(i)).unwrap();
+        }
+        a.merge(&b).unwrap();
+        b.merge(&a).unwrap();
+        let before = a.to_json();
+        let frontier = a.clock().clone();
+        let dropped = a.compact(&frontier);
+        assert_eq!(dropped, 40);
+        assert_eq!(a.history_len(), 0);
+        assert_eq!(a.to_json(), before);
+        assert_eq!(a.snapshot_clock(), &frontier);
+        // post-compaction writes still replicate
+        a.put(&path!["post"], json!(true)).unwrap();
+        b.apply_changes(&a.get_changes(b.clock())).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn compact_is_clamped_by_own_clock_and_idempotent() {
+        let mut a = Doc::new(ActorId(1));
+        a.put(&path!["x"], json!(1)).unwrap();
+        let mut beyond = VClock::new();
+        beyond.observe(ActorId(1), 99);
+        beyond.observe(ActorId(7), 5); // actor we have never seen
+        assert_eq!(a.compact(&beyond), 1);
+        assert_eq!(a.snapshot_clock().get(ActorId(1)), 1);
+        assert_eq!(a.snapshot_clock().get(ActorId(7)), 0);
+        assert_eq!(a.compact(&beyond), 0);
+    }
+
+    /// Partial compaction: the retained suffix is still served exactly.
+    #[test]
+    fn get_changes_above_frontier_survives_compaction() {
+        let mut a = Doc::new(ActorId(1));
+        for i in 0..10 {
+            a.put(&path!["k"], json!(i)).unwrap();
+        }
+        let mut frontier = VClock::new();
+        frontier.observe(ActorId(1), 6);
+        let mut cursor = VClock::new();
+        cursor.observe(ActorId(1), 6);
+        let expect = a.get_changes(&cursor);
+        a.compact(&frontier);
+        assert_eq!(a.history_len(), 4);
+        assert_eq!(a.get_changes(&cursor), expect);
+        // a fully caught-up peer gets nothing
+        assert!(a.get_changes(a.clock()).is_empty());
+    }
+
+    #[test]
+    fn compacted_save_restores_state_clock_and_tail() {
+        let mut a = Doc::from_snapshot(ActorId(1), &json!({"rows": [1, 2, 3]}));
+        for i in 0..8 {
+            a.put(&path!["k", format!("v{i}")], json!(i)).unwrap();
+            a.increment(&path!["n"], 2).unwrap();
+        }
+        let mut frontier = a.clock().clone();
+        // keep the last few changes as tail
+        frontier.observe(ActorId(1), 0);
+        let own = a.clock().get(ActorId(1));
+        let mut partial = VClock::new();
+        partial.observe(ActorId(1), own - 3);
+        partial.observe(GENESIS_ACTOR, a.clock().get(GENESIS_ACTOR));
+        a.compact(&partial);
+        let mut b = Doc::load(ActorId(2), &a.save()).unwrap();
+        assert_eq!(b.to_json(), a.to_json());
+        assert_eq!(b.clock(), a.clock());
+        assert_eq!(b.snapshot_clock(), a.snapshot_clock());
+        assert_eq!(b.history_len(), a.history_len());
+        // the restored replica serves the same tail
+        assert_eq!(b.get_changes(&partial), a.get_changes(&partial));
+        // and can keep writing + syncing with the original
+        a.put(&path!["after"], json!("a")).unwrap();
+        b.put(&path!["after_b"], json!("b")).unwrap();
+        a.merge(&b).unwrap();
+        b.merge(&a).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    /// Compaction bounds the save size: a fully-compacted doc's save no
+    /// longer grows with the number of historical overwrites.
+    #[test]
+    fn compacted_save_is_smaller_than_full_log() {
+        let mut a = Doc::new(ActorId(1));
+        for i in 0..200 {
+            a.put(&path!["k"], json!(i)).unwrap();
+        }
+        let full = a.save().len();
+        let frontier = a.clock().clone();
+        a.compact(&frontier);
+        let compacted = a.save().len();
+        assert!(
+            compacted * 5 < full,
+            "compacted save {compacted}B not ≪ full log save {full}B"
+        );
+        // restored doc still reads the final value
+        let b = Doc::load(ActorId(2), &a.save()).unwrap();
+        assert_eq!(b.get(&path!["k"]), Some(json!(199)));
     }
 }

@@ -111,6 +111,59 @@ impl CrdtFiles {
     pub fn apply_changes(&mut self, changes: &[Change]) -> Result<usize, CrdtError> {
         self.doc.apply_changes(changes)
     }
+
+    /// Consuming variant of [`CrdtFiles::apply_changes`] for the hot sync
+    /// path (no per-delta clone).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrdtError`] on malformed changes.
+    pub fn apply_changes_owned(&mut self, changes: Vec<Change>) -> Result<usize, CrdtError> {
+        self.doc.apply_changes_owned(changes)
+    }
+
+    /// Retained change-log length (see [`Doc::history_len`]).
+    pub fn history_len(&self) -> usize {
+        self.doc.history_len()
+    }
+
+    /// Fold acked history at or below `frontier` into the snapshot; returns
+    /// the number of changes dropped (see [`Doc::compact`]).
+    pub fn compact(&mut self, frontier: &VClock) -> usize {
+        self.doc.compact(frontier)
+    }
+
+    /// Serialize as snapshot + retained tail (see [`Doc::save`]).
+    pub fn save(&self) -> Vec<u8> {
+        self.doc.save()
+    }
+
+    /// [`CrdtFiles::save`] as a JSON value (see [`Doc::save_json`]).
+    pub fn save_json(&self) -> Json {
+        self.doc.save_json()
+    }
+
+    /// Restore from [`CrdtFiles::save`] bytes, owned by `actor`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrdtError`] from [`Doc::load`].
+    pub fn load(actor: ActorId, bytes: &[u8]) -> Result<Self, CrdtError> {
+        Ok(CrdtFiles {
+            doc: Doc::load(actor, bytes)?,
+        })
+    }
+
+    /// Restore from a [`CrdtFiles::save_json`] value, owned by `actor`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrdtError`] from [`Doc::load_json`].
+    pub fn load_json(actor: ActorId, value: &Json) -> Result<Self, CrdtError> {
+        Ok(CrdtFiles {
+            doc: Doc::load_json(actor, value)?,
+        })
+    }
 }
 
 fn file_entry(data: &[u8]) -> Json {

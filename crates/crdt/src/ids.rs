@@ -152,6 +152,21 @@ impl VClock {
         }
     }
 
+    /// Pointwise minimum with `other` — the greatest clock dominated by
+    /// both. An actor absent from either side has implicit 0, so only
+    /// actors present in both with a nonzero minimum survive. This is the
+    /// safe compaction frontier across a set of peer ack clocks.
+    pub fn meet(&self, other: &VClock) -> VClock {
+        let mut out = BTreeMap::new();
+        for (a, s) in &self.0 {
+            let m = (*s).min(other.get(*a));
+            if m > 0 {
+                out.insert(*a, m);
+            }
+        }
+        VClock(out)
+    }
+
     /// Total number of changes summarized by this clock.
     pub fn total(&self) -> u64 {
         self.0.values().sum()
@@ -225,6 +240,24 @@ mod tests {
         assert_eq!(a.get(ActorId(1)), 2);
         assert_eq!(a.get(ActorId(2)), 4);
         assert_eq!(a.total(), 6);
+    }
+
+    #[test]
+    fn vclock_meet_pointwise_min() {
+        let mut a = VClock::new();
+        a.observe(ActorId(1), 5);
+        a.observe(ActorId(2), 2);
+        let mut b = VClock::new();
+        b.observe(ActorId(1), 3);
+        b.observe(ActorId(3), 7);
+        let m = a.meet(&b);
+        assert_eq!(m.get(ActorId(1)), 3);
+        // actor 2 absent from b (implicit 0) and actor 3 absent from a
+        assert_eq!(m.get(ActorId(2)), 0);
+        assert_eq!(m.get(ActorId(3)), 0);
+        assert!(a.dominates(&m));
+        assert!(b.dominates(&m));
+        assert_eq!(a.meet(&a), a);
     }
 
     #[test]

@@ -15,6 +15,13 @@
 //!   the runtime's background synchronization daemon, with wire-size
 //!   accounting for the WAN-traffic experiments.
 //!
+//! The replication hot path is O(delta), not O(lifetime): history is a
+//! per-actor indexed log ([`Doc::get_changes`] slices each actor's
+//! seq-contiguous run) and acked prefixes can be folded into the snapshot
+//! with [`Doc::compact`], keeping resident history bounded under
+//! steady-state sync. The safe frontier is the pointwise minimum
+//! ([`VClock::meet`]) of peer ack clocks.
+//!
 //! Replicas that apply the same set of changes read identical JSON —
 //! strong eventual consistency — which the property tests in
 //! `tests/convergence.rs` exercise under random concurrent workloads and

@@ -135,6 +135,65 @@ impl CrdtTable {
         self.doc.apply_changes(changes)
     }
 
+    /// Consuming variant of [`CrdtTable::apply_changes`] for the hot sync
+    /// path (no per-delta clone).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrdtError`] on malformed changes.
+    pub fn apply_changes_owned(&mut self, changes: Vec<Change>) -> Result<usize, CrdtError> {
+        self.doc.apply_changes_owned(changes)
+    }
+
+    /// Retained change-log length (see [`Doc::history_len`]).
+    pub fn history_len(&self) -> usize {
+        self.doc.history_len()
+    }
+
+    /// Fold acked history at or below `frontier` into the snapshot; returns
+    /// the number of changes dropped (see [`Doc::compact`]).
+    pub fn compact(&mut self, frontier: &VClock) -> usize {
+        self.doc.compact(frontier)
+    }
+
+    /// Serialize as snapshot + retained tail (see [`Doc::save`]).
+    pub fn save(&self) -> Vec<u8> {
+        self.doc.save()
+    }
+
+    /// [`CrdtTable::save`] as a JSON value (see [`Doc::save_json`]).
+    pub fn save_json(&self) -> Json {
+        self.doc.save_json()
+    }
+
+    /// Restore from [`CrdtTable::save`] bytes, owned by `actor`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrdtError`] from [`Doc::load`].
+    pub fn load(actor: ActorId, name: impl Into<String>, bytes: &[u8]) -> Result<Self, CrdtError> {
+        Ok(CrdtTable {
+            doc: Doc::load(actor, bytes)?,
+            name: name.into(),
+        })
+    }
+
+    /// Restore from a [`CrdtTable::save_json`] value, owned by `actor`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrdtError`] from [`Doc::load_json`].
+    pub fn load_json(
+        actor: ActorId,
+        name: impl Into<String>,
+        value: &Json,
+    ) -> Result<Self, CrdtError> {
+        Ok(CrdtTable {
+            doc: Doc::load_json(actor, value)?,
+            name: name.into(),
+        })
+    }
+
     /// Full table contents as JSON (`pk → row`).
     pub fn to_json(&self) -> Json {
         self.doc

@@ -232,10 +232,19 @@ impl std::error::Error for DatalogError {}
 type Tuple = Vec<Const>;
 type Bindings = BTreeMap<String, Const>;
 
+/// Hash index over one column of a relation: value → tuples carrying that
+/// value in the column.
+type ColumnIndex = HashMap<Const, Vec<Tuple>>;
+
 /// The fact store plus evaluator.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     relations: HashMap<String, HashSet<Tuple>>,
+    /// One hash index per column of each relation, maintained on insert.
+    /// The join in [`Database::derive`] probes the first column of a body
+    /// atom that is ground under the current bindings, turning the
+    /// per-atom candidate set from the whole relation into one bucket.
+    indexes: HashMap<String, Vec<ColumnIndex>>,
     arities: HashMap<String, usize>,
 }
 
@@ -255,7 +264,24 @@ impl Database {
         let relation = relation.into();
         let arity = self.arities.entry(relation.clone()).or_insert(args.len());
         assert_eq!(*arity, args.len(), "arity mismatch for relation {relation}");
-        self.relations.entry(relation).or_default().insert(args)
+        let fresh = self
+            .relations
+            .entry(relation.clone())
+            .or_default()
+            .insert(args.clone());
+        if fresh {
+            let cols = self
+                .indexes
+                .entry(relation)
+                .or_insert_with(|| vec![ColumnIndex::new(); args.len()]);
+            for (col, value) in args.iter().enumerate() {
+                cols[col]
+                    .entry(value.clone())
+                    .or_default()
+                    .push(args.clone());
+            }
+        }
+        fresh
     }
 
     /// Whether the exact ground fact is present.
@@ -454,6 +480,23 @@ impl Database {
                 continue;
             }
             let use_delta = delta_pos == Some(idx);
+            if !use_delta {
+                // probe the hash index on the atom's first bound column:
+                // only tuples sharing that value can join
+                if let Some(bucket) = self.index_probe(atom, &bind) {
+                    for tuple in bucket {
+                        if tuple.len() != atom.terms.len() {
+                            continue;
+                        }
+                        let mut b = bind.clone();
+                        if Self::match_tuple(&atom.terms, tuple, &mut b) {
+                            stack.push((idx + 1, b));
+                        }
+                    }
+                    continue;
+                }
+            }
+            // no bound column (or delta atom): scan the candidate set
             let source: Option<&HashSet<Tuple>> = if use_delta {
                 delta.get(&atom.relation)
             } else {
@@ -471,6 +514,24 @@ impl Database {
             }
         }
         results
+    }
+
+    /// The index bucket for the first column of `atom` that is ground
+    /// under `bind` — a constant term or an already-bound variable.
+    /// `None` when no column is bound (or the atom's arity does not match
+    /// the relation's), in which case the caller falls back to a scan.
+    fn index_probe(&self, atom: &RuleAtom, bind: &Bindings) -> Option<&[Tuple]> {
+        let cols = self.indexes.get(&atom.relation)?;
+        for (col, term) in atom.terms.iter().enumerate() {
+            let value = match term {
+                Term::Const(c) => Some(c),
+                Term::Var(v) => bind.get(v),
+            };
+            if let Some(value) = value {
+                return Some(cols.get(col)?.get(value).map_or(&[], Vec::as_slice));
+            }
+        }
+        None
     }
 }
 
@@ -552,6 +613,42 @@ mod tests {
         assert_eq!(db.len("path"), 6);
         assert!(db.contains("path", &[Const::int(1), Const::int(4)]));
         assert!(!db.contains("path", &[Const::int(4), Const::int(1)]));
+    }
+
+    /// The first-bound-column index must return exactly the tuples a full
+    /// scan would: constants probe directly, bound variables probe their
+    /// binding, and unbound atoms fall back to the scan.
+    #[test]
+    fn index_probe_matches_scan_semantics() {
+        let mut db = Database::new();
+        for (a, b) in [(1, 2), (1, 3), (2, 3), (3, 1)] {
+            db.add_fact("edge", vec![Const::int(a), Const::int(b)]);
+        }
+        // re-inserting must not duplicate index buckets
+        assert!(!db.add_fact("edge", vec![Const::int(1), Const::int(2)]));
+        // constant in the first column: out(Y) :- edge(1, Y).
+        let rules = vec![Rule::new(
+            RuleAtom::pos("out", vec![v("Y")]),
+            vec![RuleAtom::pos("edge", vec![Term::int(1), v("Y")])],
+        )];
+        db.evaluate(&rules).unwrap();
+        assert_eq!(
+            db.all("out"),
+            vec![vec![Const::int(2)], vec![Const::int(3)]]
+        );
+        // bound variable probes the second atom: hop(X, Z) via edge joins
+        let rules = vec![Rule::new(
+            RuleAtom::pos("hop", vec![v("X"), v("Z")]),
+            vec![
+                RuleAtom::pos("edge", vec![v("X"), v("Y")]),
+                RuleAtom::pos("edge", vec![v("Y"), v("Z")]),
+            ],
+        )];
+        db.evaluate(&rules).unwrap();
+        assert!(db.contains("hop", &[Const::int(1), Const::int(3)]));
+        assert!(db.contains("hop", &[Const::int(2), Const::int(1)]));
+        assert!(db.contains("hop", &[Const::int(3), Const::int(2)]));
+        assert!(!db.contains("hop", &[Const::int(2), Const::int(2)]));
     }
 
     #[test]

@@ -32,6 +32,27 @@ impl SetClock {
         self.globals.merge(&other.globals);
     }
 
+    /// Pointwise minimum with `other`, structure by structure — the
+    /// greatest clock both sides have acknowledged. Folding the meet of
+    /// all live peers' ack clocks is the safe compaction frontier: no peer
+    /// can still need a change at or below it.
+    pub fn meet(&self, other: &SetClock) -> SetClock {
+        let mut tables = BTreeMap::new();
+        for (n, c) in &self.tables {
+            if let Some(o) = other.tables.get(n) {
+                let m = c.meet(o);
+                if !m.is_empty() {
+                    tables.insert(n.clone(), m);
+                }
+            }
+        }
+        SetClock {
+            tables,
+            files: self.files.meet(&other.files),
+            globals: self.globals.meet(&other.globals),
+        }
+    }
+
     /// True if this clock has observed at least everything `other` has.
     pub fn dominates(&self, other: &SetClock) -> bool {
         let empty = VClock::new();
@@ -213,40 +234,154 @@ impl CrdtSet {
     /// into the server (database rows, file contents, global values).
     /// Returns the number of changes applied.
     pub fn apply_remote(&mut self, changes: &SetChanges, server: &mut ServerProcess) -> usize {
+        self.apply_remote_owned(changes.clone(), server)
+    }
+
+    /// Consuming variant of [`CrdtSet::apply_remote`] — the runtime sync
+    /// daemon's hot path, which would otherwise clone every delta each
+    /// round.
+    pub fn apply_remote_owned(&mut self, changes: SetChanges, server: &mut ServerProcess) -> usize {
         let mut applied = 0;
-        for (name, cs) in &changes.tables {
-            if let Some(t) = self.tables.get_mut(name) {
-                applied += t.apply_changes(cs).expect("table CRDT apply");
+        for (name, cs) in changes.tables {
+            if let Some(t) = self.tables.get_mut(&name) {
+                applied += t.apply_changes_owned(cs).expect("table CRDT apply");
                 // materialize merged rows into the SQL engine
                 let rows: Vec<Json> = t.rows().into_iter().map(|(_, row)| row).collect();
-                let _ = server.db.replace_table_rows(name, &rows);
+                let _ = server.db.replace_table_rows(&name, &rows);
             }
         }
         if !changes.files.is_empty() {
             applied += self
                 .files
-                .apply_changes(&changes.files)
+                .apply_changes_owned(changes.files)
                 .expect("files CRDT apply");
-            for path in self.files.list() {
-                if let Some(data) = self.files.get_file(&path) {
-                    if server.fs.peek(&path) != Some(data.as_slice()) {
-                        server.fs.write(path, data);
-                    }
-                }
-            }
+            self.materialize_files(server);
         }
         if !changes.globals.is_empty() {
             applied += self
                 .globals
-                .apply_changes(&changes.globals)
+                .apply_changes_owned(changes.globals)
                 .expect("globals CRDT apply");
-            for g in &self.bindings.globals {
-                if let Some(v) = self.globals.get(&[PathSeg::Key(g.clone())]) {
-                    server.set_global_json(g, &v);
+            self.materialize_globals(server);
+        }
+        applied
+    }
+
+    /// Push the full merged CRDT state into `server` — used when a
+    /// restarted replica is provisioned from a [`CrdtSet::save`] payload
+    /// rather than by replaying changes.
+    pub fn materialize_all(&self, server: &mut ServerProcess) {
+        for (name, t) in &self.tables {
+            let rows: Vec<Json> = t.rows().into_iter().map(|(_, row)| row).collect();
+            let _ = server.db.replace_table_rows(name, &rows);
+        }
+        self.materialize_files(server);
+        self.materialize_globals(server);
+    }
+
+    fn materialize_files(&self, server: &mut ServerProcess) {
+        for path in self.files.list() {
+            if let Some(data) = self.files.get_file(&path) {
+                if server.fs.peek(&path) != Some(data.as_slice()) {
+                    server.fs.write(path, data);
                 }
             }
         }
-        applied
+    }
+
+    fn materialize_globals(&self, server: &mut ServerProcess) {
+        for g in &self.bindings.globals {
+            if let Some(v) = self.globals.get(&[PathSeg::Key(g.clone())]) {
+                server.set_global_json(g, &v);
+            }
+        }
+    }
+
+    /// Total retained change-log length across all structures — the
+    /// resident history the sync daemon keeps bounded via
+    /// [`CrdtSet::compact`].
+    pub fn history_len(&self) -> usize {
+        self.tables
+            .values()
+            .map(CrdtTable::history_len)
+            .sum::<usize>()
+            + self.files.history_len()
+            + self.globals.history_len()
+    }
+
+    /// Fold acked history at or below `frontier` (normally the
+    /// [`SetClock::meet`] of all live peers' ack clocks) into the
+    /// snapshots. Returns the number of changes dropped.
+    pub fn compact(&mut self, frontier: &SetClock) -> usize {
+        let empty = VClock::new();
+        let mut dropped = 0;
+        for (n, t) in self.tables.iter_mut() {
+            dropped += t.compact(frontier.tables.get(n).unwrap_or(&empty));
+        }
+        dropped += self.files.compact(&frontier.files);
+        dropped += self.globals.compact(&frontier.globals);
+        dropped
+    }
+
+    /// Serialize the whole replica set (snapshot + retained tail per
+    /// structure) — the provisioning payload for a fresh or restarted
+    /// replica. Bounded by state size plus uncompacted tail, not lifetime
+    /// mutation count.
+    pub fn save(&self) -> Vec<u8> {
+        let mut tables = serde_json::Map::new();
+        for (n, t) in &self.tables {
+            tables.insert(n.clone(), t.save_json());
+        }
+        let mut root = serde_json::Map::new();
+        root.insert("tables".into(), Json::Object(tables));
+        root.insert("files".into(), self.files.save_json());
+        root.insert("globals".into(), self.globals.save_json());
+        serde_json::to_vec(&Json::Object(root)).expect("replica set is serializable")
+    }
+
+    /// Restore a replica set from [`CrdtSet::save`] bytes, owned by
+    /// `actor`. The restored set reads the same state and serves the same
+    /// retained tail as the original.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`edgstr_crdt::CrdtError`] when the payload does not decode.
+    pub fn load(
+        actor: ActorId,
+        bindings: &CrdtBindings,
+        bytes: &[u8],
+    ) -> Result<CrdtSet, edgstr_crdt::CrdtError> {
+        use edgstr_crdt::CrdtError;
+        let corrupt = |m: &str| CrdtError::CorruptChange(m.to_string());
+        let value: Json =
+            serde_json::from_slice(bytes).map_err(|e| CrdtError::CorruptChange(e.to_string()))?;
+        let obj = value
+            .as_object()
+            .ok_or_else(|| corrupt("replica set: expected object"))?;
+        let mut tables = BTreeMap::new();
+        for (n, t) in obj
+            .get("tables")
+            .and_then(Json::as_object)
+            .ok_or_else(|| corrupt("replica set: missing tables"))?
+        {
+            tables.insert(n.clone(), CrdtTable::load_json(actor, n.clone(), t)?);
+        }
+        let files = CrdtFiles::load_json(
+            actor,
+            obj.get("files")
+                .ok_or_else(|| corrupt("replica set: missing files"))?,
+        )?;
+        let globals = Doc::load_json(
+            actor,
+            obj.get("globals")
+                .ok_or_else(|| corrupt("replica set: missing globals"))?,
+        )?;
+        Ok(CrdtSet {
+            bindings: bindings.clone(),
+            tables,
+            files,
+            globals,
+        })
     }
 }
 
@@ -353,12 +488,23 @@ impl SyncEndpoint {
         server: &mut ServerProcess,
         msg: &SetSyncMessage,
     ) -> usize {
+        self.receive_owned(set, server, msg.clone())
+    }
+
+    /// Consuming variant of [`SyncEndpoint::receive`]: the sync daemon
+    /// hands the message over so its delta is applied without cloning.
+    pub fn receive_owned(
+        &mut self,
+        set: &mut CrdtSet,
+        server: &mut ServerProcess,
+        msg: SetSyncMessage,
+    ) -> usize {
         self.bytes_received += msg.wire_size();
         if !msg.changes.is_empty() {
             self.messages += 1;
         }
         self.peer_clock.merge(&msg.ack);
-        set.apply_remote(&msg.changes, server)
+        set.apply_remote_owned(msg.changes, server)
     }
 }
 
@@ -561,6 +707,121 @@ mod tests {
         let delta = edge_set.get_changes(&SetClock::default());
         // only the globals doc produced changes beyond genesis
         assert!(delta.tables.is_empty());
+    }
+
+    /// The sync daemon's compaction loop: after a full bidirectional
+    /// exchange the meet of the ack clocks covers everything, compaction
+    /// empties the resident log, and replication keeps working.
+    #[test]
+    fn meet_frontier_compaction_bounds_history_and_keeps_syncing() {
+        let init = init_state();
+        let (mut cloud, mut cloud_set) = make_node(1, &init);
+        let (mut edge, mut edge_set) = make_node(2, &init);
+        let mut c2e = SyncEndpoint::new();
+        let mut e2c = SyncEndpoint::new();
+
+        for i in 0..10 {
+            let out = edge
+                .handle(&HttpRequest::post(
+                    "/put",
+                    json!({"k": format!("k{i}"), "v": i}),
+                    vec![],
+                ))
+                .unwrap();
+            edge_set.absorb_outcome(&out, &edge);
+        }
+        // two full rounds so both sides' acks cover everything
+        for _ in 0..2 {
+            let up = e2c.generate(&edge_set);
+            c2e.receive_owned(&mut cloud_set, &mut cloud, up);
+            let down = c2e.generate(&cloud_set);
+            e2c.receive_owned(&mut edge_set, &mut edge, down);
+        }
+        assert!(cloud_set.history_len() > 0);
+        // the cloud's only peer is the edge: frontier = own clock ⊓ peer ack
+        let frontier = cloud_set.clock().meet(&c2e.peer_clock);
+        let dropped = cloud_set.compact(&frontier);
+        assert!(dropped > 0);
+        assert_eq!(cloud_set.history_len(), 0, "fully acked log must empty");
+        // replication continues across the compacted master
+        let out = cloud
+            .handle(&HttpRequest::post(
+                "/put",
+                json!({"k": "post-compaction", "v": 99}),
+                vec![],
+            ))
+            .unwrap();
+        cloud_set.absorb_outcome(&out, &cloud);
+        let down = c2e.generate(&cloud_set);
+        e2c.receive_owned(&mut edge_set, &mut edge, down);
+        assert_eq!(
+            cloud_set.tables["kv"].to_json(),
+            edge_set.tables["kv"].to_json()
+        );
+    }
+
+    /// A compacted master's save payload provisions a replica that reads
+    /// the same state and keeps exchanging deltas.
+    #[test]
+    fn set_save_load_provisions_equivalent_replica() {
+        let init = init_state();
+        let (mut cloud, mut cloud_set) = make_node(1, &init);
+        for i in 0..5 {
+            let out = cloud
+                .handle(&HttpRequest::post(
+                    "/put",
+                    json!({"k": format!("k{i}"), "v": i}),
+                    vec![],
+                ))
+                .unwrap();
+            cloud_set.absorb_outcome(&out, &cloud);
+        }
+        // compact everything: provisioning must not depend on the log
+        let frontier = cloud_set.clock();
+        cloud_set.compact(&frontier);
+        let bytes = cloud_set.save();
+
+        let mut fresh = ServerProcess::from_source(APP).unwrap();
+        fresh.init().unwrap();
+        init.restore(&mut fresh);
+        let restored = CrdtSet::load(ActorId(9), &bindings(), &bytes).unwrap();
+        restored.materialize_all(&mut fresh);
+        assert_eq!(
+            restored.tables["kv"].to_json(),
+            cloud_set.tables["kv"].to_json()
+        );
+        assert_eq!(fresh.fs.peek("/latest.txt"), Some(&b"k4"[..]));
+        // the restored replica answers queries from its materialized DB
+        let got = fresh
+            .handle(&HttpRequest::get("/get", json!({"k": "k3"})))
+            .unwrap();
+        assert_eq!(got.response.body[0]["v"], json!(3));
+
+        // and continues to sync: a new write at the restored edge reaches
+        // the cloud even though the cloud's log was compacted
+        let mut restored = restored;
+        let mut r2c = SyncEndpoint::new();
+        let mut c2r = SyncEndpoint::new();
+        // the restored replica starts from the cloud's clock, so neither
+        // side resends history
+        r2c.peer_clock = cloud_set.clock();
+        c2r.peer_clock = restored.clock();
+        let out = fresh
+            .handle(&HttpRequest::post(
+                "/put",
+                json!({"k": "from-restored", "v": 7}),
+                vec![],
+            ))
+            .unwrap();
+        restored.absorb_outcome(&out, &fresh);
+        let up = r2c.generate(&restored);
+        // one table row + one file write + one global update — no history
+        assert_eq!(up.changes.len(), 3, "only the new delta travels");
+        c2r.receive_owned(&mut cloud_set, &mut cloud, up);
+        assert_eq!(
+            cloud_set.tables["kv"].to_json(),
+            restored.tables["kv"].to_json()
+        );
     }
 }
 

@@ -329,6 +329,10 @@ pub struct ThreeTierOptions {
     /// dropped deltas; `Optimistic` is the pre-fix ablation that assumes
     /// delivery and diverges under loss.
     pub sync_advance: AdvanceMode,
+    /// Fold fully-acknowledged history into snapshots after every sync
+    /// round (default on), keeping resident change logs bounded under
+    /// steady-state sync. Disable for the unbounded-history ablation.
+    pub compaction: bool,
 }
 
 impl Default for ThreeTierOptions {
@@ -343,6 +347,7 @@ impl Default for ThreeTierOptions {
             faults: None,
             policy: FaultPolicy::default(),
             sync_advance: AdvanceMode::OnAck,
+            compaction: true,
         }
     }
 }
@@ -459,6 +464,8 @@ impl ThreeTierSystem {
     /// (dropped messages still consume bandwidth). When a fault plan is
     /// configured, each direction of each exchange may be dropped; under
     /// the ack protocol the lost delta is simply regenerated next round.
+    /// After the exchanges, fully-acknowledged history is folded into the
+    /// snapshots (unless [`ThreeTierOptions::compaction`] is off).
     pub fn sync_round(&mut self, at: SimTime) -> usize {
         let mut bytes = 0;
         for (i, edge) in self.edges.iter_mut().enumerate() {
@@ -477,7 +484,7 @@ impl ThreeTierSystem {
                 .as_mut()
                 .is_some_and(|p| p.should_drop(&edge_name, "cloud", at));
             if !dropped {
-                self.cloud_endpoints[i].receive(&mut self.cloud_crdts, &mut self.cloud, &msg);
+                self.cloud_endpoints[i].receive_owned(&mut self.cloud_crdts, &mut self.cloud, msg);
             }
             // cloud -> edge (cloud_state message)
             let msg = self.cloud_endpoints[i].generate(&self.cloud_crdts);
@@ -491,10 +498,42 @@ impl ThreeTierSystem {
                 .is_some_and(|p| p.should_drop("cloud", &edge_name, at));
             if !dropped {
                 edge.to_cloud
-                    .receive(&mut edge.crdts, &mut edge.server, &msg);
+                    .receive_owned(&mut edge.crdts, &mut edge.server, msg);
             }
         }
+        if self.options.compaction {
+            self.compact_acked();
+        }
         bytes
+    }
+
+    /// Fold fully-acknowledged history into snapshots on every live node;
+    /// returns the number of changes dropped cluster-wide.
+    ///
+    /// The cloud's safe frontier is the pointwise minimum
+    /// ([`crate::crdtset::SetClock::meet`]) of every live edge's ack clock:
+    /// a change is folded only once *all* live peers have acknowledged it.
+    /// Crashed edges are excluded from the meet — a restarted replica
+    /// re-provisions from the cloud's compacted save
+    /// ([`ThreeTierSystem::restart_edge`]) instead of replaying history, so
+    /// nothing it missed is ever needed again. Each edge's only sync peer
+    /// is the cloud, so its frontier is the cloud's ack clock directly.
+    pub fn compact_acked(&mut self) -> usize {
+        let mut dropped = 0;
+        let mut live = self
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !e.crashed)
+            .map(|(i, _)| &self.cloud_endpoints[i].peer_clock);
+        if let Some(first) = live.next() {
+            let frontier = live.fold(first.clone(), |acc, clock| acc.meet(clock));
+            dropped += self.cloud_crdts.compact(&frontier);
+        }
+        for edge in self.edges.iter_mut().filter(|e| !e.crashed) {
+            dropped += edge.crdts.compact(&edge.to_cloud.peer_clock);
+        }
+        dropped
     }
 
     /// Whether every live replica has observed exactly what the cloud
@@ -539,12 +578,15 @@ impl ThreeTierSystem {
         e.inflight.clear();
     }
 
-    /// Restart a crashed edge: a fresh server and CRDT set are built from
-    /// the deployment snapshot under a brand-new actor id, both sync
-    /// endpoints reset, and the next sync rounds re-initialize the replica
-    /// from the cloud master's full state. The crashed incarnation's actor
-    /// id is retired (reusing it would collide with already-synced
-    /// sequence numbers).
+    /// Restart a crashed edge: a fresh server is provisioned from the cloud
+    /// master's current save image (snapshot + retained tail) under a
+    /// brand-new actor id, so the replica rejoins without the cloud
+    /// replaying its full change history — compaction may long since have
+    /// folded the prefix the crashed incarnation was missing. Both sync
+    /// endpoints start acknowledged up to the provisioning clock; only
+    /// changes after the image travel on subsequent rounds. The crashed
+    /// incarnation's actor id is retired (reusing it would collide with
+    /// already-synced sequence numbers).
     ///
     /// # Errors
     ///
@@ -555,20 +597,27 @@ impl ThreeTierSystem {
         self.replica_init.restore(&mut server);
         let actor = ActorId(self.next_actor);
         self.next_actor += 1;
-        let crdts = CrdtSet::initialize(actor, &self.replica_bindings, &self.replica_init);
+        let image = self.cloud_crdts.save();
+        let crdts = CrdtSet::load(actor, &self.replica_bindings, &image)
+            .expect("cloud save image must round-trip");
+        crdts.materialize_all(&mut server);
+        let provisioned = crdts.clock();
         let e = &mut self.edges[i];
         e.server = server;
         e.crdts = crdts;
         e.to_cloud = SyncEndpoint {
             mode: self.options.sync_advance,
+            peer_clock: provisioned.clone(),
             ..SyncEndpoint::new()
         };
         e.inflight.clear();
         e.crashed = false;
         e.active = true;
-        // the cloud must re-send everything since the snapshot
+        // the cloud resumes from the image's clock: nothing below it is
+        // ever re-sent
         self.cloud_endpoints[i] = SyncEndpoint {
             mode: self.options.sync_advance,
+            peer_clock: provisioned,
             ..SyncEndpoint::new()
         };
         Ok(())
@@ -1219,6 +1268,50 @@ mod tests {
             sys.cloud_crdts.tables["notes"].to_json()
         );
         assert!(sys.edges[0].crdts.tables["notes"].len() >= 30);
+    }
+
+    /// Steady-state compaction: under continuous writes with periodic
+    /// sync, the resident change history on the cloud master stays bounded
+    /// by the sync/ack lag instead of growing with the write count, while
+    /// the cluster still converges to the full table.
+    #[test]
+    fn steady_state_sync_keeps_resident_history_bounded() {
+        let peak_history = |compaction: bool| {
+            let report = transformed();
+            let mut sys = ThreeTierSystem::deploy(
+                APP,
+                &report,
+                &[DeviceSpec::rpi4(), DeviceSpec::rpi3()],
+                ThreeTierOptions {
+                    compaction,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let mut peak = 0usize;
+            let mut t = SimTime::ZERO;
+            for batch in 0..20usize {
+                let reqs: Vec<HttpRequest> =
+                    (batch * 10..batch * 10 + 10).map(unique_note).collect();
+                let stats = sys.run(&Workload::constant_rate(&reqs, 20.0, 10).shifted(t));
+                t = stats.makespan;
+                peak = peak.max(sys.cloud_crdts.history_len());
+            }
+            sys.sync_until_converged(t, 10)
+                .expect("steady-state cluster must converge");
+            assert!(sys.cloud_crdts.tables["notes"].len() >= 200);
+            peak
+        };
+        let bounded = peak_history(true);
+        let unbounded = peak_history(false);
+        assert!(
+            unbounded >= 200,
+            "without compaction history grows with the write count: {unbounded}"
+        );
+        assert!(
+            bounded * 4 < unbounded,
+            "compaction must bound resident history: peak {bounded} vs {unbounded}"
+        );
     }
 
     #[test]
