@@ -27,7 +27,7 @@ pub mod trace;
 pub use facts::{AnalysisFacts, EntryExit};
 pub use fuzz::{fuzz_params, FuzzDictionary};
 pub use profile::{profile_service, ServiceProfile};
-pub use server::{HandleOutcome, Route, ServerError, ServerProcess};
+pub use server::{ExecMode, HandleOutcome, Route, ServerError, ServerProcess};
 pub use slice::{extract_function, slice_statements, ExtractedService};
 pub use state::{InitState, StateUnit};
 pub use trace::ExecutionTrace;

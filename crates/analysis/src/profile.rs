@@ -42,6 +42,36 @@ pub struct ServiceProfile {
     pub executed_stmts: usize,
 }
 
+/// Reset the server between profiling executions. Globals roll back
+/// through the armed copy-on-write checkpoint journal; the database and
+/// file system are deep-restored only when the run demonstrably wrote to
+/// them — or failed, leaving unknown partial state.
+fn roll_back_run(
+    server: &mut ServerProcess,
+    init: &InitState,
+    run: Option<(&crate::server::HandleOutcome, &Tracer)>,
+) {
+    server.rollback_checkpoint();
+    let (db_dirty, fs_dirty) = match run {
+        Some((out, tracer)) => (
+            !out.row_effects.is_empty()
+                || tracer
+                    .trace
+                    .sql_stmts
+                    .iter()
+                    .any(|(_, sql)| crate::facts::is_sql_write(sql)),
+            !out.file_writes.is_empty(),
+        ),
+        None => (true, true),
+    };
+    if db_dirty {
+        server.db.restore(&init.db);
+    }
+    if fs_dirty {
+        server.fs.restore(&init.fs);
+    }
+}
+
 /// Profile one service of `server` with `fuzz_iters` fuzzed re-executions.
 /// The server is restored to `init` before every execution and once more
 /// before returning.
@@ -60,17 +90,31 @@ pub fn profile_service(
     // variant of the request as the base — the same exploration the paper's
     // fuzzer performs
     init.restore(server);
+    // Arm the journaled checkpoint: instead of deep-restoring all globals
+    // before every execution, each run is rolled back copy-on-write, and
+    // db/fs are restored only when the run actually touched them.
+    server.begin_checkpoint();
     let mut tracer = Tracer::new();
     let (base_request, outcome) = match server.handle_traced(request, &mut tracer) {
-        Ok(out) => (request.clone(), out),
+        Ok(out) => {
+            roll_back_run(server, init, Some((&out, &tracer)));
+            (request.clone(), out)
+        }
         Err(first_err) => {
-            init.restore(server);
+            roll_back_run(server, init, None);
             let mut dict = FuzzDictionary::default();
             let alt = fuzz_request(request, 997, &mut dict);
             tracer = Tracer::new();
             match server.handle_traced(&alt, &mut tracer) {
-                Ok(out) => (alt, out),
-                Err(_) => return Err(first_err),
+                Ok(out) => {
+                    roll_back_run(server, init, Some((&out, &tracer)));
+                    (alt, out)
+                }
+                Err(_) => {
+                    server.end_checkpoint();
+                    init.restore(server);
+                    return Err(first_err);
+                }
             }
         }
     };
@@ -87,12 +131,12 @@ pub fn profile_service(
     // rejected by the service; those runs simply do not contribute facts)
     let mut fuzz_runs = Vec::new();
     for i in 1..=fuzz_iters {
-        init.restore(server);
         let mut dict = FuzzDictionary::default();
         let fz_req = fuzz_request(request, i, &mut dict);
         let mut tracer = Tracer::new();
         match server.handle_traced(&fz_req, &mut tracer) {
             Ok(out) => {
+                roll_back_run(server, init, Some((&out, &tracer)));
                 cycles_total += out.cycles;
                 runs += 1;
                 fuzz_runs.push(TraceRun {
@@ -101,9 +145,13 @@ pub fn profile_service(
                     response_atoms: response_atoms(&out.response.body),
                 });
             }
-            Err(_) => continue,
+            Err(_) => {
+                roll_back_run(server, init, None);
+                continue;
+            }
         }
     }
+    server.end_checkpoint();
     init.restore(server);
 
     let program = server.program.clone();

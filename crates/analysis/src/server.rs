@@ -7,14 +7,34 @@
 //! the live cloud server and edge replicas.
 
 use edgstr_lang::{
-    parse, Host, HostOutcome, Instrument, Interpreter, NoopInstrument, Program, RuntimeError, Value,
+    compile, parse, Host, HostOutcome, Instrument, Interpreter, NoopInstrument, Program,
+    RuntimeError, Value, Vm,
 };
 use edgstr_net::{HttpRequest, HttpResponse, Verb};
-use edgstr_sql::{RowEffect, SqlDb};
+use edgstr_sql::{RowEffect, SqlDb, SqlResult, SqlValue};
 use edgstr_vfs::VirtualFs;
 use serde_json::Value as Json;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::rc::Rc;
+
+/// How a [`ServerProcess`] executes NodeScript.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Slot-resolved bytecode on the register-free VM (the default): the
+    /// program is compiled once at deploy time and globals live in a
+    /// persistent indexed store.
+    #[default]
+    Compiled,
+    /// The original tree-walking interpreter, kept as the reference
+    /// implementation for differential testing and `--reference` benches.
+    TreeWalking,
+}
+
+/// The native objects every server program can touch.
+const NATIVE_NAMES: [&str; 9] = [
+    "app", "db", "fs", "res", "tensor", "JSON", "Math", "util", "console",
+];
 
 /// A registered HTTP route.
 #[derive(Debug, Clone)]
@@ -143,9 +163,7 @@ impl Host for ServerHost<'_> {
                     .exec_with_effects(sql)
                     .map_err(|e| format!("SQL error: {e}"))?;
                 self.row_effects.extend(effects);
-                let rows = result.rows_json();
-                let scanned = rows.len() as u64;
-                let value = Value::from_json(&Json::Array(rows));
+                let (value, scanned) = rows_value(&result);
                 Ok(HostOutcome::with_cycles(
                     value,
                     cost::SQL_BASE + cost::SQL_PER_ROW * scanned.max(1),
@@ -204,16 +222,17 @@ impl Host for ServerHost<'_> {
                 // content hash of the input. Exercises the same code path as
                 // the paper's TensorFlow object-detection service while
                 // remaining reproducible.
-                let model = args
-                    .first()
-                    .and_then(|v| v.as_str().map(str::to_string))
-                    .unwrap_or_else(|| "default".to_string());
-                let input = match args.get(1) {
-                    Some(Value::Bytes(b)) => b.to_vec(),
-                    Some(other) => other.to_string().into_bytes(),
-                    None => Vec::new(),
+                let model = args.first().and_then(|v| v.as_str()).unwrap_or("default");
+                // hash the payload in place — no copy of the (potentially
+                // multi-megabyte) input tensor
+                let (h, input_len) = match args.get(1) {
+                    Some(Value::Bytes(b)) => (edgstr_lang::fnv1a(b), b.len()),
+                    Some(other) => {
+                        let bytes = other.to_string().into_bytes();
+                        (edgstr_lang::fnv1a(&bytes), bytes.len())
+                    }
+                    None => (edgstr_lang::fnv1a(&[]), 0),
                 };
-                let h = edgstr_lang::fnv1a(&input);
                 let n = (h % 4 + 1) as usize;
                 let labels = ["person", "car", "dog", "bicycle", "chair", "bottle"];
                 let detections: Vec<Json> = (0..n)
@@ -230,7 +249,7 @@ impl Host for ServerHost<'_> {
                     })
                     .collect();
                 let result = serde_json::json!({ "model": model, "detections": detections });
-                let cycles = cost::INFER_BASE + cost::INFER_PER_BYTE * input.len() as u64;
+                let cycles = cost::INFER_BASE + cost::INFER_PER_BYTE * input_len as u64;
                 Ok(HostOutcome::with_cycles(Value::from_json(&result), cycles))
             }
             "JSON.stringify" => {
@@ -329,12 +348,7 @@ impl Host for ServerHost<'_> {
     }
 
     fn native_names(&self) -> Vec<String> {
-        [
-            "app", "db", "fs", "res", "tensor", "JSON", "Math", "util", "console",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect()
+        NATIVE_NAMES.iter().map(|s| s.to_string()).collect()
     }
 }
 
@@ -344,7 +358,15 @@ pub struct ServerProcess {
     pub program: Program,
     pub db: SqlDb,
     pub fs: VirtualFs,
+    mode: ExecMode,
+    /// The compiled execution engine (`Some` iff `mode == Compiled`). The
+    /// program is lowered exactly once, at construction; globals live in
+    /// the VM's indexed store.
+    vm: Option<Vm>,
+    /// Globals for tree-walking mode (unused in compiled mode).
     globals: BTreeMap<String, Value>,
+    /// Deep snapshot backing the checkpoint API in tree-walking mode.
+    tree_checkpoint: Option<BTreeMap<String, Value>>,
     routes: Vec<Route>,
     logs: Vec<String>,
     tick: u64,
@@ -359,23 +381,57 @@ impl ServerProcess {
     ///
     /// Returns [`ServerError::Parse`] on invalid NodeScript.
     pub fn from_source(source: &str) -> Result<ServerProcess, ServerError> {
+        ServerProcess::from_source_with_mode(source, ExecMode::default())
+    }
+
+    /// [`ServerProcess::from_source`] with an explicit execution mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Parse`] on invalid NodeScript.
+    pub fn from_source_with_mode(
+        source: &str,
+        mode: ExecMode,
+    ) -> Result<ServerProcess, ServerError> {
         let program = parse(source).map_err(|e| ServerError::Parse(e.to_string()))?;
-        Ok(ServerProcess::from_program(program))
+        Ok(ServerProcess::from_program_with_mode(program, mode))
     }
 
     /// Build from an already-parsed (possibly transformed) program.
     pub fn from_program(program: Program) -> ServerProcess {
+        ServerProcess::from_program_with_mode(program, ExecMode::default())
+    }
+
+    /// [`ServerProcess::from_program`] with an explicit execution mode. In
+    /// compiled mode, lowering happens here — once per deploy, not per
+    /// request.
+    pub fn from_program_with_mode(program: Program, mode: ExecMode) -> ServerProcess {
+        let vm = match mode {
+            ExecMode::Compiled => {
+                let natives: Vec<String> = NATIVE_NAMES.iter().map(|s| s.to_string()).collect();
+                Some(Vm::new(Rc::new(compile(&program)), &natives))
+            }
+            ExecMode::TreeWalking => None,
+        };
         ServerProcess {
             program,
             db: SqlDb::new(),
             fs: VirtualFs::new(),
+            mode,
+            vm,
             globals: BTreeMap::new(),
+            tree_checkpoint: None,
             routes: Vec::new(),
             logs: Vec::new(),
             tick: 0,
             fail_calls: Vec::new(),
             init_cycles: 0,
         }
+    }
+
+    /// The execution mode this process was built with.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
     }
 
     /// Run the program's top-level statements (the server `init` phase,
@@ -394,7 +450,6 @@ impl ServerProcess {
     ///
     /// Propagates runtime failures.
     pub fn init_traced(&mut self, tracer: &mut dyn Instrument) -> Result<(), ServerError> {
-        let program = self.program.clone();
         let mut response = None;
         let mut status = 200u16;
         let mut row_effects = Vec::new();
@@ -411,11 +466,15 @@ impl ServerProcess {
             tick: &mut self.tick,
             fail_calls: &[],
         };
-        let mut interp = Interpreter::new(&mut host);
-        interp.set_globals(self.globals.clone());
-        interp.run_program(&program, tracer)?;
-        self.init_cycles = interp.cycles();
-        self.globals = interp.globals().clone();
+        if let Some(vm) = &mut self.vm {
+            self.init_cycles = vm.run_top(&mut host, tracer)?;
+        } else {
+            let mut interp = Interpreter::new(&mut host);
+            interp.set_globals(self.globals.clone());
+            interp.run_program(&self.program, tracer)?;
+            self.init_cycles = interp.cycles();
+            self.globals = interp.globals().clone();
+        }
         Ok(())
     }
 
@@ -454,7 +513,6 @@ impl ServerProcess {
         let mut row_effects = Vec::new();
         let mut file_writes = Vec::new();
         let fail_calls = self.fail_calls.clone();
-        let globals_before: Vec<String> = self.globals.keys().cloned().collect();
         let mut host = ServerHost {
             db: &mut self.db,
             fs: &mut self.fs,
@@ -467,22 +525,34 @@ impl ServerProcess {
             tick: &mut self.tick,
             fail_calls: &fail_calls,
         };
-        let mut interp = Interpreter::new(&mut host);
-        interp.set_globals(self.globals.clone());
-        let result = interp.call_closure(
-            &route.handler,
-            vec![req_value, Value::Native("res".into())],
-            tracer,
-        );
-        let cycles = interp.cycles();
-        let new_globals = interp.globals().clone();
-        // globals created during the request persist (JS semantics)
-        let global_writes: Vec<String> = new_globals
-            .keys()
-            .filter(|k| !globals_before.contains(k))
-            .cloned()
-            .collect();
-        self.globals = new_globals;
+        let handler_args = vec![req_value, Value::Native("res".into())];
+        let (result, cycles, global_writes) = if let Some(vm) = &mut self.vm {
+            // compiled path: no per-request interpreter setup or globals
+            // copy — the handler runs directly against the persistent store
+            vm.clear_bind_log();
+            let result = vm.call_value(&route.handler, handler_args, &mut host, tracer);
+            // globals created during the request persist (JS semantics)
+            let global_writes = vm.logged_newly_bound();
+            match result {
+                Ok((_, cycles)) => (Ok(()), cycles, global_writes),
+                Err(e) => (Err(e), 0, global_writes),
+            }
+        } else {
+            let globals_before: Vec<String> = self.globals.keys().cloned().collect();
+            let mut interp = Interpreter::new(&mut host);
+            interp.set_globals(self.globals.clone());
+            let result = interp.call_closure(&route.handler, handler_args, tracer);
+            let cycles = interp.cycles();
+            let new_globals = interp.globals().clone();
+            // globals created during the request persist (JS semantics)
+            let global_writes: Vec<String> = new_globals
+                .keys()
+                .filter(|k| !globals_before.contains(k))
+                .cloned()
+                .collect();
+            self.globals = new_globals;
+            (result.map(|_| ()), cycles, global_writes)
+        };
         result?;
         let response = response.ok_or(ServerError::NoResponse)?;
         Ok(HandleOutcome {
@@ -509,6 +579,9 @@ impl ServerProcess {
     /// Deep-copied snapshot of mutable global state (functions and natives
     /// excluded).
     pub fn snapshot_globals(&self) -> BTreeMap<String, Value> {
+        if let Some(vm) = &self.vm {
+            return vm.snapshot_globals();
+        }
         self.globals
             .iter()
             .filter(|(_, v)| !matches!(v, Value::Function(_) | Value::Native(_)))
@@ -519,26 +592,75 @@ impl ServerProcess {
     /// Restore globals previously captured by
     /// [`ServerProcess::snapshot_globals`].
     pub fn restore_globals(&mut self, saved: &BTreeMap<String, Value>) {
+        if let Some(vm) = &mut self.vm {
+            vm.restore_globals(saved);
+            return;
+        }
         for (k, v) in saved {
             self.globals.insert(k.clone(), v.deep_clone());
         }
     }
 
+    /// Mark the current globals as a rollback point for the journaled
+    /// checkpoint API. While armed, the compiled engine records copy-on-
+    /// write undo entries for captured state instead of requiring callers
+    /// to take deep snapshots up front.
+    pub fn begin_checkpoint(&mut self) {
+        if let Some(vm) = &mut self.vm {
+            vm.begin_checkpoint();
+        } else {
+            self.tree_checkpoint = Some(self.snapshot_globals());
+        }
+    }
+
+    /// Roll mutable globals back to the [`ServerProcess::begin_checkpoint`]
+    /// point. The checkpoint stays armed, so a sequence of executions can
+    /// each be rolled back in turn. No-op when no checkpoint is armed.
+    pub fn rollback_checkpoint(&mut self) {
+        if let Some(vm) = &mut self.vm {
+            vm.rollback_checkpoint();
+        } else if let Some(saved) = self.tree_checkpoint.take() {
+            self.restore_globals(&saved);
+            self.tree_checkpoint = Some(saved);
+        }
+    }
+
+    /// Disarm the checkpoint, keeping the current state.
+    pub fn end_checkpoint(&mut self) {
+        if let Some(vm) = &mut self.vm {
+            vm.end_checkpoint();
+        }
+        self.tree_checkpoint = None;
+    }
+
     /// Read one global as JSON (for assertions and CRDT mirroring).
     pub fn global_json(&self, name: &str) -> Option<Json> {
+        if let Some(vm) = &self.vm {
+            return vm.get_global(name).map(|v| v.to_json());
+        }
         self.globals.get(name).map(Value::to_json)
     }
 
     /// Set a global from JSON (CRDT inbound application).
     pub fn set_global_json(&mut self, name: &str, value: &Json) {
+        if let Some(vm) = &mut self.vm {
+            vm.set_global(name, Value::from_json(value));
+            return;
+        }
         self.globals
             .insert(name.to_string(), Value::from_json(value));
     }
 
     /// Names of mutable (non-function) globals.
     pub fn mutable_global_names(&self) -> Vec<String> {
-        self.globals
-            .iter()
+        let globals;
+        let map = if let Some(vm) = &self.vm {
+            globals = vm.globals_map();
+            &globals
+        } else {
+            &self.globals
+        };
+        map.iter()
             .filter(|(_, v)| !matches!(v, Value::Function(_) | Value::Native(_)))
             .map(|(k, _)| k.clone())
             .collect()
@@ -576,8 +698,10 @@ pub fn request_value(req: &HttpRequest) -> Value {
     ];
     let mut body_fields: Vec<(String, Value)> = Vec::new();
     if !req.body.is_empty() {
-        body_fields.push(("img".to_string(), Value::bytes(req.body.clone())));
-        body_fields.push(("data".to_string(), Value::bytes(req.body.clone())));
+        // one copy of the payload, shared by both aliases
+        let bytes: std::rc::Rc<[u8]> = std::rc::Rc::from(req.body.as_slice());
+        body_fields.push(("img".to_string(), Value::Bytes(std::rc::Rc::clone(&bytes))));
+        body_fields.push(("data".to_string(), Value::Bytes(bytes)));
     }
     if let Json::Object(m) = &req.params {
         for (k, v) in m {
@@ -586,6 +710,44 @@ pub fn request_value(req: &HttpRequest) -> Value {
     }
     fields.push(("body".to_string(), Value::object(body_fields)));
     Value::object(fields)
+}
+
+/// One SQL cell as a script value — the direct equivalent of
+/// `Value::from_json(&SqlValue::to_json(..))` without the intermediate
+/// JSON allocation.
+fn sql_cell_value(v: &SqlValue) -> Value {
+    match v {
+        SqlValue::Null => Value::Null,
+        SqlValue::Int(i) => Value::Num(*i as f64),
+        // non-finite reals have no JSON representation and surface as null
+        SqlValue::Real(r) if r.is_finite() => Value::Num(*r),
+        SqlValue::Real(_) => Value::Null,
+        SqlValue::Text(s) => Value::str(s.clone()),
+        SqlValue::Blob(_) => Value::from_json(&v.to_json()),
+    }
+}
+
+/// `SELECT` output as the array-of-row-objects value `db.query` returns,
+/// plus the scanned-row count for cycle accounting.
+fn rows_value(result: &SqlResult) -> (Value, u64) {
+    match result {
+        SqlResult::Rows { columns, rows } => {
+            let vals: Vec<Value> = rows
+                .iter()
+                .map(|r| {
+                    Value::object(
+                        columns
+                            .iter()
+                            .zip(r.iter())
+                            .map(|(c, v)| (c.clone(), sql_cell_value(v))),
+                    )
+                })
+                .collect();
+            let scanned = vals.len() as u64;
+            (Value::array(vals), scanned)
+        }
+        _ => (Value::array(Vec::new()), 0),
+    }
 }
 
 #[cfg(test)]
@@ -744,6 +906,62 @@ mod tests {
             s.handle(&HttpRequest::get("/mute", json!({}))).unwrap_err(),
             ServerError::NoResponse
         );
+    }
+
+    #[test]
+    fn compiled_and_tree_modes_agree() {
+        let src = r#"
+            db.query("CREATE TABLE kv (k TEXT PRIMARY KEY, v TEXT)");
+            var hits = 0;
+            app.post("/put", function (req, res) {
+                hits = hits + 1;
+                db.query("INSERT INTO kv VALUES ('" + req.body.k + "', '" + req.body.v + "')");
+                var rows = db.query("SELECT * FROM kv");
+                res.send({ rows: rows, hits: hits });
+            });
+        "#;
+        let mut compiled = ServerProcess::from_source(src).unwrap();
+        let mut tree = ServerProcess::from_source_with_mode(src, ExecMode::TreeWalking).unwrap();
+        assert_eq!(compiled.mode(), ExecMode::Compiled);
+        assert_eq!(tree.mode(), ExecMode::TreeWalking);
+        compiled.init().unwrap();
+        tree.init().unwrap();
+        assert_eq!(compiled.init_cycles(), tree.init_cycles());
+        for i in 0..3 {
+            let req = HttpRequest::post(
+                "/put",
+                json!({"k": format!("k{i}"), "v": format!("v{i}")}),
+                vec![],
+            );
+            let a = compiled.handle(&req).unwrap();
+            let b = tree.handle(&req).unwrap();
+            assert_eq!(a.response, b.response);
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.global_writes, b.global_writes);
+            assert_eq!(a.row_effects, b.row_effects);
+        }
+        assert_eq!(compiled.global_json("hits"), tree.global_json("hits"));
+        assert_eq!(compiled.mutable_global_names(), tree.mutable_global_names());
+    }
+
+    #[test]
+    fn checkpoint_rollback_isolates_requests() {
+        let mut s = ServerProcess::from_source(ECHO_APP).unwrap();
+        s.init().unwrap();
+        s.begin_checkpoint();
+        let req = HttpRequest::get("/echo", json!({"msg": "x"}));
+        let r1 = s.handle(&req).unwrap().response.body;
+        assert_eq!(s.global_json("hits"), Some(json!(1)));
+        s.rollback_checkpoint();
+        assert_eq!(s.global_json("hits"), Some(json!(0)));
+        // checkpoint stays armed: a second execution rolls back too
+        let r2 = s.handle(&req).unwrap().response.body;
+        assert_eq!(r1, r2);
+        s.rollback_checkpoint();
+        assert_eq!(s.global_json("hits"), Some(json!(0)));
+        s.end_checkpoint();
+        s.handle(&req).unwrap();
+        assert_eq!(s.global_json("hits"), Some(json!(1)));
     }
 
     #[test]

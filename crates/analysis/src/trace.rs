@@ -5,7 +5,7 @@ use std::collections::BTreeSet;
 
 /// A recorded service execution: the ordered event stream plus derived
 /// views the fact generator consumes.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct ExecutionTrace {
     /// Statements in dynamic execution order (with repetition).
     pub stmt_order: Vec<StmtId>,
@@ -117,6 +117,9 @@ pub struct Tracer {
     pub trace: ExecutionTrace,
     /// Stack of function declarations currently being executed.
     call_stack: Vec<StmtId>,
+    /// Scratch buffer reused across events to avoid a fresh allocation for
+    /// every read/write value decomposition.
+    scratch: Vec<Atom>,
 }
 
 impl Tracer {
@@ -129,12 +132,12 @@ impl Tracer {
     pub fn into_trace(self) -> ExecutionTrace {
         self.trace
     }
-}
 
-fn atoms_of(v: &Value) -> BTreeSet<Atom> {
-    let mut out = Vec::new();
-    v.atoms(&mut out);
-    out.into_iter().collect()
+    fn atoms_of(&mut self, v: &Value) -> BTreeSet<Atom> {
+        self.scratch.clear();
+        v.atoms(&mut self.scratch);
+        self.scratch.drain(..).collect()
+    }
 }
 
 impl Instrument for Tracer {
@@ -142,13 +145,13 @@ impl Instrument for Tracer {
         match event {
             TraceEvent::StmtEnter { stmt } => self.trace.stmt_order.push(*stmt),
             TraceEvent::Read { stmt, var, value } => {
-                self.trace.reads.push((*stmt, var.clone(), atoms_of(value)));
+                let atoms = self.atoms_of(value);
+                self.trace.reads.push((*stmt, var.clone(), atoms));
                 self.trace.rw_events.push((*stmt, var.clone(), false));
             }
             TraceEvent::Write { stmt, var, value } => {
-                self.trace
-                    .writes
-                    .push((*stmt, var.clone(), atoms_of(value)));
+                let atoms = self.atoms_of(value);
+                self.trace.writes.push((*stmt, var.clone(), atoms));
                 self.trace.rw_events.push((*stmt, var.clone(), true));
             }
             TraceEvent::Invoke {
@@ -159,7 +162,7 @@ impl Instrument for Tracer {
             } => {
                 let mut atoms = BTreeSet::new();
                 for a in args {
-                    atoms.extend(atoms_of(a));
+                    atoms.extend(self.atoms_of(a));
                 }
                 self.trace.invokes.push((*stmt, func.clone(), atoms));
                 // SQL detection: any invocation whose argument is a SQL
@@ -184,9 +187,9 @@ impl Instrument for Tracer {
                 if func == "res.send" {
                     let mut ratoms = BTreeSet::new();
                     for a in args {
-                        ratoms.extend(atoms_of(a));
+                        ratoms.extend(self.atoms_of(a));
                     }
-                    ratoms.extend(atoms_of(ret));
+                    ratoms.extend(self.atoms_of(ret));
                     self.trace
                         .writes
                         .push((*stmt, "__response".to_string(), ratoms));

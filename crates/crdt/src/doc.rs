@@ -638,11 +638,20 @@ impl Doc {
     /// their peers (see [`Doc::compact`]) or provision stragglers via
     /// [`Doc::save`]/[`Doc::load`].
     pub fn get_changes(&self, since: &VClock) -> Vec<Change> {
-        let mut out = Vec::new();
+        // size the output exactly so large deltas copy into one allocation
+        // instead of growth-doubling through extend
+        let suffix = |actor: ActorId, log: &ActorLog| {
+            let have = since.get(actor);
+            have.saturating_sub(log.base).min(log.changes.len() as u64) as usize
+        };
+        let total: usize = self
+            .history
+            .iter()
+            .map(|(actor, log)| log.changes.len() - suffix(*actor, log))
+            .sum();
+        let mut out = Vec::with_capacity(total);
         for (actor, log) in &self.history {
-            let have = since.get(*actor);
-            let skip = have.saturating_sub(log.base).min(log.changes.len() as u64) as usize;
-            out.extend_from_slice(&log.changes[skip..]);
+            out.extend_from_slice(&log.changes[suffix(*actor, log)..]);
         }
         out
     }

@@ -50,6 +50,14 @@ pub enum TraceEvent {
 pub trait Instrument {
     /// Observe one trace event.
     fn on_event(&mut self, event: &TraceEvent);
+
+    /// Whether this instrument consumes events at all. The compiled VM
+    /// skips building [`TraceEvent`] payloads (value clones, name strings)
+    /// entirely when this returns `false`; cycle/step accounting is
+    /// unaffected. Defaults to `true`.
+    fn wants_events(&self) -> bool {
+        true
+    }
 }
 
 /// An [`Instrument`] that discards all events (tracing disabled).
@@ -58,6 +66,10 @@ pub struct NoopInstrument;
 
 impl Instrument for NoopInstrument {
     fn on_event(&mut self, _event: &TraceEvent) {}
+
+    fn wants_events(&self) -> bool {
+        false
+    }
 }
 
 /// An [`Instrument`] that buffers every event, for tests and offline

@@ -7,8 +7,9 @@
 //! embedder, counts virtual CPU cycles for the performance simulation, and
 //! reports every read/write/invoke to an [`Instrument`].
 
-use crate::ast::{BinOp, Expr, LValue, Program, Stmt, StmtId, UnOp};
+use crate::ast::{BinOp, Expr, LValue, Program, Stmt, StmtId};
 use crate::instrument::{Instrument, TraceEvent};
+use crate::ops;
 use crate::value::{Closure, Value};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -160,6 +161,11 @@ impl<'h> Interpreter<'h> {
     /// Total virtual CPU cycles consumed so far.
     pub fn cycles(&self) -> u64 {
         self.cycles
+    }
+
+    /// Override the execution step budget (tests, differential harnesses).
+    pub fn set_step_limit(&mut self, limit: u64) {
+        self.step_limit = limit;
     }
 
     /// Reset the cycle counter, returning the previous total.
@@ -414,17 +420,8 @@ impl<'h> Interpreter<'h> {
                                 });
                             }
                         }
-                        match base_v {
-                            Value::Object(map) => {
-                                map.borrow_mut().insert(field.clone(), v);
-                            }
-                            other => {
-                                return Err(RuntimeError::new(
-                                    Some(*id),
-                                    format!("cannot set field '{field}' on {other}"),
-                                ))
-                            }
-                        }
+                        ops::member_set(&base_v, field, v)
+                            .map_err(|m| RuntimeError::new(Some(*id), m))?;
                     }
                     LValue::Index(base, index) => {
                         let base_v = self.eval(base, tracer)?;
@@ -531,6 +528,7 @@ impl<'h> Interpreter<'h> {
                     name: Some(name.clone()),
                     params: params.clone(),
                     body: body.clone(),
+                    compiled: None,
                 }));
                 tracer.on_event(&TraceEvent::Write {
                     stmt: *id,
@@ -564,25 +562,7 @@ impl<'h> Interpreter<'h> {
         v: Value,
         stmt: StmtId,
     ) -> Result<(), RuntimeError> {
-        match (base, idx) {
-            (Value::Array(items), Value::Num(n)) => {
-                let i = *n as usize;
-                let mut items = items.borrow_mut();
-                if i >= items.len() {
-                    items.resize(i + 1, Value::Null);
-                }
-                items[i] = v;
-                Ok(())
-            }
-            (Value::Object(map), key) => {
-                map.borrow_mut().insert(key.to_string(), v);
-                Ok(())
-            }
-            (other, _) => Err(RuntimeError::new(
-                Some(stmt),
-                format!("cannot index-assign into {other}"),
-            )),
-        }
+        ops::index_set(base, idx, v).map_err(|m| RuntimeError::new(Some(stmt), m))
     }
 
     fn eval(&mut self, expr: &Expr, tracer: &mut dyn Instrument) -> Result<Value, RuntimeError> {
@@ -640,16 +620,7 @@ impl<'h> Interpreter<'h> {
             }
             Expr::Unary(op, a) => {
                 let av = self.eval(a, tracer)?;
-                match op {
-                    UnOp::Not => Ok(Value::Bool(!av.is_truthy())),
-                    UnOp::Neg => match av {
-                        Value::Num(n) => Ok(Value::Num(-n)),
-                        other => Err(RuntimeError::new(
-                            Some(self.cur_stmt),
-                            format!("cannot negate {other}"),
-                        )),
-                    },
-                }
+                ops::unary(*op, &av).map_err(|m| RuntimeError::new(Some(self.cur_stmt), m))
             }
             Expr::Member(base, field) => {
                 let base_v = self.eval(base, tracer)?;
@@ -664,6 +635,7 @@ impl<'h> Interpreter<'h> {
                 name: None,
                 params: params.clone(),
                 body: body.clone(),
+                compiled: None,
             }))),
             Expr::New { ctor, args } => {
                 let mut argv = Vec::with_capacity(args.len());
@@ -736,25 +708,10 @@ impl<'h> Interpreter<'h> {
         args: Vec<Value>,
         tracer: &mut dyn Instrument,
     ) -> Result<Value, RuntimeError> {
-        match ctor {
-            "Uint8Array" | "Buffer" => match args.first() {
-                Some(Value::Bytes(b)) => Ok(Value::Bytes(Rc::clone(b))),
-                Some(Value::Num(n)) => Ok(Value::bytes(vec![0u8; *n as usize])),
-                Some(Value::Array(items)) => {
-                    let bytes: Vec<u8> = items
-                        .borrow()
-                        .iter()
-                        .map(|v| v.as_num().unwrap_or(0.0) as u8)
-                        .collect();
-                    Ok(Value::bytes(bytes))
-                }
-                Some(Value::Str(s)) => Ok(Value::bytes(s.as_bytes().to_vec())),
-                _ => Ok(Value::bytes(Vec::new())),
-            },
-            "Array" => Ok(Value::array(args)),
-            "Object" | "Map" => Ok(Value::object([])),
-            other => self
-                .host_call(&format!("new:{other}"), args, tracer)
+        match ops::construct_builtin(ctor, args) {
+            ops::Constructed::Done(v) => Ok(v),
+            ops::Constructed::Host(args) => self
+                .host_call(&format!("new:{ctor}"), args, tracer)
                 .map(|o| o.value),
         }
     }
@@ -791,161 +748,27 @@ impl<'h> Interpreter<'h> {
                 let full = format!("{obj}.{method}");
                 self.host_call(&full, args, tracer).map(|o| o.value)
             }
-            Value::Array(items) => match method {
-                "push" => {
-                    let mut items = items.borrow_mut();
-                    for a in args {
-                        items.push(a);
-                    }
-                    Ok(Value::Num(items.len() as f64))
-                }
-                "pop" => Ok(items.borrow_mut().pop().unwrap_or(Value::Null)),
-                "join" => {
-                    let sep = args
-                        .first()
-                        .and_then(|v| v.as_str().map(|s| s.to_string()))
-                        .unwrap_or_else(|| ",".to_string());
-                    let joined = items
-                        .borrow()
-                        .iter()
-                        .map(|v| v.to_string())
-                        .collect::<Vec<_>>()
-                        .join(&sep);
-                    Ok(Value::str(joined))
-                }
-                "slice" => {
-                    let items = items.borrow();
-                    let start = args
-                        .first()
-                        .and_then(Value::as_num)
-                        .map(|n| n as usize)
-                        .unwrap_or(0)
-                        .min(items.len());
-                    let end = args
-                        .get(1)
-                        .and_then(Value::as_num)
-                        .map(|n| n as usize)
-                        .unwrap_or(items.len())
-                        .min(items.len());
-                    Ok(Value::array(items[start..end.max(start)].to_vec()))
-                }
-                "indexOf" => {
-                    let target = args.first().cloned().unwrap_or(Value::Null);
-                    let idx = items
-                        .borrow()
-                        .iter()
-                        .position(|v| v.structural_eq(&target))
-                        .map(|i| i as f64)
-                        .unwrap_or(-1.0);
-                    Ok(Value::Num(idx))
-                }
-                "map" | "filter" | "forEach" => {
-                    let f = args.first().cloned().unwrap_or(Value::Null);
-                    let snapshot: Vec<Value> = items.borrow().clone();
-                    let mut out = Vec::new();
-                    for (i, item) in snapshot.into_iter().enumerate() {
-                        let r = self.call_closure(
-                            &f,
-                            vec![item.clone(), Value::Num(i as f64)],
-                            tracer,
-                        )?;
-                        match method {
-                            "map" => out.push(r),
-                            "filter" if r.is_truthy() => {
-                                out.push(item);
-                            }
-                            _ => {}
+            Value::Array(items) if matches!(method, "map" | "filter" | "forEach") => {
+                let f = args.first().cloned().unwrap_or(Value::Null);
+                let snapshot: Vec<Value> = items.borrow().clone();
+                let mut out = Vec::new();
+                for (i, item) in snapshot.into_iter().enumerate() {
+                    let r =
+                        self.call_closure(&f, vec![item.clone(), Value::Num(i as f64)], tracer)?;
+                    match method {
+                        "map" => out.push(r),
+                        "filter" if r.is_truthy() => {
+                            out.push(item);
                         }
-                    }
-                    if method == "forEach" {
-                        Ok(Value::Null)
-                    } else {
-                        Ok(Value::array(out))
+                        _ => {}
                     }
                 }
-                other => Err(RuntimeError::new(
-                    Some(self.cur_stmt),
-                    format!("unknown array method '{other}'"),
-                )),
-            },
-            Value::Str(s) => match method {
-                "toUpperCase" => Ok(Value::str(s.to_uppercase())),
-                "toLowerCase" => Ok(Value::str(s.to_lowercase())),
-                "indexOf" => {
-                    let needle = args.first().and_then(|v| v.as_str()).unwrap_or("");
-                    Ok(Value::Num(s.find(needle).map(|i| i as f64).unwrap_or(-1.0)))
+                if method == "forEach" {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::array(out))
                 }
-                "includes" => {
-                    let needle = args.first().and_then(|v| v.as_str()).unwrap_or("");
-                    Ok(Value::Bool(s.contains(needle)))
-                }
-                "startsWith" => {
-                    let needle = args.first().and_then(|v| v.as_str()).unwrap_or("");
-                    Ok(Value::Bool(s.starts_with(needle)))
-                }
-                "split" => {
-                    let sep = args.first().and_then(|v| v.as_str()).unwrap_or("");
-                    let parts: Vec<Value> = if sep.is_empty() {
-                        s.chars().map(|c| Value::str(c.to_string())).collect()
-                    } else {
-                        s.split(sep).map(Value::str).collect()
-                    };
-                    Ok(Value::array(parts))
-                }
-                "substring" => {
-                    let start = args
-                        .first()
-                        .and_then(Value::as_num)
-                        .map(|n| n as usize)
-                        .unwrap_or(0)
-                        .min(s.len());
-                    let end = args
-                        .get(1)
-                        .and_then(Value::as_num)
-                        .map(|n| n as usize)
-                        .unwrap_or(s.len())
-                        .min(s.len());
-                    Ok(Value::str(s[start..end.max(start)].to_string()))
-                }
-                "trim" => Ok(Value::str(s.trim().to_string())),
-                "charCodeAt" => {
-                    let i = args
-                        .first()
-                        .and_then(Value::as_num)
-                        .map(|n| n as usize)
-                        .unwrap_or(0);
-                    Ok(s.chars()
-                        .nth(i)
-                        .map(|c| Value::Num(c as u32 as f64))
-                        .unwrap_or(Value::Null))
-                }
-                other => Err(RuntimeError::new(
-                    Some(self.cur_stmt),
-                    format!("unknown string method '{other}'"),
-                )),
-            },
-            Value::Bytes(b) => match method {
-                "toString" => Ok(Value::str(String::from_utf8_lossy(b).to_string())),
-                "slice" => {
-                    let start = args
-                        .first()
-                        .and_then(Value::as_num)
-                        .map(|n| n as usize)
-                        .unwrap_or(0)
-                        .min(b.len());
-                    let end = args
-                        .get(1)
-                        .and_then(Value::as_num)
-                        .map(|n| n as usize)
-                        .unwrap_or(b.len())
-                        .min(b.len());
-                    Ok(Value::bytes(b[start..end.max(start)].to_vec()))
-                }
-                other => Err(RuntimeError::new(
-                    Some(self.cur_stmt),
-                    format!("unknown bytes method '{other}'"),
-                )),
-            },
+            }
             Value::Object(map) => {
                 // method stored as a function-valued field
                 let f = map.borrow().get(method).cloned();
@@ -968,108 +791,22 @@ impl<'h> Interpreter<'h> {
                     )),
                 }
             }
-            other => Err(RuntimeError::new(
-                Some(self.cur_stmt),
-                format!("cannot call method '{method}' on {other}"),
-            )),
+            base => ops::simple_method(base, method, &args)
+                .expect("non-engine method dispatch is simple")
+                .map_err(|m| RuntimeError::new(Some(self.cur_stmt), m)),
         }
     }
 
     fn member_get(&mut self, base: &Value, field: &str) -> Result<Value, RuntimeError> {
-        match base {
-            Value::Object(map) => Ok(map.borrow().get(field).cloned().unwrap_or(Value::Null)),
-            Value::Array(items) => match field {
-                "length" => Ok(Value::Num(items.borrow().len() as f64)),
-                _ => Ok(Value::Null),
-            },
-            Value::Str(s) => match field {
-                "length" => Ok(Value::Num(s.chars().count() as f64)),
-                _ => Ok(Value::Null),
-            },
-            Value::Bytes(b) => match field {
-                "length" => Ok(Value::Num(b.len() as f64)),
-                _ => Ok(Value::Null),
-            },
-            Value::Native(obj) => Ok(Value::Native(Rc::from(format!("{obj}.{field}").as_str()))),
-            other => Err(RuntimeError::new(
-                Some(self.cur_stmt),
-                format!("cannot read field '{field}' of {other}"),
-            )),
-        }
+        ops::member_get(base, field).map_err(|m| RuntimeError::new(Some(self.cur_stmt), m))
     }
 
     fn index_get(&mut self, base: &Value, idx: &Value) -> Result<Value, RuntimeError> {
-        match (base, idx) {
-            (Value::Array(items), Value::Num(n)) => Ok(items
-                .borrow()
-                .get(*n as usize)
-                .cloned()
-                .unwrap_or(Value::Null)),
-            (Value::Bytes(b), Value::Num(n)) => Ok(b
-                .get(*n as usize)
-                .map(|&byte| Value::Num(f64::from(byte)))
-                .unwrap_or(Value::Null)),
-            (Value::Object(map), key) => Ok(map
-                .borrow()
-                .get(&key.to_string())
-                .cloned()
-                .unwrap_or(Value::Null)),
-            (Value::Str(s), Value::Num(n)) => Ok(s
-                .chars()
-                .nth(*n as usize)
-                .map(|c| Value::str(c.to_string()))
-                .unwrap_or(Value::Null)),
-            (other, _) => Err(RuntimeError::new(
-                Some(self.cur_stmt),
-                format!("cannot index into {other}"),
-            )),
-        }
+        ops::index_get(base, idx).map_err(|m| RuntimeError::new(Some(self.cur_stmt), m))
     }
 
     fn binary(&mut self, op: BinOp, a: Value, b: Value) -> Result<Value, RuntimeError> {
-        use BinOp::*;
-        let err = |msg: String| RuntimeError::new(Some(self.cur_stmt), msg);
-        match op {
-            Add => match (&a, &b) {
-                (Value::Num(x), Value::Num(y)) => Ok(Value::Num(x + y)),
-                (Value::Str(_), Value::Bytes(bb)) => {
-                    Ok(Value::str(format!("{a}{}", String::from_utf8_lossy(bb))))
-                }
-                (Value::Bytes(ab), Value::Str(_)) => {
-                    Ok(Value::str(format!("{}{b}", String::from_utf8_lossy(ab))))
-                }
-                (Value::Str(_), _) | (_, Value::Str(_)) => Ok(Value::str(format!("{a}{b}"))),
-                _ => Err(err(format!("cannot add {a} and {b}"))),
-            },
-            Sub | Mul | Div | Rem => match (a.as_num(), b.as_num()) {
-                (Some(x), Some(y)) => Ok(Value::Num(match op {
-                    Sub => x - y,
-                    Mul => x * y,
-                    Div => x / y,
-                    Rem => x % y,
-                    _ => unreachable!(),
-                })),
-                _ => Err(err(format!("arithmetic on non-numbers: {a}, {b}"))),
-            },
-            Eq => Ok(Value::Bool(a.structural_eq(&b))),
-            NotEq => Ok(Value::Bool(!a.structural_eq(&b))),
-            Lt | Le | Gt | Ge => {
-                let cmp = match (&a, &b) {
-                    (Value::Num(x), Value::Num(y)) => x.partial_cmp(y),
-                    (Value::Str(x), Value::Str(y)) => Some(x.cmp(y)),
-                    _ => None,
-                };
-                let ord = cmp.ok_or_else(|| err(format!("cannot compare {a} and {b}")))?;
-                Ok(Value::Bool(match op {
-                    Lt => ord == std::cmp::Ordering::Less,
-                    Le => ord != std::cmp::Ordering::Greater,
-                    Gt => ord == std::cmp::Ordering::Greater,
-                    Ge => ord != std::cmp::Ordering::Less,
-                    _ => unreachable!(),
-                }))
-            }
-            And | Or => unreachable!("short-circuited in eval"),
-        }
+        ops::binary(op, &a, &b).map_err(|m| RuntimeError::new(Some(self.cur_stmt), m))
     }
 }
 

@@ -30,18 +30,23 @@
 //! ```
 
 pub mod ast;
+pub mod compile;
 pub mod instrument;
 pub mod interp;
 pub mod normalize;
+pub mod ops;
 pub mod parser;
 pub mod printer;
 pub mod token;
 pub mod value;
+pub mod vm;
 
 pub use ast::{BinOp, Expr, LValue, Program, Stmt, StmtId, UnOp};
+pub use compile::{compile, CompiledChunk, CompiledProgram};
 pub use instrument::{Instrument, NoopInstrument, RecordingInstrument, TraceEvent};
 pub use interp::{EmptyHost, Host, HostOutcome, Interpreter, RuntimeError, STMT_CYCLES};
 pub use normalize::{normalize, renumber};
 pub use parser::{parse, ParseError};
 pub use printer::{print_expr, print_program, print_stmts};
 pub use value::{fnv1a, Atom, Closure, Value};
+pub use vm::Vm;

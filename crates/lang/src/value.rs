@@ -8,11 +8,22 @@ use std::fmt;
 use std::rc::Rc;
 
 /// A user-defined function value (closure).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Closure {
     pub name: Option<String>,
     pub params: Vec<String>,
     pub body: Vec<Stmt>,
+    /// Entry point into a [`CompiledProgram`](crate::compile::CompiledProgram)
+    /// when the closure was created by the compiled VM; `None` for closures
+    /// built by the tree-walking interpreter. Ignored by equality — the two
+    /// engines must produce indistinguishable values.
+    pub compiled: Option<crate::compile::CompiledChunk>,
+}
+
+impl PartialEq for Closure {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.params == other.params && self.body == other.body
+    }
 }
 
 /// A NodeScript runtime value.

@@ -190,7 +190,15 @@ impl Snapshot {
 pub struct SqlDb {
     tables: BTreeMap<String, Table>,
     txn_backup: Option<BTreeMap<String, Table>>,
+    /// Parse results keyed by query text: serving workloads repeat the
+    /// same statements, so the recursive-descent parse is paid once.
+    /// Bounded — dynamically built one-shot statements (unique literals
+    /// interpolated into INSERTs) cannot grow it without limit.
+    parse_cache: std::collections::HashMap<String, std::rc::Rc<Statement>>,
 }
+
+/// Entries kept in the statement parse cache before it is reset.
+const PARSE_CACHE_CAP: usize = 512;
 
 impl SqlDb {
     /// An empty database.
@@ -217,7 +225,16 @@ impl SqlDb {
         &mut self,
         sql: &str,
     ) -> Result<(SqlResult, Vec<RowEffect>), SqlError> {
-        let stmt = parse_sql(sql)?;
+        if let Some(stmt) = self.parse_cache.get(sql) {
+            let stmt = std::rc::Rc::clone(stmt);
+            return self.exec_stmt(&stmt);
+        }
+        let stmt = std::rc::Rc::new(parse_sql(sql)?);
+        if self.parse_cache.len() >= PARSE_CACHE_CAP {
+            self.parse_cache.clear();
+        }
+        self.parse_cache
+            .insert(sql.to_string(), std::rc::Rc::clone(&stmt));
         self.exec_stmt(&stmt)
     }
 
