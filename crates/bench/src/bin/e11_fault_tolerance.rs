@@ -15,17 +15,17 @@
 //!    edge when the partition heals) and the time to reconverge.
 //!
 //! Everything is driven by a fixed fault seed, so results reproduce
-//! exactly.
+//! exactly. Results land in `BENCH_fault_tolerance.json`.
 
 use edgstr_apps::all_apps;
-use edgstr_bench::{print_table, service_workload, transform_app};
+use edgstr_bench::{print_table, service_workload, smoke_flag, transform_app, BenchReport};
 use edgstr_crdt::AdvanceMode;
 use edgstr_net::{FaultPlan, LossModel};
 use edgstr_runtime::{RunStats, ThreeTierOptions, ThreeTierSystem};
 use edgstr_sim::{DeviceSpec, SimTime};
+use serde_json::json;
 
 const SEED: u64 = 0x0E11_F417;
-const REQUESTS: usize = 40;
 const RPS: f64 = 10.0;
 const MAX_ROUNDS: usize = 200;
 
@@ -67,10 +67,20 @@ fn clock_total(set: &edgstr_runtime::CrdtSet) -> u64 {
 }
 
 fn main() {
+    let smoke = smoke_flag();
+    let requests: usize = if smoke { 16 } else { 40 };
+    let loss_sweep: &[u32] = if smoke {
+        &[0, 10, 30]
+    } else {
+        &[0, 5, 10, 20, 30]
+    };
+    let partition_sweep: &[u64] = if smoke { &[2, 5] } else { &[2, 5, 10] };
+
     let apps = all_apps();
     let app = &apps[0];
     let report = transform_app(app);
-    let wl = service_workload(&app.service_requests[0], RPS, REQUESTS);
+    let wl = service_workload(&app.service_requests[0], RPS, requests);
+    let mut bench = BenchReport::new("e11_fault_tolerance", smoke);
 
     // --- baseline: no faults -------------------------------------------
     let mut base = deploy(&app.source, &report, options(None, AdvanceMode::OnAck));
@@ -83,7 +93,8 @@ fn main() {
 
     // --- 1. loss sweep --------------------------------------------------
     let mut rows = Vec::new();
-    for loss_pct in [0u32, 5, 10, 20, 30] {
+    let mut loss_json = Vec::new();
+    for &loss_pct in loss_sweep {
         let p = f64::from(loss_pct) / 100.0;
         let mut faults = FaultPlan::new(SEED);
         faults.set_default_loss(LossModel::bursty(p, 0.5, 3));
@@ -119,8 +130,17 @@ fn main() {
             format!("{:.0}%", 100.0 * goodput(&stats) / base_goodput),
             format!("{rounds}"),
             format!("{conv_secs:.1}"),
-            opt_outcome,
+            opt_outcome.clone(),
         ]);
+        loss_json.push(json!({
+            "loss_pct": loss_pct,
+            "completed": stats.completed,
+            "goodput_rps": goodput(&stats),
+            "goodput_vs_baseline": goodput(&stats) / base_goodput,
+            "sync_rounds": rounds,
+            "converge_secs": conv_secs,
+            "optimistic_outcome": opt_outcome,
+        }));
     }
     print_table(
         &format!("E11a: WAN loss sweep ({}, seed {SEED:#x})", app.name),
@@ -138,7 +158,8 @@ fn main() {
 
     // --- 2. partition sweep ---------------------------------------------
     let mut rows = Vec::new();
-    for part_secs in [2u64, 5, 10] {
+    let mut partition_json = Vec::new();
+    for &part_secs in partition_sweep {
         let mut faults = FaultPlan::new(SEED);
         faults.partition(
             "edge0",
@@ -173,6 +194,13 @@ fn main() {
             format!("{rounds}"),
             format!("{:.1}", conv_at.since(heal).as_secs_f64()),
         ]);
+        partition_json.push(json!({
+            "partition_secs": part_secs,
+            "completed": stats.completed,
+            "divergence_window_changes": window,
+            "sync_rounds": rounds,
+            "converge_after_heal_secs": conv_at.since(heal).as_secs_f64(),
+        }));
     }
     print_table(
         "E11b: partition sweep (edge0 <-> cloud)",
@@ -186,11 +214,25 @@ fn main() {
         &rows,
     );
 
+    bench.section(
+        "baseline",
+        json!({
+            "app": app.name,
+            "seed": SEED,
+            "requests": requests,
+            "rps": RPS,
+            "goodput_rps": base_goodput,
+        }),
+    );
+    bench.section("loss_sweep", serde_json::Value::Array(loss_json));
+    bench.section("partition_sweep", serde_json::Value::Array(partition_json));
+    bench.write("BENCH_fault_tolerance.json");
+
     println!(
         "\nAck-driven delta sync regenerates every dropped message, so loss and\n\
          partitions only stretch the convergence tail; goodput stays at the\n\
          no-fault baseline because replicated services never block on the WAN.\n\
          The optimistic ablation (pre-fix protocol) silently diverges at any\n\
-         nonzero loss rate."
+         nonzero loss rate. Results written to BENCH_fault_tolerance.json."
     );
 }

@@ -20,7 +20,7 @@
 //! `BENCH_sync_scale.json`.
 
 use edgstr_analysis::{InitState, ServerProcess, StateUnit};
-use edgstr_bench::print_table;
+use edgstr_bench::{print_table, smoke_flag, BenchReport};
 use edgstr_core::CrdtBindings;
 use edgstr_crdt::{ActorId, Change, Doc, PathSeg, VClock};
 use edgstr_runtime::{CrdtSet, SetChanges, SetClock, SetSyncMessage, SyncEndpoint};
@@ -352,7 +352,7 @@ fn mode_json(label: &str, s: &ModeStats) -> serde_json::Value {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = smoke_flag();
     let (rounds, per_edge) = if smoke { (10, 50) } else { (200, 125) };
     let mutations = rounds * per_edge * EDGES;
 
@@ -415,11 +415,11 @@ fn main() {
         &rows,
     );
 
-    let report = json!({
-        "experiment": "e12_sync_scale",
-        "smoke": smoke,
-        "part_a": part_a_results,
-        "part_b": {
+    let mut report = BenchReport::new("e12_sync_scale", smoke);
+    report.section("part_a", serde_json::Value::Array(part_a_results));
+    report.section(
+        "part_b",
+        json!({
             "edges": EDGES,
             "rounds": rounds,
             "mutations": mutations,
@@ -428,13 +428,9 @@ fn main() {
                 mode_json("indexed_compacted", &indexed),
                 mode_json("pre_pr_emulation", &legacy),
             ],
-        },
-    });
-    std::fs::write(
-        "BENCH_sync_scale.json",
-        serde_json::to_vec(&report).expect("serialize report"),
-    )
-    .expect("write BENCH_sync_scale.json");
+        }),
+    );
+    report.write("BENCH_sync_scale.json");
 
     println!(
         "\nThe per-actor indexed log makes each delta fetch O(delta): per-round\n\

@@ -37,7 +37,7 @@
 
 use edgstr_analysis::{ExecMode, InitState, ServerProcess};
 use edgstr_apps::all_apps;
-use edgstr_bench::{print_table, service_workload, transform_app};
+use edgstr_bench::{print_table, service_workload, smoke_flag, transform_app, BenchReport};
 use edgstr_net::{HttpRequest, LinkSpec};
 use edgstr_runtime::{ThreeTierOptions, ThreeTierSystem, TwoTierSystem};
 use edgstr_sim::DeviceSpec;
@@ -172,7 +172,7 @@ fn part_b(smoke: bool) -> serde_json::Value {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = smoke_flag();
     let (passes, warmup) = if smoke { (4, 1) } else { (12, 2) };
 
     let mut rows = Vec::new();
@@ -264,10 +264,10 @@ fn main() {
         "no app may regress under the compiled engine (slowest measured {min_speedup:.2}x)"
     );
 
-    let report = json!({
-        "experiment": "e13_serving_throughput",
-        "smoke": smoke,
-        "part_a": {
+    let mut report = BenchReport::new("e13_serving_throughput", smoke);
+    report.section(
+        "part_a",
+        json!({
             "apps": out_apps,
             "aggregate": {
                 "requests": total_requests,
@@ -277,14 +277,10 @@ fn main() {
                 "geomean_speedup": geomean_speedup,
                 "min_speedup": min_speedup,
             },
-        },
-        "part_b": part_b_results,
-    });
-    std::fs::write(
-        "BENCH_serving.json",
-        serde_json::to_vec(&report).expect("serialize report"),
-    )
-    .expect("write BENCH_serving.json");
+        }),
+    );
+    report.section("part_b", part_b_results);
+    report.write("BENCH_serving.json");
 
     println!(
         "\nThe compiled engine resolves variables to slots at compile time,\n\

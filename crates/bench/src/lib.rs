@@ -59,6 +59,64 @@ pub fn unique_variant(template: &HttpRequest, salt: i64) -> HttpRequest {
     req
 }
 
+/// `--smoke` on the command line: CI-sized sweeps instead of the full run.
+pub fn smoke_flag() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
+/// Machine-readable experiment output (`BENCH_*.json`).
+///
+/// Every experiment binary builds one of these instead of hand-rolling its
+/// serialization: the envelope always carries `experiment` and `smoke`,
+/// plus one top-level key per named section.
+pub struct BenchReport {
+    experiment: String,
+    smoke: bool,
+    sections: Vec<(String, serde_json::Value)>,
+}
+
+impl BenchReport {
+    pub fn new(experiment: &str, smoke: bool) -> Self {
+        BenchReport {
+            experiment: experiment.to_string(),
+            smoke,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Add (or replace) a top-level section.
+    pub fn section(&mut self, name: &str, value: serde_json::Value) -> &mut Self {
+        if let Some(slot) = self.sections.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = value;
+        } else {
+            self.sections.push((name.to_string(), value));
+        }
+        self
+    }
+
+    /// The full report as a JSON value.
+    pub fn to_value(&self) -> serde_json::Value {
+        let mut m = serde_json::Map::new();
+        m.insert("experiment".to_string(), self.experiment.as_str().into());
+        m.insert("smoke".to_string(), self.smoke.into());
+        for (name, value) in &self.sections {
+            m.insert(name.clone(), value.clone());
+        }
+        serde_json::Value::Object(m)
+    }
+
+    /// Serialize to `path` in the working directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when serialization or the write fails — a bench run without
+    /// its artifact is a failed run.
+    pub fn write(&self, path: &str) {
+        let bytes = serde_json::to_vec(&self.to_value()).expect("serialize bench report");
+        std::fs::write(path, bytes).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    }
+}
+
 /// Render an aligned text table to stdout.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");
@@ -102,6 +160,19 @@ pub fn ms(d: edgstr_sim::SimDuration) -> String {
 mod tests {
     use super::*;
     use serde_json::json;
+
+    #[test]
+    fn bench_report_envelope_and_sections() {
+        let mut r = BenchReport::new("e99_example", true);
+        r.section("part_a", json!([1, 2]));
+        r.section("part_b", json!({"x": 1}));
+        r.section("part_a", json!([1, 2, 3])); // replaces, not duplicates
+        let v = r.to_value();
+        assert_eq!(v["experiment"], json!("e99_example"));
+        assert_eq!(v["smoke"], json!(true));
+        assert_eq!(v["part_a"], json!([1, 2, 3]));
+        assert_eq!(v["part_b"]["x"], json!(1));
+    }
 
     #[test]
     fn unique_variant_rewrites_ids() {

@@ -301,6 +301,10 @@ pub struct Doc {
     pending: BTreeMap<(ActorId, u64), Change>,
     maps: HashMap<ObjId, MapObj>,
     lists: HashMap<ObjId, ListObj>,
+    /// Lifetime count of [`Doc::compact`] calls that folded anything.
+    compaction_rounds: u64,
+    /// Lifetime count of changes folded out of the log by compaction.
+    compacted_changes: u64,
 }
 
 impl Doc {
@@ -318,6 +322,8 @@ impl Doc {
             pending: BTreeMap::new(),
             maps,
             lists: HashMap::new(),
+            compaction_rounds: 0,
+            compacted_changes: 0,
         }
     }
 
@@ -757,7 +763,18 @@ impl Doc {
             self.snapshot_clock.observe(*actor, target);
             dropped += n;
         }
+        if dropped > 0 {
+            self.compaction_rounds += 1;
+            self.compacted_changes += dropped as u64;
+        }
         dropped
+    }
+
+    /// Lifetime compaction accounting for this replica:
+    /// `(rounds_that_folded, changes_folded)`. Transient — not part of
+    /// the [`Doc::save`] image, so a restored replica starts from zero.
+    pub fn compaction_stats(&self) -> (u64, u64) {
+        (self.compaction_rounds, self.compacted_changes)
     }
 
     /// Serialize this replica as a state snapshot plus the retained change
@@ -945,6 +962,8 @@ impl Doc {
             pending: BTreeMap::new(),
             maps,
             lists,
+            compaction_rounds: 0,
+            compacted_changes: 0,
         })
     }
 

@@ -58,6 +58,38 @@ pub trait Instrument {
     fn wants_events(&self) -> bool {
         true
     }
+
+    /// Whether this instrument wants per-statement cost attribution: the
+    /// compiled VM only performs the extra bookkeeping for
+    /// [`Instrument::on_stmt_cost`] and the frame hooks when this returns
+    /// `true`. Independent of [`Instrument::wants_events`] — a profiler
+    /// can take costs without paying for event payloads. Defaults to
+    /// `false`.
+    fn wants_profile(&self) -> bool {
+        false
+    }
+
+    /// `cycles` virtual cycles and `allocs` heap allocations were just
+    /// attributed to source statement `stmt`, within the function frame
+    /// most recently pushed via [`Instrument::on_frame_push`]. Called at
+    /// statement boundaries and around calls; the same `stmt` may be
+    /// reported many times (sum to aggregate). Only called when
+    /// [`Instrument::wants_profile`] is `true`.
+    fn on_stmt_cost(&mut self, stmt: StmtId, cycles: u64, allocs: u64) {
+        let _ = (stmt, cycles, allocs);
+    }
+
+    /// A user-function frame was entered (`name` is `None` for anonymous
+    /// closures). Only called when [`Instrument::wants_profile`] is
+    /// `true`.
+    fn on_frame_push(&mut self, name: Option<&str>) {
+        let _ = name;
+    }
+
+    /// The matching frame for the last [`Instrument::on_frame_push`]
+    /// returned. Only called when [`Instrument::wants_profile`] is
+    /// `true`.
+    fn on_frame_pop(&mut self) {}
 }
 
 /// An [`Instrument`] that discards all events (tracing disabled).

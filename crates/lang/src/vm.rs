@@ -66,12 +66,35 @@ struct Ctx<'a> {
     host: &'a mut dyn Host,
     tracer: &'a mut dyn Instrument,
     trace: bool,
+    /// Instrument asked for per-statement cost attribution
+    /// (`Instrument::wants_profile`).
+    profile: bool,
+    /// Absolute cycle count at the last profile flush.
+    prof_mark: u64,
+    /// Allocations observed since the last profile flush.
+    prof_allocs: u64,
     cycles: u64,
     steps: u64,
     cur_stmt: StmtId,
     call_depth: u32,
     stack: Vec<Value>,
     frames: Vec<Frame>,
+}
+
+impl Ctx<'_> {
+    /// Attribute everything accumulated since the last flush to the
+    /// current statement. `cycles_now` is the caller's up-to-date absolute
+    /// cycle count (the dispatch loop keeps it in a register).
+    #[inline]
+    fn prof_flush(&mut self, cycles_now: u64) {
+        let spent = cycles_now - self.prof_mark;
+        if spent > 0 || self.prof_allocs > 0 {
+            self.tracer
+                .on_stmt_cost(self.cur_stmt, spent, self.prof_allocs);
+        }
+        self.prof_mark = cycles_now;
+        self.prof_allocs = 0;
+    }
 }
 
 /// Copy-on-write checkpoint journal (see module docs).
@@ -226,10 +249,14 @@ impl Vm {
         tracer: &mut dyn Instrument,
     ) -> Result<u64, RuntimeError> {
         let trace = tracer.wants_events();
+        let profile = tracer.wants_profile();
         let mut ctx = Ctx {
             host,
             tracer,
             trace,
+            profile,
+            prof_mark: 0,
+            prof_allocs: 0,
             cycles: 0,
             steps: 0,
             cur_stmt: StmtId(0),
@@ -243,6 +270,9 @@ impl Vm {
             }],
         };
         self.exec(&mut ctx)?;
+        if ctx.profile {
+            ctx.prof_flush(ctx.cycles);
+        }
         Ok(ctx.cycles)
     }
 
@@ -270,10 +300,14 @@ impl Vm {
             }
         };
         let trace = tracer.wants_events();
+        let profile = tracer.wants_profile();
         let mut ctx = Ctx {
             host,
             tracer,
             trace,
+            profile,
+            prof_mark: 0,
+            prof_allocs: 0,
             cycles: 0,
             steps: 0,
             cur_stmt: StmtId(0),
@@ -502,6 +536,11 @@ impl Vm {
         for (i, &slot) in chunk_ref.params.iter().enumerate() {
             slots[slot as usize] = Some(args.get_mut(i).map(std::mem::take).unwrap_or(Value::Null));
         }
+        if ctx.profile {
+            // pre-call cost belongs to the caller's statement
+            ctx.prof_flush(ctx.cycles);
+            ctx.tracer.on_frame_push(closure.name.as_deref());
+        }
         ctx.frames.push(Frame {
             program,
             gids,
@@ -511,6 +550,11 @@ impl Vm {
         ctx.call_depth += 1;
         let result = self.exec(ctx);
         ctx.call_depth -= 1;
+        if ctx.profile {
+            // trailing cost belongs to the callee's last statement
+            ctx.prof_flush(ctx.cycles);
+            ctx.tracer.on_frame_pop();
+        }
         if let Some(frame) = ctx.frames.pop() {
             let mut slots = frame.slots;
             slots.clear();
@@ -549,6 +593,11 @@ impl Vm {
             );
         }
         ctx.stack.truncate(argbase);
+        if ctx.profile {
+            // pre-call cost belongs to the caller's statement
+            ctx.prof_flush(ctx.cycles);
+            ctx.tracer.on_frame_push(closure.name.as_deref());
+        }
         ctx.frames.push(Frame {
             program,
             gids,
@@ -558,6 +607,11 @@ impl Vm {
         ctx.call_depth += 1;
         let result = self.exec(ctx);
         ctx.call_depth -= 1;
+        if ctx.profile {
+            // trailing cost belongs to the callee's last statement
+            ctx.prof_flush(ctx.cycles);
+            ctx.tracer.on_frame_pop();
+        }
         if let Some(frame) = ctx.frames.pop() {
             let mut slots = frame.slots;
             slots.clear();
@@ -702,6 +756,10 @@ impl Vm {
                     if steps > self.step_limit {
                         return Err(self.budget_err(ctx));
                     }
+                    if ctx.profile {
+                        // close out the previous statement before moving on
+                        ctx.prof_flush(cycles);
+                    }
                     cycles += STMT_CYCLES;
                     ctx.cur_stmt = *id;
                     if ctx.trace {
@@ -804,6 +862,9 @@ impl Vm {
                     template,
                     chunk: fn_chunk,
                 } => {
+                    if ctx.profile {
+                        ctx.prof_allocs += 1;
+                    }
                     let v = Value::Function(Rc::new(Closure {
                         name: template.name.clone(),
                         params: template.params.clone(),
@@ -836,6 +897,9 @@ impl Vm {
                         return Err(self.budget_err(ctx));
                     }
                     cycles += 50;
+                    if ctx.profile {
+                        ctx.prof_allocs += 1;
+                    }
                     ctx.stack.push(Value::Function(Rc::new(Closure {
                         name: template.name.clone(),
                         params: template.params.clone(),
@@ -847,10 +911,16 @@ impl Vm {
                     })));
                 }
                 Op::MakeArray(n) => {
+                    if ctx.profile {
+                        ctx.prof_allocs += 1;
+                    }
                     let vals = ctx.stack.split_off(ctx.stack.len() - *n as usize);
                     ctx.stack.push(Value::array(vals));
                 }
                 Op::MakeObject(keys) => {
+                    if ctx.profile {
+                        ctx.prof_allocs += 1;
+                    }
                     let vals = ctx.stack.split_off(ctx.stack.len() - keys.len());
                     let map: BTreeMap<String, Value> = keys.iter().cloned().zip(vals).collect();
                     ctx.stack.push(Value::Object(Rc::new(RefCell::new(map))));
@@ -996,6 +1066,9 @@ impl Vm {
                     ctx.stack.push(ret);
                 }
                 Op::New { ctor, argc } => {
+                    if ctx.profile {
+                        ctx.prof_allocs += 1;
+                    }
                     let args = ctx.stack.split_off(ctx.stack.len() - *argc as usize);
                     match crate::ops::construct_builtin(ctor, args) {
                         crate::ops::Constructed::Done(v) => ctx.stack.push(v),
@@ -1255,6 +1328,77 @@ mod tests {
              var r = f();",
         );
         assert_eq!(vm.get_global("r"), Some(Value::Num(6.0)));
+    }
+
+    /// Records the profiling hook stream, checking cost conservation and
+    /// frame balance.
+    #[derive(Default)]
+    struct CostRecorder {
+        cycles: u64,
+        allocs: u64,
+        pushes: Vec<Option<String>>,
+        depth: i64,
+    }
+
+    impl crate::instrument::Instrument for CostRecorder {
+        fn on_event(&mut self, _event: &crate::instrument::TraceEvent) {}
+
+        fn wants_events(&self) -> bool {
+            false
+        }
+
+        fn wants_profile(&self) -> bool {
+            true
+        }
+
+        fn on_stmt_cost(&mut self, _stmt: StmtId, cycles: u64, allocs: u64) {
+            self.cycles += cycles;
+            self.allocs += allocs;
+        }
+
+        fn on_frame_push(&mut self, name: Option<&str>) {
+            self.pushes.push(name.map(str::to_string));
+            self.depth += 1;
+        }
+
+        fn on_frame_pop(&mut self) {
+            self.depth -= 1;
+        }
+    }
+
+    #[test]
+    fn profile_hooks_conserve_cycles_and_balance_frames() {
+        let prog = Rc::new(compile(
+            &parse(
+                "function sq(n) { var a = [n, n]; return a[0] * a[1]; }
+                 var obj = { t: 0 };
+                 var s = 0;
+                 for (var i = 1; i <= 4; i = i + 1) { s = s + sq(i); }",
+            )
+            .unwrap(),
+        ));
+        let mut host = EmptyHost;
+        let mut vm = Vm::new(Rc::clone(&prog), &host.native_names());
+        let mut rec = CostRecorder::default();
+        let cycles = vm.run_top(&mut host, &mut rec).unwrap();
+        assert_eq!(
+            rec.cycles, cycles,
+            "every cycle is attributed to a statement"
+        );
+        assert!(
+            rec.allocs >= 5,
+            "array + object literals counted: {}",
+            rec.allocs
+        );
+        assert_eq!(rec.depth, 0, "frame pushes and pops balance");
+        assert_eq!(rec.pushes.len(), 4, "one frame per sq() call");
+        assert!(rec.pushes.iter().all(|n| n.as_deref() == Some("sq")));
+
+        // profiling must not perturb execution: same cycles as unprofiled
+        let mut vm2 = Vm::new(prog, &host.native_names());
+        let baseline = vm2.run_top(&mut host, &mut NoopInstrument).unwrap();
+        assert_eq!(cycles, baseline);
+        assert_eq!(vm.get_global("s"), vm2.get_global("s"));
     }
 
     #[test]

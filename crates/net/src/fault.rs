@@ -25,6 +25,8 @@
 //! which cuts both directions.
 
 use edgstr_sim::{splitmix64, DetRng, SimTime};
+use edgstr_telemetry::{Telemetry, Tier};
+use serde_json::Value as Json;
 use std::collections::BTreeMap;
 
 /// Loss parameters for one directional link.
@@ -94,6 +96,18 @@ pub enum DropCause {
     Partition,
 }
 
+impl DropCause {
+    /// Stable lowercase name, used as a metric label.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DropCause::Loss => "loss",
+            DropCause::Burst => "burst",
+            DropCause::Flap => "flap",
+            DropCause::Partition => "partition",
+        }
+    }
+}
+
 /// A seeded, deterministic fault schedule for the whole emulated network.
 ///
 /// Construct with [`FaultPlan::new`], configure loss/flaps/partitions, then
@@ -118,6 +132,10 @@ pub struct FaultPlan {
     drops: [u64; 4],
     /// Total sends judged.
     judged: u64,
+    /// Observability sink: every drop becomes a `fault.drop` trace event
+    /// and an `edgstr_fault_drops_total` counter increment. Disabled (and
+    /// free) unless a runtime attaches its handle.
+    telemetry: Telemetry,
 }
 
 impl FaultPlan {
@@ -132,7 +150,15 @@ impl FaultPlan {
             links: BTreeMap::new(),
             drops: [0; 4],
             judged: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach an observability sink; subsequent drops are recorded as
+    /// trace events and labeled counters. Judging decisions are
+    /// unaffected.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The construction seed.
@@ -206,6 +232,21 @@ impl FaultPlan {
         let verdict = self.decide(from, to, at);
         if let Some(cause) = verdict {
             self.drops[cause as usize] += 1;
+            if let Some(reg) = self.telemetry.registry() {
+                reg.counter("edgstr_fault_drops_total", &[("cause", cause.as_str())])
+                    .inc();
+                self.telemetry.event(
+                    "fault.drop",
+                    Tier::System,
+                    None,
+                    at,
+                    &[
+                        ("from", Json::from(from)),
+                        ("to", Json::from(to)),
+                        ("cause", Json::from(cause.as_str())),
+                    ],
+                );
+            }
         }
         verdict
     }

@@ -34,14 +34,20 @@ pub enum Verb {
     Delete,
 }
 
+impl Verb {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verb::Get => "GET",
+            Verb::Post => "POST",
+            Verb::Put => "PUT",
+            Verb::Delete => "DELETE",
+        }
+    }
+}
+
 impl fmt::Display for Verb {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Verb::Get => write!(f, "GET"),
-            Verb::Post => write!(f, "POST"),
-            Verb::Put => write!(f, "PUT"),
-            Verb::Delete => write!(f, "DELETE"),
-        }
+        f.write_str(self.as_str())
     }
 }
 

@@ -17,11 +17,10 @@
 
 pub mod balancer;
 pub mod crdtset;
+pub mod driver;
 pub mod system;
 
 pub use balancer::{Autoscaler, BalanceStrategy, LoadBalancer};
 pub use crdtset::{CrdtSet, SetChanges, SetClock, SetSyncMessage, SyncEndpoint};
-pub use system::{
-    EdgeReplica, FaultPolicy, MobilePower, RunStats, ThreeTierOptions, ThreeTierSystem,
-    TimedRequest, TwoTierSystem, Workload,
-};
+pub use driver::{FaultPolicy, MobilePower, RunRecorder, RunStats, TimedRequest, Workload};
+pub use system::{EdgeReplica, ThreeTierOptions, ThreeTierSystem, TwoTierSystem};

@@ -8,207 +8,19 @@
 
 use crate::balancer::{Autoscaler, BalanceStrategy, LoadBalancer};
 use crate::crdtset::{CrdtSet, SyncEndpoint};
+use crate::driver::RunRecorder;
+pub use crate::driver::{FaultPolicy, MobilePower, RunStats, TimedRequest, Workload};
 use edgstr_analysis::{InitState, ServerError, ServerProcess};
 use edgstr_core::{CrdtBindings, TransformationReport};
 use edgstr_crdt::{ActorId, AdvanceMode};
 use edgstr_lang::Program;
-use edgstr_net::{FaultPlan, HttpRequest, LinkChannel, LinkSpec, Verb};
-use edgstr_sim::{DetRng, Device, DeviceSpec, LatencyStats, PowerState, SimDuration, SimTime};
+use edgstr_net::{FaultPlan, HttpRequest, HttpResponse, LinkChannel, LinkSpec, Verb};
+use edgstr_sim::{DetRng, Device, DeviceSpec, PowerState, SimDuration, SimTime};
+use edgstr_telemetry::{Counter, SpanId, StmtProfiler, Telemetry, Tier};
+use serde_json::Value as Json;
+use std::cell::RefCell;
 use std::collections::BTreeSet;
-
-/// Radio/idle power draw of the mobile client, used to integrate the
-/// per-request energy the Trepn profiler measures in the paper (Fig. 8).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct MobilePower {
-    /// Transmitting (upload) watts.
-    pub tx_w: f64,
-    /// Receiving (download) watts.
-    pub rx_w: f64,
-    /// Low-power waiting watts ("the mobile device typically switches into
-    /// a low-power mode in the idle state", §IV-C.3).
-    pub wait_w: f64,
-}
-
-impl Default for MobilePower {
-    fn default() -> Self {
-        MobilePower {
-            tx_w: 2.6,
-            rx_w: 2.1,
-            wait_w: 0.85,
-        }
-    }
-}
-
-impl MobilePower {
-    /// Energy for one request given its transfer and wait durations.
-    pub fn request_energy_j(&self, up: SimDuration, down: SimDuration, wait: SimDuration) -> f64 {
-        self.tx_w * up.as_secs_f64()
-            + self.rx_w * down.as_secs_f64()
-            + self.wait_w * wait.as_secs_f64()
-    }
-}
-
-/// A request scheduled at a virtual arrival time.
-#[derive(Debug, Clone)]
-pub struct TimedRequest {
-    pub at: SimTime,
-    pub request: HttpRequest,
-}
-
-/// A sequence of timed requests.
-#[derive(Debug, Clone, Default)]
-pub struct Workload {
-    pub requests: Vec<TimedRequest>,
-}
-
-impl Workload {
-    /// `count` requests at a constant rate, cycling over `templates`.
-    pub fn constant_rate(templates: &[HttpRequest], rps: f64, count: usize) -> Workload {
-        let gap = SimDuration::from_secs_f64(1.0 / rps.max(0.001));
-        let mut t = SimTime::ZERO;
-        let mut requests = Vec::with_capacity(count);
-        for i in 0..count {
-            requests.push(TimedRequest {
-                at: t,
-                request: templates[i % templates.len()].clone(),
-            });
-            t += gap;
-        }
-        Workload { requests }
-    }
-
-    /// Piecewise-constant rates: each phase is `(rps, duration_seconds)`.
-    /// Models the fluctuating client volumes of the elasticity experiment
-    /// (Fig. 9-right).
-    pub fn phases(templates: &[HttpRequest], phases: &[(f64, f64)]) -> Workload {
-        let mut requests = Vec::new();
-        let mut t = 0.0f64;
-        let mut i = 0usize;
-        for &(rps, secs) in phases {
-            let gap = 1.0 / rps.max(0.001);
-            let end = t + secs;
-            while t < end {
-                requests.push(TimedRequest {
-                    at: SimTime::from_secs_f64(t),
-                    request: templates[i % templates.len()].clone(),
-                });
-                i += 1;
-                t += gap;
-            }
-        }
-        Workload { requests }
-    }
-
-    /// Shift every arrival by `offset` (to continue a previous run's
-    /// virtual timeline).
-    pub fn shifted(mut self, offset: SimTime) -> Workload {
-        for r in &mut self.requests {
-            r.at = SimTime(r.at.0 + offset.0);
-        }
-        self
-    }
-
-    /// Number of requests.
-    pub fn len(&self) -> usize {
-        self.requests.len()
-    }
-
-    /// Whether the workload is empty.
-    pub fn is_empty(&self) -> bool {
-        self.requests.is_empty()
-    }
-}
-
-/// Retry/timeout/circuit-breaker policy for WAN failure forwarding.
-///
-/// When an edge forwards a request to the cloud and the WAN drops it, the
-/// edge retransmits with exponential backoff plus seeded jitter, up to a
-/// retry cap and an end-to-end deadline. A run of consecutive forwarding
-/// failures opens a circuit breaker: while it is open the edge stops
-/// attempting the WAN entirely (degraded mode) until a cooldown elapses,
-/// after which one probe request may half-open it.
-#[derive(Debug, Clone)]
-pub struct FaultPolicy {
-    /// End-to-end deadline for one forwarded request, retries included.
-    pub forward_deadline: SimDuration,
-    /// Retransmissions allowed after the first attempt.
-    pub max_retries: u32,
-    /// Backoff before retry `k` is `backoff_base * 2^k`, plus jitter in
-    /// `[0, backoff_base)`.
-    pub backoff_base: SimDuration,
-    /// Consecutive forwarding failures that open the breaker.
-    pub breaker_threshold: u32,
-    /// How long the breaker stays open before a probe is allowed.
-    pub breaker_cooldown: SimDuration,
-    /// Seed for the retry-jitter stream.
-    pub jitter_seed: u64,
-}
-
-impl Default for FaultPolicy {
-    fn default() -> Self {
-        FaultPolicy {
-            forward_deadline: SimDuration::from_secs(10),
-            max_retries: 3,
-            backoff_base: SimDuration::from_millis(100),
-            breaker_threshold: 3,
-            breaker_cooldown: SimDuration::from_secs(5),
-            jitter_seed: 0xED657,
-        }
-    }
-}
-
-/// Measurements from one run.
-#[derive(Debug, Default)]
-pub struct RunStats {
-    pub latency: LatencyStats,
-    pub completed: usize,
-    pub failed: usize,
-    /// Requests the edge forwarded to the cloud (failure forwarding or
-    /// non-replicated services).
-    pub forwarded: usize,
-    /// WAN retransmissions performed by failure forwarding.
-    pub retries: usize,
-    /// Forwarded requests abandoned at the retry cap or deadline.
-    pub timed_out: usize,
-    /// Requests handled in degraded mode while the circuit breaker was
-    /// open: replicated services served locally with deltas queued,
-    /// non-replicated requests failed fast without touching the WAN.
-    pub degraded: usize,
-    /// Virtual time of the last completion.
-    pub makespan: SimTime,
-    /// Client request/response bytes crossing the WAN.
-    pub wan_request_bytes: usize,
-    /// CRDT synchronization bytes crossing the WAN.
-    pub wan_sync_bytes: usize,
-    /// Bytes crossing the edge LAN.
-    pub lan_bytes: usize,
-    pub client_energy_j: f64,
-    pub cloud_energy_j: f64,
-    pub edge_energy_j: f64,
-    /// `(time, active_replicas)` samples from the autoscaler.
-    pub replica_samples: Vec<(SimTime, usize)>,
-}
-
-impl RunStats {
-    /// Completed requests per second of makespan.
-    pub fn throughput_rps(&self) -> f64 {
-        let s = self.makespan.as_secs_f64();
-        if s <= 0.0 {
-            0.0
-        } else {
-            self.completed as f64 / s
-        }
-    }
-
-    /// Mean energy per request on the client, in joules.
-    pub fn client_energy_per_request(&self) -> f64 {
-        if self.completed == 0 {
-            0.0
-        } else {
-            self.client_energy_j / self.completed as f64
-        }
-    }
-}
+use std::rc::Rc;
 
 // ---------------------------------------------------------------------------
 // Two-tier (original client-cloud) driver
@@ -221,6 +33,8 @@ pub struct TwoTierSystem {
     pub device: Device,
     pub wan: LinkSpec,
     pub mobile: MobilePower,
+    /// Observability sink; disabled by default and free when disabled.
+    pub telemetry: Telemetry,
     wan_up: LinkChannel,
     wan_down: LinkChannel,
 }
@@ -239,6 +53,7 @@ impl TwoTierSystem {
             device: Device::new(device),
             wan,
             mobile: MobilePower::default(),
+            telemetry: Telemetry::disabled(),
             wan_up: LinkChannel::new(wan),
             wan_down: LinkChannel::new(wan),
         })
@@ -246,32 +61,84 @@ impl TwoTierSystem {
 
     /// Execute `workload`, returning measurements.
     pub fn run(&mut self, workload: &Workload) -> RunStats {
-        let mut stats = RunStats::default();
+        let telemetry = self.telemetry.clone();
+        let mut rec = RunRecorder::new(&telemetry);
+        let profiler = request_profiler(&telemetry);
         for tr in &workload.requests {
+            let span = if telemetry.is_enabled() {
+                telemetry.start_span_with(
+                    "request",
+                    Tier::Client,
+                    None,
+                    tr.at,
+                    request_attrs(&tr.request),
+                )
+            } else {
+                SpanId::NULL
+            };
             let arrive = self.wan_up.send(tr.at, tr.request.size());
             let up = arrive - tr.at;
-            match self.server.handle(&tr.request) {
+            match handle_profiled(&mut self.server, &tr.request, &profiler) {
                 Ok(out) => {
+                    let serve = telemetry.start_span("serve", Tier::Cloud, Some(span), arrive);
                     let (_, finish) = self.device.schedule_work(arrive, out.cycles);
+                    telemetry.end_span(serve, finish);
                     let resp_bytes = out.response.size();
                     let done = self.wan_down.send(finish, resp_bytes);
-                    let down = done - finish;
-                    let latency = done - tr.at;
-                    stats.latency.record(latency);
-                    stats.completed += 1;
-                    stats.wan_request_bytes += tr.request.size() + resp_bytes;
+                    rec.add_wan_request_bytes(tr.request.size() + resp_bytes);
                     let wait = finish - arrive;
-                    stats.client_energy_j += self.mobile.request_energy_j(up, down, wait);
-                    if done > stats.makespan {
-                        stats.makespan = done;
-                    }
+                    let energy = self.mobile.request_energy_j(up, done - finish, wait);
+                    rec.complete(&out.response, tr.at, done, energy);
+                    telemetry.end_span(span, done);
                 }
-                Err(_) => stats.failed += 1,
+                Err(_) => {
+                    rec.fail();
+                    telemetry.event("request.failed", Tier::Cloud, Some(span), arrive, &[]);
+                    telemetry.end_span(span, arrive);
+                }
             }
         }
-        stats.cloud_energy_j = self.device.energy_joules(stats.makespan);
-        stats
+        let cloud_energy = self.device.energy_joules(rec.makespan());
+        rec.finish(cloud_energy, 0.0)
     }
+}
+
+/// The shared per-statement profiler, when this run should profile.
+fn request_profiler(telemetry: &Telemetry) -> Option<Rc<RefCell<StmtProfiler>>> {
+    if telemetry.profiling_enabled() {
+        telemetry.profiler()
+    } else {
+        None
+    }
+}
+
+/// Handle one request, attributing VM cycles/allocations to source
+/// statements when a profiler is attached (the uninstrumented path is the
+/// plain [`ServerProcess::handle`]).
+fn handle_profiled(
+    server: &mut ServerProcess,
+    request: &HttpRequest,
+    profiler: &Option<Rc<RefCell<StmtProfiler>>>,
+) -> Result<edgstr_analysis::HandleOutcome, ServerError> {
+    match profiler {
+        Some(p) => {
+            let mut p = p.borrow_mut();
+            p.set_root(&format!("{} {}", request.verb, request.path));
+            server.handle_traced(request, &mut *p)
+        }
+        None => server.handle(request),
+    }
+}
+
+/// Verb/path attributes for a request span, built once so the span opens
+/// with them in a single trace-log borrow (enabled mode only — callers
+/// guard with [`Telemetry::is_enabled`] to keep the disabled path
+/// allocation-free).
+fn request_attrs(request: &HttpRequest) -> Vec<(&'static str, Json)> {
+    vec![
+        ("verb", Json::from(request.verb.as_str())),
+        ("path", Json::from(request.path.as_str())),
+    ]
 }
 
 // ---------------------------------------------------------------------------
@@ -333,6 +200,9 @@ pub struct ThreeTierOptions {
     /// round (default on), keeping resident change logs bounded under
     /// steady-state sync. Disable for the unbounded-history ablation.
     pub compaction: bool,
+    /// Observability sink shared by the drivers, the sync daemon and the
+    /// fault plan. Disabled by default and free when disabled.
+    pub telemetry: Telemetry,
 }
 
 impl Default for ThreeTierOptions {
@@ -348,6 +218,7 @@ impl Default for ThreeTierOptions {
             policy: FaultPolicy::default(),
             sync_advance: AdvanceMode::OnAck,
             compaction: true,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -396,8 +267,13 @@ impl ThreeTierSystem {
         cloud_source: &str,
         report: &TransformationReport,
         edge_devices: &[DeviceSpec],
-        options: ThreeTierOptions,
+        mut options: ThreeTierOptions,
     ) -> Result<Self, ServerError> {
+        // drops on the emulated network surface in the same trace as the
+        // retries they cause
+        if let Some(plan) = options.faults.as_mut() {
+            plan.set_telemetry(options.telemetry.clone());
+        }
         let mut cloud = ServerProcess::from_source(cloud_source)?;
         cloud.init()?;
         report.replica.init.restore(&mut cloud);
@@ -467,6 +343,8 @@ impl ThreeTierSystem {
     /// After the exchanges, fully-acknowledged history is folded into the
     /// snapshots (unless [`ThreeTierOptions::compaction`] is off).
     pub fn sync_round(&mut self, at: SimTime) -> usize {
+        let telemetry = self.options.telemetry.clone();
+        let span = telemetry.start_span("sync.round", Tier::System, None, at);
         let mut bytes = 0;
         for (i, edge) in self.edges.iter_mut().enumerate() {
             if edge.crashed {
@@ -502,8 +380,27 @@ impl ThreeTierSystem {
             }
         }
         if self.options.compaction {
-            self.compact_acked();
+            let folded = self.compact_acked();
+            if let Some(reg) = telemetry.registry() {
+                reg.counter("edgstr_crdt_changes_folded_total", &[])
+                    .add(folded as u64);
+                reg.gauge("edgstr_crdt_resident_changes", &[])
+                    .set(self.cloud_crdts.history_len() as f64);
+                if folded > 0 {
+                    telemetry.event(
+                        "crdt.compact",
+                        Tier::System,
+                        Some(span),
+                        at,
+                        &[("folded", Json::from(folded as u64))],
+                    );
+                }
+            }
         }
+        if telemetry.is_enabled() {
+            telemetry.span_attr(span, "bytes", Json::from(bytes as u64));
+        }
+        telemetry.end_span(span, at);
         bytes
     }
 
@@ -636,7 +533,17 @@ impl ThreeTierSystem {
     fn record_forward_failure(&mut self, at: SimTime) {
         self.breaker_failures += 1;
         if self.breaker_failures >= self.options.policy.breaker_threshold {
+            let was_open = self.breaker_open_until.is_some();
             self.breaker_open_until = Some(at + self.options.policy.breaker_cooldown);
+            if !was_open {
+                self.options.telemetry.event(
+                    "breaker.open",
+                    Tier::Edge,
+                    None,
+                    at,
+                    &[("failures", Json::from(self.breaker_failures as u64))],
+                );
+            }
         }
     }
 
@@ -651,21 +558,24 @@ impl ThreeTierSystem {
         idx: usize,
         request: &HttpRequest,
         arrive: SimTime,
-        stats: &mut RunStats,
-    ) -> Option<(SimTime, usize)> {
+        rec: &mut RunRecorder,
+        span: SpanId,
+    ) -> Option<(SimTime, HttpResponse)> {
+        let telemetry = self.options.telemetry.clone();
         let policy = self.options.policy.clone();
         let edge_name = format!("edge{idx}");
         let req_size = request.size();
         let deadline = arrive + policy.forward_deadline;
-        // `Some` once the cloud has executed: (compute finish, resp bytes)
-        let mut executed: Option<(SimTime, usize)> = None;
+        // `Some` once the cloud has executed: (compute finish, response)
+        let mut executed: Option<(SimTime, HttpResponse)> = None;
         let mut t = arrive;
         let mut attempt: u32 = 0;
         loop {
-            if let Some((finish, resp_size)) = executed {
+            if let Some((finish, response)) = &executed {
                 // only the response was lost: retransmit it
+                let (finish, resp_size) = (*finish, response.size());
                 let back = self.wan_down.send(t.max(finish), resp_size);
-                stats.wan_request_bytes += resp_size;
+                rec.add_wan_request_bytes(resp_size);
                 let dropped = self
                     .options
                     .faults
@@ -673,11 +583,11 @@ impl ThreeTierSystem {
                     .is_some_and(|p| p.should_drop("cloud", &edge_name, t));
                 if !dropped {
                     self.record_forward_success();
-                    return Some((back, resp_size));
+                    return executed.map(|(_, r)| (back, r));
                 }
             } else {
                 let cloud_arrive = self.wan_up.send(t, req_size);
-                stats.wan_request_bytes += req_size;
+                rec.add_wan_request_bytes(req_size);
                 let dropped = self
                     .options
                     .faults
@@ -686,13 +596,20 @@ impl ThreeTierSystem {
                 if !dropped {
                     match self.cloud.handle(request) {
                         Ok(out) => {
+                            let serve = telemetry.start_span(
+                                "serve",
+                                Tier::Cloud,
+                                Some(span),
+                                cloud_arrive,
+                            );
                             self.cloud_crdts.absorb_outcome(&out, &self.cloud);
                             let (_, finish) =
                                 self.cloud_device.schedule_work(cloud_arrive, out.cycles);
+                            telemetry.end_span(serve, finish);
                             let resp_size = out.response.size();
-                            executed = Some((finish, resp_size));
+                            executed = Some((finish, out.response));
                             let back = self.wan_down.send(finish, resp_size);
-                            stats.wan_request_bytes += resp_size;
+                            rec.add_wan_request_bytes(resp_size);
                             let resp_dropped = self
                                 .options
                                 .faults
@@ -700,7 +617,7 @@ impl ThreeTierSystem {
                                 .is_some_and(|p| p.should_drop("cloud", &edge_name, finish));
                             if !resp_dropped {
                                 self.record_forward_success();
-                                return Some((back, resp_size));
+                                return executed.map(|(_, r)| (back, r));
                             }
                         }
                         Err(_) => {
@@ -713,7 +630,8 @@ impl ThreeTierSystem {
             }
             // this attempt failed in transit: back off, maybe retry
             if attempt >= policy.max_retries {
-                stats.timed_out += 1;
+                rec.timed_out();
+                telemetry.event("forward.timeout", Tier::Edge, Some(span), t, &[]);
                 self.record_forward_failure(t);
                 return None;
             }
@@ -721,26 +639,43 @@ impl ThreeTierSystem {
             let jitter_us = self.jitter.below(policy.backoff_base.0.max(1));
             let next = t + SimDuration(backoff_us + jitter_us);
             if next > deadline {
-                stats.timed_out += 1;
+                rec.timed_out();
+                telemetry.event("forward.timeout", Tier::Edge, Some(span), next, &[]);
                 self.record_forward_failure(next);
                 return None;
             }
             attempt += 1;
-            stats.retries += 1;
+            rec.retried();
+            telemetry.event(
+                "forward.retry",
+                Tier::Edge,
+                Some(span),
+                next,
+                &[("attempt", Json::from(attempt as u64))],
+            );
             t = next;
         }
     }
 
     /// Execute `workload`, returning measurements.
     pub fn run(&mut self, workload: &Workload) -> RunStats {
-        let mut stats = RunStats::default();
+        let telemetry = self.options.telemetry.clone();
+        let mut rec = RunRecorder::new(&telemetry);
+        let profiler = request_profiler(&telemetry);
+        // Per-edge routing counters resolved once: the registry lookup
+        // allocates a metric key, which is too hot for the request loop.
+        let routed: Vec<Counter> = telemetry.registry().map_or_else(Vec::new, |reg| {
+            (0..self.edges.len())
+                .map(|i| reg.counter("edgstr_routed_total", &[("edge", &i.to_string())]))
+                .collect()
+        });
         let mut next_sync = SimTime::ZERO + self.options.sync_interval;
         for tr in &workload.requests {
             let now = tr.at;
             // background sync ticks that elapsed before this arrival
             while !self.options.synchronous_sync && next_sync <= now {
                 let tick = next_sync;
-                stats.wan_sync_bytes += self.sync_round(tick);
+                rec.add_wan_sync_bytes(self.sync_round(tick));
                 next_sync += self.options.sync_interval;
             }
             // autoscaler: adjust active replica set
@@ -755,103 +690,149 @@ impl ThreeTierSystem {
                     if should_be_active && !e.active {
                         e.active = true;
                         e.device.set_power_state(PowerState::Idle, now);
+                        telemetry.event(
+                            "replica.unpark",
+                            Tier::Edge,
+                            None,
+                            now,
+                            &[("edge", Json::from(i as u64))],
+                        );
                     } else if !should_be_active && e.active && e.connections() == 0 {
                         e.active = false;
                         e.device.set_power_state(PowerState::LowPower, now);
+                        telemetry.event(
+                            "replica.park",
+                            Tier::Edge,
+                            None,
+                            now,
+                            &[("edge", Json::from(i as u64))],
+                        );
                     }
                 }
                 let active = self.edges.iter().filter(|e| e.active).count();
-                stats.replica_samples.push((now, active));
+                rec.replica_sample(now, active);
             }
             // route to an edge
             let connections: Vec<usize> = self.edges.iter().map(EdgeReplica::connections).collect();
             let active: Vec<bool> = self.edges.iter().map(|e| e.active).collect();
             let Some(idx) = self.balancer.pick(&connections, &active) else {
-                stats.failed += 1;
+                rec.fail();
+                let span = telemetry.start_span("request", Tier::Client, None, now);
+                telemetry.event("request.unroutable", Tier::Client, Some(span), now, &[]);
+                telemetry.end_span(span, now);
                 continue;
+            };
+            let span = if telemetry.is_enabled() {
+                if let Some(c) = routed.get(idx) {
+                    c.inc();
+                }
+                telemetry.start_span_with(
+                    "request",
+                    Tier::Client,
+                    None,
+                    now,
+                    vec![
+                        ("verb", Json::from(tr.request.verb.as_str())),
+                        ("path", Json::from(tr.request.path.as_str())),
+                        ("edge", Json::from(idx as u64)),
+                    ],
+                )
+            } else {
+                SpanId::NULL
             };
             let req_size = tr.request.size();
             let lan_arrive = self.lan_up.send(now, req_size);
             let up = lan_arrive - now;
-            stats.lan_bytes += req_size;
+            rec.add_lan_bytes(req_size);
             let wake = self.edges[idx].device.wake_penalty();
             let arrive = lan_arrive + wake;
             let key = (tr.request.verb, tr.request.path.clone());
             let local = self.replicated.contains(&key);
             let local_result = if local {
-                self.edges[idx].server.handle(&tr.request)
+                handle_profiled(&mut self.edges[idx].server, &tr.request, &profiler)
             } else {
                 Err(ServerError::NoSuchRoute {
                     verb: tr.request.verb,
                     path: tr.request.path.clone(),
                 })
             };
-            let (done, resp_size, up_total, down_total, wait) = match local_result {
+            let (done, response, up_total, down_total, wait) = match local_result {
                 Ok(out) => {
                     if self.breaker_open(arrive) {
                         // replicated service under an open breaker: still
                         // served locally, deltas queue until the WAN heals
-                        stats.degraded += 1;
+                        rec.degraded();
+                        telemetry.event(
+                            "degraded.local_serve",
+                            Tier::Edge,
+                            Some(span),
+                            arrive,
+                            &[],
+                        );
                     }
+                    let serve = telemetry.start_span("serve", Tier::Edge, Some(span), arrive);
                     let edge = &mut self.edges[idx];
                     edge.crdts.absorb_outcome(&out, &edge.server);
                     let (_, finish) = edge.device.schedule_work(arrive, out.cycles);
+                    telemetry.end_span(serve, finish);
                     let resp_size = out.response.size();
                     let done = self.lan_down.send(finish, resp_size);
                     let down = done - finish;
-                    stats.lan_bytes += resp_size;
+                    rec.add_lan_bytes(resp_size);
                     edge.inflight.push(done);
                     if self.options.synchronous_sync {
-                        stats.wan_sync_bytes += self.sync_round(finish);
+                        rec.add_wan_sync_bytes(self.sync_round(finish));
                     }
-                    (done, resp_size, up, down, finish - arrive)
+                    (done, out.response, up, down, finish - arrive)
                 }
                 Err(_) => {
                     // failure forwarding: the edge proxies the request to
                     // the cloud master over the WAN (§II-B)
-                    stats.forwarded += 1;
+                    rec.forwarded();
                     if self.breaker_open(arrive) {
                         // degraded mode: fail fast without a WAN attempt
-                        stats.degraded += 1;
-                        stats.failed += 1;
+                        rec.degraded();
+                        rec.fail();
+                        telemetry.event("degraded.fail_fast", Tier::Edge, Some(span), arrive, &[]);
+                        telemetry.end_span(span, arrive);
                         continue;
                     }
-                    match self.forward_to_cloud(idx, &tr.request, arrive, &mut stats) {
-                        Some((back_at_edge, resp_size)) => {
+                    let fwd = telemetry.start_span("forward", Tier::Edge, Some(span), arrive);
+                    match self.forward_to_cloud(idx, &tr.request, arrive, &mut rec, fwd) {
+                        Some((back_at_edge, response)) => {
+                            telemetry.end_span(fwd, back_at_edge);
+                            let resp_size = response.size();
                             let done = self.lan_down.send(back_at_edge, resp_size);
                             let lan_down = done - back_at_edge;
-                            stats.lan_bytes += resp_size;
+                            rec.add_lan_bytes(resp_size);
                             self.edges[idx].inflight.push(done);
-                            (done, resp_size, up, lan_down, back_at_edge - arrive)
+                            (done, response, up, lan_down, back_at_edge - arrive)
                         }
                         None => {
-                            stats.failed += 1;
+                            telemetry.end_span(fwd, arrive);
+                            rec.fail();
+                            telemetry.end_span(span, arrive);
                             continue;
                         }
                     }
                 }
             };
-            let _ = resp_size;
-            let latency = done - tr.at;
-            stats.latency.record(latency);
-            stats.completed += 1;
-            stats.client_energy_j += self.mobile.request_energy_j(up_total, down_total, wait);
-            if done > stats.makespan {
-                stats.makespan = done;
-            }
+            let energy = self.mobile.request_energy_j(up_total, down_total, wait);
+            rec.complete(&response, tr.at, done, energy);
+            telemetry.end_span(span, done);
         }
         // final flush so replicas converge (fault-free runs need at most
         // two rounds: deltas out, acks back)
-        let flush_at = stats.makespan;
-        stats.wan_sync_bytes += self.sync_round(flush_at);
-        stats.wan_sync_bytes += self.sync_round(flush_at + self.options.sync_interval);
-        stats.cloud_energy_j = self.cloud_device.energy_joules(stats.makespan);
-        stats.edge_energy_j = self
+        let flush_at = rec.makespan();
+        rec.add_wan_sync_bytes(self.sync_round(flush_at));
+        rec.add_wan_sync_bytes(self.sync_round(flush_at + self.options.sync_interval));
+        let cloud_energy = self.cloud_device.energy_joules(rec.makespan());
+        let edge_energy = self
             .edges
             .iter()
-            .map(|e| e.device.energy_joules(stats.makespan))
+            .map(|e| e.device.energy_joules(rec.makespan()))
             .sum();
-        stats
+        rec.finish(cloud_energy, edge_energy)
     }
 }
 

@@ -11,6 +11,25 @@ pub struct LatencyStats {
     sorted: bool,
 }
 
+/// Two collections are equal when they hold the same multiset of samples;
+/// the internal sort cache (a query-order artifact) never affects
+/// equality.
+impl PartialEq for LatencyStats {
+    fn eq(&self, other: &Self) -> bool {
+        if self.samples_us.len() != other.samples_us.len() {
+            return false;
+        }
+        if self.samples_us == other.samples_us {
+            return true;
+        }
+        let mut a = self.samples_us.clone();
+        let mut b = other.samples_us.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        a == b
+    }
+}
+
 impl LatencyStats {
     /// Empty collection.
     pub fn new() -> Self {

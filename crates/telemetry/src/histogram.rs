@@ -1,0 +1,342 @@
+//! Mergeable log-linear histogram over `u64` samples (virtual-time
+//! microseconds, bytes, cycles — anything non-negative).
+//!
+//! The bucket layout is HDR-style: each power-of-two octave is split into
+//! 16 linear sub-buckets, so every bucket's width is at most 1/16 of its
+//! lower bound and any recorded quantile is off by a relative error of at
+//! most 6.25%. Values below 16 get exact unit buckets. The layout is
+//! *fixed* (976 buckets covering the full `u64` range), which makes merge
+//! a plain per-bucket count addition — associative and commutative by
+//! construction — and lets replicas ship histograms as sparse
+//! `[index, count]` pairs and aggregate them anywhere.
+
+use serde_json::{json, Value as Json};
+
+/// log2 of the number of linear sub-buckets per octave.
+const SUB_BITS: u32 = 4;
+/// Linear sub-buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
+/// Total fixed buckets: one linear octave of 16 unit buckets plus 60
+/// log-spaced octaves × 16 sub-buckets, covering all of `u64`.
+pub const NUM_BUCKETS: usize = SUB * (64 - SUB_BITS as usize + 1);
+
+/// Index of the bucket containing `v`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let octave = (msb - SUB_BITS + 1) as usize;
+        let sub = ((v >> (msb - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        octave * SUB + sub
+    }
+}
+
+/// Smallest value that lands in bucket `idx`.
+#[inline]
+pub fn bucket_low(idx: usize) -> u64 {
+    debug_assert!(idx < NUM_BUCKETS);
+    if idx < SUB {
+        idx as u64
+    } else {
+        let octave = idx / SUB;
+        let sub = idx % SUB;
+        ((SUB + sub) as u64) << (octave - 1)
+    }
+}
+
+/// Largest value that lands in bucket `idx`.
+#[inline]
+pub fn bucket_high(idx: usize) -> u64 {
+    if idx + 1 >= NUM_BUCKETS {
+        u64::MAX
+    } else {
+        bucket_low(idx + 1) - 1
+    }
+}
+
+/// Fixed-layout log-linear histogram. See the module docs for the bucket
+/// scheme and the merge/quantile guarantees.
+#[derive(Clone)]
+pub struct LogLinHistogram {
+    counts: Box<[u64; NUM_BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogLinHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LogLinHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogLinHistogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+impl PartialEq for LogLinHistogram {
+    fn eq(&self, other: &Self) -> bool {
+        self.count == other.count
+            && self.sum == other.sum
+            && self.min == other.min
+            && self.max == other.max
+            && self.counts[..] == other.counts[..]
+    }
+}
+
+impl LogLinHistogram {
+    pub fn new() -> Self {
+        LogLinHistogram {
+            counts: Box::new([0; NUM_BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` samples of value `v`.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(v)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of recorded values, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Fold `other` into `self`. Because the bucket layout is fixed this
+    /// is a per-bucket addition: associative, commutative, with the empty
+    /// histogram as identity (the proptests pin all three).
+    pub fn merge(&mut self, other: &LogLinHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += *src;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Nearest-rank quantile, reported as the lower bound of the bucket
+    /// holding the ranked sample (clamped to the observed min/max). The
+    /// rank rule matches `edgstr_sim::LatencyStats::quantile`, so the
+    /// result is always in the same bucket as the exact sorted-sample
+    /// answer — within one bucket-width, i.e. ≤ 6.25% relative error.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return bucket_low(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Iterate non-empty buckets as `(index, count)`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Sparse JSON encoding: scalars plus `[index, count]` pairs for the
+    /// non-empty buckets. `decode` round-trips exactly.
+    pub fn encode(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .nonzero_buckets()
+            .map(|(i, c)| json!([i as u64, c]))
+            .collect();
+        json!({
+            "count": self.count,
+            "sum": self.sum,
+            "min": if self.count > 0 { self.min } else { 0 },
+            "max": self.max,
+            "buckets": buckets,
+        })
+    }
+
+    /// Rebuild a histogram from `encode` output. Returns `None` on any
+    /// structural mismatch (bad index, inconsistent total).
+    pub fn decode(v: &Json) -> Option<Self> {
+        let mut h = LogLinHistogram::new();
+        let obj = v.as_object()?;
+        let count = obj.get("count")?.as_u64()?;
+        let sum = obj.get("sum")?.as_u64()?;
+        let min = obj.get("min")?.as_u64()?;
+        let max = obj.get("max")?.as_u64()?;
+        let mut total = 0u64;
+        for pair in obj.get("buckets")?.as_array()? {
+            let pair = pair.as_array()?;
+            let idx = pair.first()?.as_u64()? as usize;
+            let c = pair.get(1)?.as_u64()?;
+            if idx >= NUM_BUCKETS || c == 0 || h.counts[idx] != 0 {
+                return None;
+            }
+            h.counts[idx] = c;
+            total += c;
+        }
+        if total != count {
+            return None;
+        }
+        h.count = count;
+        h.sum = sum;
+        h.min = if count > 0 { min } else { u64::MAX };
+        h.max = max;
+        Some(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_buckets_are_exact_below_16() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_low(v as usize), v);
+            assert_eq!(bucket_high(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_their_values() {
+        for v in [
+            16u64,
+            17,
+            31,
+            32,
+            33,
+            1000,
+            123_456,
+            u32::MAX as u64,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let idx = bucket_index(v);
+            assert!(
+                bucket_low(idx) <= v && v <= bucket_high(idx),
+                "v={v} idx={idx}"
+            );
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_width_bounds_relative_error() {
+        for idx in SUB..NUM_BUCKETS - 1 {
+            let low = bucket_low(idx);
+            let width = bucket_high(idx) - low + 1;
+            assert!(
+                width <= low / SUB as u64,
+                "idx={idx} low={low} width={width}"
+            );
+        }
+    }
+
+    #[test]
+    fn record_and_summary() {
+        let mut h = LogLinHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [3u64, 3, 7, 100, 20_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 20_113);
+        assert_eq!(h.min(), Some(3));
+        assert_eq!(h.max(), Some(20_000));
+        assert_eq!(h.quantile(0.0), 3);
+        assert_eq!(h.quantile(0.5), 7);
+        // p100 is the max bucket's low bound clamped to the observed max
+        assert!(h.quantile(1.0) <= 20_000 && h.quantile(1.0) >= 18_750);
+    }
+
+    #[test]
+    fn merge_matches_bulk_record() {
+        let mut a = LogLinHistogram::new();
+        let mut b = LogLinHistogram::new();
+        let mut all = LogLinHistogram::new();
+        for v in [1u64, 50, 999] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [2u64, 50, 1_000_000] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut h = LogLinHistogram::new();
+        for v in [0u64, 5, 16, 17, 4096, 1 << 40] {
+            h.record_n(v, 3);
+        }
+        let decoded = LogLinHistogram::decode(&h.encode()).expect("decodes");
+        assert_eq!(h, decoded);
+        assert!(LogLinHistogram::decode(&json!({"count": 1})).is_none());
+    }
+}

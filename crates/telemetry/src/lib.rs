@@ -1,0 +1,393 @@
+//! # edgstr-telemetry
+//!
+//! Deterministic observability for the EdgStr three-tier simulator:
+//!
+//! * a labeled **metrics registry** — counters, gauges, and mergeable
+//!   log-linear histograms ([`registry`], [`histogram`]);
+//! * **hierarchical spans** over virtual time that follow a request
+//!   across client → edge → cloud, with a JSONL trace exporter and a
+//!   Prometheus-style text exporter ([`trace`]);
+//! * a **VM profiler** attributing virtual cycles and allocations to
+//!   source statements, rendered as collapsed stacks for flamegraphs
+//!   ([`profile`]).
+//!
+//! Everything is keyed to `SimTime`, seeded RNGs, and deterministic
+//! iteration orders, so two runs of the same workload produce
+//! byte-identical traces and expositions.
+//!
+//! ## The `Telemetry` handle and the disabled mode
+//!
+//! All recording flows through a cheaply clonable [`Telemetry`] handle.
+//! `Telemetry::disabled()` (the default) records nothing: every method is
+//! an inline no-op on a `None` inner, so instrumented code paths behave
+//! byte-identically to uninstrumented ones — the `e14_observability`
+//! bench asserts this. Compiling the crate with `--no-default-features`
+//! removes the recording machinery from the handle entirely (it becomes a
+//! zero-sized struct), proving the API surface needs nothing from the
+//! enabled implementation.
+
+pub mod histogram;
+pub mod profile;
+pub mod registry;
+pub mod trace;
+
+pub use histogram::{bucket_high, bucket_index, bucket_low, LogLinHistogram, NUM_BUCKETS};
+pub use profile::{StmtCost, StmtProfiler};
+pub use registry::{Counter, Gauge, Histogram, Registry};
+pub use trace::{EventRecord, SpanId, SpanRecord, Tier, TraceLog};
+
+#[cfg(feature = "enabled")]
+mod handle {
+    use crate::profile::StmtProfiler;
+    use crate::registry::Registry;
+    use crate::trace::{SpanId, Tier, TraceLog};
+    use edgstr_sim::SimTime;
+    use serde_json::Value as Json;
+    use std::cell::{Cell, RefCell};
+    use std::rc::Rc;
+
+    #[derive(Debug)]
+    struct Inner {
+        registry: Registry,
+        trace: RefCell<TraceLog>,
+        profiler: Rc<RefCell<StmtProfiler>>,
+        profiling: Cell<bool>,
+    }
+
+    /// Shared handle to one telemetry pipeline (registry + trace log +
+    /// profiler). Clones are cheap and all observe the same state. The
+    /// default handle is disabled and records nothing.
+    #[derive(Clone, Debug, Default)]
+    pub struct Telemetry {
+        inner: Option<Rc<Inner>>,
+    }
+
+    impl Telemetry {
+        /// A handle that records nothing; every method is a no-op.
+        pub fn disabled() -> Self {
+            Telemetry::default()
+        }
+
+        /// A live pipeline: metrics and spans record, profiling starts
+        /// off (enable with [`Telemetry::set_profiling`]).
+        pub fn recording() -> Self {
+            Telemetry {
+                inner: Some(Rc::new(Inner {
+                    registry: Registry::new(),
+                    trace: RefCell::new(TraceLog::default()),
+                    profiler: Rc::new(RefCell::new(StmtProfiler::new())),
+                    profiling: Cell::new(false),
+                })),
+            }
+        }
+
+        pub fn is_enabled(&self) -> bool {
+            self.inner.is_some()
+        }
+
+        /// The metrics registry, when recording.
+        pub fn registry(&self) -> Option<Registry> {
+            self.inner.as_ref().map(|i| i.registry.clone())
+        }
+
+        /// Open a span; returns [`SpanId::NULL`] when disabled.
+        pub fn start_span(
+            &self,
+            name: &'static str,
+            tier: Tier,
+            parent: Option<SpanId>,
+            at: SimTime,
+        ) -> SpanId {
+            match &self.inner {
+                Some(i) => i.trace.borrow_mut().start_span(name, tier, parent, at),
+                None => SpanId::NULL,
+            }
+        }
+
+        /// Open a span carrying its initial attributes in one log borrow.
+        /// Guard attribute construction with [`Telemetry::is_enabled`] on
+        /// hot paths; returns [`SpanId::NULL`] when disabled.
+        pub fn start_span_with(
+            &self,
+            name: &'static str,
+            tier: Tier,
+            parent: Option<SpanId>,
+            at: SimTime,
+            attrs: Vec<(&'static str, Json)>,
+        ) -> SpanId {
+            match &self.inner {
+                Some(i) => i
+                    .trace
+                    .borrow_mut()
+                    .start_span_with(name, tier, parent, at, attrs),
+                None => SpanId::NULL,
+            }
+        }
+
+        pub fn end_span(&self, id: SpanId, at: SimTime) {
+            if let Some(i) = &self.inner {
+                i.trace.borrow_mut().end_span(id, at);
+            }
+        }
+
+        pub fn span_attr(&self, id: SpanId, key: &'static str, value: Json) {
+            if let Some(i) = &self.inner {
+                i.trace.borrow_mut().span_attr(id, key, value);
+            }
+        }
+
+        /// Record a point event. `attrs` pairs become the event's JSON
+        /// attributes. Guard costly attribute construction with
+        /// [`Telemetry::is_enabled`] on hot paths.
+        pub fn event(
+            &self,
+            name: &'static str,
+            tier: Tier,
+            span: Option<SpanId>,
+            at: SimTime,
+            attrs: &[(&'static str, Json)],
+        ) {
+            if let Some(i) = &self.inner {
+                i.trace
+                    .borrow_mut()
+                    .event(name, tier, span, at, attrs.to_vec());
+            }
+        }
+
+        /// Turn per-statement VM profiling on or off. No-op when
+        /// disabled.
+        pub fn set_profiling(&self, on: bool) {
+            if let Some(i) = &self.inner {
+                i.profiling.set(on);
+            }
+        }
+
+        /// Whether VM profiling is currently requested.
+        pub fn profiling_enabled(&self) -> bool {
+            self.inner.as_ref().is_some_and(|i| i.profiling.get())
+        }
+
+        /// The shared profiler, for passing to `handle_traced` as the
+        /// instrument (`&mut *profiler.borrow_mut()`).
+        pub fn profiler(&self) -> Option<Rc<RefCell<StmtProfiler>>> {
+            self.inner.as_ref().map(|i| i.profiler.clone())
+        }
+
+        pub fn span_count(&self) -> usize {
+            self.inner
+                .as_ref()
+                .map_or(0, |i| i.trace.borrow().span_count())
+        }
+
+        pub fn event_count(&self) -> usize {
+            self.inner
+                .as_ref()
+                .map_or(0, |i| i.trace.borrow().event_count())
+        }
+
+        /// Trace records refused because the log hit its cap.
+        pub fn trace_dropped(&self) -> u64 {
+            self.inner
+                .as_ref()
+                .map_or(0, |i| i.trace.borrow().dropped())
+        }
+
+        /// JSON Lines export of the span/event log (empty when disabled).
+        pub fn export_trace_jsonl(&self) -> String {
+            self.inner
+                .as_ref()
+                .map_or_else(String::new, |i| i.trace.borrow().export_jsonl())
+        }
+
+        /// Prometheus text exposition of the registry (empty when
+        /// disabled).
+        pub fn export_prometheus(&self) -> String {
+            self.inner
+                .as_ref()
+                .map_or_else(String::new, |i| i.registry.render_prometheus())
+        }
+
+        /// Collapsed-stack profile weighted by virtual cycles (empty when
+        /// disabled).
+        pub fn collapsed_cycles(&self) -> String {
+            self.inner
+                .as_ref()
+                .map_or_else(String::new, |i| i.profiler.borrow().collapsed_cycles())
+        }
+
+        /// Collapsed-stack profile weighted by allocations (empty when
+        /// disabled).
+        pub fn collapsed_allocs(&self) -> String {
+            self.inner
+                .as_ref()
+                .map_or_else(String::new, |i| i.profiler.borrow().collapsed_allocs())
+        }
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod handle {
+    use crate::profile::StmtProfiler;
+    use crate::registry::Registry;
+    use crate::trace::{SpanId, Tier};
+    use edgstr_sim::SimTime;
+    use serde_json::Value as Json;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Compiled-out telemetry: a zero-sized handle whose every method is
+    /// an inline no-op. Same API surface as the enabled build.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Telemetry;
+
+    impl Telemetry {
+        #[inline(always)]
+        pub fn disabled() -> Self {
+            Telemetry
+        }
+
+        /// With the `enabled` feature compiled out, "recording" handles
+        /// are indistinguishable from disabled ones.
+        #[inline(always)]
+        pub fn recording() -> Self {
+            Telemetry
+        }
+
+        #[inline(always)]
+        pub fn is_enabled(&self) -> bool {
+            false
+        }
+
+        #[inline(always)]
+        pub fn registry(&self) -> Option<Registry> {
+            None
+        }
+
+        #[inline(always)]
+        pub fn start_span(
+            &self,
+            _name: &'static str,
+            _tier: Tier,
+            _parent: Option<SpanId>,
+            _at: SimTime,
+        ) -> SpanId {
+            SpanId::NULL
+        }
+
+        #[inline(always)]
+        pub fn start_span_with(
+            &self,
+            _name: &'static str,
+            _tier: Tier,
+            _parent: Option<SpanId>,
+            _at: SimTime,
+            _attrs: Vec<(&'static str, Json)>,
+        ) -> SpanId {
+            SpanId::NULL
+        }
+
+        #[inline(always)]
+        pub fn end_span(&self, _id: SpanId, _at: SimTime) {}
+
+        #[inline(always)]
+        pub fn span_attr(&self, _id: SpanId, _key: &'static str, _value: Json) {}
+
+        #[inline(always)]
+        pub fn event(
+            &self,
+            _name: &'static str,
+            _tier: Tier,
+            _span: Option<SpanId>,
+            _at: SimTime,
+            _attrs: &[(&'static str, Json)],
+        ) {
+        }
+
+        #[inline(always)]
+        pub fn set_profiling(&self, _on: bool) {}
+
+        #[inline(always)]
+        pub fn profiling_enabled(&self) -> bool {
+            false
+        }
+
+        #[inline(always)]
+        pub fn profiler(&self) -> Option<Rc<RefCell<StmtProfiler>>> {
+            None
+        }
+
+        #[inline(always)]
+        pub fn span_count(&self) -> usize {
+            0
+        }
+
+        #[inline(always)]
+        pub fn event_count(&self) -> usize {
+            0
+        }
+
+        #[inline(always)]
+        pub fn trace_dropped(&self) -> u64 {
+            0
+        }
+
+        #[inline(always)]
+        pub fn export_trace_jsonl(&self) -> String {
+            String::new()
+        }
+
+        #[inline(always)]
+        pub fn export_prometheus(&self) -> String {
+            String::new()
+        }
+
+        #[inline(always)]
+        pub fn collapsed_cycles(&self) -> String {
+            String::new()
+        }
+
+        #[inline(always)]
+        pub fn collapsed_allocs(&self) -> String {
+            String::new()
+        }
+    }
+}
+
+pub use handle::Telemetry;
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+    use edgstr_sim::SimTime;
+    use serde_json::json;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        let span = t.start_span("request", Tier::Client, None, SimTime(0));
+        assert!(span.is_null());
+        t.event("x", Tier::System, Some(span), SimTime(1), &[]);
+        t.end_span(span, SimTime(2));
+        assert!(t.registry().is_none());
+        assert_eq!(t.export_trace_jsonl(), "");
+        assert_eq!(t.export_prometheus(), "");
+    }
+
+    #[test]
+    fn recording_handle_shares_state_across_clones() {
+        let t = Telemetry::recording();
+        let t2 = t.clone();
+        let span = t.start_span("request", Tier::Client, None, SimTime(0));
+        t2.span_attr(span, "path", json!("/books"));
+        t2.end_span(span, SimTime(5));
+        assert_eq!(t.span_count(), 1);
+        let reg = t.registry().expect("enabled registry");
+        reg.counter("edgstr_requests_total", &[]).inc();
+        assert!(t2.export_prometheus().contains("edgstr_requests_total 1"));
+        assert!(t.export_trace_jsonl().contains("\"path\":\"/books\""));
+        assert!(!t.profiling_enabled());
+        t2.set_profiling(true);
+        assert!(t.profiling_enabled());
+    }
+}

@@ -1,0 +1,232 @@
+//! Per-statement VM profiler: virtual cycles and allocations attributed
+//! to source `StmtId`s, organized as a call tree.
+//!
+//! The compiled VM reports costs through the `Instrument` profiling hooks
+//! (`on_stmt_cost` / `on_frame_push` / `on_frame_pop`); this profiler
+//! arranges them into a prefix tree of function frames and renders the
+//! collapsed-stack format flamegraph tooling consumes
+//! (`frame;frame;leaf count`, one line per unique stack). Statement
+//! leaves are rendered as `stmt:<id>` frames so a flamegraph shows which
+//! statements inside a function burn the cycles.
+
+use edgstr_lang::{Instrument, StmtId, TraceEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StmtCost {
+    pub cycles: u64,
+    pub allocs: u64,
+}
+
+#[derive(Debug, Default)]
+struct Node {
+    children: BTreeMap<String, usize>,
+    costs: BTreeMap<u32, StmtCost>,
+}
+
+/// Call-tree profiler over the VM's statement-cost stream. Roots are set
+/// per request via [`StmtProfiler::set_root`], so one profiler can
+/// accumulate a whole workload and still attribute costs to the service
+/// that incurred them.
+#[derive(Debug)]
+pub struct StmtProfiler {
+    nodes: Vec<Node>,
+    /// Stack of node indices; `stack[0]` is the synthetic root.
+    stack: Vec<usize>,
+}
+
+impl Default for StmtProfiler {
+    fn default() -> Self {
+        StmtProfiler {
+            nodes: vec![Node::default()],
+            stack: vec![0],
+        }
+    }
+}
+
+impl StmtProfiler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn child(&mut self, parent: usize, label: &str) -> usize {
+        if let Some(&idx) = self.nodes[parent].children.get(label) {
+            return idx;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(Node::default());
+        self.nodes[parent].children.insert(label.to_string(), idx);
+        idx
+    }
+
+    /// Reset the frame stack to a fresh request root named `label`
+    /// (e.g. `"GET /loans"`). Costs recorded before the first `set_root`
+    /// attach to an implicit `"<toplevel>"` root.
+    pub fn set_root(&mut self, label: &str) {
+        let idx = self.child(0, label);
+        self.stack.clear();
+        self.stack.push(0);
+        self.stack.push(idx);
+    }
+
+    fn current(&mut self) -> usize {
+        if self.stack.len() == 1 {
+            let idx = self.child(0, "<toplevel>");
+            self.stack.push(idx);
+        }
+        *self.stack.last().expect("stack is never empty")
+    }
+
+    /// Total attributed cost across all stacks.
+    pub fn total(&self) -> StmtCost {
+        let mut t = StmtCost::default();
+        for node in &self.nodes {
+            for cost in node.costs.values() {
+                t.cycles += cost.cycles;
+                t.allocs += cost.allocs;
+            }
+        }
+        t
+    }
+
+    /// Per-statement totals aggregated over every stack, keyed by
+    /// `StmtId`.
+    pub fn stmt_totals(&self) -> BTreeMap<u32, StmtCost> {
+        let mut out: BTreeMap<u32, StmtCost> = BTreeMap::new();
+        for node in &self.nodes {
+            for (stmt, cost) in &node.costs {
+                let e = out.entry(*stmt).or_default();
+                e.cycles += cost.cycles;
+                e.allocs += cost.allocs;
+            }
+        }
+        out
+    }
+
+    fn collapse(&self, weight: impl Fn(&StmtCost) -> u64) -> String {
+        let mut out = String::new();
+        let mut path: Vec<&str> = Vec::new();
+        self.walk(0, &mut path, &weight, &mut out);
+        out
+    }
+
+    fn walk<'a>(
+        &'a self,
+        node: usize,
+        path: &mut Vec<&'a str>,
+        weight: &impl Fn(&StmtCost) -> u64,
+        out: &mut String,
+    ) {
+        for (stmt, cost) in &self.nodes[node].costs {
+            let w = weight(cost);
+            if w == 0 {
+                continue;
+            }
+            for (i, frame) in path.iter().enumerate() {
+                if i > 0 {
+                    out.push(';');
+                }
+                out.push_str(frame);
+            }
+            if !path.is_empty() {
+                out.push(';');
+            }
+            let _ = writeln!(out, "stmt:{stmt} {w}");
+        }
+        for (label, &child) in &self.nodes[node].children {
+            path.push(label);
+            self.walk(child, path, weight, out);
+            path.pop();
+        }
+    }
+
+    /// Collapsed-stack report weighted by virtual cycles.
+    pub fn collapsed_cycles(&self) -> String {
+        self.collapse(|c| c.cycles)
+    }
+
+    /// Collapsed-stack report weighted by allocation count.
+    pub fn collapsed_allocs(&self) -> String {
+        self.collapse(|c| c.allocs)
+    }
+}
+
+impl Instrument for StmtProfiler {
+    fn on_event(&mut self, _event: &TraceEvent) {}
+
+    fn wants_events(&self) -> bool {
+        false
+    }
+
+    fn wants_profile(&self) -> bool {
+        true
+    }
+
+    fn on_stmt_cost(&mut self, stmt: StmtId, cycles: u64, allocs: u64) {
+        if cycles == 0 && allocs == 0 {
+            return;
+        }
+        let node = self.current();
+        let cost = self.nodes[node].costs.entry(stmt.0).or_default();
+        cost.cycles += cycles;
+        cost.allocs += allocs;
+    }
+
+    fn on_frame_push(&mut self, name: Option<&str>) {
+        let parent = self.current();
+        let idx = self.child(parent, name.unwrap_or("<anon>"));
+        self.stack.push(idx);
+    }
+
+    fn on_frame_pop(&mut self) {
+        // Never pop the synthetic root or the request root.
+        if self.stack.len() > 2 {
+            self.stack.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collapsed_stacks_follow_frames() {
+        let mut p = StmtProfiler::new();
+        p.set_root("GET /books");
+        p.on_stmt_cost(StmtId(1), 500, 0);
+        p.on_frame_push(Some("lookup"));
+        p.on_stmt_cost(StmtId(7), 1200, 2);
+        p.on_frame_pop();
+        p.on_stmt_cost(StmtId(1), 500, 0);
+        let out = p.collapsed_cycles();
+        assert!(out.contains("GET /books;stmt:1 1000"), "{out}");
+        assert!(out.contains("GET /books;lookup;stmt:7 1200"), "{out}");
+        let allocs = p.collapsed_allocs();
+        assert_eq!(allocs.trim(), "GET /books;lookup;stmt:7 2");
+        assert_eq!(
+            p.total(),
+            StmtCost {
+                cycles: 2200,
+                allocs: 2
+            }
+        );
+        assert_eq!(
+            p.stmt_totals()[&1],
+            StmtCost {
+                cycles: 1000,
+                allocs: 0
+            }
+        );
+    }
+
+    #[test]
+    fn pop_never_escapes_request_root() {
+        let mut p = StmtProfiler::new();
+        p.set_root("r");
+        p.on_frame_pop();
+        p.on_stmt_cost(StmtId(3), 10, 0);
+        assert!(p.collapsed_cycles().contains("r;stmt:3 10"));
+    }
+}

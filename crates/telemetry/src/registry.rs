@@ -1,0 +1,260 @@
+//! Labeled metrics registry: counters, gauges, and log-linear histograms.
+//!
+//! Handles are cheap `Rc` clones resolved once (by metric name plus a
+//! sorted label set) and bumped on the hot path without any map lookup.
+//! Everything is single-threaded by design — the simulator is
+//! deterministic and so is the registry: iteration order is the
+//! `BTreeMap` order of `(name, labels)`, which makes the Prometheus text
+//! exposition byte-stable across runs.
+
+use crate::histogram::{bucket_high, LogLinHistogram};
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// A metric identity: name plus sorted `key="value"` labels.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let mut out = format!("{}{{", self.name);
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{k}=\"{v}\"");
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Monotonic counter handle.
+#[derive(Clone, Debug)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get() + n);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// Last-value gauge handle.
+#[derive(Clone, Debug)]
+pub struct Gauge(Rc<Cell<f64>>);
+
+impl Gauge {
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.set(v);
+    }
+
+    #[inline]
+    pub fn add(&self, v: f64) {
+        self.0.set(self.0.get() + v);
+    }
+
+    #[inline]
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+}
+
+/// Histogram handle; see [`LogLinHistogram`] for the bucket scheme.
+#[derive(Clone, Debug)]
+pub struct Histogram(Rc<RefCell<LogLinHistogram>>);
+
+impl Histogram {
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.0.borrow_mut().record(v);
+    }
+
+    pub fn snapshot(&self) -> LogLinHistogram {
+        self.0.borrow().clone()
+    }
+}
+
+#[derive(Default, Debug)]
+struct RegistryInner {
+    counters: BTreeMap<MetricKey, Rc<Cell<u64>>>,
+    gauges: BTreeMap<MetricKey, Rc<Cell<f64>>>,
+    histograms: BTreeMap<MetricKey, Rc<RefCell<LogLinHistogram>>>,
+}
+
+/// Shared metrics registry. Cloning the registry clones a handle to the
+/// same underlying metric families.
+#[derive(Clone, Default, Debug)]
+pub struct Registry {
+    inner: Rc<RefCell<RegistryInner>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolve (creating if absent) the counter `name` with `labels`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = MetricKey::new(name, labels);
+        let cell = self
+            .inner
+            .borrow_mut()
+            .counters
+            .entry(key)
+            .or_default()
+            .clone();
+        Counter(cell)
+    }
+
+    /// Resolve (creating if absent) the gauge `name` with `labels`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = MetricKey::new(name, labels);
+        let cell = self
+            .inner
+            .borrow_mut()
+            .gauges
+            .entry(key)
+            .or_default()
+            .clone();
+        Gauge(cell)
+    }
+
+    /// Resolve (creating if absent) the histogram `name` with `labels`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let key = MetricKey::new(name, labels);
+        let cell = self
+            .inner
+            .borrow_mut()
+            .histograms
+            .entry(key)
+            .or_default()
+            .clone();
+        Histogram(cell)
+    }
+
+    /// Prometheus text exposition of every registered metric, in
+    /// deterministic `(name, labels)` order. Histograms render cumulative
+    /// `_bucket{le=...}` series over their non-empty buckets plus the
+    /// conventional `+Inf`, `_sum`, and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let inner = self.inner.borrow();
+        let mut out = String::new();
+        for (key, cell) in &inner.counters {
+            let _ = writeln!(out, "{} {}", key.render(), cell.get());
+        }
+        for (key, cell) in &inner.gauges {
+            let _ = writeln!(out, "{} {}", key.render(), cell.get());
+        }
+        for (key, cell) in &inner.histograms {
+            let h = cell.borrow();
+            let mut cum = 0u64;
+            for (idx, count) in h.nonzero_buckets() {
+                cum += count;
+                let mut labeled = key.labels.clone();
+                labeled.push(("le".into(), bucket_high(idx).to_string()));
+                let bucket_key = MetricKey {
+                    name: format!("{}_bucket", key.name),
+                    labels: labeled,
+                };
+                let _ = writeln!(out, "{} {}", bucket_key.render(), cum);
+            }
+            let inf_key = MetricKey {
+                name: format!("{}_bucket", key.name),
+                labels: {
+                    let mut l = key.labels.clone();
+                    l.push(("le".into(), "+Inf".into()));
+                    l
+                },
+            };
+            let _ = writeln!(out, "{} {}", inf_key.render(), h.count());
+            let _ = writeln!(
+                out,
+                "{} {}",
+                MetricKey {
+                    name: format!("{}_sum", key.name),
+                    labels: key.labels.clone()
+                }
+                .render(),
+                h.sum()
+            );
+            let _ = writeln!(
+                out,
+                "{} {}",
+                MetricKey {
+                    name: format!("{}_count", key.name),
+                    labels: key.labels.clone()
+                }
+                .render(),
+                h.count()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state_and_render_sorted() {
+        let reg = Registry::new();
+        let a = reg.counter("edgstr_requests_total", &[("tier", "edge")]);
+        let b = reg.counter("edgstr_requests_total", &[("tier", "edge")]);
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+        reg.counter("edgstr_requests_total", &[("tier", "cloud")])
+            .inc();
+        reg.gauge("edgstr_replicas", &[]).set(4.0);
+        let h = reg.histogram("edgstr_latency_us", &[]);
+        h.record(10);
+        h.record(100);
+        let text = reg.render_prometheus();
+        let cloud = text
+            .find("edgstr_requests_total{tier=\"cloud\"} 1")
+            .expect("cloud row");
+        let edge = text
+            .find("edgstr_requests_total{tier=\"edge\"} 3")
+            .expect("edge row");
+        assert!(cloud < edge, "label order is sorted: {text}");
+        assert!(text.contains("edgstr_replicas 4"));
+        assert!(text.contains("edgstr_latency_us_bucket{le=\"10\"} 1"));
+        assert!(text.contains("edgstr_latency_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("edgstr_latency_us_sum 110"));
+        assert!(text.contains("edgstr_latency_us_count 2"));
+        assert_eq!(reg.render_prometheus(), text, "exposition is stable");
+    }
+}

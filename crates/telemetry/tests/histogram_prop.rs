@@ -1,0 +1,105 @@
+//! Property tests for the log-linear histogram: merge is associative and
+//! commutative with the empty histogram as identity, quantiles stay
+//! within one bucket of the exact nearest-rank answer computed by
+//! `edgstr_sim::LatencyStats`, and the sparse JSON encoding round-trips.
+
+#![cfg(feature = "enabled")]
+
+use edgstr_sim::{LatencyStats, SimDuration};
+use edgstr_telemetry::{bucket_high, bucket_index, bucket_low, LogLinHistogram};
+use proptest::prelude::*;
+
+fn from_samples(samples: &[u64]) -> LogLinHistogram {
+    let mut h = LogLinHistogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// Samples spanning unit buckets, mid-range octaves, and huge values.
+fn sample() -> impl Strategy<Value = u64> {
+    prop_oneof![0u64..64, 0u64..100_000, any::<u64>()]
+}
+
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(sample(), 0..200)
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in samples(), b in samples()) {
+        let mut ab = from_samples(&a);
+        ab.merge(&from_samples(&b));
+        let mut ba = from_samples(&b);
+        ba.merge(&from_samples(&a));
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(a in samples(), b in samples(), c in samples()) {
+        let (ha, hb, hc) = (from_samples(&a), from_samples(&b), from_samples(&c));
+        // (a + b) + c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a + (b + c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn empty_is_merge_identity(a in samples()) {
+        let h = from_samples(&a);
+        let mut merged = h.clone();
+        merged.merge(&LogLinHistogram::new());
+        prop_assert_eq!(&merged, &h);
+        let mut other_way = LogLinHistogram::new();
+        other_way.merge(&h);
+        prop_assert_eq!(&other_way, &h);
+    }
+
+    #[test]
+    fn merge_equals_bulk_record(a in samples(), b in samples()) {
+        let mut merged = from_samples(&a);
+        merged.merge(&from_samples(&b));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(merged, from_samples(&all));
+    }
+
+    /// For every quantile probed, the histogram answer lands in the same
+    /// bucket as the exact nearest-rank sample from `LatencyStats` — the
+    /// "within one bucket" accuracy contract.
+    #[test]
+    fn quantiles_track_latency_stats(
+        a in prop::collection::vec(sample(), 1..200),
+        q_pct in 0u64..101,
+    ) {
+        let h = from_samples(&a);
+        let mut exact = LatencyStats::new();
+        for &v in &a {
+            exact.record(SimDuration(v));
+        }
+        for q in [q_pct as f64 / 100.0, 0.0, 0.5, 0.9, 0.99, 1.0] {
+            let approx = h.quantile(q);
+            let truth = exact.quantile(q).expect("non-empty").0;
+            let idx = bucket_index(truth);
+            prop_assert!(
+                bucket_low(idx).min(truth) <= approx && approx <= bucket_high(idx),
+                "q={q}: approx {approx} outside bucket [{}, {}] of exact {truth}",
+                bucket_low(idx), bucket_high(idx)
+            );
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips(a in samples()) {
+        let h = from_samples(&a);
+        let decoded = LogLinHistogram::decode(&h.encode()).expect("valid encoding decodes");
+        prop_assert_eq!(h, decoded);
+    }
+}
