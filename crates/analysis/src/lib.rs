@@ -16,6 +16,7 @@
 //! - `slice` — dependence slicing and the Extract Function refactoring;
 //! - [`profile`] — the per-service profiling driver (Algorithm 1).
 
+pub mod effects;
 pub mod facts;
 pub mod fuzz;
 pub mod profile;
@@ -24,6 +25,7 @@ pub mod slice;
 pub mod state;
 pub mod trace;
 
+pub use effects::{derive_effects, json_pk_string, request_field, EffectSummary, ReadUnit};
 pub use facts::{AnalysisFacts, EntryExit};
 pub use fuzz::{fuzz_params, FuzzDictionary};
 pub use profile::{profile_service, ServiceProfile};

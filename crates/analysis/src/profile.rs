@@ -5,6 +5,7 @@
 //! infer entry/exit points, slice, and apply Extract Function. The result
 //! is everything `edgstr-core` needs to generate the edge replica.
 
+use crate::effects::{derive_effects, EffectSummary};
 use crate::facts::{AnalysisFacts, EntryExit, TraceRun};
 use crate::fuzz::{fuzz_request, request_atoms, response_atoms, FuzzDictionary};
 use crate::server::{ServerError, ServerProcess};
@@ -31,6 +32,9 @@ pub struct ServiceProfile {
     /// State units this service *writes* — the candidates for CRDT
     /// wrapping, presented to the developer (§III-D).
     pub state_units: Vec<StateUnit>,
+    /// Read/write effect summary over all profiled runs — the read set is
+    /// the invalidation signal for the edge response cache.
+    pub effects: EffectSummary,
     /// A sample response (used by correctness regression tests).
     pub sample_response: Json,
     /// Mean virtual cycles per execution (base + fuzz runs).
@@ -130,6 +134,7 @@ pub fn profile_service(
     // fuzzed executions (failures tolerated: a fuzzed input may legally be
     // rejected by the service; those runs simply do not contribute facts)
     let mut fuzz_runs = Vec::new();
+    let mut fuzz_requests = Vec::new();
     for i in 1..=fuzz_iters {
         let mut dict = FuzzDictionary::default();
         let fz_req = fuzz_request(request, i, &mut dict);
@@ -144,6 +149,7 @@ pub fn profile_service(
                     param_atoms: request_atoms(&fz_req),
                     response_atoms: response_atoms(&out.response.body),
                 });
+                fuzz_requests.push(fz_req);
             }
             Err(_) => {
                 roll_back_run(server, init, None);
@@ -187,6 +193,14 @@ pub fn profile_service(
         }
     }
 
+    // effect summary from the same runs (requests aligned with traces)
+    let globals: BTreeSet<String> = server.snapshot_globals().keys().cloned().collect();
+    let effect_runs: Vec<(&HttpRequest, &crate::trace::ExecutionTrace)> =
+        std::iter::once((request, &base.trace))
+            .chain(fuzz_requests.iter().zip(fuzz_runs.iter().map(|r| &r.trace)))
+            .collect();
+    let effects = derive_effects(&server.db, &globals, &effect_runs);
+
     Ok(ServiceProfile {
         verb: request.verb,
         path: request.path.clone(),
@@ -194,6 +208,7 @@ pub fn profile_service(
         slice,
         extracted,
         state_units: state_units.into_iter().collect(),
+        effects,
         sample_response: outcome.response.body.clone(),
         avg_cycles: cycles_total / runs,
         request_bytes: request.size(),

@@ -319,6 +319,13 @@ fn bench_interp_dispatch(c: &mut Criterion) {
         })
     });
 
+    // cold compilation of a full subject app: FNV-hashed intern lookups
+    // plus pre-sized pools (no rehash/regrow during the single pass)
+    let subject = edgstr_lang::parse(edgstr_apps::medchem::SOURCE).unwrap();
+    g.bench_function("compile_cold", |b| {
+        b.iter(|| edgstr_lang::compile(&subject))
+    });
+
     // per-request state isolation: deep snapshot/restore of all globals
     // versus the journaled checkpoint that clones only what was touched
     let stateful = r#"
@@ -372,6 +379,39 @@ fn bench_interp_dispatch(c: &mut Criterion) {
     g.finish();
 }
 
+/// The memoized sorted view of `LatencyStats`: repeated quantile queries
+/// are O(1) after the first, and a query after k pushes costs a tail sort
+/// plus an O(n) merge rather than a full O(n log n) re-sort.
+fn bench_metrics(c: &mut Criterion) {
+    use edgstr_sim::{LatencyStats, SimDuration};
+    let mut g = c.benchmark_group("latency_stats");
+    let filled = || {
+        let mut s = LatencyStats::new();
+        let mut x: u64 = 0x2545_f491_4f6c_dd1d;
+        for _ in 0..100_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            s.record(SimDuration(x >> 40));
+        }
+        s
+    };
+    g.bench_function("quantile_repeated_100k", |b| {
+        let mut s = filled();
+        s.median(); // warm the sorted view
+        b.iter(|| (s.quantile(0.5), s.quantile(0.95), s.quantile(0.99)))
+    });
+    g.bench_function("quantile_after_push_100k", |b| {
+        let mut s = filled();
+        s.median();
+        b.iter(|| {
+            s.record(SimDuration(42));
+            s.quantile(0.99)
+        })
+    });
+    g.finish();
+}
+
 fn bench_template(c: &mut Criterion) {
     c.bench_function("template_render_replica", |b| {
         let ctx = json!({
@@ -413,6 +453,6 @@ fn bench_pipeline(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_crdt, bench_log_structure, bench_datalog, bench_sql, bench_lang, bench_interp_dispatch, bench_template, bench_pipeline
+    targets = bench_crdt, bench_log_structure, bench_datalog, bench_sql, bench_lang, bench_interp_dispatch, bench_metrics, bench_template, bench_pipeline
 }
 criterion_main!(benches);

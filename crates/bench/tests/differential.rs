@@ -12,6 +12,8 @@ use edgstr_analysis::trace::Tracer;
 use edgstr_analysis::{ExecMode, InitState, ServerProcess};
 use edgstr_apps::all_apps;
 use edgstr_net::HttpRequest;
+use edgstr_runtime::{CachePolicy, ThreeTierOptions, ThreeTierSystem, Workload};
+use edgstr_sim::DeviceSpec;
 use serde_json::Value as Json;
 
 struct EngineRun {
@@ -117,6 +119,59 @@ fn all_apps_identical_across_engines() {
             app.name
         );
     }
+}
+
+/// Every subject app served through the full three-tier deployment must
+/// produce bit-identical responses with the edge response cache on
+/// (`CachePolicy::All`) and off — the cache may only change timing, never
+/// content. Each request runs twice so repeated reads can actually hit.
+#[test]
+fn cache_policy_all_is_bit_identical_for_every_app() {
+    let mut total_hits = 0u64;
+    for app in all_apps() {
+        let report = edgstr_bench::transform_app(&app);
+        let mut requests = app.service_requests.clone();
+        requests.extend(app.regression_requests.iter().cloned());
+        let doubled: Vec<HttpRequest> = requests.iter().chain(requests.iter()).cloned().collect();
+        let wl = Workload::constant_rate(&doubled, 50.0, doubled.len());
+        let run = |policy: CachePolicy| {
+            let mut sys = ThreeTierSystem::deploy(
+                &app.source,
+                &report,
+                &[DeviceSpec::rpi4()],
+                ThreeTierOptions {
+                    cache: policy,
+                    ..ThreeTierOptions::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("{}: deploy failed: {e}", app.name));
+            let stats = sys.run(&wl);
+            (stats, sys.cache_stats())
+        };
+        let (off, off_cs) = run(CachePolicy::Off);
+        let (all, all_cs) = run(CachePolicy::All);
+        assert_eq!(
+            off_cs.hits + off_cs.misses,
+            0,
+            "{}: CachePolicy::Off must not touch caches",
+            app.name
+        );
+        assert_eq!(
+            off.completed, all.completed,
+            "{}: cache changes completion count",
+            app.name
+        );
+        assert_eq!(
+            off.response_digest, all.response_digest,
+            "{}: cached responses diverge from uncached execution",
+            app.name
+        );
+        total_hits += all_cs.hits;
+    }
+    assert!(
+        total_hits > 0,
+        "at least one app's repeated reads must be served from cache"
+    );
 }
 
 #[test]

@@ -22,7 +22,7 @@ use crate::change::{Change, ElemRef, ObjId, Op, OpValue};
 use crate::ids::{ActorId, OpId, VClock};
 use serde::{Deserialize, Serialize};
 use serde_json::Value as Json;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 /// Format marker of the snapshot+tail save layout produced by [`Doc::save`].
@@ -99,6 +99,53 @@ impl fmt::Display for CrdtError {
 }
 
 impl std::error::Error for CrdtError {}
+
+/// Which state units a tracked apply touched, expressed as the first two
+/// map-key segments of each applied op's location in the tree. Consumers
+/// project this onto their own layout: a table reads `("rows", Some(pk))`,
+/// the files store `("files", Some(path))`, a globals document reads the
+/// root key alone.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TouchedKeys {
+    /// `(root key, second-level key)` pairs; a `None` second component
+    /// means the op addressed the root-level entry itself.
+    pub keys: BTreeSet<(String, Option<String>)>,
+    /// Set when some op's location could not be resolved — the caller must
+    /// assume any unit may have changed.
+    pub unresolved: bool,
+}
+
+/// [`TouchedKeys`] collapsed onto a single container's second-level keys
+/// (row primary keys under `"rows"`, file paths under `"files"`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KeyTouch {
+    /// The second-level keys that changed.
+    pub keys: BTreeSet<String>,
+    /// Some op could not be attributed to a single key — treat the whole
+    /// structure as changed.
+    pub whole: bool,
+}
+
+impl TouchedKeys {
+    /// Collapse to the second-level keys under `container`; ops anywhere
+    /// else (or unresolvable ones) set `whole`.
+    #[must_use]
+    pub fn project(self, container: &str) -> KeyTouch {
+        let mut out = KeyTouch {
+            keys: BTreeSet::new(),
+            whole: self.unresolved,
+        };
+        for (first, second) in self.keys {
+            match second {
+                Some(k) if first == container => {
+                    out.keys.insert(k);
+                }
+                _ => out.whole = true,
+            }
+        }
+        out
+    }
+}
 
 #[derive(Debug, Clone, Default)]
 struct MapObj {
@@ -301,6 +348,11 @@ pub struct Doc {
     pending: BTreeMap<(ActorId, u64), Change>,
     maps: HashMap<ObjId, MapObj>,
     lists: HashMap<ObjId, ListObj>,
+    /// Containment index: child object → (parent object, map key under the
+    /// parent when the child sits in a map slot; `None` for list elements,
+    /// which share their list's key path). Lets tracked applies attribute
+    /// each op to the state unit it mutates without materializing paths.
+    parent: HashMap<ObjId, (ObjId, Option<String>)>,
     /// Lifetime count of [`Doc::compact`] calls that folded anything.
     compaction_rounds: u64,
     /// Lifetime count of changes folded out of the log by compaction.
@@ -322,6 +374,7 @@ impl Doc {
             pending: BTreeMap::new(),
             maps,
             lists: HashMap::new(),
+            parent: HashMap::new(),
             compaction_rounds: 0,
             compacted_changes: 0,
         }
@@ -688,6 +741,32 @@ impl Doc {
     /// Returns [`CrdtError::CorruptChange`] on malformed input (e.g. an op
     /// referencing an object that its own dependencies cannot provide).
     pub fn apply_changes_owned(&mut self, changes: Vec<Change>) -> Result<usize, CrdtError> {
+        self.apply_changes_inner(changes, None)
+    }
+
+    /// Like [`Doc::apply_changes_owned`], additionally reporting *where*
+    /// the applied ops landed as [`TouchedKeys`] — the invalidation signal
+    /// for per-unit version counters. Ops still buffered awaiting causal
+    /// dependencies are reported when they actually apply, i.e. by the
+    /// tracked call that releases them.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Doc::apply_changes_owned`].
+    pub fn apply_changes_owned_tracked(
+        &mut self,
+        changes: Vec<Change>,
+    ) -> Result<(usize, TouchedKeys), CrdtError> {
+        let mut touched = TouchedKeys::default();
+        let applied = self.apply_changes_inner(changes, Some(&mut touched))?;
+        Ok((applied, touched))
+    }
+
+    fn apply_changes_inner(
+        &mut self,
+        changes: Vec<Change>,
+        mut touched: Option<&mut TouchedKeys>,
+    ) -> Result<usize, CrdtError> {
         let mut queue = std::mem::take(&mut self.pending);
         for change in changes {
             if change.seq <= self.clock.get(change.actor) {
@@ -707,7 +786,7 @@ impl Doc {
                         break;
                     };
                     if self.clock.dominates(&change.deps) {
-                        self.apply_one(change)?;
+                        self.apply_one(change, touched.as_deref_mut())?;
                         applied += 1;
                         progress = true;
                     } else {
@@ -952,7 +1031,7 @@ impl Doc {
             }
         }
         let seq = clock.get(actor);
-        Ok(Doc {
+        let mut doc = Doc {
             actor,
             counter,
             seq,
@@ -962,9 +1041,12 @@ impl Doc {
             pending: BTreeMap::new(),
             maps,
             lists,
+            parent: HashMap::new(),
             compaction_rounds: 0,
             compacted_changes: 0,
-        })
+        };
+        doc.rebuild_parent_index();
+        Ok(doc)
     }
 
     // ---- internals ----------------------------------------------------------
@@ -1155,8 +1237,23 @@ impl Doc {
         self.push_history(change);
     }
 
-    fn apply_one(&mut self, change: Change) -> Result<(), CrdtError> {
+    fn apply_one(
+        &mut self,
+        change: Change,
+        mut touched: Option<&mut TouchedKeys>,
+    ) -> Result<(), CrdtError> {
+        if touched.is_some() {
+            // Pre-index containment: within one change the ops populating a
+            // fresh container precede the op that links it to its parent, so
+            // tracking needs the whole change's links up front.
+            for op in &change.ops {
+                self.index_parent_op(op);
+            }
+        }
         for op in &change.ops {
+            if let Some(t) = touched.as_deref_mut() {
+                self.track_op(op, t);
+            }
             self.apply_op(op)?;
         }
         let max = change.max_counter();
@@ -1182,7 +1279,111 @@ impl Doc {
         log.changes.push(change);
     }
 
+    /// Record where `op` lands in `touched`. Called before [`Doc::apply_op`]
+    /// so that container references created earlier in the same change are
+    /// already indexed.
+    fn track_op(&self, op: &Op, touched: &mut TouchedKeys) {
+        let loc = match op {
+            // Make ops have no location until something references them.
+            Op::MakeMap { .. } | Op::MakeList { .. } => return,
+            Op::Set { obj, key, .. } | Op::DelKey { obj, key, .. } | Op::Inc { obj, key, .. } => {
+                self.unit_path(*obj, Some(key))
+            }
+            Op::Insert { obj, .. } | Op::SetElem { obj, .. } | Op::DelElem { obj, .. } => {
+                self.unit_path(*obj, None)
+            }
+        };
+        match loc {
+            Some(k) => {
+                touched.keys.insert(k);
+            }
+            None => touched.unresolved = true,
+        }
+    }
+
+    /// Root-ward key path of an op target, truncated to the first two map
+    /// keys — enough to name the state unit (`"rows"`/pk, `"files"`/path,
+    /// or a root-level global) without materializing full paths.
+    fn unit_path(&self, obj: ObjId, key: Option<&str>) -> Option<(String, Option<String>)> {
+        let mut segs: Vec<&str> = Vec::new();
+        let mut cur = obj;
+        let mut hops = 0usize;
+        while cur != ObjId::Root {
+            let (p, k) = self.parent.get(&cur)?;
+            if let Some(k) = k {
+                segs.push(k.as_str());
+            }
+            cur = *p;
+            hops += 1;
+            if hops > 64 {
+                return None; // defensive: malformed containment chain
+            }
+        }
+        segs.reverse();
+        let mut it = segs
+            .into_iter()
+            .map(str::to_string)
+            .chain(key.map(str::to_string));
+        let first = it.next()?;
+        Some((first, it.next()))
+    }
+
+    /// Rebuild the containment index by walking every map slot and list
+    /// element (including superseded values — concurrent ops may still
+    /// address containers that are no longer visible).
+    fn rebuild_parent_index(&mut self) {
+        let mut parent = HashMap::new();
+        for (id, m) in &self.maps {
+            for (key, slot) in &m.entries {
+                for (_, v) in slot {
+                    if let OpValue::Obj(child) = v {
+                        parent.insert(*child, (*id, Some(key.clone())));
+                    }
+                }
+            }
+        }
+        for (id, l) in &self.lists {
+            for e in &l.elems {
+                for (_, v) in &e.values {
+                    if let OpValue::Obj(child) = v {
+                        parent.insert(*child, (*id, None));
+                    }
+                }
+            }
+        }
+        self.parent = parent;
+    }
+
+    /// Maintain the containment index: ops that store a container reference
+    /// establish where that container lives.
+    fn index_parent_op(&mut self, op: &Op) {
+        match op {
+            Op::Set {
+                obj,
+                key,
+                value: OpValue::Obj(child),
+                ..
+            } => {
+                self.parent.insert(*child, (*obj, Some(key.clone())));
+            }
+            Op::Insert {
+                obj,
+                value: OpValue::Obj(child),
+                ..
+            }
+            | Op::SetElem {
+                obj,
+                value: OpValue::Obj(child),
+                ..
+            } => {
+                self.parent.insert(*child, (*obj, None));
+            }
+            _ => {}
+        }
+    }
+
     fn apply_op(&mut self, op: &Op) -> Result<(), CrdtError> {
+        self.index_parent_op(op);
         match op {
             Op::MakeMap { id } => {
                 self.maps.entry(ObjId::Made(*id)).or_default();

@@ -5,8 +5,7 @@
 //! identified in the dynamic trace (copying or downloading, §III-C).
 
 use crate::change::Change;
-use crate::doc::CrdtError;
-use crate::doc::Doc;
+use crate::doc::{CrdtError, Doc, KeyTouch};
 use crate::ids::{ActorId, VClock};
 use crate::path;
 use serde_json::Value as Json;
@@ -120,6 +119,21 @@ impl CrdtFiles {
     /// Propagates [`CrdtError`] on malformed changes.
     pub fn apply_changes_owned(&mut self, changes: Vec<Change>) -> Result<usize, CrdtError> {
         self.doc.apply_changes_owned(changes)
+    }
+
+    /// Like [`CrdtFiles::apply_changes_owned`], additionally reporting which
+    /// file paths the applied ops touched (projected onto the `files`
+    /// container; `whole` is set for anything not attributable to one path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrdtError`] on malformed changes.
+    pub fn apply_changes_owned_tracked(
+        &mut self,
+        changes: Vec<Change>,
+    ) -> Result<(usize, KeyTouch), CrdtError> {
+        let (applied, touched) = self.doc.apply_changes_owned_tracked(changes)?;
+        Ok((applied, touched.project("files")))
     }
 
     /// Retained change-log length (see [`Doc::history_len`]).

@@ -58,7 +58,7 @@ pub mod sync;
 pub mod table;
 
 pub use change::{batch_wire_size, Change, ElemRef, ObjId, Op, OpValue};
-pub use doc::{CrdtError, Doc, PathSeg, GENESIS_ACTOR};
+pub use doc::{CrdtError, Doc, KeyTouch, PathSeg, TouchedKeys, GENESIS_ACTOR};
 pub use files::CrdtFiles;
 pub use ids::{ActorId, OpId, VClock};
 pub use sync::{AdvanceMode, PeerSync, SyncMessage};

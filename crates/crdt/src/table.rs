@@ -7,7 +7,7 @@
 //! [`CrdtTable::update_cell`] / [`CrdtTable::delete_row`].
 
 use crate::change::Change;
-use crate::doc::{CrdtError, Doc};
+use crate::doc::{CrdtError, Doc, KeyTouch};
 use crate::ids::{ActorId, VClock};
 use crate::path;
 use serde_json::Value as Json;
@@ -143,6 +143,22 @@ impl CrdtTable {
     /// Propagates [`CrdtError`] on malformed changes.
     pub fn apply_changes_owned(&mut self, changes: Vec<Change>) -> Result<usize, CrdtError> {
         self.doc.apply_changes_owned(changes)
+    }
+
+    /// Like [`CrdtTable::apply_changes_owned`], additionally reporting which
+    /// primary keys the applied ops touched (projected onto the `rows`
+    /// container; `whole` is set for anything that could not be pinned to a
+    /// single row).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CrdtError`] on malformed changes.
+    pub fn apply_changes_owned_tracked(
+        &mut self,
+        changes: Vec<Change>,
+    ) -> Result<(usize, KeyTouch), CrdtError> {
+        let (applied, touched) = self.doc.apply_changes_owned_tracked(changes)?;
+        Ok((applied, touched.project("rows")))
     }
 
     /// Retained change-log length (see [`Doc::history_len`]).

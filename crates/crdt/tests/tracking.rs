@@ -1,0 +1,175 @@
+//! Tracked-apply tests: `apply_changes_owned_tracked` must attribute every
+//! applied op to the state unit (row / file / root global) it lands in, and
+//! fall back to a conservative `whole`/`unresolved` marker when it cannot.
+
+use edgstr_crdt::{path, ActorId, CrdtFiles, CrdtTable, Doc, VClock};
+use serde_json::json;
+
+const A: ActorId = ActorId(1);
+const B: ActorId = ActorId(2);
+
+#[test]
+fn container_replacement_is_conservative() {
+    // Replacing the `rows` container itself (a root-level Set) cannot be
+    // pinned to one pk and must project as `whole`.
+    let mut src = Doc::new(A);
+    let mut dst = Doc::new(B);
+    src.put(&path!["rows"], json!({"a": {"age": 1}})).unwrap();
+    let (applied, touched) = dst
+        .apply_changes_owned_tracked(src.get_changes(&VClock::new()))
+        .unwrap();
+    assert!(applied > 0);
+    let touch = touched.project("rows");
+    assert!(touch.whole, "container replacement must be conservative");
+}
+
+#[test]
+fn upsert_tracks_primary_key() {
+    let mut src = CrdtTable::new(A, "users");
+    let mut dst = CrdtTable::new(B, "users");
+    // Bootstrap so the `rows` container already exists on both sides.
+    src.upsert_row("seed", &json!({"age": 1})).unwrap();
+    dst.apply_changes_owned(src.get_changes(&VClock::new()))
+        .unwrap();
+
+    let before = dst.clock().clone();
+    src.upsert_row("alice", &json!({"name": "Alice", "age": 30}))
+        .unwrap();
+    let (applied, touch) = dst
+        .apply_changes_owned_tracked(src.get_changes(&before))
+        .unwrap();
+    assert!(applied > 0);
+    assert!(!touch.whole, "row upsert must resolve to a single pk");
+    assert_eq!(
+        touch.keys.into_iter().collect::<Vec<_>>(),
+        vec!["alice".to_string()]
+    );
+}
+
+#[test]
+fn update_cell_tracks_only_touched_row() {
+    let mut src = CrdtTable::new(A, "users");
+    let mut dst = CrdtTable::new(B, "users");
+    src.upsert_row("alice", &json!({"age": 30})).unwrap();
+    src.upsert_row("bob", &json!({"age": 41})).unwrap();
+    dst.apply_changes_owned(src.get_changes(&VClock::new()))
+        .unwrap();
+
+    let before = dst.clock().clone();
+    src.update_cell("bob", "age", &json!(42)).unwrap();
+    let (_, touch) = dst
+        .apply_changes_owned_tracked(src.get_changes(&before))
+        .unwrap();
+    assert!(!touch.whole);
+    assert_eq!(
+        touch.keys.into_iter().collect::<Vec<_>>(),
+        vec!["bob".to_string()]
+    );
+}
+
+#[test]
+fn delete_row_tracks_primary_key() {
+    let mut src = CrdtTable::new(A, "users");
+    let mut dst = CrdtTable::new(B, "users");
+    src.upsert_row("alice", &json!({"age": 30})).unwrap();
+    dst.apply_changes_owned(src.get_changes(&VClock::new()))
+        .unwrap();
+
+    let before = dst.clock().clone();
+    src.delete_row("alice").unwrap();
+    let (_, touch) = dst
+        .apply_changes_owned_tracked(src.get_changes(&before))
+        .unwrap();
+    assert!(!touch.whole);
+    assert!(touch.keys.contains("alice"));
+}
+
+#[test]
+fn files_track_path() {
+    let mut src = CrdtFiles::new(A);
+    let mut dst = CrdtFiles::new(B);
+    src.put_file("seed.txt", b"s").unwrap();
+    dst.apply_changes_owned(src.get_changes(&VClock::new()))
+        .unwrap();
+
+    let before = dst.clock().clone();
+    src.put_file("notes.txt", b"hello").unwrap();
+    let (_, touch) = dst
+        .apply_changes_owned_tracked(src.get_changes(&before))
+        .unwrap();
+    assert!(!touch.whole);
+    assert!(touch.keys.contains("notes.txt"));
+}
+
+#[test]
+fn globals_track_root_key() {
+    let mut src = Doc::new(A);
+    let mut dst = Doc::new(B);
+    src.put(&path!["counter"], json!(7)).unwrap();
+    src.put(&path!["mode"], json!("fast")).unwrap();
+    let (_, touched) = dst
+        .apply_changes_owned_tracked(src.get_changes(&VClock::new()))
+        .unwrap();
+    assert!(!touched.unresolved);
+    let roots: Vec<String> = touched.keys.iter().map(|(k, _)| k.clone()).collect();
+    assert!(roots.contains(&"counter".to_string()));
+    assert!(roots.contains(&"mode".to_string()));
+}
+
+#[test]
+fn tracking_survives_save_load_v2() {
+    let mut src = CrdtTable::new(A, "users");
+    src.upsert_row("alice", &json!({"age": 30})).unwrap();
+    let bytes = src.save();
+    // Reload: the containment index must be rebuilt so later tracked
+    // applies still resolve cell-level ops to their row.
+    let mut dst = CrdtTable::load(B, "users", &bytes).unwrap();
+    src.update_cell("alice", "age", &json!(31)).unwrap();
+    let (_, touch) = dst
+        .apply_changes_owned_tracked(src.get_changes(dst.clock()))
+        .unwrap();
+    assert!(!touch.whole, "parent index must survive v2 save/load");
+    assert!(touch.keys.contains("alice"));
+}
+
+#[test]
+fn tracking_after_compaction_still_resolves() {
+    let mut src = CrdtTable::new(A, "users");
+    let mut dst = CrdtTable::new(B, "users");
+    src.upsert_row("alice", &json!({"age": 30})).unwrap();
+    dst.apply_changes_owned(src.get_changes(&VClock::new()))
+        .unwrap();
+    let frontier = dst.clock().clone();
+    dst.compact(&frontier);
+
+    src.update_cell("alice", "age", &json!(31)).unwrap();
+    let (_, touch) = dst
+        .apply_changes_owned_tracked(src.get_changes(&frontier))
+        .unwrap();
+    assert!(!touch.whole);
+    assert!(touch.keys.contains("alice"));
+}
+
+#[test]
+fn pending_ops_attributed_when_released() {
+    // Deliver seq 2 before seq 1: the tracked call that releases the
+    // buffered change reports both (causal release happens inside one
+    // tracked batch here since both changes arrive together reordered).
+    let mut src = CrdtTable::new(A, "users");
+    let mut dst = CrdtTable::new(B, "users");
+    src.upsert_row("alice", &json!({"age": 30})).unwrap();
+    let first = src.get_changes(&VClock::new());
+    let mid = src.clock().clone();
+    src.upsert_row("bob", &json!({"age": 41})).unwrap();
+    let second = src.get_changes(&mid);
+
+    // Deliver the later change alone: nothing applies, nothing tracked.
+    let (applied, touch) = dst.apply_changes_owned_tracked(second).unwrap();
+    assert_eq!(applied, 0);
+    assert!(touch.keys.is_empty() && !touch.whole);
+
+    // Delivering the earlier change releases both; both pks reported.
+    let (applied, touch) = dst.apply_changes_owned_tracked(first).unwrap();
+    assert!(applied >= 2);
+    assert!(touch.keys.contains("alice") && touch.keys.contains("bob"));
+}

@@ -30,7 +30,35 @@ use crate::ops;
 use crate::value::{Closure, Value};
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::rc::Rc;
+
+/// FNV-1a hasher for the compiler's intern and slot tables. The keys are
+/// short names and small integers with no DoS-resistance requirement, so
+/// the single-multiply FNV round beats the default SipHash per lookup.
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// `BuildHasher` plugging [`FnvHasher`] into `HashMap`.
+pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
 
 /// Entry point of a closure into its [`CompiledProgram`]: the program plus
 /// the index of the chunk holding the function body.
@@ -212,21 +240,34 @@ fn collect_declared(stmts: &[Stmt], out: &mut Vec<String>) {
 #[derive(Default)]
 struct Compiler {
     atoms: Vec<Rc<str>>,
-    atom_ids: HashMap<Rc<str>, u32>,
+    atom_ids: HashMap<Rc<str>, u32, FnvBuildHasher>,
     global_names: Vec<u32>,
-    gid_of_atom: HashMap<u32, u32>,
+    gid_of_atom: HashMap<u32, u32, FnvBuildHasher>,
     chunks: Vec<Chunk>,
 }
 
 /// Per-chunk compilation state.
 #[derive(Default)]
 struct ChunkCtx {
-    slot_of: HashMap<u32, u16>,
+    slot_of: HashMap<u32, u16, FnvBuildHasher>,
     locals: Vec<u32>,
     ops: Vec<Op>,
 }
 
 impl Compiler {
+    /// A compiler whose constant pool and intern tables are pre-sized for
+    /// `atom_refs` interning calls (an upper bound from a first AST pass),
+    /// so cold compilation never rehashes or regrows them.
+    fn with_atom_capacity(atom_refs: usize) -> Compiler {
+        Compiler {
+            atoms: Vec::with_capacity(atom_refs),
+            atom_ids: HashMap::with_capacity_and_hasher(atom_refs, FnvBuildHasher::default()),
+            global_names: Vec::with_capacity(atom_refs),
+            gid_of_atom: HashMap::with_capacity_and_hasher(atom_refs, FnvBuildHasher::default()),
+            chunks: Vec::new(),
+        }
+    }
+
     fn intern(&mut self, s: &str) -> u32 {
         if let Some(&id) = self.atom_ids.get(s) {
             return id;
@@ -594,6 +635,130 @@ impl Compiler {
     }
 }
 
+/// Upper bound on the intern-table insertions one statement can cause —
+/// the first pass that sizes the constant pool before compilation.
+fn count_stmt_atoms(s: &Stmt, n: &mut usize) {
+    match s {
+        Stmt::Let { init, .. } => {
+            *n += 1;
+            if let Some(e) = init {
+                count_expr_atoms(e, n);
+            }
+        }
+        Stmt::Assign { target, value, .. } => {
+            count_expr_atoms(value, n);
+            match target {
+                LValue::Var(_) => *n += 1,
+                LValue::Member(base, _) => {
+                    count_expr_atoms(base, n);
+                    *n += 2; // field + possible root resolve
+                }
+                LValue::Index(base, index) => {
+                    count_expr_atoms(base, n);
+                    count_expr_atoms(index, n);
+                    *n += 1;
+                }
+            }
+        }
+        Stmt::Expr { expr, .. } => count_expr_atoms(expr, n),
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+            ..
+        } => {
+            count_expr_atoms(cond, n);
+            for s in then_block.iter().chain(else_block) {
+                count_stmt_atoms(s, n);
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            count_expr_atoms(cond, n);
+            for s in body {
+                count_stmt_atoms(s, n);
+            }
+        }
+        Stmt::For {
+            init,
+            cond,
+            update,
+            body,
+            ..
+        } => {
+            count_stmt_atoms(init, n);
+            count_expr_atoms(cond, n);
+            count_stmt_atoms(update, n);
+            for s in body {
+                count_stmt_atoms(s, n);
+            }
+        }
+        Stmt::Return { value, .. } => {
+            if let Some(e) = value {
+                count_expr_atoms(e, n);
+            }
+        }
+        Stmt::Function {
+            name: _,
+            params,
+            body,
+            ..
+        } => {
+            *n += 1 + params.len();
+            for s in body {
+                count_stmt_atoms(s, n);
+            }
+        }
+    }
+}
+
+fn count_expr_atoms(e: &Expr, n: &mut usize) {
+    match e {
+        Expr::Null | Expr::Bool(_) | Expr::Num(_) => {}
+        Expr::Str(_) | Expr::Var(_) => *n += 1,
+        Expr::Array(items) => {
+            for i in items {
+                count_expr_atoms(i, n);
+            }
+        }
+        Expr::Object(fields) => {
+            for (_, v) in fields {
+                count_expr_atoms(v, n);
+            }
+        }
+        Expr::Binary(_, a, b) => {
+            count_expr_atoms(a, n);
+            count_expr_atoms(b, n);
+        }
+        Expr::Unary(_, a) => count_expr_atoms(a, n),
+        Expr::Member(base, _) => {
+            count_expr_atoms(base, n);
+            *n += 2; // field + possible method/root resolve
+        }
+        Expr::Index(base, index) => {
+            count_expr_atoms(base, n);
+            count_expr_atoms(index, n);
+        }
+        Expr::Function { params, body } => {
+            *n += params.len();
+            for s in body {
+                count_stmt_atoms(s, n);
+            }
+        }
+        Expr::New { args, .. } => {
+            *n += 1;
+            for a in args {
+                count_expr_atoms(a, n);
+            }
+        }
+        Expr::Call { callee, args } => {
+            count_expr_atoms(callee, n);
+            for a in args {
+                count_expr_atoms(a, n);
+            }
+        }
+    }
+}
+
 fn slot_for(ctx: &mut ChunkCtx, atom: u32) -> u16 {
     if let Some(&s) = ctx.slot_of.get(&atom) {
         return s;
@@ -615,7 +780,11 @@ fn patch(ctx: &mut ChunkCtx, at: usize, target: u32) {
 /// Compile a whole program. Chunk 0 holds the top level (it has no static
 /// locals: top-level `var` declarations are global bindings).
 pub fn compile(program: &Program) -> CompiledProgram {
-    let mut c = Compiler::default();
+    let mut refs = 0;
+    for s in &program.stmts {
+        count_stmt_atoms(s, &mut refs);
+    }
+    let mut c = Compiler::with_atom_capacity(refs);
     c.compile_chunk(None, &[], &program.stmts, true);
     CompiledProgram {
         atoms: c.atoms,
@@ -629,7 +798,11 @@ pub fn compile(program: &Program) -> CompiledProgram {
 /// by the tree-walking interpreter and handed over through a global).
 /// Chunk 0 of the result is the function body itself.
 pub fn compile_closure(closure: &Closure) -> CompiledProgram {
-    let mut c = Compiler::default();
+    let mut refs = closure.params.len();
+    for s in &closure.body {
+        count_stmt_atoms(s, &mut refs);
+    }
+    let mut c = Compiler::with_atom_capacity(refs);
     c.compile_chunk(closure.name.clone(), &closure.params, &closure.body, false);
     CompiledProgram {
         atoms: c.atoms,
@@ -721,6 +894,47 @@ mod tests {
                 "missing Op::Stmt for {id}"
             );
         }
+    }
+
+    #[test]
+    fn atom_count_pass_is_an_upper_bound() {
+        // the pre-sizing pass must never undercount: capacity reserved up
+        // front has to cover every interning call compilation performs
+        let src = r#"
+            var greeting = 'hello';
+            function shout(msg) {
+                var out = msg + '!';
+                return out;
+            }
+            app.post("/echo", function (req, res) {
+                var body = { text: shout(req.body.text), tag: greeting };
+                res.send(body);
+            });
+            for (var i = 0; i < 3; i = i + 1) { greeting = greeting + '.'; }
+        "#;
+        let prog = parse(src).unwrap();
+        let mut refs = 0;
+        for s in &prog.stmts {
+            count_stmt_atoms(s, &mut refs);
+        }
+        let p = compile(&prog);
+        assert!(
+            refs >= p.atoms.len(),
+            "counted {refs} refs but interned {} atoms",
+            p.atoms.len()
+        );
+    }
+
+    #[test]
+    fn fnv_hasher_distinguishes_keys() {
+        fn h(bytes: &[u8]) -> u64 {
+            let mut hasher = FnvHasher::default();
+            hasher.write(bytes);
+            hasher.finish()
+        }
+        assert_ne!(h(b"counter"), h(b"written"));
+        assert_ne!(h(b""), h(b"a"));
+        assert_eq!(h(b"notes"), h(b"notes"));
     }
 
     #[test]

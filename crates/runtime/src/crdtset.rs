@@ -7,6 +7,7 @@
 //! by the server process (the generated wiring), and *materializes* remote
 //! changes back into the server's database / file system / globals.
 
+use crate::cache::UnitVersions;
 use edgstr_analysis::{HandleOutcome, InitState, ServerProcess};
 use edgstr_core::CrdtBindings;
 use edgstr_crdt::{ActorId, AdvanceMode, Change, CrdtFiles, CrdtTable, Doc, PathSeg, VClock};
@@ -114,6 +115,9 @@ pub struct CrdtSet {
     pub tables: BTreeMap<String, CrdtTable>,
     pub files: CrdtFiles,
     pub globals: Doc,
+    /// Per-state-unit version counters, bumped on every local mutation and
+    /// every applied remote change — the response cache's validity signal.
+    pub versions: UnitVersions,
 }
 
 impl CrdtSet {
@@ -156,6 +160,7 @@ impl CrdtSet {
             tables,
             files,
             globals,
+            versions: UnitVersions::default(),
         }
     }
 
@@ -182,14 +187,18 @@ impl CrdtSet {
     /// `CRDT-Files`, and bound globals are re-read from the server into
     /// `CRDT-JSON`.
     pub fn absorb_outcome(&mut self, outcome: &HandleOutcome, server: &ServerProcess) {
+        // Version bumps cover *all* concrete effects, bound or not: an
+        // unreplicated table/file still invalidates cached reads of it.
         for effect in &outcome.row_effects {
             match effect {
                 RowEffect::Upsert { table, pk, row } => {
+                    self.versions.touch_row(table, pk);
                     if let Some(t) = self.tables.get_mut(table) {
                         t.upsert_row(pk, row).expect("table CRDT upsert");
                     }
                 }
                 RowEffect::Delete { table, pk } => {
+                    self.versions.touch_row(table, pk);
                     if let Some(t) = self.tables.get_mut(table) {
                         t.delete_row(pk).expect("table CRDT delete");
                     }
@@ -197,6 +206,7 @@ impl CrdtSet {
             }
         }
         for (path, data) in &outcome.file_writes {
+            self.versions.touch_file(path);
             if self.bindings.files.contains(path) {
                 self.files.put_file(path, data).expect("file CRDT put");
             }
@@ -206,9 +216,14 @@ impl CrdtSet {
             if let Some(current) = server.global_json(g) {
                 let path = vec![PathSeg::Key(g.clone())];
                 if self.globals.get(&path).as_ref() != Some(&current) {
+                    self.versions.touch_global(g);
                     self.globals.put(&path, current).expect("global CRDT put");
                 }
             }
+        }
+        // newly-bound globals surface here even when not CRDT-bound
+        for g in &outcome.global_writes {
+            self.versions.touch_global(g);
         }
     }
 
@@ -244,24 +259,48 @@ impl CrdtSet {
         let mut applied = 0;
         for (name, cs) in changes.tables {
             if let Some(t) = self.tables.get_mut(&name) {
-                applied += t.apply_changes_owned(cs).expect("table CRDT apply");
+                let (n, touch) = t.apply_changes_owned_tracked(cs).expect("table CRDT apply");
+                applied += n;
+                if touch.whole {
+                    self.versions.touch_table(&name);
+                } else {
+                    for pk in &touch.keys {
+                        self.versions.touch_row(&name, pk);
+                    }
+                }
                 // materialize merged rows into the SQL engine
                 let rows: Vec<Json> = t.rows().into_iter().map(|(_, row)| row).collect();
                 let _ = server.db.replace_table_rows(&name, &rows);
             }
         }
         if !changes.files.is_empty() {
-            applied += self
+            let (n, touch) = self
                 .files
-                .apply_changes_owned(changes.files)
+                .apply_changes_owned_tracked(changes.files)
                 .expect("files CRDT apply");
+            applied += n;
+            if touch.whole {
+                self.versions.touch_files_all();
+            } else {
+                for path in &touch.keys {
+                    self.versions.touch_file(path);
+                }
+            }
             self.materialize_files(server);
         }
         if !changes.globals.is_empty() {
-            applied += self
+            let (n, touched) = self
                 .globals
-                .apply_changes_owned(changes.globals)
+                .apply_changes_owned_tracked(changes.globals)
                 .expect("globals CRDT apply");
+            applied += n;
+            if touched.unresolved {
+                self.versions.touch_globals_all();
+            } else {
+                for (first, _) in &touched.keys {
+                    self.versions.touch_global(first);
+                }
+            }
             self.materialize_globals(server);
         }
         applied
@@ -381,6 +420,7 @@ impl CrdtSet {
             tables,
             files,
             globals,
+            versions: UnitVersions::default(),
         })
     }
 }

@@ -16,11 +16,16 @@
 //!   cloud master.
 
 pub mod balancer;
+pub mod cache;
 pub mod crdtset;
 pub mod driver;
 pub mod system;
 
 pub use balancer::{Autoscaler, BalanceStrategy, LoadBalancer};
+pub use cache::{
+    bump_static_global_writes, resolve_reads, CacheKey, CachePolicy, CacheStats, ResponseCache,
+    UnitKey, UnitVersions, CACHE_HIT_CYCLES,
+};
 pub use crdtset::{CrdtSet, SetChanges, SetClock, SetSyncMessage, SyncEndpoint};
 pub use driver::{FaultPolicy, MobilePower, RunRecorder, RunStats, TimedRequest, Workload};
 pub use system::{EdgeReplica, ThreeTierOptions, ThreeTierSystem, TwoTierSystem};

@@ -7,10 +7,14 @@
 //! scaling and elasticity (Fig. 9), and synchronization traffic (Fig. 10a).
 
 use crate::balancer::{Autoscaler, BalanceStrategy, LoadBalancer};
+use crate::cache::{
+    bump_static_global_writes, resolve_reads, CacheKey, CachePolicy, CacheStats, ResponseCache,
+    UnitKey, CACHE_HIT_CYCLES,
+};
 use crate::crdtset::{CrdtSet, SyncEndpoint};
 use crate::driver::RunRecorder;
 pub use crate::driver::{FaultPolicy, MobilePower, RunStats, TimedRequest, Workload};
-use edgstr_analysis::{InitState, ServerError, ServerProcess};
+use edgstr_analysis::{EffectSummary, InitState, ServerError, ServerProcess, StateUnit};
 use edgstr_core::{CrdtBindings, TransformationReport};
 use edgstr_crdt::{ActorId, AdvanceMode};
 use edgstr_lang::Program;
@@ -19,7 +23,7 @@ use edgstr_sim::{DetRng, Device, DeviceSpec, PowerState, SimDuration, SimTime};
 use edgstr_telemetry::{Counter, SpanId, StmtProfiler, Telemetry, Tier};
 use serde_json::Value as Json;
 use std::cell::RefCell;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 // ---------------------------------------------------------------------------
@@ -152,6 +156,9 @@ pub struct EdgeReplica {
     pub device: Device,
     pub crdts: CrdtSet,
     pub to_cloud: SyncEndpoint,
+    /// Read-set-versioned response cache (validated against
+    /// `crdts.versions` on every lookup).
+    pub cache: ResponseCache,
     inflight: Vec<SimTime>,
     active: bool,
     crashed: bool,
@@ -203,6 +210,11 @@ pub struct ThreeTierOptions {
     /// Observability sink shared by the drivers, the sync daemon and the
     /// fault plan. Disabled by default and free when disabled.
     pub telemetry: Telemetry,
+    /// Which services the response caches may serve (off by default — the
+    /// exact baseline the cache is measured against).
+    pub cache: CachePolicy,
+    /// Per-replica LRU byte budget for cached responses.
+    pub cache_budget_bytes: usize,
 }
 
 impl Default for ThreeTierOptions {
@@ -219,8 +231,25 @@ impl Default for ThreeTierOptions {
             sync_advance: AdvanceMode::OnAck,
             compaction: true,
             telemetry: Telemetry::disabled(),
+            cache: CachePolicy::Off,
+            cache_budget_bytes: 256 * 1024,
         }
     }
+}
+
+/// Everything the driver needs to consult the cache for one request,
+/// resolved before any replica borrow: the canonical entry key, the
+/// request's concrete read-unit keys, and write-set facts that gate
+/// filling and forward-skipping.
+struct CachePlan {
+    key: CacheKey,
+    reads: Vec<UnitKey>,
+    /// No static global writes in the profile — required to fill, because
+    /// mutations of existing unbound globals are invisible in a concrete
+    /// [`edgstr_analysis::HandleOutcome`].
+    globals_clean: bool,
+    /// No writes of any kind in the profile.
+    pure: bool,
 }
 
 /// The EdgStr-generated three-tier deployment.
@@ -234,6 +263,11 @@ pub struct ThreeTierSystem {
     pub options: ThreeTierOptions,
     balancer: LoadBalancer,
     replicated: BTreeSet<(Verb, String)>,
+    /// Cloud-side response cache for forwarded requests.
+    cloud_cache: ResponseCache,
+    /// Per-service effect summaries from profiling — the cache's read/write
+    /// sets.
+    effects: BTreeMap<(Verb, String), EffectSummary>,
     pub mobile: MobilePower,
     lan_up: LinkChannel,
     lan_down: LinkChannel,
@@ -297,6 +331,7 @@ impl ThreeTierSystem {
                     mode: options.sync_advance,
                     ..SyncEndpoint::new()
                 },
+                cache: ResponseCache::new(options.cache_budget_bytes, &options.telemetry),
                 inflight: Vec::new(),
                 active: true,
                 crashed: false,
@@ -311,6 +346,16 @@ impl ThreeTierSystem {
         let balancer = LoadBalancer::new(options.balance);
         let jitter = DetRng::new(options.policy.jitter_seed);
         let next_actor = 2 + edges.len() as u64;
+        let effects: BTreeMap<(Verb, String), EffectSummary> = report
+            .services
+            .iter()
+            .filter_map(|s| {
+                s.profile
+                    .as_ref()
+                    .map(|p| ((s.verb, s.path.clone()), p.effects.clone()))
+            })
+            .collect();
+        let cloud_cache = ResponseCache::new(options.cache_budget_bytes, &options.telemetry);
         Ok(ThreeTierSystem {
             cloud,
             cloud_device: Device::new(DeviceSpec::cloud_server()),
@@ -331,8 +376,45 @@ impl ThreeTierSystem {
             next_actor,
             options,
             replicated: report.replica.replicated.iter().cloned().collect(),
+            cloud_cache,
+            effects,
             mobile: MobilePower::default(),
         })
+    }
+
+    /// Resolve the cache participation of one request under the configured
+    /// policy: `None` means this request bypasses the caches entirely.
+    fn cache_plan(&self, request: &HttpRequest) -> Option<CachePlan> {
+        let policy = self.options.cache;
+        if policy == CachePolicy::Off {
+            return None;
+        }
+        let summary = self.effects.get(&(request.verb, request.path.clone()))?;
+        if !summary.cacheable {
+            return None;
+        }
+        if policy == CachePolicy::ReadOnlyServices && !summary.pure {
+            return None;
+        }
+        Some(CachePlan {
+            key: CacheKey::for_request(request),
+            reads: resolve_reads(summary, request),
+            globals_clean: !summary
+                .writes
+                .iter()
+                .any(|w| matches!(w, StateUnit::Global(_))),
+            pure: summary.pure,
+        })
+    }
+
+    /// Lifetime hit/miss/eviction/invalidation counts aggregated over the
+    /// cloud cache and every edge cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut s = self.cloud_cache.stats().clone();
+        for e in &self.edges {
+            s.absorb(e.cache.stats());
+        }
+        s
     }
 
     /// One bidirectional background sync round between every live edge and
@@ -510,6 +592,9 @@ impl ThreeTierSystem {
         e.inflight.clear();
         e.crashed = false;
         e.active = true;
+        // the fresh CrdtSet's version counters restart at zero; stale
+        // entries must not revalidate against them
+        e.cache.clear();
         // the cloud resumes from the image's clock: nothing below it is
         // ever re-sent
         self.cloud_endpoints[i] = SyncEndpoint {
@@ -560,6 +645,7 @@ impl ThreeTierSystem {
         arrive: SimTime,
         rec: &mut RunRecorder,
         span: SpanId,
+        plan: Option<&CachePlan>,
     ) -> Option<(SimTime, HttpResponse)> {
         let telemetry = self.options.telemetry.clone();
         let policy = self.options.policy.clone();
@@ -594,36 +680,80 @@ impl ThreeTierSystem {
                     .as_mut()
                     .is_some_and(|p| p.should_drop(&edge_name, "cloud", t));
                 if !dropped {
-                    match self.cloud.handle(request) {
-                        Ok(out) => {
-                            let serve = telemetry.start_span(
-                                "serve",
-                                Tier::Cloud,
-                                Some(span),
-                                cloud_arrive,
-                            );
-                            self.cloud_crdts.absorb_outcome(&out, &self.cloud);
-                            let (_, finish) =
-                                self.cloud_device.schedule_work(cloud_arrive, out.cycles);
-                            telemetry.end_span(serve, finish);
-                            let resp_size = out.response.size();
-                            executed = Some((finish, out.response));
-                            let back = self.wan_down.send(finish, resp_size);
-                            rec.add_wan_request_bytes(resp_size);
-                            let resp_dropped = self
-                                .options
-                                .faults
-                                .as_mut()
-                                .is_some_and(|p| p.should_drop("cloud", &edge_name, finish));
-                            if !resp_dropped {
-                                self.record_forward_success();
-                                return executed.map(|(_, r)| (back, r));
-                            }
-                        }
-                        Err(_) => {
-                            // application error: the WAN worked, no retry
+                    // Cloud-side cache: a hit skips only the handler — the
+                    // WAN message sequence (request judged above, response
+                    // judged below) is identical to the execute path, so
+                    // the fault plan's per-link streams stay aligned with
+                    // the cache-off run.
+                    let cloud_hit = plan
+                        .and_then(|p| self.cloud_cache.lookup(&p.key, &self.cloud_crdts.versions));
+                    if let Some(response) = cloud_hit {
+                        let serve =
+                            telemetry.start_span("serve", Tier::Cloud, Some(span), cloud_arrive);
+                        let (_, finish) = self
+                            .cloud_device
+                            .schedule_work(cloud_arrive, CACHE_HIT_CYCLES);
+                        telemetry.end_span(serve, finish);
+                        let resp_size = response.size();
+                        executed = Some((finish, response));
+                        let back = self.wan_down.send(finish, resp_size);
+                        rec.add_wan_request_bytes(resp_size);
+                        let resp_dropped = self
+                            .options
+                            .faults
+                            .as_mut()
+                            .is_some_and(|p| p.should_drop("cloud", &edge_name, finish));
+                        if !resp_dropped {
                             self.record_forward_success();
-                            return None;
+                            return executed.map(|(_, r)| (back, r));
+                        }
+                    } else {
+                        match self.cloud.handle(request) {
+                            Ok(out) => {
+                                let serve = telemetry.start_span(
+                                    "serve",
+                                    Tier::Cloud,
+                                    Some(span),
+                                    cloud_arrive,
+                                );
+                                self.cloud_crdts.absorb_outcome(&out, &self.cloud);
+                                if self.options.cache != CachePolicy::Off {
+                                    bump_static_global_writes(
+                                        &mut self.cloud_crdts.versions,
+                                        self.effects.get(&(request.verb, request.path.clone())),
+                                    );
+                                }
+                                let (_, finish) =
+                                    self.cloud_device.schedule_work(cloud_arrive, out.cycles);
+                                telemetry.end_span(serve, finish);
+                                if let Some(p) = plan {
+                                    let effect_free = out.row_effects.is_empty()
+                                        && out.file_writes.is_empty()
+                                        && out.global_writes.is_empty()
+                                        && p.globals_clean;
+                                    if effect_free {
+                                        let stamp = self.cloud_crdts.versions.snapshot(&p.reads);
+                                        self.cloud_cache.fill(p.key.clone(), &out.response, stamp);
+                                    }
+                                }
+                                let resp_size = out.response.size();
+                                executed = Some((finish, out.response));
+                                let back = self.wan_down.send(finish, resp_size);
+                                rec.add_wan_request_bytes(resp_size);
+                                let resp_dropped =
+                                    self.options.faults.as_mut().is_some_and(|p| {
+                                        p.should_drop("cloud", &edge_name, finish)
+                                    });
+                                if !resp_dropped {
+                                    self.record_forward_success();
+                                    return executed.map(|(_, r)| (back, r));
+                                }
+                            }
+                            Err(_) => {
+                                // application error: the WAN worked, no retry
+                                self.record_forward_success();
+                                return None;
+                            }
                         }
                     }
                 }
@@ -748,71 +878,145 @@ impl ThreeTierSystem {
             let arrive = lan_arrive + wake;
             let key = (tr.request.verb, tr.request.path.clone());
             let local = self.replicated.contains(&key);
-            let local_result = if local {
-                handle_profiled(&mut self.edges[idx].server, &tr.request, &profiler)
-            } else {
-                Err(ServerError::NoSuchRoute {
-                    verb: tr.request.verb,
-                    path: tr.request.path.clone(),
-                })
-            };
-            let (done, response, up_total, down_total, wait) = match local_result {
-                Ok(out) => {
-                    if self.breaker_open(arrive) {
-                        // replicated service under an open breaker: still
-                        // served locally, deltas queue until the WAN heals
-                        rec.degraded();
-                        telemetry.event(
-                            "degraded.local_serve",
-                            Tier::Edge,
-                            Some(span),
-                            arrive,
-                            &[],
-                        );
-                    }
-                    let serve = telemetry.start_span("serve", Tier::Edge, Some(span), arrive);
+            let plan = self.cache_plan(&tr.request);
+            // A forwarded service may be served from the edge cache only
+            // when skipping the WAN round-trip cannot diverge from the
+            // cache-off run: no read set, no writes (pure), and no fault
+            // plan whose per-link streams the skipped messages would have
+            // consumed.
+            let forward_skip_ok = !local
+                && self.options.faults.is_none()
+                && plan.as_ref().is_some_and(|p| p.reads.is_empty() && p.pure);
+            let cache_hit: Option<HttpResponse> = if local || forward_skip_ok {
+                plan.as_ref().and_then(|p| {
                     let edge = &mut self.edges[idx];
-                    edge.crdts.absorb_outcome(&out, &edge.server);
-                    let (_, finish) = edge.device.schedule_work(arrive, out.cycles);
-                    telemetry.end_span(serve, finish);
-                    let resp_size = out.response.size();
-                    let done = self.lan_down.send(finish, resp_size);
-                    let down = done - finish;
-                    rec.add_lan_bytes(resp_size);
-                    edge.inflight.push(done);
-                    if self.options.synchronous_sync {
-                        rec.add_wan_sync_bytes(self.sync_round(finish));
-                    }
-                    (done, out.response, up, down, finish - arrive)
+                    edge.cache.lookup(&p.key, &edge.crdts.versions)
+                })
+            } else {
+                None
+            };
+            let (done, response, up_total, down_total, wait) = if let Some(response) = cache_hit {
+                if self.breaker_open(arrive) {
+                    rec.degraded();
+                    telemetry.event("degraded.local_serve", Tier::Edge, Some(span), arrive, &[]);
                 }
-                Err(_) => {
-                    // failure forwarding: the edge proxies the request to
-                    // the cloud master over the WAN (§II-B)
-                    rec.forwarded();
-                    if self.breaker_open(arrive) {
-                        // degraded mode: fail fast without a WAN attempt
-                        rec.degraded();
-                        rec.fail();
-                        telemetry.event("degraded.fail_fast", Tier::Edge, Some(span), arrive, &[]);
-                        telemetry.end_span(span, arrive);
-                        continue;
-                    }
-                    let fwd = telemetry.start_span("forward", Tier::Edge, Some(span), arrive);
-                    match self.forward_to_cloud(idx, &tr.request, arrive, &mut rec, fwd) {
-                        Some((back_at_edge, response)) => {
-                            telemetry.end_span(fwd, back_at_edge);
-                            let resp_size = response.size();
-                            let done = self.lan_down.send(back_at_edge, resp_size);
-                            let lan_down = done - back_at_edge;
-                            rec.add_lan_bytes(resp_size);
-                            self.edges[idx].inflight.push(done);
-                            (done, response, up, lan_down, back_at_edge - arrive)
+                let serve = telemetry.start_span("serve", Tier::Edge, Some(span), arrive);
+                let edge = &mut self.edges[idx];
+                let (_, finish) = edge.device.schedule_work(arrive, CACHE_HIT_CYCLES);
+                telemetry.end_span(serve, finish);
+                let resp_size = response.size();
+                let done = self.lan_down.send(finish, resp_size);
+                let down = done - finish;
+                rec.add_lan_bytes(resp_size);
+                edge.inflight.push(done);
+                if self.options.synchronous_sync {
+                    rec.add_wan_sync_bytes(self.sync_round(finish));
+                }
+                (done, response, up, down, finish - arrive)
+            } else {
+                let local_result = if local {
+                    handle_profiled(&mut self.edges[idx].server, &tr.request, &profiler)
+                } else {
+                    Err(ServerError::NoSuchRoute {
+                        verb: tr.request.verb,
+                        path: tr.request.path.clone(),
+                    })
+                };
+                match local_result {
+                    Ok(out) => {
+                        if self.breaker_open(arrive) {
+                            // replicated service under an open breaker: still
+                            // served locally, deltas queue until the WAN heals
+                            rec.degraded();
+                            telemetry.event(
+                                "degraded.local_serve",
+                                Tier::Edge,
+                                Some(span),
+                                arrive,
+                                &[],
+                            );
                         }
-                        None => {
-                            telemetry.end_span(fwd, arrive);
+                        let serve = telemetry.start_span("serve", Tier::Edge, Some(span), arrive);
+                        let summary = self.effects.get(&key);
+                        let edge = &mut self.edges[idx];
+                        edge.crdts.absorb_outcome(&out, &edge.server);
+                        if self.options.cache != CachePolicy::Off {
+                            bump_static_global_writes(&mut edge.crdts.versions, summary);
+                        }
+                        if let Some(p) = &plan {
+                            // only a demonstrably effect-free execution may
+                            // fill: its re-execution would be a no-op, so a
+                            // later hit skips nothing
+                            let effect_free = out.row_effects.is_empty()
+                                && out.file_writes.is_empty()
+                                && out.global_writes.is_empty()
+                                && p.globals_clean;
+                            if effect_free {
+                                let stamp = edge.crdts.versions.snapshot(&p.reads);
+                                edge.cache.fill(p.key.clone(), &out.response, stamp);
+                            }
+                        }
+                        let (_, finish) = edge.device.schedule_work(arrive, out.cycles);
+                        telemetry.end_span(serve, finish);
+                        let resp_size = out.response.size();
+                        let done = self.lan_down.send(finish, resp_size);
+                        let down = done - finish;
+                        rec.add_lan_bytes(resp_size);
+                        edge.inflight.push(done);
+                        if self.options.synchronous_sync {
+                            rec.add_wan_sync_bytes(self.sync_round(finish));
+                        }
+                        (done, out.response, up, down, finish - arrive)
+                    }
+                    Err(_) => {
+                        // failure forwarding: the edge proxies the request to
+                        // the cloud master over the WAN (§II-B)
+                        rec.forwarded();
+                        if self.breaker_open(arrive) {
+                            // degraded mode: fail fast without a WAN attempt
+                            rec.degraded();
                             rec.fail();
+                            telemetry.event(
+                                "degraded.fail_fast",
+                                Tier::Edge,
+                                Some(span),
+                                arrive,
+                                &[],
+                            );
                             telemetry.end_span(span, arrive);
                             continue;
+                        }
+                        let fwd = telemetry.start_span("forward", Tier::Edge, Some(span), arrive);
+                        match self.forward_to_cloud(
+                            idx,
+                            &tr.request,
+                            arrive,
+                            &mut rec,
+                            fwd,
+                            plan.as_ref(),
+                        ) {
+                            Some((back_at_edge, response)) => {
+                                telemetry.end_span(fwd, back_at_edge);
+                                let resp_size = response.size();
+                                let done = self.lan_down.send(back_at_edge, resp_size);
+                                let lan_down = done - back_at_edge;
+                                rec.add_lan_bytes(resp_size);
+                                self.edges[idx].inflight.push(done);
+                                if forward_skip_ok {
+                                    if let Some(p) = &plan {
+                                        let edge = &mut self.edges[idx];
+                                        let stamp = edge.crdts.versions.snapshot(&p.reads);
+                                        edge.cache.fill(p.key.clone(), &response, stamp);
+                                    }
+                                }
+                                (done, response, up, lan_down, back_at_edge - arrive)
+                            }
+                            None => {
+                                telemetry.end_span(fwd, arrive);
+                                rec.fail();
+                                telemetry.end_span(span, arrive);
+                                continue;
+                            }
                         }
                     }
                 }
@@ -909,6 +1113,73 @@ mod tests {
             assert_eq!(e.crdts.tables["notes"].len(), cloud_rows);
         }
         assert!(cloud_rows >= 20);
+    }
+
+    #[test]
+    fn cache_serves_repeated_reads_and_invalidates_on_write() {
+        let report = transformed();
+        let mut sys = ThreeTierSystem::deploy(
+            APP,
+            &report,
+            &[DeviceSpec::rpi4()],
+            ThreeTierOptions {
+                cache: CachePolicy::All,
+                ..ThreeTierOptions::default()
+            },
+        )
+        .unwrap();
+        let count = HttpRequest::get("/count", json!({}));
+        let reqs = vec![
+            count.clone(),
+            count.clone(),
+            count.clone(),
+            unique_note(1),
+            count.clone(),
+            count.clone(),
+        ];
+        let wl = Workload::constant_rate(&reqs, 10.0, reqs.len());
+        let stats = sys.run(&wl);
+        assert_eq!(stats.completed, reqs.len());
+        let cs = sys.cache_stats();
+        // gets 2+3 and 5 hit; the write invalidates the entry before 4
+        assert_eq!(cs.hits, 3);
+        assert_eq!(cs.invalidations, 1);
+        assert!(cs.misses >= 2);
+    }
+
+    #[test]
+    fn cached_responses_are_bit_identical_to_uncached() {
+        let report = transformed();
+        let mut reqs = Vec::new();
+        for i in 0..10 {
+            reqs.push(unique_note(i));
+            reqs.push(HttpRequest::get("/count", json!({})));
+            reqs.push(HttpRequest::get("/count", json!({})));
+        }
+        let wl = Workload::constant_rate(&reqs, 40.0, reqs.len());
+        let run = |policy: CachePolicy| {
+            let mut sys = ThreeTierSystem::deploy(
+                APP,
+                &report,
+                &[DeviceSpec::rpi4()],
+                ThreeTierOptions {
+                    cache: policy,
+                    ..ThreeTierOptions::default()
+                },
+            )
+            .unwrap();
+            let stats = sys.run(&wl);
+            (stats, sys.cache_stats())
+        };
+        let (off, off_cs) = run(CachePolicy::Off);
+        let (all, all_cs) = run(CachePolicy::All);
+        assert_eq!(off_cs.hits + off_cs.misses, 0, "Off must not touch caches");
+        assert!(all_cs.hits > 0, "repeated reads must hit");
+        assert_eq!(off.completed, all.completed);
+        assert_eq!(
+            off.response_digest, all.response_digest,
+            "cached responses must be bit-identical to uncached execution"
+        );
     }
 
     #[test]

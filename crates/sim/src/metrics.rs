@@ -5,10 +5,18 @@
 use crate::time::{SimDuration, SimTime};
 
 /// A collection of latency samples with distribution statistics.
+///
+/// Quantile queries memoize the sorted view: the buffer stays sorted up to
+/// `sorted_len`, pushes append unsorted past it, and the next query sorts
+/// only the appended tail and merges it into the prefix — O(n + k log k)
+/// for k new samples rather than O(n log n) per query, and O(1) for
+/// repeated queries with no pushes in between.
 #[derive(Debug, Clone, Default)]
 pub struct LatencyStats {
     samples_us: Vec<u64>,
-    sorted: bool,
+    /// Length of the sorted prefix; samples at or beyond this index were
+    /// recorded since the last quantile query.
+    sorted_len: usize,
 }
 
 /// Two collections are equal when they hold the same multiset of samples;
@@ -39,7 +47,6 @@ impl LatencyStats {
     /// Record one latency sample.
     pub fn record(&mut self, d: SimDuration) {
         self.samples_us.push(d.0);
-        self.sorted = false;
     }
 
     /// Number of samples.
@@ -53,10 +60,30 @@ impl LatencyStats {
     }
 
     fn ensure_sorted(&mut self) {
-        if !self.sorted {
-            self.samples_us.sort_unstable();
-            self.sorted = true;
+        let n = self.samples_us.len();
+        if self.sorted_len == n {
+            return;
         }
+        self.samples_us[self.sorted_len..].sort_unstable();
+        if self.sorted_len > 0 {
+            // merge the sorted prefix with the freshly sorted tail
+            let mut merged = Vec::with_capacity(n);
+            let (head, tail) = self.samples_us.split_at(self.sorted_len);
+            let (mut i, mut j) = (0, 0);
+            while i < head.len() && j < tail.len() {
+                if head[i] <= tail[j] {
+                    merged.push(head[i]);
+                    i += 1;
+                } else {
+                    merged.push(tail[j]);
+                    j += 1;
+                }
+            }
+            merged.extend_from_slice(&head[i..]);
+            merged.extend_from_slice(&tail[j..]);
+            self.samples_us = merged;
+        }
+        self.sorted_len = n;
     }
 
     /// The `q`-quantile (0.0–1.0) by nearest-rank.
@@ -237,6 +264,30 @@ mod tests {
         assert!(s.mean().is_none());
         assert!(s.five_number_summary().is_none());
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn interleaved_pushes_and_quantiles_stay_correct() {
+        // exercise the sorted-prefix merge: pushes between queries land in
+        // the unsorted tail and must merge, not corrupt, the prefix
+        let mut s = LatencyStats::new();
+        let mut reference: Vec<u64> = Vec::new();
+        let mut x: u64 = 7;
+        for round in 0..50 {
+            for _ in 0..=(round % 4) {
+                x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                let v = x >> 33;
+                s.record(SimDuration(v));
+                reference.push(v);
+            }
+            let mut sorted = reference.clone();
+            sorted.sort_unstable();
+            let mid = ((sorted.len() as f64 - 1.0) * 0.5).round() as usize;
+            assert_eq!(s.median().unwrap(), SimDuration(sorted[mid]));
+            assert_eq!(s.min().unwrap(), SimDuration(sorted[0]));
+            assert_eq!(s.max().unwrap(), SimDuration(*sorted.last().unwrap()));
+        }
+        assert_eq!(s.len(), reference.len());
     }
 
     #[test]

@@ -83,7 +83,7 @@ impl Table {
     /// hash of the whole row — stable because rows are append-ordered).
     fn row_pk(&self, row: &[SqlValue], fallback: usize) -> String {
         match self.pk_index() {
-            Some(i) => row[i].to_string().trim_matches('\'').to_string(),
+            Some(i) => row[i].pk_string(),
             None => format!("row{fallback}"),
         }
     }
@@ -449,7 +449,7 @@ impl SqlDb {
                         }
                         affected += 1;
                         let pk = match pk_index {
-                            Some(pi) => row[pi].to_string().trim_matches('\'').to_string(),
+                            Some(pi) => row[pi].pk_string(),
                             None => format!("row{i}"),
                         };
                         let mut m = serde_json::Map::new();
@@ -479,7 +479,7 @@ impl SqlDb {
                     if Self::matches_row(&columns_snapshot, &row, where_expr.as_ref(), table)? {
                         affected += 1;
                         let pk = match pk_index {
-                            Some(pi) => row[pi].to_string().trim_matches('\'').to_string(),
+                            Some(pi) => row[pi].pk_string(),
                             None => format!("row{i}"),
                         };
                         effects.push(RowEffect::Delete {

@@ -75,6 +75,15 @@ impl SqlValue {
         }
     }
 
+    /// Canonical primary-key string for this value: the form under which a
+    /// row is keyed in the CRDT mirror (`Text 'x'` → `x`, `Int 5` → `5`).
+    /// Anything that derives row-level identity from a SQL value — the
+    /// engine's row mirroring and the analysis layer's read-set keying —
+    /// must agree on this exact stringification.
+    pub fn pk_string(&self) -> String {
+        self.to_string().trim_matches('\'').to_string()
+    }
+
     /// Convert from JSON (inverse of [`SqlValue::to_json`] for scalars).
     pub fn from_json(json: &Json) -> SqlValue {
         match json {
