@@ -7,7 +7,7 @@
 //!
 //! - locals live in slot-indexed frames; globals in a persistent
 //!   [`GlobalStore`] indexed by compile-time gid;
-//! - checkpoint/rollback of global state is copy-on-write: a [`Journal`]
+//! - checkpoint/rollback of global state is copy-on-write: a `Journal`
 //!   records the first mutation of each reachable container and each
 //!   global rebind, and rollback undoes exactly those, replicating the
 //!   interpreter's snapshot/merge-restore semantics without deep-copying

@@ -312,8 +312,9 @@ impl FaultPlan {
     }
 }
 
-/// FNV-1a, for deriving per-link RNG substream labels from endpoint names.
-fn hash_str(s: &str) -> u64 {
+/// FNV-1a, for deriving per-link/per-node RNG substream labels from
+/// endpoint names (shared with [`crate::crash`]).
+pub(crate) fn hash_str(s: &str) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for b in s.bytes() {
         h ^= u64::from(b);

@@ -16,8 +16,10 @@
 //!   exchange and aggregates per-service observations, which
 //!   `edgstr-core` turns into the `Subject` interface (Eq. 1).
 
+pub mod crash;
 pub mod fault;
 
+pub use crash::{CrashEvent, CrashKind, CrashPlan};
 pub use fault::{DropCause, FaultPlan, LossModel};
 
 use edgstr_sim::SimDuration;

@@ -28,4 +28,7 @@ pub use cache::{
 };
 pub use crdtset::{CrdtSet, SetChanges, SetClock, SetSyncMessage, SyncEndpoint};
 pub use driver::{FaultPolicy, MobilePower, RunRecorder, RunStats, TimedRequest, Workload};
-pub use system::{EdgeReplica, ThreeTierOptions, ThreeTierSystem, TwoTierSystem};
+pub use system::{
+    BitFlipCorruptor, EdgeReplica, HaPolicy, HaStats, QuarantinePolicy, ThreeTierOptions,
+    ThreeTierSystem, TwoTierSystem,
+};

@@ -11,14 +11,19 @@ use crate::cache::{
     bump_static_global_writes, resolve_reads, CacheKey, CachePolicy, CacheStats, ResponseCache,
     UnitKey, CACHE_HIT_CYCLES,
 };
-use crate::crdtset::{CrdtSet, SyncEndpoint};
+use crate::crdtset::{CrdtSet, SetClock, SyncEndpoint};
 use crate::driver::RunRecorder;
 pub use crate::driver::{FaultPolicy, MobilePower, RunStats, TimedRequest, Workload};
-use edgstr_analysis::{EffectSummary, InitState, ServerError, ServerProcess, StateUnit};
+use edgstr_analysis::{
+    EffectSummary, ExecMode, InitState, ReadUnit, ServerError, ServerProcess, StateUnit,
+};
 use edgstr_core::{CrdtBindings, TransformationReport};
 use edgstr_crdt::{ActorId, AdvanceMode};
 use edgstr_lang::Program;
-use edgstr_net::{FaultPlan, HttpRequest, HttpResponse, LinkChannel, LinkSpec, Verb};
+use edgstr_net::{
+    CrashEvent, CrashKind, CrashPlan, FaultPlan, HttpRequest, HttpResponse, LinkChannel, LinkSpec,
+    Verb,
+};
 use edgstr_sim::{DetRng, Device, DeviceSpec, PowerState, SimDuration, SimTime};
 use edgstr_telemetry::{Counter, SpanId, StmtProfiler, Telemetry, Tier};
 use serde_json::Value as Json;
@@ -134,6 +139,17 @@ fn handle_profiled(
     }
 }
 
+/// A diversified shadow variant for the multi-variant check: the same
+/// replica program on the tree-walking engine (the primary serves
+/// compiled), so an engine-level fault cannot corrupt both variants the
+/// same way.
+fn build_shadow(program: &Program, init: &InitState) -> Result<ServerProcess, ServerError> {
+    let mut shadow = ServerProcess::from_program_with_mode(program.clone(), ExecMode::TreeWalking);
+    shadow.init()?;
+    init.restore(&mut shadow);
+    Ok(shadow)
+}
+
 /// Verb/path attributes for a request span, built once so the span opens
 /// with them in a single trace-log borrow (enabled mode only — callers
 /// guard with [`Telemetry::is_enabled`] to keep the disabled path
@@ -149,6 +165,188 @@ fn request_attrs(request: &HttpRequest) -> Vec<(&'static str, Json)> {
 // Three-tier (EdgStr-transformed) driver
 // ---------------------------------------------------------------------------
 
+/// High-availability policy for the cloud master (§failure & recovery).
+///
+/// With a warm standby, the master replicates every sync delta (and every
+/// forwarded write) to a second cloud replica over the reliable intra-DC
+/// link before the round's acknowledgments go out; a deterministic health
+/// monitor promotes the standby `detect_delay` after a master crash.
+/// `ack_capping` is the zero-acked-write-loss mechanism: acknowledgment
+/// clocks sent to the edges are capped at the durability frontier (what
+/// the standby — or the last durable save image — provably holds), so no
+/// replica ever compacts state the failover target could be missing.
+#[derive(Debug, Clone)]
+pub struct HaPolicy {
+    /// Run a warm-standby cloud replica and promote it on master crash.
+    pub standby: bool,
+    /// Health-monitor detection delay between master crash and promotion.
+    pub detect_delay: SimDuration,
+    /// Persist a durable save image of the master after every sync round
+    /// and every forwarded write (the recovery source when no standby is
+    /// configured).
+    pub durable_saves: bool,
+    /// Cap acks at the durability frontier. Disabling this is the unsafe
+    /// ablation: acked writes can vanish when the master dies.
+    pub ack_capping: bool,
+}
+
+impl Default for HaPolicy {
+    fn default() -> Self {
+        HaPolicy {
+            standby: true,
+            detect_delay: SimDuration::from_millis(500),
+            durable_saves: true,
+            ack_capping: true,
+        }
+    }
+}
+
+/// Multi-variant faulty-replica detection policy.
+///
+/// A sampled fraction of eligible replicated requests is shadow-executed
+/// on a diversified second variant (the tree-walking engine, vs the
+/// compiled primary) fed from the same CRDT state; response digests are
+/// compared. A replica exceeding `mismatch_budget` mismatches is
+/// quarantined, drained, and re-provisioned from the cloud save image.
+#[derive(Debug, Clone)]
+pub struct QuarantinePolicy {
+    /// Fraction of eligible requests shadow-checked (0.0–1.0).
+    pub check_fraction: f64,
+    /// Mismatches tolerated before the replica is quarantined.
+    pub mismatch_budget: u32,
+    /// Seed for the check-sampling stream.
+    pub seed: u64,
+}
+
+impl Default for QuarantinePolicy {
+    fn default() -> Self {
+        QuarantinePolicy {
+            check_fraction: 0.25,
+            mismatch_budget: 3,
+            seed: 0x51A5,
+        }
+    }
+}
+
+/// Accumulated failure/recovery observations across a system's lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct HaStats {
+    /// Edge processes crashed (scheduled or manual).
+    pub edge_crashes: u32,
+    /// Edge processes restarted and re-provisioned.
+    pub edge_restarts: u32,
+    /// Cloud-master crashes observed.
+    pub master_crashes: u32,
+    /// Standby promotions performed.
+    pub failovers: u32,
+    /// Master recoveries from a durable save image (no standby).
+    pub durable_recoveries: u32,
+    /// `(crash, recovered)` times for each completed master outage.
+    pub outages: Vec<(SimTime, SimTime)>,
+    /// Shadow executions compared against the primary.
+    pub shadow_checks: u64,
+    /// Digest mismatches observed across all replicas.
+    pub shadow_mismatches: u64,
+    /// `(edge index, time)` of each quarantine.
+    pub quarantines: Vec<(usize, SimTime)>,
+    /// Ack clocks snapshotted at every crash (each edge's acked prefix at
+    /// its own crash; every live edge's acked prefix at a master crash).
+    /// The zero-acked-write-loss audit: the final converged master clock
+    /// must dominate every snapshot.
+    pub acked_snapshots: Vec<SetClock>,
+}
+
+impl HaStats {
+    /// Total master unavailability across completed outages.
+    pub fn master_downtime(&self) -> SimDuration {
+        SimDuration(self.outages.iter().map(|(c, r)| r.since(*c).0).sum())
+    }
+
+    /// Recovery time of each completed master outage.
+    pub fn recovery_times(&self) -> Vec<SimDuration> {
+        self.outages.iter().map(|(c, r)| r.since(*c)).collect()
+    }
+}
+
+/// Injected faulty VM variant: flips a bit in a replica's responses with a
+/// seeded probability (the fault the multi-variant check is benched
+/// against). Mutates the served response only — never the stored state.
+#[derive(Debug, Clone)]
+pub struct BitFlipCorruptor {
+    rng: DetRng,
+    flip_prob: f64,
+    /// Responses corrupted so far.
+    pub flips: u64,
+}
+
+impl BitFlipCorruptor {
+    /// A corruptor flipping a bit in each response with `flip_prob`.
+    pub fn new(seed: u64, flip_prob: f64) -> BitFlipCorruptor {
+        BitFlipCorruptor {
+            rng: DetRng::new(seed),
+            flip_prob,
+            flips: 0,
+        }
+    }
+
+    /// Maybe corrupt one response; returns whether a bit was flipped.
+    pub fn corrupt(&mut self, resp: &mut HttpResponse) -> bool {
+        if !self.rng.chance(self.flip_prob) {
+            return false;
+        }
+        let bit = self.rng.below(8) as u32;
+        if !flip_first_int(&mut resp.body, bit) {
+            resp.status ^= 1;
+        }
+        self.flips += 1;
+        true
+    }
+}
+
+/// Flip `bit` in the first integer leaf found in `v`, depth-first.
+fn flip_first_int(v: &mut Json, bit: u32) -> bool {
+    match v {
+        Json::Number(n) => {
+            if let Some(i) = n.as_i64() {
+                *v = Json::from(i ^ (1i64 << bit));
+                true
+            } else {
+                false
+            }
+        }
+        Json::Array(items) => items.iter_mut().any(|item| flip_first_int(item, bit)),
+        Json::Object(map) => map.values_mut().any(|item| flip_first_int(item, bit)),
+        _ => false,
+    }
+}
+
+/// FNV-1a digest of a response (status + canonical body) — the comparison
+/// the multi-variant check runs between primary and shadow.
+fn response_digest(resp: &HttpResponse) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for b in bytes {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(&resp.status.to_le_bytes());
+    eat(resp.body.to_string().as_bytes());
+    h
+}
+
+/// The warm-standby cloud replica and its intra-DC replication channel.
+#[derive(Debug)]
+struct CloudStandby {
+    server: ServerProcess,
+    crdts: CrdtSet,
+    /// Master-side endpoint: its `peer_clock` is what the standby has
+    /// acknowledged — the durability frontier under [`HaPolicy`].
+    master_link: SyncEndpoint,
+    /// Standby-side endpoint.
+    standby_link: SyncEndpoint,
+}
+
 /// One deployed edge replica.
 #[derive(Debug)]
 pub struct EdgeReplica {
@@ -162,6 +360,17 @@ pub struct EdgeReplica {
     inflight: Vec<SimTime>,
     active: bool,
     crashed: bool,
+    /// Consecutive forwarding failures (breaker input, per edge).
+    breaker_failures: u32,
+    /// While `Some(t)`, this edge's breaker is open until `t`.
+    breaker_open_until: Option<SimTime>,
+    /// Diversified shadow variant (tree-walking engine) for the
+    /// multi-variant check, when a [`QuarantinePolicy`] is configured.
+    shadow: Option<ServerProcess>,
+    /// Injected response corruption (bench/test harness).
+    corruptor: Option<BitFlipCorruptor>,
+    /// Digest mismatches charged against the quarantine budget.
+    shadow_mismatches: u32,
 }
 
 impl EdgeReplica {
@@ -215,6 +424,15 @@ pub struct ThreeTierOptions {
     pub cache: CachePolicy,
     /// Per-replica LRU byte budget for cached responses.
     pub cache_budget_bytes: usize,
+    /// `Some` schedules process crashes: edges always honor their events;
+    /// cloud-master events additionally require `ha` (without an HA policy
+    /// the master is not crashable, the pre-HA semantics).
+    pub crashes: Option<CrashPlan>,
+    /// `Some` enables the high-availability tier: warm standby, durable
+    /// saves, ack capping, and deterministic failover.
+    pub ha: Option<HaPolicy>,
+    /// `Some` enables multi-variant shadow checking with quarantine.
+    pub quarantine: Option<QuarantinePolicy>,
 }
 
 impl Default for ThreeTierOptions {
@@ -233,6 +451,9 @@ impl Default for ThreeTierOptions {
             telemetry: Telemetry::disabled(),
             cache: CachePolicy::Off,
             cache_budget_bytes: 256 * 1024,
+            crashes: None,
+            ha: None,
+            quarantine: None,
         }
     }
 }
@@ -275,10 +496,6 @@ pub struct ThreeTierSystem {
     wan_down: LinkChannel,
     /// Jitter stream for retry backoff (forked from the policy seed).
     jitter: DetRng,
-    /// Consecutive forwarding failures (breaker input).
-    breaker_failures: u32,
-    /// While `Some(t)`, the breaker is open until `t`.
-    breaker_open_until: Option<SimTime>,
     /// Replica template kept for crash/restart re-deployment.
     replica_program: Program,
     replica_bindings: CrdtBindings,
@@ -287,6 +504,27 @@ pub struct ThreeTierSystem {
     /// crashed incarnation's actor would collide with its sequence
     /// numbers).
     next_actor: u64,
+    /// Original cloud program source, kept so standbys and recovered
+    /// masters can be re-provisioned.
+    cloud_source: String,
+    /// The warm standby, when the HA policy runs one.
+    standby: Option<CloudStandby>,
+    /// The master is currently crashed: sync rounds no-op and forwards
+    /// fail until promotion or durable recovery.
+    cloud_down: bool,
+    /// Scheduled promotion time (master crash + detect delay).
+    pending_promotion: Option<SimTime>,
+    /// Time-ordered crash schedule drained by [`ThreeTierSystem::advance_ha`].
+    crash_events: Vec<CrashEvent>,
+    crash_cursor: usize,
+    /// Edge restarts that arrived while the master was down; re-provisioned
+    /// at the next promotion/recovery.
+    deferred_restarts: Vec<usize>,
+    /// Last durable save image of the master: `(bytes, clock at save)`.
+    durable_image: Option<(Vec<u8>, SetClock)>,
+    /// Sampling stream for the multi-variant check.
+    shadow_rng: DetRng,
+    ha_stats: HaStats,
 }
 
 impl ThreeTierSystem {
@@ -323,6 +561,11 @@ impl ThreeTierSystem {
                 &report.replica.bindings,
                 &report.replica.init,
             );
+            let shadow = if options.quarantine.is_some() {
+                Some(build_shadow(&report.replica.program, &report.replica.init)?)
+            } else {
+                None
+            };
             edges.push(EdgeReplica {
                 server,
                 device: Device::new(spec.clone()),
@@ -335,6 +578,11 @@ impl ThreeTierSystem {
                 inflight: Vec::new(),
                 active: true,
                 crashed: false,
+                breaker_failures: 0,
+                breaker_open_until: None,
+                shadow,
+                corruptor: None,
+                shadow_mismatches: 0,
             });
         }
         let cloud_endpoints = (0..edges.len())
@@ -345,7 +593,39 @@ impl ThreeTierSystem {
             .collect();
         let balancer = LoadBalancer::new(options.balance);
         let jitter = DetRng::new(options.policy.jitter_seed);
-        let next_actor = 2 + edges.len() as u64;
+        let mut next_actor = 2 + edges.len() as u64;
+        // warm standby: a second cloud replica initialized from the same
+        // snapshot, continuously fed over the reliable intra-DC link
+        let standby = if options.ha.as_ref().is_some_and(|h| h.standby) {
+            let mut server = ServerProcess::from_source(cloud_source)?;
+            server.init()?;
+            report.replica.init.restore(&mut server);
+            let crdts = CrdtSet::initialize(
+                ActorId(next_actor),
+                &report.replica.bindings,
+                &report.replica.init,
+            );
+            next_actor += 1;
+            Some(CloudStandby {
+                server,
+                crdts,
+                master_link: SyncEndpoint::new(),
+                standby_link: SyncEndpoint::new(),
+            })
+        } else {
+            None
+        };
+        let durable_image = if options.ha.as_ref().is_some_and(|h| h.durable_saves) {
+            Some((cloud_crdts.save(), cloud_crdts.clock()))
+        } else {
+            None
+        };
+        let crash_events = options
+            .crashes
+            .as_ref()
+            .map(|p| p.events().to_vec())
+            .unwrap_or_default();
+        let shadow_rng = DetRng::new(options.quarantine.as_ref().map_or(0, |q| q.seed));
         let effects: BTreeMap<(Verb, String), EffectSummary> = report
             .services
             .iter()
@@ -368,12 +648,20 @@ impl ThreeTierSystem {
             wan_up: LinkChannel::new(options.wan),
             wan_down: LinkChannel::new(options.wan),
             jitter,
-            breaker_failures: 0,
-            breaker_open_until: None,
             replica_program: report.replica.program.clone(),
             replica_bindings: report.replica.bindings.clone(),
             replica_init: report.replica.init.clone(),
             next_actor,
+            cloud_source: cloud_source.to_string(),
+            standby,
+            cloud_down: false,
+            pending_promotion: None,
+            crash_events,
+            crash_cursor: 0,
+            deferred_restarts: Vec::new(),
+            durable_image,
+            shadow_rng,
+            ha_stats: HaStats::default(),
             options,
             replicated: report.replica.replicated.iter().cloned().collect(),
             cloud_cache,
@@ -425,8 +713,18 @@ impl ThreeTierSystem {
     /// After the exchanges, fully-acknowledged history is folded into the
     /// snapshots (unless [`ThreeTierOptions::compaction`] is off).
     pub fn sync_round(&mut self, at: SimTime) -> usize {
+        self.advance_ha(at);
+        if self.cloud_down {
+            // no master: nothing to exchange until promotion/recovery
+            return 0;
+        }
         let telemetry = self.options.telemetry.clone();
         let span = telemetry.start_span("sync.round", Tier::System, None, at);
+        // intra-DC first: the standby ingests this round's state before any
+        // acknowledgment goes out, so the durability frontier below already
+        // reflects it
+        self.replicate_to_standby();
+        let cap = self.durability_clock();
         let mut bytes = 0;
         for (i, edge) in self.edges.iter_mut().enumerate() {
             if edge.crashed {
@@ -446,8 +744,14 @@ impl ThreeTierSystem {
             if !dropped {
                 self.cloud_endpoints[i].receive_owned(&mut self.cloud_crdts, &mut self.cloud, msg);
             }
-            // cloud -> edge (cloud_state message)
-            let msg = self.cloud_endpoints[i].generate(&self.cloud_crdts);
+            // cloud -> edge (cloud_state message). Under HA the ack clock
+            // is capped at the durability frontier: the edge may only
+            // treat as acknowledged (and later compact) what the failover
+            // target provably holds.
+            let mut msg = self.cloud_endpoints[i].generate(&self.cloud_crdts);
+            if let Some(cap) = &cap {
+                msg.ack = msg.ack.meet(cap);
+            }
             if !msg.changes.is_empty() {
                 bytes += msg.wire_size();
             }
@@ -461,6 +765,10 @@ impl ThreeTierSystem {
                     .receive_owned(&mut edge.crdts, &mut edge.server, msg);
             }
         }
+        // changes received this round reach the standby with the next
+        // round's pre-ack replication; persist the image after the
+        // exchanges so recovery resumes from this round's state
+        self.persist_durable();
         if self.options.compaction {
             let folded = self.compact_acked();
             if let Some(reg) = telemetry.registry() {
@@ -506,8 +814,17 @@ impl ThreeTierSystem {
             .filter(|(_, e)| !e.crashed)
             .map(|(i, _)| &self.cloud_endpoints[i].peer_clock);
         if let Some(first) = live.next() {
-            let frontier = live.fold(first.clone(), |acc, clock| acc.meet(clock));
+            let mut frontier = live.fold(first.clone(), |acc, clock| acc.meet(clock));
+            // under HA the master also keeps everything its failover
+            // target might still need: a recovered/promoted cloud must be
+            // able to re-serve the tail above the durability frontier
+            if let Some(cap) = self.durability_clock() {
+                frontier = frontier.meet(&cap);
+            }
             dropped += self.cloud_crdts.compact(&frontier);
+            if let Some(sb) = self.standby.as_mut() {
+                dropped += sb.crdts.compact(&frontier);
+            }
         }
         for edge in self.edges.iter_mut().filter(|e| !e.crashed) {
             dropped += edge.crdts.compact(&edge.to_cloud.peer_clock);
@@ -555,6 +872,12 @@ impl ThreeTierSystem {
         e.crashed = true;
         e.active = false;
         e.inflight.clear();
+        // the cache dies with the process: a rejoined edge must never
+        // serve responses stamped with pre-crash version vectors
+        e.cache.clear();
+        let acked = e.to_cloud.peer_clock.clone();
+        self.ha_stats.edge_crashes += 1;
+        self.ha_stats.acked_snapshots.push(acked);
     }
 
     /// Restart a crashed edge: a fresh server is provisioned from the cloud
@@ -576,11 +899,27 @@ impl ThreeTierSystem {
         self.replica_init.restore(&mut server);
         let actor = ActorId(self.next_actor);
         self.next_actor += 1;
-        let image = self.cloud_crdts.save();
+        // Under HA the provisioning image is the durability frontier (the
+        // standby's state, or the durable save): an image ahead of it
+        // would bake unacked changes into the fresh snapshot, where a
+        // post-failover master could never recover them as changes.
+        // Anything between the frontier and the master's head reaches the
+        // rejoined edge through normal sync.
+        let image = match (&self.standby, &self.durable_image) {
+            (Some(sb), _) if self.options.ha.is_some() => sb.crdts.save(),
+            (None, Some((bytes, _))) if self.options.ha.is_some() => bytes.clone(),
+            _ => self.cloud_crdts.save(),
+        };
         let crdts = CrdtSet::load(actor, &self.replica_bindings, &image)
             .expect("cloud save image must round-trip");
         crdts.materialize_all(&mut server);
         let provisioned = crdts.clock();
+        let quarantine = self.options.quarantine.is_some();
+        let shadow = if quarantine {
+            Some(build_shadow(&self.replica_program, &self.replica_init)?)
+        } else {
+            None
+        };
         let e = &mut self.edges[i];
         e.server = server;
         e.crdts = crdts;
@@ -595,6 +934,16 @@ impl ThreeTierSystem {
         // the fresh CrdtSet's version counters restart at zero; stale
         // entries must not revalidate against them
         e.cache.clear();
+        // a restarted process gets a fresh breaker: the pre-crash open
+        // state belonged to the dead incarnation and would only delay
+        // recovery
+        e.breaker_failures = 0;
+        e.breaker_open_until = None;
+        // the replacement VM starts healthy: fresh shadow variant, no
+        // injected fault, clean mismatch budget
+        e.shadow = shadow;
+        e.corruptor = None;
+        e.shadow_mismatches = 0;
         // the cloud resumes from the image's clock: nothing below it is
         // ever re-sent
         self.cloud_endpoints[i] = SyncEndpoint {
@@ -602,34 +951,434 @@ impl ThreeTierSystem {
             peer_clock: provisioned,
             ..SyncEndpoint::new()
         };
+        self.ha_stats.edge_restarts += 1;
         Ok(())
     }
 
-    /// Whether the circuit breaker blocks WAN forwarding at `at`.
-    pub fn breaker_open(&self, at: SimTime) -> bool {
-        self.breaker_open_until.is_some_and(|until| at < until)
+    /// Whether edge `idx`'s circuit breaker blocks WAN forwarding at `at`.
+    /// After the cooldown the breaker is half-open: the next forward is the
+    /// probe that closes it (success) or re-opens it (failure).
+    pub fn breaker_open(&self, idx: usize, at: SimTime) -> bool {
+        self.edges[idx]
+            .breaker_open_until
+            .is_some_and(|until| at < until)
     }
 
-    fn record_forward_success(&mut self) {
-        self.breaker_failures = 0;
-        self.breaker_open_until = None;
+    fn record_forward_success(&mut self, idx: usize) {
+        let e = &mut self.edges[idx];
+        e.breaker_failures = 0;
+        e.breaker_open_until = None;
     }
 
-    fn record_forward_failure(&mut self, at: SimTime) {
-        self.breaker_failures += 1;
-        if self.breaker_failures >= self.options.policy.breaker_threshold {
-            let was_open = self.breaker_open_until.is_some();
-            self.breaker_open_until = Some(at + self.options.policy.breaker_cooldown);
+    fn record_forward_failure(&mut self, idx: usize, at: SimTime) {
+        let threshold = self.options.policy.breaker_threshold;
+        let cooldown = self.options.policy.breaker_cooldown;
+        let e = &mut self.edges[idx];
+        e.breaker_failures += 1;
+        if e.breaker_failures >= threshold {
+            let was_open = e.breaker_open_until.is_some();
+            e.breaker_open_until = Some(at + cooldown);
             if !was_open {
                 self.options.telemetry.event(
                     "breaker.open",
                     Tier::Edge,
                     None,
                     at,
-                    &[("failures", Json::from(self.breaker_failures as u64))],
+                    &[
+                        ("edge", Json::from(idx as u64)),
+                        (
+                            "failures",
+                            Json::from(self.edges[idx].breaker_failures as u64),
+                        ),
+                    ],
                 );
             }
         }
+    }
+
+    /// Whether every state unit the request touches is CRDT-bound on the
+    /// replica. Only then do primary and shadow observe identical state, so
+    /// a digest mismatch can only mean a faulty variant — never a benign
+    /// divergence on unreplicated state.
+    fn shadow_checkable(&self, summary: &EffectSummary) -> bool {
+        let b = &self.replica_bindings;
+        let read_ok = summary.reads.iter().all(|r| match r {
+            ReadUnit::Table(t) | ReadUnit::TableKeyed { table: t, .. } => b.tables.contains(t),
+            ReadUnit::File(f) => b.files.contains(f),
+            ReadUnit::Global(g) => b.globals.contains(g),
+        });
+        let write_ok = summary.writes.iter().all(|w| match w {
+            StateUnit::DbTable(t) => b.tables.contains(t),
+            StateUnit::File(f) => b.files.contains(f),
+            StateUnit::Global(g) => b.globals.contains(g),
+        });
+        read_ok && write_ok
+    }
+
+    /// Maybe shadow-execute `request` on edge `idx`'s diversified variant
+    /// (sampled at the quarantine policy's check fraction), returning the
+    /// shadow's response for digest comparison. Runs before the primary
+    /// handles the request: both variants start from the same CRDT state,
+    /// and the shadow's own state is rebuilt from scratch each check, so
+    /// shadow execution never contaminates the serving replica.
+    fn shadow_check(&mut self, idx: usize, request: &HttpRequest) -> Option<HttpResponse> {
+        let q = self.options.quarantine.as_ref()?;
+        let fraction = q.check_fraction;
+        let key = (request.verb, request.path.clone());
+        let summary = self.effects.get(&key)?;
+        if !self.shadow_checkable(summary) {
+            return None;
+        }
+        if !self.shadow_rng.chance(fraction) {
+            return None;
+        }
+        let edge = &mut self.edges[idx];
+        let shadow = edge.shadow.as_mut()?;
+        edge.crdts.materialize_all(shadow);
+        shadow.handle(request).ok().map(|o| o.response)
+    }
+
+    /// Quarantine edge `i`: drain it, drop its caches, and re-provision a
+    /// replacement from the cloud save image. The replacement starts with
+    /// a clean mismatch budget and no injected fault.
+    fn quarantine_edge(&mut self, i: usize, at: SimTime) {
+        self.options.telemetry.event(
+            "quarantine.open",
+            Tier::System,
+            None,
+            at,
+            &[
+                ("edge", Json::from(i as u64)),
+                (
+                    "mismatches",
+                    Json::from(self.edges[i].shadow_mismatches as u64),
+                ),
+            ],
+        );
+        self.ha_stats.quarantines.push((i, at));
+        // drain: the faulty incarnation serves nothing further
+        let e = &mut self.edges[i];
+        e.active = false;
+        e.inflight.clear();
+        e.cache.clear();
+        e.crashed = true;
+        self.restart_edge(i)
+            .expect("re-provisioning a quarantined replica must succeed");
+    }
+
+    /// The durability frontier under ack capping: what the failover target
+    /// (standby, else durable image) provably holds. `None` disables
+    /// capping (no HA, or the unsafe ablation).
+    fn durability_clock(&self) -> Option<SetClock> {
+        let ha = self.options.ha.as_ref()?;
+        if !ha.ack_capping {
+            return None;
+        }
+        if let Some(sb) = &self.standby {
+            return Some(sb.master_link.peer_clock.clone());
+        }
+        if ha.durable_saves {
+            return Some(
+                self.durable_image
+                    .as_ref()
+                    .map(|(_, clock)| clock.clone())
+                    .unwrap_or_default(),
+            );
+        }
+        None
+    }
+
+    /// One reliable intra-DC replication exchange: master delta to the
+    /// standby, standby acknowledgment back. Advances the durability
+    /// frontier ([`ThreeTierSystem::durability_clock`]).
+    fn replicate_to_standby(&mut self) {
+        if let Some(sb) = self.standby.as_mut() {
+            let msg = sb.master_link.generate(&self.cloud_crdts);
+            sb.standby_link
+                .receive_owned(&mut sb.crdts, &mut sb.server, msg);
+            let ack = sb.standby_link.generate(&sb.crdts);
+            sb.master_link
+                .receive_owned(&mut self.cloud_crdts, &mut self.cloud, ack);
+        }
+    }
+
+    /// Persist the master's save image (when the policy keeps durable
+    /// saves) — the recovery source for a standby-less restart.
+    fn persist_durable(&mut self) {
+        if self.options.ha.as_ref().is_some_and(|h| h.durable_saves) {
+            self.durable_image = Some((self.cloud_crdts.save(), self.cloud_crdts.clock()));
+        }
+    }
+
+    /// Apply every crash-schedule event (and any pending promotion) with
+    /// time at or before `now`, in time order. Idempotent; called from the
+    /// run loop, sync rounds, and each forward attempt so transitions take
+    /// effect exactly at their virtual times.
+    fn advance_ha(&mut self, now: SimTime) {
+        loop {
+            let next_crash = self
+                .crash_events
+                .get(self.crash_cursor)
+                .filter(|e| e.at <= now)
+                .map(|e| e.at);
+            let promo = self.pending_promotion.filter(|t| *t <= now);
+            match (next_crash, promo) {
+                (Some(c), Some(p)) if p <= c => self.promote_standby(p),
+                (Some(_), _) => {
+                    let ev = self.crash_events[self.crash_cursor].clone();
+                    self.crash_cursor += 1;
+                    self.apply_crash_event(&ev);
+                }
+                (None, Some(p)) => self.promote_standby(p),
+                (None, None) => return,
+            }
+        }
+    }
+
+    fn apply_crash_event(&mut self, ev: &CrashEvent) {
+        let telemetry = self.options.telemetry.clone();
+        if ev.node == "cloud" {
+            let Some(ha) = self.options.ha.clone() else {
+                // without an HA policy the master is not crashable
+                return;
+            };
+            match ev.kind {
+                CrashKind::Down => {
+                    if self.cloud_down {
+                        return;
+                    }
+                    self.cloud_down = true;
+                    self.ha_stats.master_crashes += 1;
+                    // audit point: everything the old master ever acked is
+                    // bounded by what the edges saw — snapshot it
+                    let acked: Vec<SetClock> = self
+                        .edges
+                        .iter()
+                        .filter(|e| !e.crashed)
+                        .map(|e| e.to_cloud.peer_clock.clone())
+                        .collect();
+                    self.ha_stats.acked_snapshots.extend(acked);
+                    telemetry.event("crash.cloud", Tier::Cloud, None, ev.at, &[]);
+                    if self.standby.is_some() {
+                        // deterministic health monitor: promote after the
+                        // detection delay
+                        self.pending_promotion = Some(ev.at + ha.detect_delay);
+                    }
+                }
+                CrashKind::Up => {
+                    if self.cloud_down {
+                        // no standby was available: recover from the
+                        // durable save image (or cold-start from init)
+                        self.recover_master_durable(ev.at);
+                    } else {
+                        // a standby was already promoted; the returning
+                        // process becomes the new standby
+                        if ha.standby {
+                            self.provision_standby(ev.at);
+                        }
+                    }
+                }
+            }
+            return;
+        }
+        let Some(i) = ev
+            .node
+            .strip_prefix("edge")
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|i| *i < self.edges.len())
+        else {
+            return;
+        };
+        match ev.kind {
+            CrashKind::Down => {
+                if !self.edges[i].crashed {
+                    self.crash_edge(i);
+                    telemetry.event(
+                        "crash.edge",
+                        Tier::Edge,
+                        None,
+                        ev.at,
+                        &[("edge", Json::from(i as u64))],
+                    );
+                }
+            }
+            CrashKind::Up => {
+                if self.edges[i].crashed {
+                    if self.cloud_down {
+                        // nothing to provision from while the master is
+                        // down; rejoin at the next promotion/recovery
+                        self.deferred_restarts.push(i);
+                    } else {
+                        self.rejoin_edge(i, ev.at);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Restart + catch-up telemetry for a scheduled edge rejoin.
+    fn rejoin_edge(&mut self, i: usize, at: SimTime) {
+        self.restart_edge(i)
+            .expect("replica template re-provisions cleanly");
+        self.options.telemetry.event(
+            "rejoin.catchup",
+            Tier::Edge,
+            None,
+            at,
+            &[("edge", Json::from(i as u64))],
+        );
+    }
+
+    /// Promote the warm standby to master: edges re-home to it on their
+    /// next sync round / forward retry. The new master has never spoken to
+    /// the edges, so every sync channel restarts from scratch — resending
+    /// the retained tail is idempotent.
+    fn promote_standby(&mut self, at: SimTime) {
+        self.pending_promotion = None;
+        let Some(sb) = self.standby.take() else {
+            return;
+        };
+        self.cloud = sb.server;
+        self.cloud_crdts = sb.crdts;
+        self.cloud_down = false;
+        for ep in &mut self.cloud_endpoints {
+            *ep = SyncEndpoint {
+                mode: self.options.sync_advance,
+                ..SyncEndpoint::new()
+            };
+        }
+        // cached responses are stamped with the dead master's version
+        // counters
+        self.cloud_cache.clear();
+        self.persist_durable();
+        self.ha_stats.failovers += 1;
+        if let Some(crashed_at) = self.last_open_outage() {
+            self.ha_stats.outages.push((crashed_at, at));
+        }
+        self.options.telemetry.event(
+            "failover.promote",
+            Tier::Cloud,
+            None,
+            at,
+            &[("failovers", Json::from(self.ha_stats.failovers as u64))],
+        );
+        self.restart_deferred(at);
+    }
+
+    /// Recover a standby-less master from the durable save image (or, with
+    /// durable saves disabled — the ablation — cold-start from the init
+    /// snapshot, losing everything since deploy).
+    fn recover_master_durable(&mut self, at: SimTime) {
+        self.cloud_down = false;
+        let mut server =
+            ServerProcess::from_source(&self.cloud_source).expect("cloud source parsed at deploy");
+        server.init().expect("cloud init re-runs cleanly");
+        self.replica_init.restore(&mut server);
+        let actor = ActorId(self.next_actor);
+        self.next_actor += 1;
+        let crdts = match &self.durable_image {
+            Some((bytes, _)) => CrdtSet::load(actor, &self.replica_bindings, bytes)
+                .expect("durable image must round-trip"),
+            None => CrdtSet::initialize(actor, &self.replica_bindings, &self.replica_init),
+        };
+        crdts.materialize_all(&mut server);
+        self.cloud = server;
+        self.cloud_crdts = crdts;
+        // what each edge has acked was in the dead master's memory; resend
+        // the retained tail from scratch (idempotent)
+        for ep in &mut self.cloud_endpoints {
+            *ep = SyncEndpoint {
+                mode: self.options.sync_advance,
+                ..SyncEndpoint::new()
+            };
+        }
+        self.cloud_cache.clear();
+        self.ha_stats.durable_recoveries += 1;
+        if let Some(crashed_at) = self.last_open_outage() {
+            self.ha_stats.outages.push((crashed_at, at));
+        }
+        self.options
+            .telemetry
+            .event("failover.recover", Tier::Cloud, None, at, &[]);
+        self.restart_deferred(at);
+    }
+
+    /// Provision a fresh warm standby from the current master's save image
+    /// (the returning ex-master process after a failover).
+    fn provision_standby(&mut self, at: SimTime) {
+        let mut server =
+            ServerProcess::from_source(&self.cloud_source).expect("cloud source parsed at deploy");
+        server.init().expect("cloud init re-runs cleanly");
+        self.replica_init.restore(&mut server);
+        let actor = ActorId(self.next_actor);
+        self.next_actor += 1;
+        let image = self.cloud_crdts.save();
+        let crdts = CrdtSet::load(actor, &self.replica_bindings, &image)
+            .expect("master image must round-trip");
+        crdts.materialize_all(&mut server);
+        let clock = crdts.clock();
+        self.standby = Some(CloudStandby {
+            server,
+            crdts,
+            master_link: SyncEndpoint {
+                peer_clock: clock.clone(),
+                ..SyncEndpoint::new()
+            },
+            standby_link: SyncEndpoint {
+                peer_clock: clock,
+                ..SyncEndpoint::new()
+            },
+        });
+        self.options
+            .telemetry
+            .event("standby.provision", Tier::Cloud, None, at, &[]);
+    }
+
+    /// The crash time of the outage currently missing its recovery entry.
+    fn last_open_outage(&self) -> Option<SimTime> {
+        // master_crashes counts crashes; outages counts recoveries — the
+        // open outage is the crash event not yet paired
+        if (self.ha_stats.outages.len() as u32) < self.ha_stats.master_crashes {
+            self.crash_events[..self.crash_cursor]
+                .iter()
+                .rev()
+                .find(|e| e.node == "cloud" && e.kind == CrashKind::Down)
+                .map(|e| e.at)
+        } else {
+            None
+        }
+    }
+
+    /// Re-provision edges whose scheduled restart arrived while the master
+    /// was down.
+    fn restart_deferred(&mut self, at: SimTime) {
+        for i in std::mem::take(&mut self.deferred_restarts) {
+            if self.edges[i].crashed {
+                self.rejoin_edge(i, at);
+            }
+        }
+    }
+
+    /// Accumulated failure/recovery observations.
+    pub fn ha_stats(&self) -> &HaStats {
+        &self.ha_stats
+    }
+
+    /// Whether the cloud master is currently down.
+    pub fn master_down(&self) -> bool {
+        self.cloud_down
+    }
+
+    /// Inject the bit-flipping faulty VM variant into edge `i`'s serving
+    /// path: each response is corrupted with `flip_prob`, deterministically
+    /// from `seed`. Cleared when the replica is re-provisioned.
+    pub fn inject_faulty_variant(&mut self, i: usize, flip_prob: f64, seed: u64) {
+        self.edges[i].corruptor = Some(BitFlipCorruptor::new(seed, flip_prob));
+    }
+
+    /// Responses corrupted so far by edge `i`'s injected faulty variant.
+    pub fn corrupted_responses(&self, i: usize) -> u64 {
+        self.edges[i].corruptor.as_ref().map_or(0, |c| c.flips)
     }
 
     /// Forward one request to the cloud with bounded retries, exponential
@@ -657,8 +1406,15 @@ impl ThreeTierSystem {
         let mut t = arrive;
         let mut attempt: u32 = 0;
         loop {
+            // scheduled crashes/promotions that elapsed before this attempt
+            self.advance_ha(t);
             if let Some((finish, response)) = &executed {
-                // only the response was lost: retransmit it
+                // only the response was lost: retransmit it. The executed
+                // marker and response travel with the replicated
+                // connection state (the write itself was shipped to the
+                // standby before the ack), so retransmission stalls while
+                // the master is down and resumes after promotion instead
+                // of re-running the handler.
                 let (finish, resp_size) = (*finish, response.size());
                 let back = self.wan_down.send(t.max(finish), resp_size);
                 rec.add_wan_request_bytes(resp_size);
@@ -667,8 +1423,8 @@ impl ThreeTierSystem {
                     .faults
                     .as_mut()
                     .is_some_and(|p| p.should_drop("cloud", &edge_name, t));
-                if !dropped {
-                    self.record_forward_success();
+                if !dropped && !self.cloud_down {
+                    self.record_forward_success(idx);
                     return executed.map(|(_, r)| (back, r));
                 }
             } else {
@@ -679,7 +1435,11 @@ impl ThreeTierSystem {
                     .faults
                     .as_mut()
                     .is_some_and(|p| p.should_drop(&edge_name, "cloud", t));
-                if !dropped {
+                // The request is judged against the fault plan even while
+                // the master is down so the per-link drop streams stay
+                // aligned with a crash-free run; a dead master simply
+                // never answers.
+                if !dropped && !self.cloud_down {
                     // Cloud-side cache: a hit skips only the handler — the
                     // WAN message sequence (request judged above, response
                     // judged below) is identical to the execute path, so
@@ -704,7 +1464,7 @@ impl ThreeTierSystem {
                             .as_mut()
                             .is_some_and(|p| p.should_drop("cloud", &edge_name, finish));
                         if !resp_dropped {
-                            self.record_forward_success();
+                            self.record_forward_success(idx);
                             return executed.map(|(_, r)| (back, r));
                         }
                     } else {
@@ -736,6 +1496,16 @@ impl ThreeTierSystem {
                                         self.cloud_cache.fill(p.key.clone(), &out.response, stamp);
                                     }
                                 }
+                                // A client-acked forwarded write must
+                                // survive failover: ship it to the standby
+                                // / durable image before the ack returns.
+                                let effectful = !out.row_effects.is_empty()
+                                    || !out.file_writes.is_empty()
+                                    || !out.global_writes.is_empty();
+                                if effectful && self.options.ha.is_some() {
+                                    self.replicate_to_standby();
+                                    self.persist_durable();
+                                }
                                 let resp_size = out.response.size();
                                 executed = Some((finish, out.response));
                                 let back = self.wan_down.send(finish, resp_size);
@@ -745,13 +1515,13 @@ impl ThreeTierSystem {
                                         p.should_drop("cloud", &edge_name, finish)
                                     });
                                 if !resp_dropped {
-                                    self.record_forward_success();
+                                    self.record_forward_success(idx);
                                     return executed.map(|(_, r)| (back, r));
                                 }
                             }
                             Err(_) => {
                                 // application error: the WAN worked, no retry
-                                self.record_forward_success();
+                                self.record_forward_success(idx);
                                 return None;
                             }
                         }
@@ -762,7 +1532,7 @@ impl ThreeTierSystem {
             if attempt >= policy.max_retries {
                 rec.timed_out();
                 telemetry.event("forward.timeout", Tier::Edge, Some(span), t, &[]);
-                self.record_forward_failure(t);
+                self.record_forward_failure(idx, t);
                 return None;
             }
             let backoff_us = policy.backoff_base.0 << attempt;
@@ -771,7 +1541,7 @@ impl ThreeTierSystem {
             if next > deadline {
                 rec.timed_out();
                 telemetry.event("forward.timeout", Tier::Edge, Some(span), next, &[]);
-                self.record_forward_failure(next);
+                self.record_forward_failure(idx, next);
                 return None;
             }
             attempt += 1;
@@ -808,6 +1578,8 @@ impl ThreeTierSystem {
                 rec.add_wan_sync_bytes(self.sync_round(tick));
                 next_sync += self.options.sync_interval;
             }
+            // scheduled crashes / restarts / promotions that elapsed
+            self.advance_ha(now);
             // autoscaler: adjust active replica set
             for e in self.edges.iter_mut() {
                 e.prune(now);
@@ -817,7 +1589,7 @@ impl ThreeTierSystem {
                 let desired = scaler.desired(inflight.max(1), self.edges.len());
                 for (i, e) in self.edges.iter_mut().enumerate() {
                     let should_be_active = i < desired;
-                    if should_be_active && !e.active {
+                    if should_be_active && !e.active && !e.is_crashed() {
                         e.active = true;
                         e.device.set_power_state(PowerState::Idle, now);
                         telemetry.event(
@@ -895,8 +1667,11 @@ impl ThreeTierSystem {
             } else {
                 None
             };
+            // set when this request's digest mismatch exhausts the budget;
+            // acted on after the response is recorded
+            let mut quarantine_after: Option<usize> = None;
             let (done, response, up_total, down_total, wait) = if let Some(response) = cache_hit {
-                if self.breaker_open(arrive) {
+                if self.breaker_open(idx, arrive) {
                     rec.degraded();
                     telemetry.event("degraded.local_serve", Tier::Edge, Some(span), arrive, &[]);
                 }
@@ -914,6 +1689,13 @@ impl ThreeTierSystem {
                 }
                 (done, response, up, down, finish - arrive)
             } else {
+                // multi-variant check: shadow-execute first so both
+                // variants observe the same pre-request CRDT state
+                let shadow_verdict = if local {
+                    self.shadow_check(idx, &tr.request)
+                } else {
+                    None
+                };
                 let local_result = if local {
                     handle_profiled(&mut self.edges[idx].server, &tr.request, &profiler)
                 } else {
@@ -923,8 +1705,8 @@ impl ThreeTierSystem {
                     })
                 };
                 match local_result {
-                    Ok(out) => {
-                        if self.breaker_open(arrive) {
+                    Ok(mut out) => {
+                        if self.breaker_open(idx, arrive) {
                             // replicated service under an open breaker: still
                             // served locally, deltas queue until the WAN heals
                             rec.degraded();
@@ -942,6 +1724,12 @@ impl ThreeTierSystem {
                         edge.crdts.absorb_outcome(&out, &edge.server);
                         if self.options.cache != CachePolicy::Off {
                             bump_static_global_writes(&mut edge.crdts.versions, summary);
+                        }
+                        // injected faulty VM variant: the state change was
+                        // absorbed intact, but the response this replica
+                        // serves (and caches) is corrupted
+                        if let Some(c) = edge.corruptor.as_mut() {
+                            c.corrupt(&mut out.response);
                         }
                         if let Some(p) = &plan {
                             // only a demonstrably effect-free execution may
@@ -966,13 +1754,35 @@ impl ThreeTierSystem {
                         if self.options.synchronous_sync {
                             rec.add_wan_sync_bytes(self.sync_round(finish));
                         }
+                        if let Some(shadow_resp) = shadow_verdict {
+                            self.ha_stats.shadow_checks += 1;
+                            if response_digest(&out.response) != response_digest(&shadow_resp) {
+                                self.ha_stats.shadow_mismatches += 1;
+                                self.edges[idx].shadow_mismatches += 1;
+                                telemetry.event(
+                                    "shadow.mismatch",
+                                    Tier::System,
+                                    Some(span),
+                                    finish,
+                                    &[("edge", Json::from(idx as u64))],
+                                );
+                                let budget = self
+                                    .options
+                                    .quarantine
+                                    .as_ref()
+                                    .map_or(u32::MAX, |q| q.mismatch_budget);
+                                if self.edges[idx].shadow_mismatches > budget {
+                                    quarantine_after = Some(idx);
+                                }
+                            }
+                        }
                         (done, out.response, up, down, finish - arrive)
                     }
                     Err(_) => {
                         // failure forwarding: the edge proxies the request to
                         // the cloud master over the WAN (§II-B)
                         rec.forwarded();
-                        if self.breaker_open(arrive) {
+                        if self.breaker_open(idx, arrive) {
                             // degraded mode: fail fast without a WAN attempt
                             rec.degraded();
                             rec.fail();
@@ -1024,6 +1834,9 @@ impl ThreeTierSystem {
             let energy = self.mobile.request_energy_j(up_total, down_total, wait);
             rec.complete(&response, tr.at, done, energy);
             telemetry.end_span(span, done);
+            if let Some(qi) = quarantine_after {
+                self.quarantine_edge(qi, done);
+            }
         }
         // final flush so replicas converge (fault-free runs need at most
         // two rounds: deltas out, acks back)
@@ -1577,5 +2390,286 @@ mod tests {
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.failed, 2);
         assert_eq!(stats.latency.len(), 1);
+    }
+
+    /// After the cooldown the breaker is half-open: the next forward is a
+    /// probe, and its success closes the breaker immediately.
+    #[test]
+    fn breaker_half_open_probe_closes_on_success() {
+        let report = transformed();
+        // partition only during [0, 20s): the breaker trips inside the
+        // window, and a post-window probe finds the WAN healed
+        let mut faults = FaultPlan::new(31);
+        faults.partition(
+            "edge0",
+            "cloud",
+            SimTime::ZERO,
+            SimTime::from_secs_f64(20.0),
+        );
+        let mut sys = ThreeTierSystem::deploy(
+            APP,
+            &report,
+            &[DeviceSpec::rpi4()],
+            ThreeTierOptions {
+                faults: Some(faults),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        sys.edges[0]
+            .server
+            .inject_failures(vec!["db.query".to_string()]);
+        let trip: Vec<HttpRequest> = (0..4).map(unique_note).collect();
+        let stats = sys.run(&Workload::constant_rate(&trip, 2.0, 4));
+        assert!(
+            sys.breaker_open(0, stats.makespan),
+            "timeouts across the partition must open the breaker"
+        );
+        // well past the partition and the cooldown: half-open probes
+        // forward again, succeed, and close the breaker
+        let probe: Vec<HttpRequest> = (50..53).map(unique_note).collect();
+        let stats =
+            sys.run(&Workload::constant_rate(&probe, 2.0, 3).shifted(SimTime::from_secs_f64(25.0)));
+        assert_eq!(stats.completed, 3, "probes must get through a healed WAN");
+        assert!(!sys.breaker_open(0, stats.makespan));
+    }
+
+    /// Satellite fix: a restarted edge gets a fresh breaker — the open
+    /// state belonged to the dead incarnation.
+    #[test]
+    fn restart_edge_resets_breaker_state() {
+        let report = transformed();
+        let mut faults = FaultPlan::new(37);
+        faults.partition(
+            "edge0",
+            "cloud",
+            SimTime::ZERO,
+            SimTime::from_secs_f64(3600.0),
+        );
+        let mut sys = ThreeTierSystem::deploy(
+            APP,
+            &report,
+            &[DeviceSpec::rpi4()],
+            ThreeTierOptions {
+                faults: Some(faults),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        sys.edges[0]
+            .server
+            .inject_failures(vec!["db.query".to_string()]);
+        let trip: Vec<HttpRequest> = (0..4).map(unique_note).collect();
+        let stats = sys.run(&Workload::constant_rate(&trip, 2.0, 4));
+        assert!(sys.breaker_open(0, stats.makespan));
+        sys.crash_edge(0);
+        sys.restart_edge(0).unwrap();
+        assert!(
+            !sys.breaker_open(0, stats.makespan),
+            "a restarted process must not inherit the dead incarnation's breaker"
+        );
+    }
+
+    /// Satellite: a scheduled crash + restart landing between sync ticks —
+    /// with compaction folding history every round — must neither deadlock
+    /// nor double-apply deltas, and the cluster reconverges.
+    #[test]
+    fn scheduled_restart_mid_sync_rounds_converges_without_double_apply() {
+        let report = transformed();
+        let mut crashes = CrashPlan::new(5);
+        crashes.crash(
+            "edge0",
+            SimTime::from_secs_f64(1.5),
+            SimTime::from_secs_f64(3.5),
+        );
+        let mut sys = ThreeTierSystem::deploy(
+            APP,
+            &report,
+            &[DeviceSpec::rpi4(), DeviceSpec::rpi3()],
+            ThreeTierOptions {
+                crashes: Some(crashes),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let reqs: Vec<HttpRequest> = (0..30).map(unique_note).collect();
+        let stats = sys.run(&Workload::constant_rate(&reqs, 10.0, 30));
+        let hs = sys.ha_stats();
+        assert_eq!(hs.edge_crashes, 1);
+        assert_eq!(hs.edge_restarts, 1);
+        let (rounds, _) = sys
+            .sync_until_converged(stats.makespan, 20)
+            .expect("cluster must reconverge after the scheduled restart");
+        assert!(rounds <= 20);
+        let cloud_rows = sys.cloud_crdts.tables["notes"].to_json();
+        for e in &sys.edges {
+            assert_eq!(e.crdts.tables["notes"].to_json(), cloud_rows);
+        }
+        // edge0's unsynced pre-crash writes died with the process; nothing
+        // may be applied twice (every surviving id appears exactly once —
+        // the PK table would otherwise conflict) and the survivor's share
+        // plus everything synced before the crash is present
+        let n = sys.cloud_crdts.tables["notes"].len();
+        assert!((20..=30).contains(&n), "unexpected row count {n}");
+    }
+
+    /// Tentpole: master crash → deterministic standby promotion →
+    /// reconvergence, with every acknowledged write surviving.
+    #[test]
+    fn master_failover_promotes_standby_and_loses_no_acked_write() {
+        let report = transformed();
+        let mut crashes = CrashPlan::new(9);
+        crashes.crash(
+            "cloud",
+            SimTime::from_secs_f64(2.0),
+            SimTime::from_secs_f64(5.0),
+        );
+        let mut sys = ThreeTierSystem::deploy(
+            APP,
+            &report,
+            &[DeviceSpec::rpi4(), DeviceSpec::rpi3()],
+            ThreeTierOptions {
+                crashes: Some(crashes),
+                ha: Some(HaPolicy::default()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let reqs: Vec<HttpRequest> = (0..40).map(unique_note).collect();
+        let stats = sys.run(&Workload::constant_rate(&reqs, 10.0, 40));
+        assert_eq!(
+            stats.completed, 40,
+            "replicated writes serve through the outage"
+        );
+        let (rounds, _) = sys
+            .sync_until_converged(stats.makespan.max(SimTime::from_secs_f64(6.0)), 30)
+            .expect("cluster must reconverge on the promoted master");
+        assert!(rounds <= 30);
+        assert!(!sys.master_down());
+        let hs = sys.ha_stats();
+        assert_eq!(hs.master_crashes, 1);
+        assert_eq!(hs.failovers, 1);
+        assert_eq!(
+            hs.recovery_times(),
+            vec![SimDuration::from_millis(500)],
+            "promotion happens exactly at crash + detect_delay"
+        );
+        // zero acked-write loss: the promoted master's final clock covers
+        // everything any replica was ever told was acknowledged
+        let final_clock = sys.cloud_crdts.clock();
+        assert!(!hs.acked_snapshots.is_empty());
+        for snap in &hs.acked_snapshots {
+            assert!(final_clock.dominates(snap), "acked write lost in failover");
+        }
+        assert!(sys.cloud_crdts.tables["notes"].len() >= 40);
+    }
+
+    /// Forwarded writes replicate to the standby before the client sees
+    /// the ack, so a master crash right after cannot lose them.
+    #[test]
+    fn forwarded_writes_survive_master_failover() {
+        let report = transformed();
+        let mut crashes = CrashPlan::new(13);
+        crashes.kill("cloud", SimTime::from_secs_f64(2.0));
+        let mut sys = ThreeTierSystem::deploy(
+            APP,
+            &report,
+            &[DeviceSpec::rpi4()],
+            ThreeTierOptions {
+                crashes: Some(crashes),
+                ha: Some(HaPolicy::default()),
+                policy: FaultPolicy {
+                    max_retries: 8,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // break the edge database so every request forwards over the WAN
+        sys.edges[0]
+            .server
+            .inject_failures(vec!["db.query".to_string()]);
+        let reqs: Vec<HttpRequest> = (0..20).map(unique_note).collect();
+        let stats = sys.run(&Workload::constant_rate(&reqs, 5.0, 20));
+        assert_eq!(
+            stats.completed, 20,
+            "retries must ride out the detection window"
+        );
+        assert_eq!(sys.ha_stats().failovers, 1);
+        assert!(!sys.master_down());
+        // every acked forward is on the post-failover master
+        assert!(
+            sys.cloud_crdts.tables["notes"].len() >= stats.completed,
+            "an acked forwarded write vanished in the failover"
+        );
+    }
+
+    /// Multi-variant check: the injected bit-flipping variant is caught
+    /// within its mismatch budget and quarantined; healthy replicas are
+    /// never falsely quarantined.
+    #[test]
+    fn quarantine_catches_faulty_variant_without_false_positives() {
+        let report = transformed();
+        let policy = QuarantinePolicy {
+            check_fraction: 1.0,
+            mismatch_budget: 2,
+            seed: 7,
+        };
+        let reqs: Vec<HttpRequest> = (0..40).map(unique_note).collect();
+        let wl = Workload::constant_rate(&reqs, 10.0, 40);
+
+        let mut sys = ThreeTierSystem::deploy(
+            APP,
+            &report,
+            &[DeviceSpec::rpi4(), DeviceSpec::rpi3()],
+            ThreeTierOptions {
+                quarantine: Some(policy.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        sys.inject_faulty_variant(0, 0.9, 0xBAD);
+        sys.run(&wl);
+        let hs = sys.ha_stats();
+        assert!(hs.shadow_checks > 0);
+        assert!(
+            hs.shadow_mismatches > u64::from(policy.mismatch_budget),
+            "the faulty variant must burn through its budget"
+        );
+        assert!(
+            !hs.quarantines.is_empty(),
+            "faulty replica must be quarantined"
+        );
+        assert!(
+            hs.quarantines.iter().all(|(i, _)| *i == 0),
+            "only the faulty replica may be quarantined: {:?}",
+            hs.quarantines
+        );
+        // the replacement VM is healthy: the injected fault died with the
+        // quarantined incarnation
+        assert_eq!(sys.corrupted_responses(0), 0);
+
+        // control: the same cluster with no injected fault never
+        // quarantines — compiled and tree-walking variants are
+        // bit-identical on every checked request
+        let mut clean = ThreeTierSystem::deploy(
+            APP,
+            &report,
+            &[DeviceSpec::rpi4(), DeviceSpec::rpi3()],
+            ThreeTierOptions {
+                quarantine: Some(policy),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        clean.run(&wl);
+        let hs = clean.ha_stats();
+        assert!(hs.shadow_checks > 0);
+        assert_eq!(
+            hs.shadow_mismatches, 0,
+            "healthy replicas must never mismatch"
+        );
+        assert!(hs.quarantines.is_empty(), "zero false quarantines required");
     }
 }

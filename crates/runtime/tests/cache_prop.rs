@@ -215,6 +215,80 @@ fn checked_read(
     Ok(())
 }
 
+/// Regression (crash/rejoin soundness): a rejoined edge must never serve a
+/// response cached by its pre-crash incarnation. The restarted replica's
+/// version counters start over, so a surviving entry stamped by the old
+/// epoch could revalidate against an unrelated post-restart state —
+/// `crash_edge`/`restart_edge` must drop the cache with the process.
+#[test]
+fn rejoined_edge_never_serves_pre_crash_cached_responses() {
+    use edgstr_core::{capture_and_transform, EdgStrConfig};
+    use edgstr_runtime::{CachePolicy, ThreeTierOptions, ThreeTierSystem, Workload};
+    use edgstr_sim::DeviceSpec;
+
+    const NOTES_APP: &str = r#"
+        db.query("CREATE TABLE notes (id INT PRIMARY KEY, text TEXT)");
+        var written = 0;
+        app.post("/note", function (req, res) {
+            written = written + 1;
+            db.query("INSERT INTO notes VALUES (" + req.body.id + ", '" + req.body.text + "')");
+            res.send({ n: written });
+        });
+        app.get("/count", function (req, res) {
+            var rows = db.query("SELECT COUNT(*) FROM notes");
+            res.send(rows[0]);
+        });
+    "#;
+    let capture = vec![
+        HttpRequest::post("/note", json!({"id": 900, "text": "warm"}), vec![]),
+        HttpRequest::get("/count", json!({})),
+    ];
+    let (report, _) = capture_and_transform(NOTES_APP, &capture, &EdgStrConfig::default()).unwrap();
+    let note =
+        |i: usize| HttpRequest::post("/note", json!({"id": i, "text": format!("t{i}")}), vec![]);
+    let count = HttpRequest::get("/count", json!({}));
+    // phase A caches /count after three writes (version stamp 3); phase B
+    // adds three more writes, driving the rejoined replica's fresh
+    // counters back to exactly the stale entry's stamp before reading —
+    // the interleaving a surviving pre-crash entry would serve stale
+    let phase_a = vec![note(1), note(2), note(3), count.clone(), count.clone()];
+    let phase_b = vec![note(4), note(5), note(6), count];
+
+    let run_phases = |cache: CachePolicy, crash_between: bool| {
+        let mut sys = ThreeTierSystem::deploy(
+            NOTES_APP,
+            &report,
+            &[DeviceSpec::rpi4()],
+            ThreeTierOptions {
+                cache,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let a = sys.run(&Workload::constant_rate(&phase_a, 10.0, phase_a.len()));
+        if crash_between {
+            sys.crash_edge(0);
+            sys.restart_edge(0).unwrap();
+        }
+        let b =
+            sys.run(&Workload::constant_rate(&phase_b, 10.0, phase_b.len()).shifted(a.makespan));
+        (a, b)
+    };
+
+    let (ref_a, ref_b) = run_phases(CachePolicy::Off, false);
+    let (hot_a, hot_b) = run_phases(CachePolicy::All, true);
+    assert_eq!(hot_a.completed, phase_a.len());
+    assert_eq!(hot_b.completed, phase_b.len());
+    assert_eq!(
+        ref_a.response_digest, hot_a.response_digest,
+        "pre-crash cached phase must match uncached execution"
+    );
+    assert_eq!(
+        ref_b.response_digest, hot_b.response_digest,
+        "a rejoined edge served a pre-crash cached response"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
