@@ -31,5 +31,5 @@ pub use fuzz::{fuzz_params, FuzzDictionary};
 pub use profile::{profile_service, ServiceProfile};
 pub use server::{ExecMode, HandleOutcome, Route, ServerError, ServerProcess};
 pub use slice::{extract_function, slice_statements, ExtractedService};
-pub use state::{InitState, StateUnit};
+pub use state::{InitSeed, InitState, StateUnit};
 pub use trace::ExecutionTrace;

@@ -82,6 +82,51 @@ impl InitState {
     }
 }
 
+/// A `Send + Sync` form of [`InitState`] for shipping a replica seed
+/// across threads.
+///
+/// [`Value`] is deliberately thread-owned (its interior is `Rc`-based for
+/// the VM hot path), so globals travel here in their JSON view — the same
+/// representation CRDT-JSON replication already ships them in — and are
+/// rebuilt into values on the receiving thread. Function/native globals
+/// are never captured ([`ServerProcess::snapshot_globals`] filters them),
+/// so the round-trip is lossless for everything a snapshot can hold.
+#[derive(Debug, Clone)]
+pub struct InitSeed {
+    pub db: DbSnapshot,
+    pub fs: FsSnapshot,
+    pub globals: Json,
+}
+
+impl InitSeed {
+    /// Capture the Send-safe view of `state`.
+    pub fn from_state(state: &InitState) -> InitSeed {
+        InitSeed {
+            db: state.db.clone(),
+            fs: state.fs.clone(),
+            globals: state.globals_json(),
+        }
+    }
+
+    /// Rebuild a thread-local [`InitState`] (called on the owning thread).
+    pub fn to_state(&self) -> InitState {
+        let globals = self
+            .globals
+            .as_object()
+            .map(|m| {
+                m.iter()
+                    .map(|(k, v)| (k.clone(), Value::from_json(v)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        InitState {
+            db: self.db.clone(),
+            fs: self.fs.clone(),
+            globals,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -430,6 +430,71 @@ fn bench_template(c: &mut Criterion) {
     });
 }
 
+/// The wall-clock parallel executor's fixed costs: per-request dispatch
+/// through the bounded job channels on a cache-hot read stream (handling
+/// is a lookup, so channel + routing overhead dominates), and the
+/// edge→cloud sync cadence at batch sizes 1/16/256 on a write-bearing
+/// mix (every flush is a delta generate/receive round-trip).
+fn bench_parallel(c: &mut Criterion) {
+    use edgstr_runtime::{CachePolicy, ParallelOptions, ParallelSystem};
+    let mut g = c.benchmark_group("parallel");
+
+    let app = edgstr_apps::all_apps()
+        .into_iter()
+        .find(|a| a.name == "sensor-hub")
+        .unwrap();
+    let report = edgstr_bench::transform_app(&app);
+    let replicated: Vec<HttpRequest> = report
+        .services
+        .iter()
+        .filter(|s| s.replicated)
+        .filter_map(|s| {
+            app.service_requests
+                .iter()
+                .find(|r| r.verb == s.verb && r.path == s.path)
+                .cloned()
+        })
+        .collect();
+    let (reads, writes): (Vec<HttpRequest>, Vec<HttpRequest>) = replicated
+        .into_iter()
+        .partition(|r| r.verb == edgstr_net::Verb::Get);
+    assert!(!reads.is_empty() && !writes.is_empty());
+
+    // Cache-hot dispatch: the app's own example reads, repeated — after
+    // each replica's first pass every request is a response-cache hit.
+    let hot: Vec<HttpRequest> = (0..512).map(|i| reads[i % reads.len()].clone()).collect();
+    let opts = |workers: usize, sync_batch: usize| ParallelOptions {
+        replicas: 4,
+        workers,
+        sync_batch,
+        cache: CachePolicy::All,
+        ..ParallelOptions::default()
+    };
+    for workers in [1usize, 2] {
+        g.bench_function(&format!("dispatch_512_cached/workers_{workers}"), |b| {
+            b.iter(|| ParallelSystem::new(&app.source, &report, opts(workers, 16)).run(&hot))
+        });
+    }
+
+    // Sync cadence: a write-bearing mix, flushed every 1 / 16 / 256
+    // served requests per replica.
+    let mixed: Vec<HttpRequest> = (0..512)
+        .map(|i| {
+            if i % 4 == 0 {
+                edgstr_bench::unique_variant(&writes[0], 90_000 + i as i64)
+            } else {
+                reads[i % reads.len()].clone()
+            }
+        })
+        .collect();
+    for batch in [1usize, 16, 256] {
+        g.bench_function(&format!("sync_batch_512_mixed/batch_{batch}"), |b| {
+            b.iter(|| ParallelSystem::new(&app.source, &report, opts(2, batch)).run(&mixed))
+        });
+    }
+    g.finish();
+}
+
 fn bench_pipeline(c: &mut Criterion) {
     c.bench_function("profile_service_full", |b| {
         let src = r#"
@@ -453,6 +518,6 @@ fn bench_pipeline(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_crdt, bench_log_structure, bench_datalog, bench_sql, bench_lang, bench_interp_dispatch, bench_metrics, bench_template, bench_pipeline
+    targets = bench_crdt, bench_log_structure, bench_datalog, bench_sql, bench_lang, bench_interp_dispatch, bench_metrics, bench_template, bench_parallel, bench_pipeline
 }
 criterion_main!(benches);

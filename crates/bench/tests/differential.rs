@@ -174,6 +174,102 @@ fn cache_policy_all_is_bit_identical_for_every_app() {
     );
 }
 
+/// Parallel-executor differential property: random request schedules
+/// executed on 1 vs N worker threads produce identical per-request
+/// response digests, and every replica plus the cloud master converge to
+/// a replicated state identical to the single-threaded reference.
+///
+/// Schedules are drawn from a seeded RNG (several seeds, several apps),
+/// mixing reads and writes over the app's replicated services with
+/// skewed repetition so the cache participates too.
+#[test]
+fn parallel_executor_matches_single_threaded_reference() {
+    use edgstr_runtime::{ParallelOptions, ParallelSystem};
+    use edgstr_sim::DetRng;
+
+    let mut apps_checked = 0usize;
+    for app in all_apps() {
+        let report = edgstr_bench::transform_app(&app);
+        // replicated service templates, reads and writes
+        let replicated: Vec<HttpRequest> = report
+            .services
+            .iter()
+            .filter(|s| s.replicated)
+            .filter_map(|s| {
+                app.service_requests
+                    .iter()
+                    .find(|r| r.verb == s.verb && r.path == s.path)
+                    .cloned()
+            })
+            .collect();
+        if replicated.is_empty() {
+            continue;
+        }
+        apps_checked += 1;
+        for seed in [0x5EED_0001u64, 0x5EED_0002, 0x5EED_0003] {
+            let mut rng = DetRng::new(seed);
+            let requests: Vec<HttpRequest> = (0..96i64)
+                .map(|i| {
+                    let template = &replicated[rng.next_u64() as usize % replicated.len()];
+                    if rng.next_u64().is_multiple_of(4) {
+                        // fresh variant: unique params exercise writes and
+                        // distinct cache keys
+                        edgstr_bench::unique_variant(template, 10_000 + i)
+                    } else {
+                        // repeated variant: a small pool so reads repeat
+                        // and the cache can hit
+                        edgstr_bench::unique_variant(template, (rng.next_u64() % 7) as i64)
+                    }
+                })
+                .collect();
+            let opts = |workers: usize| ParallelOptions {
+                replicas: 4,
+                workers,
+                sync_batch: 3,
+                cache: CachePolicy::All,
+                ..ParallelOptions::default()
+            };
+            let reference = ParallelSystem::new(&app.source, &report, opts(1)).run(&requests);
+            assert!(
+                reference.converged,
+                "{} (seed {seed:#x}): reference run did not converge",
+                app.name
+            );
+            for workers in [2, 3, 4] {
+                let run = ParallelSystem::new(&app.source, &report, opts(workers)).run(&requests);
+                assert_eq!(
+                    run.per_request_digests, reference.per_request_digests,
+                    "{} (seed {seed:#x}): {workers}-thread per-request responses \
+                     diverge from the single-threaded reference",
+                    app.name
+                );
+                assert_eq!(
+                    run.response_digest, reference.response_digest,
+                    "{} (seed {seed:#x}): {workers}-thread run digest diverges",
+                    app.name
+                );
+                assert!(
+                    run.converged,
+                    "{} (seed {seed:#x}): {workers}-thread replicas/cloud did not converge",
+                    app.name
+                );
+                assert_eq!(
+                    run.state_digest, reference.state_digest,
+                    "{} (seed {seed:#x}): {workers}-thread converged CRDT state \
+                     differs from the reference",
+                    app.name
+                );
+                assert_eq!(run.completed, reference.completed);
+                assert_eq!(run.failed, reference.failed);
+            }
+        }
+    }
+    assert!(
+        apps_checked >= 2,
+        "expected several apps with replicated services, saw {apps_checked}"
+    );
+}
+
 #[test]
 fn transformation_identical_across_engines() {
     // The analysis pipeline (profiling, slicing, extraction) consumes

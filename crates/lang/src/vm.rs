@@ -12,6 +12,20 @@
 //!   global rebind, and rollback undoes exactly those, replicating the
 //!   interpreter's snapshot/merge-restore semantics without deep-copying
 //!   the world per request.
+//!
+//! ## Send audit (parallel serving)
+//!
+//! The VM and everything it executes are **deliberately thread-owned**:
+//! [`Value`] interns strings as `Rc<str>` and shares containers as
+//! `Rc<RefCell<...>>`, and [`CompiledProgram`] shares its atom table the
+//! same way, precisely so the serve hot path pays non-atomic refcounts
+//! and no locks. The parallel executor therefore never moves a `Vm`
+//! (or a `ServerProcess`) across threads — each worker *builds* its own
+//! from the `Send + Sync` seed data (the AST [`Program`](crate::ast::Program),
+//! `CrdtBindings`, and the JSON-viewed `InitSeed`) and owns it for the
+//! run. The `sendable_seed_frontier` test pins the frontier at compile
+//! time: if a seed type grows a non-`Send` field, the build breaks there
+//! rather than at a distant spawn site.
 
 use crate::ast::StmtId;
 use crate::compile::{compile_closure, CompiledChunk, CompiledProgram, NameRef, Op};
@@ -1450,5 +1464,16 @@ mod tests {
         let mask = vm.bound_mask();
         vm.set_global("b", Value::Num(2.0));
         assert_eq!(vm.newly_bound(&mask), vec!["b".to_string()]);
+    }
+
+    /// Compile-time pin of the Send frontier (see the module docs): the
+    /// seed data a worker thread builds its VM from must be `Send + Sync`;
+    /// the VM itself stays thread-owned on purpose.
+    #[test]
+    fn sendable_seed_frontier() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::ast::Program>();
+        assert_send_sync::<crate::ast::Stmt>();
+        assert_send_sync::<crate::ast::Expr>();
     }
 }

@@ -548,4 +548,19 @@ mod tests {
         let ratio = reg.gauge("edgstr_cache_hit_ratio", &[]).get();
         assert!((ratio - c.stats().hit_ratio()).abs() < 1e-12);
     }
+
+    /// Compile-time Send audit: the whole cache — entries, version
+    /// counters, and its telemetry handles (atomic since the parallel
+    /// executor landed) — lives inside a worker-owned replica, so every
+    /// piece must be `Send` for the replica builder to move it onto its
+    /// thread.
+    #[test]
+    fn cache_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ResponseCache>();
+        assert_send::<CacheStats>();
+        assert_send::<CacheKey>();
+        assert_send::<UnitKey>();
+        assert_send::<UnitVersions>();
+    }
 }

@@ -13,7 +13,7 @@
 //! response digest) with telemetry off vs on.
 
 use edgstr_net::{HttpRequest, HttpResponse};
-use edgstr_sim::{LatencyStats, SimDuration, SimTime};
+use edgstr_sim::{Clock, LatencyStats, SimDuration, SimTime};
 use edgstr_telemetry::{Counter, Gauge, Histogram, Telemetry};
 
 /// Radio/idle power draw of the mobile client, used to integrate the
@@ -271,12 +271,22 @@ pub struct RunRecorder {
     replicas_gauge: Gauge,
     stats: RunStats,
     digest: u64,
+    clock: Clock,
 }
 
 impl RunRecorder {
     /// Start recording one run against `telemetry`'s registry (or a
-    /// throwaway registry when disabled — same code path, nothing kept).
+    /// throwaway registry when disabled — same code path, nothing kept),
+    /// under a deterministic virtual clock.
     pub fn new(telemetry: &Telemetry) -> RunRecorder {
+        Self::with_clock(telemetry, Clock::virtual_clock())
+    }
+
+    /// Start recording one run driven by an explicit [`Clock`]. Under
+    /// [`Clock::Virtual`] completions advance the clock's frontier (the
+    /// historical makespan watermark); under [`Clock::Wall`] the makespan
+    /// is the real elapsed time at the last completion.
+    pub fn with_clock(telemetry: &Telemetry, clock: Clock) -> RunRecorder {
         let registry = telemetry.registry().unwrap_or_default();
         let counters = COUNTER_SPECS.map(|(name, labels)| registry.counter(name, labels));
         let base = std::array::from_fn(|i| counters[i].get());
@@ -288,12 +298,18 @@ impl RunRecorder {
             replicas_gauge: registry.gauge("edgstr_active_replicas", &[]),
             stats: RunStats::default(),
             digest: FNV_OFFSET,
+            clock,
         }
     }
 
     /// The telemetry handle this run records against.
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// The clock driving this run.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
     }
 
     /// Record one completed request: latency, client energy, makespan,
@@ -311,8 +327,14 @@ impl RunRecorder {
         self.latency_hist.record(latency.0);
         self.counters[COMPLETED].inc();
         self.stats.client_energy_j += client_energy_j;
-        if done > self.stats.makespan {
-            self.stats.makespan = done;
+        // Advance the run's clock to this completion and take the makespan
+        // from the clock reading: under a virtual clock this is exactly the
+        // historical `max(done)` watermark; under a wall clock it is the
+        // real elapsed time at the last completion.
+        self.clock.advance_to(done);
+        let now = self.clock.now();
+        if now > self.stats.makespan {
+            self.stats.makespan = now;
         }
         self.digest = fnv1a(self.digest, &response.status.to_le_bytes());
         let body = serde_json::to_string(&response.body).expect("response body serializes");
@@ -481,5 +503,44 @@ mod tests {
         let stats = rec.finish(0.0, 0.0);
         assert_eq!(stats.failed, 1);
         assert!(t.registry().is_none(), "nothing leaks out when disabled");
+    }
+
+    #[test]
+    fn explicit_virtual_clock_matches_default_recorder() {
+        let t = Telemetry::disabled();
+        let resp = HttpResponse::ok(json!({"ok": true}));
+        let drive = |mut rec: RunRecorder| {
+            rec.complete(&resp, SimTime(100), SimTime(900), 0.1);
+            rec.complete(&resp, SimTime(200), SimTime(400), 0.1);
+            rec.finish(0.0, 0.0)
+        };
+        let default = drive(RunRecorder::new(&t));
+        let explicit = drive(RunRecorder::with_clock(&t, Clock::virtual_clock()));
+        assert_eq!(
+            default, explicit,
+            "virtual clock is the default, bit-identical"
+        );
+        assert_eq!(
+            default.makespan,
+            SimTime(900),
+            "makespan is the max completion"
+        );
+    }
+
+    #[test]
+    fn wall_clock_recorder_reports_elapsed_makespan() {
+        let t = Telemetry::disabled();
+        let mut rec = RunRecorder::with_clock(&t, Clock::wall());
+        assert!(rec.clock().is_wall());
+        let resp = HttpResponse::ok(json!({"ok": true}));
+        // Virtual event times are ignored by the wall clock: the makespan
+        // is whatever real time has elapsed at the last completion.
+        rec.complete(&resp, SimTime::ZERO, SimTime(u64::MAX), 0.0);
+        let stats = rec.finish(0.0, 0.0);
+        assert_eq!(stats.completed, 1);
+        assert!(
+            stats.makespan < SimTime(u64::MAX),
+            "wall makespan is real elapsed time, not the virtual event time"
+        );
     }
 }

@@ -19,6 +19,7 @@ pub mod balancer;
 pub mod cache;
 pub mod crdtset;
 pub mod driver;
+pub mod parallel;
 pub mod system;
 
 pub use balancer::{Autoscaler, BalanceStrategy, LoadBalancer};
@@ -28,6 +29,7 @@ pub use cache::{
 };
 pub use crdtset::{CrdtSet, SetChanges, SetClock, SetSyncMessage, SyncEndpoint};
 pub use driver::{FaultPolicy, MobilePower, RunRecorder, RunStats, TimedRequest, Workload};
+pub use parallel::{ParallelOptions, ParallelRunStats, ParallelSystem, ReplicaSeed, FAILED_DIGEST};
 pub use system::{
     BitFlipCorruptor, EdgeReplica, HaPolicy, HaStats, QuarantinePolicy, ThreeTierOptions,
     ThreeTierSystem, TwoTierSystem,

@@ -24,7 +24,7 @@ use edgstr_net::{
     CrashEvent, CrashKind, CrashPlan, FaultPlan, HttpRequest, HttpResponse, LinkChannel, LinkSpec,
     Verb,
 };
-use edgstr_sim::{DetRng, Device, DeviceSpec, PowerState, SimDuration, SimTime};
+use edgstr_sim::{Clock, DetRng, Device, DeviceSpec, PowerState, SimDuration, SimTime};
 use edgstr_telemetry::{Counter, SpanId, StmtProfiler, Telemetry, Tier};
 use serde_json::Value as Json;
 use std::cell::RefCell;
@@ -71,7 +71,10 @@ impl TwoTierSystem {
     /// Execute `workload`, returning measurements.
     pub fn run(&mut self, workload: &Workload) -> RunStats {
         let telemetry = self.telemetry.clone();
-        let mut rec = RunRecorder::new(&telemetry);
+        // Virtual-time driver: the run is clocked by the deterministic
+        // simulation frontier, never by the host. The wall-clock sibling
+        // lives in [`crate::parallel`].
+        let mut rec = RunRecorder::with_clock(&telemetry, Clock::virtual_clock());
         let profiler = request_profiler(&telemetry);
         for tr in &workload.requests {
             let span = if telemetry.is_enabled() {
@@ -1560,7 +1563,8 @@ impl ThreeTierSystem {
     /// Execute `workload`, returning measurements.
     pub fn run(&mut self, workload: &Workload) -> RunStats {
         let telemetry = self.options.telemetry.clone();
-        let mut rec = RunRecorder::new(&telemetry);
+        // Deterministic virtual clock, as in [`TwoTierSystem::run`].
+        let mut rec = RunRecorder::with_clock(&telemetry, Clock::virtual_clock());
         let profiler = request_profiler(&telemetry);
         // Per-edge routing counters resolved once: the registry lookup
         // allocates a metric key, which is too hot for the request loop.

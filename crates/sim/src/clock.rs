@@ -1,0 +1,128 @@
+//! Execution clocks: virtual time vs monotonic wall time.
+//!
+//! Everything in the simulator historically ran under [`SimTime`]
+//! exclusively — the driver advanced a `makespan` watermark as events
+//! completed, and "throughput" was a simulated number. [`Clock`] decouples
+//! the execution engine from that choice:
+//!
+//! - [`Clock::Virtual`] holds a deterministic virtual frontier. Reading it
+//!   returns the latest instant the run has observed; advancing it is a
+//!   monotone max. This reproduces the historical makespan arithmetic
+//!   bit-for-bit, so every virtual-time experiment stays byte-identical.
+//! - [`Clock::Wall`] anchors a monotonic [`Instant`] at construction and
+//!   reports real elapsed microseconds. Advancing it is a no-op: under
+//!   wall time the only way forward is for time to actually pass. This is
+//!   the clock the parallel executor runs under.
+//!
+//! Both variants read as [`SimTime`] microseconds, so downstream stats
+//! (makespan, throughput) are computed by one code path regardless of
+//! which clock drove the run.
+
+use crate::time::{SimDuration, SimTime};
+use std::time::Instant;
+
+/// A source of time for an execution: deterministic virtual time or
+/// monotonic wall time. See the module docs for the contract.
+#[derive(Debug, Clone)]
+pub enum Clock {
+    /// Deterministic virtual frontier: the latest [`SimTime`] observed.
+    Virtual(SimTime),
+    /// Monotonic wall time, anchored at the instant of construction.
+    Wall(Instant),
+}
+
+impl Clock {
+    /// A virtual clock starting at time zero.
+    pub fn virtual_clock() -> Clock {
+        Clock::Virtual(SimTime::ZERO)
+    }
+
+    /// A wall clock anchored now: `now()` reports microseconds elapsed
+    /// since this call.
+    pub fn wall() -> Clock {
+        Clock::Wall(Instant::now())
+    }
+
+    /// True if this clock reports real elapsed time.
+    pub fn is_wall(&self) -> bool {
+        matches!(self, Clock::Wall(_))
+    }
+
+    /// Move the virtual frontier forward to `to` if it is later (monotone
+    /// max — moving backwards is silently ignored, matching the historical
+    /// makespan watermark). No-op under wall time.
+    pub fn advance_to(&mut self, to: SimTime) {
+        match self {
+            Clock::Virtual(t) => {
+                if to > *t {
+                    *t = to;
+                }
+            }
+            Clock::Wall(_) => {}
+        }
+    }
+
+    /// The current reading: the virtual frontier, or microseconds elapsed
+    /// since the wall clock's origin.
+    pub fn now(&self) -> SimTime {
+        match self {
+            Clock::Virtual(t) => *t,
+            Clock::Wall(origin) => SimTime(origin.elapsed().as_micros() as u64),
+        }
+    }
+
+    /// Time elapsed since the clock's origin (virtual zero, or the wall
+    /// anchor instant).
+    pub fn elapsed(&self) -> SimDuration {
+        SimDuration(self.now().0)
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::virtual_clock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_is_a_monotone_max() {
+        let mut c = Clock::virtual_clock();
+        assert!(!c.is_wall());
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance_to(SimTime(500));
+        assert_eq!(c.now(), SimTime(500));
+        // moving backwards is ignored
+        c.advance_to(SimTime(100));
+        assert_eq!(c.now(), SimTime(500));
+        c.advance_to(SimTime(750));
+        assert_eq!(c.now(), SimTime(750));
+        assert_eq!(c.elapsed(), SimDuration(750));
+    }
+
+    #[test]
+    fn wall_clock_ignores_advance_and_never_goes_backwards() {
+        let mut c = Clock::wall();
+        assert!(c.is_wall());
+        c.advance_to(SimTime(u64::MAX));
+        let a = c.now();
+        // spin a little real work so time can pass on coarse clocks
+        let mut x = 0u64;
+        for i in 0..10_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(x);
+        let b = c.now();
+        assert!(b >= a, "monotonic reading went backwards: {a:?} -> {b:?}");
+    }
+
+    #[test]
+    fn default_is_virtual_zero() {
+        let c = Clock::default();
+        assert!(!c.is_wall());
+        assert_eq!(c.now(), SimTime::ZERO);
+    }
+}

@@ -7,6 +7,9 @@
 //! substrate with
 //!
 //! - [`SimTime`] / [`SimDuration`] — microsecond virtual time;
+//! - [`Clock`] — the execution clock abstraction: deterministic virtual
+//!   time for correctness experiments, monotonic wall time for the
+//!   parallel executor;
 //! - [`DeviceSpec`] / [`Device`] — calibrated CPU models (cloud desktop,
 //!   RPI-3, RPI-4, Snapdragon phone) with per-core queueing; the RPI-4 /
 //!   RPI-3 effective-speed ratio is calibrated to the paper's measured
@@ -19,12 +22,14 @@
 //! - [`EventQueue`] — a deterministic event loop for the cluster
 //!   simulations.
 
+pub mod clock;
 pub mod device;
 pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
+pub use clock::Clock;
 pub use device::{Device, DeviceSpec, EnergyMeter, PowerModel, PowerState};
 pub use metrics::{linear_fit, FiveNumber, LatencyStats, LinearFit, Throughput, Window};
 pub use queue::EventQueue;

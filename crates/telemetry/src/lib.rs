@@ -33,7 +33,7 @@ pub mod trace;
 
 pub use histogram::{bucket_high, bucket_index, bucket_low, LogLinHistogram, NUM_BUCKETS};
 pub use profile::{StmtCost, StmtProfiler};
-pub use registry::{Counter, Gauge, Histogram, Registry};
+pub use registry::{Counter, Gauge, Histogram, Registry, RegistrySnapshot};
 pub use trace::{EventRecord, SpanId, SpanRecord, Tier, TraceLog};
 
 #[cfg(feature = "enabled")]

@@ -1,17 +1,23 @@
 //! Labeled metrics registry: counters, gauges, and log-linear histograms.
 //!
-//! Handles are cheap `Rc` clones resolved once (by metric name plus a
-//! sorted label set) and bumped on the hot path without any map lookup.
-//! Everything is single-threaded by design — the simulator is
-//! deterministic and so is the registry: iteration order is the
-//! `BTreeMap` order of `(name, labels)`, which makes the Prometheus text
-//! exposition byte-stable across runs.
+//! Handles are cheap clones resolved once (by metric name plus a sorted
+//! label set) and bumped on the hot path without any map lookup. Counter
+//! and gauge handles are lock-free atomics and `Send`, so they can live
+//! inside per-thread state (the parallel executor's per-replica response
+//! caches hold them); the registry handle itself and histograms stay
+//! single-threaded. For cross-thread aggregation each worker owns its own
+//! registry *shard* and the shards are folded at snapshot time via
+//! [`RegistrySnapshot`] — see [`Registry::snapshot`] / [`Registry::absorb`].
+//! Iteration order is the `BTreeMap` order of `(name, labels)`, which
+//! makes the Prometheus text exposition byte-stable across runs.
 
 use crate::histogram::{bucket_high, LogLinHistogram};
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A metric identity: name plus sorted `key="value"` labels.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -49,9 +55,11 @@ impl MetricKey {
     }
 }
 
-/// Monotonic counter handle.
+/// Monotonic counter handle. Lock-free and `Send`: increments use relaxed
+/// atomics, which is sufficient because counters carry no ordering
+/// obligations — they are only read at snapshot/render time.
 #[derive(Clone, Debug)]
-pub struct Counter(Rc<Cell<u64>>);
+pub struct Counter(Arc<AtomicU64>);
 
 impl Counter {
     #[inline]
@@ -61,37 +69,45 @@ impl Counter {
 
     #[inline]
     pub fn add(&self, n: u64) {
-        self.0.set(self.0.get() + n);
+        self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     #[inline]
     pub fn get(&self) -> u64 {
-        self.0.get()
+        self.0.load(Ordering::Relaxed)
     }
 }
 
-/// Last-value gauge handle.
+/// Last-value gauge handle, stored as the raw bits of an `f64` in an
+/// atomic so the handle is `Send` like [`Counter`].
 #[derive(Clone, Debug)]
-pub struct Gauge(Rc<Cell<f64>>);
+pub struct Gauge(Arc<AtomicU64>);
 
 impl Gauge {
     #[inline]
     pub fn set(&self, v: f64) {
-        self.0.set(v);
+        self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
     #[inline]
     pub fn add(&self, v: f64) {
-        self.0.set(self.0.get() + v);
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + v).to_bits())
+            });
     }
 
     #[inline]
     pub fn get(&self) -> f64 {
-        self.0.get()
+        f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 }
 
 /// Histogram handle; see [`LogLinHistogram`] for the bucket scheme.
+/// Deliberately thread-owned (`Rc<RefCell<...>>`): histograms are only
+/// recorded from the registry's owning thread, and cross-thread folding
+/// goes through [`RegistrySnapshot`] instead.
 #[derive(Clone, Debug)]
 pub struct Histogram(Rc<RefCell<LogLinHistogram>>);
 
@@ -108,8 +124,8 @@ impl Histogram {
 
 #[derive(Default, Debug)]
 struct RegistryInner {
-    counters: BTreeMap<MetricKey, Rc<Cell<u64>>>,
-    gauges: BTreeMap<MetricKey, Rc<Cell<f64>>>,
+    counters: BTreeMap<MetricKey, Arc<AtomicU64>>,
+    gauges: BTreeMap<MetricKey, Arc<AtomicU64>>,
     histograms: BTreeMap<MetricKey, Rc<RefCell<LogLinHistogram>>>,
 }
 
@@ -118,6 +134,68 @@ struct RegistryInner {
 #[derive(Clone, Default, Debug)]
 pub struct Registry {
     inner: Rc<RefCell<RegistryInner>>,
+}
+
+/// A plain-data, `Send` capture of a registry's contents, used to fold
+/// per-worker registry shards into one aggregate after a parallel run.
+///
+/// Merge semantics are **additive for every metric kind**: counters and
+/// histogram buckets add exactly (they are integers), and gauges add their
+/// values too — a shard's gauge is a *partial contribution* to the fleet
+/// total (bytes buffered, requests in flight), not a last-writer value.
+/// Additive folding is the only semantics that is independent of shard
+/// enumeration order, which is what makes `fold(shards)` equal the
+/// single-registry result regardless of how work was partitioned.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    counters: BTreeMap<MetricKey, u64>,
+    // Gauge values are kept as f64 bits so `PartialEq` compares exactly.
+    gauges: BTreeMap<MetricKey, u64>,
+    histograms: BTreeMap<MetricKey, LogLinHistogram>,
+}
+
+impl RegistrySnapshot {
+    /// True if the snapshot holds no metrics at all (e.g. taken from a
+    /// disabled telemetry build).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Fold `other` into `self`: counters add, gauges add (partial sums),
+    /// histograms merge bucket-wise.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (key, v) in &other.counters {
+            *self.counters.entry(key.clone()).or_insert(0) += v;
+        }
+        for (key, bits) in &other.gauges {
+            let slot = self.gauges.entry(key.clone()).or_insert(0);
+            *slot = (f64::from_bits(*slot) + f64::from_bits(*bits)).to_bits();
+        }
+        for (key, h) in &other.histograms {
+            self.histograms.entry(key.clone()).or_default().merge(h);
+        }
+    }
+
+    /// The counter value for `name` with `labels`, 0 if absent.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.counters
+            .get(&MetricKey::new(name, labels))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The gauge value for `name` with `labels`, 0.0 if absent.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> f64 {
+        self.gauges
+            .get(&MetricKey::new(name, labels))
+            .map(|bits| f64::from_bits(*bits))
+            .unwrap_or(0.0)
+    }
+
+    /// The histogram for `name` with `labels`, if recorded.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&LogLinHistogram> {
+        self.histograms.get(&MetricKey::new(name, labels))
+    }
 }
 
 impl Registry {
@@ -164,6 +242,66 @@ impl Registry {
         Histogram(cell)
     }
 
+    /// Capture the registry's current contents as plain `Send` data.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.inner.borrow();
+        RegistrySnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, c)| (k.clone(), c.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, g)| (k.clone(), g.load(Ordering::Relaxed)))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.borrow().clone()))
+                .collect(),
+        }
+    }
+
+    /// Fold a snapshot (typically from a worker shard) into this registry:
+    /// counters add, gauges add, histograms merge. See [`RegistrySnapshot`]
+    /// for why gauges fold additively.
+    pub fn absorb(&self, snap: &RegistrySnapshot) {
+        for (key, v) in &snap.counters {
+            let cell = self
+                .inner
+                .borrow_mut()
+                .counters
+                .entry(key.clone())
+                .or_default()
+                .clone();
+            cell.fetch_add(*v, Ordering::Relaxed);
+        }
+        for (key, bits) in &snap.gauges {
+            let cell = self
+                .inner
+                .borrow_mut()
+                .gauges
+                .entry(key.clone())
+                .or_default()
+                .clone();
+            let _ = cell.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some((f64::from_bits(cur) + f64::from_bits(*bits)).to_bits())
+            });
+        }
+        for (key, h) in &snap.histograms {
+            let cell = self
+                .inner
+                .borrow_mut()
+                .histograms
+                .entry(key.clone())
+                .or_default()
+                .clone();
+            cell.borrow_mut().merge(h);
+        }
+    }
+
     /// Prometheus text exposition of every registered metric, in
     /// deterministic `(name, labels)` order. Histograms render cumulative
     /// `_bucket{le=...}` series over their non-empty buckets plus the
@@ -172,10 +310,15 @@ impl Registry {
         let inner = self.inner.borrow();
         let mut out = String::new();
         for (key, cell) in &inner.counters {
-            let _ = writeln!(out, "{} {}", key.render(), cell.get());
+            let _ = writeln!(out, "{} {}", key.render(), cell.load(Ordering::Relaxed));
         }
         for (key, cell) in &inner.gauges {
-            let _ = writeln!(out, "{} {}", key.render(), cell.get());
+            let _ = writeln!(
+                out,
+                "{} {}",
+                key.render(),
+                f64::from_bits(cell.load(Ordering::Relaxed))
+            );
         }
         for (key, cell) in &inner.histograms {
             let h = cell.borrow();
@@ -256,5 +399,66 @@ mod tests {
         assert!(text.contains("edgstr_latency_us_sum 110"));
         assert!(text.contains("edgstr_latency_us_count 2"));
         assert_eq!(reg.render_prometheus(), text, "exposition is stable");
+    }
+
+    #[test]
+    fn counter_and_gauge_handles_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Counter>();
+        assert_send::<Gauge>();
+        assert_send::<RegistrySnapshot>();
+    }
+
+    #[test]
+    fn counter_handles_work_across_threads() {
+        let reg = Registry::new();
+        let c = reg.counter("edgstr_cross_thread_total", &[]);
+        let g = reg.gauge("edgstr_cross_thread_bytes", &[]);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                let g = g.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                        g.add(2.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        assert_eq!(g.get(), 8000.0);
+    }
+
+    #[test]
+    fn snapshot_merge_and_absorb_are_additive() {
+        let a = Registry::new();
+        a.counter("reqs", &[("tier", "edge")]).add(3);
+        a.gauge("buffered", &[]).add(1.5);
+        a.histogram("lat", &[]).record(10);
+        let b = Registry::new();
+        b.counter("reqs", &[("tier", "edge")]).add(4);
+        b.counter("reqs", &[("tier", "cloud")]).inc();
+        b.gauge("buffered", &[]).add(2.5);
+        b.histogram("lat", &[]).record(100);
+
+        let mut folded = a.snapshot();
+        folded.merge(&b.snapshot());
+        assert_eq!(folded.counter_value("reqs", &[("tier", "edge")]), 7);
+        assert_eq!(folded.counter_value("reqs", &[("tier", "cloud")]), 1);
+        assert_eq!(folded.gauge_value("buffered", &[]), 4.0);
+        let h = folded.histogram("lat", &[]).expect("merged histogram");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 110);
+        assert_eq!(folded.gauge_value("missing", &[]), 0.0);
+        assert_eq!(folded.counter_value("missing", &[]), 0);
+        assert!(folded.histogram("missing", &[]).is_none());
+
+        let total = Registry::new();
+        total.absorb(&a.snapshot());
+        total.absorb(&b.snapshot());
+        assert_eq!(total.snapshot(), folded, "absorb folds like merge");
+        assert!(RegistrySnapshot::default().is_empty());
+        assert!(!folded.is_empty());
     }
 }

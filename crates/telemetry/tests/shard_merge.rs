@@ -1,0 +1,92 @@
+//! Property: folding per-worker registry shards yields exactly the totals
+//! a single shared registry would have accumulated, no matter how the
+//! operations were partitioned across shards or how the shards are folded.
+//!
+//! This is the contract the parallel executor depends on: each worker
+//! thread owns a private registry shard, records into it with zero
+//! coordination, and the driver folds the shards at the end of the run.
+//!
+//! Gauges participate *additively* (each shard holds a partial sum — see
+//! `RegistrySnapshot`); the generated gauge deltas are whole numbers so
+//! f64 addition is exact and the comparison is bit-precise.
+
+use edgstr_telemetry::{Registry, RegistrySnapshot};
+use proptest::prelude::*;
+
+const NAMES: [&str; 3] = [
+    "edgstr_requests_total",
+    "edgstr_sync_bytes",
+    "edgstr_lat_us",
+];
+const LABELS: [&[(&str, &str)]; 3] = [&[], &[("tier", "edge")], &[("tier", "cloud")]];
+
+#[derive(Clone, Debug)]
+enum Op {
+    CounterAdd { metric: usize, label: usize, n: u64 },
+    GaugeAdd { metric: usize, label: usize, n: u32 },
+    HistRecord { metric: usize, label: usize, v: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let idx = 0usize..NAMES.len();
+    let lbl = 0usize..LABELS.len();
+    prop_oneof![
+        (idx.clone(), lbl.clone(), 0u64..10_000)
+            .prop_map(|(metric, label, n)| { Op::CounterAdd { metric, label, n } }),
+        (idx.clone(), lbl.clone(), 0u32..10_000).prop_map(|(metric, label, n)| Op::GaugeAdd {
+            metric,
+            label,
+            n
+        }),
+        (idx, lbl, 0u64..1_000_000)
+            .prop_map(|(metric, label, v)| { Op::HistRecord { metric, label, v } }),
+    ]
+}
+
+fn apply(reg: &Registry, op: &Op) {
+    match *op {
+        Op::CounterAdd { metric, label, n } => reg.counter(NAMES[metric], LABELS[label]).add(n),
+        Op::GaugeAdd { metric, label, n } => {
+            reg.gauge(NAMES[metric], LABELS[label]).add(f64::from(n))
+        }
+        Op::HistRecord { metric, label, v } => {
+            reg.histogram(NAMES[metric], LABELS[label]).record(v)
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn sharded_merge_equals_single_registry(
+        ops in proptest::collection::vec(op_strategy(), 0..200),
+        shards in 1usize..6,
+    ) {
+        // Reference: one registry sees every operation.
+        let single = Registry::new();
+        for op in &ops {
+            apply(&single, op);
+        }
+
+        // Partition the same operations across `shards` private registries.
+        let shard_regs: Vec<Registry> = (0..shards).map(|_| Registry::new()).collect();
+        for (i, op) in ops.iter().enumerate() {
+            apply(&shard_regs[i % shards], op);
+        }
+
+        // Fold path 1: merge snapshots pairwise.
+        let mut folded = RegistrySnapshot::default();
+        for reg in &shard_regs {
+            folded.merge(&reg.snapshot());
+        }
+        prop_assert_eq!(&folded, &single.snapshot());
+
+        // Fold path 2: absorb shards into a fresh registry; the Prometheus
+        // exposition must also match byte-for-byte.
+        let absorbed = Registry::new();
+        for reg in &shard_regs {
+            absorbed.absorb(&reg.snapshot());
+        }
+        prop_assert_eq!(absorbed.snapshot(), single.snapshot());
+        prop_assert_eq!(absorbed.render_prometheus(), single.render_prometheus());
+    }
+}
