@@ -21,6 +21,7 @@ pub mod crdtset;
 pub mod driver;
 pub mod parallel;
 pub mod system;
+pub mod tiering;
 
 pub use balancer::{Autoscaler, BalanceStrategy, LoadBalancer};
 pub use cache::{
@@ -33,4 +34,14 @@ pub use parallel::{ParallelOptions, ParallelRunStats, ParallelSystem, ReplicaSee
 pub use system::{
     BitFlipCorruptor, EdgeReplica, HaPolicy, HaStats, QuarantinePolicy, ThreeTierOptions,
     ThreeTierSystem, TwoTierSystem,
+};
+pub use tiering::{
+    PendingTransition, PlacementMode, PlacementScript, PlacementStats, ScriptedDecision,
+    TransitionBarrier, TransitionRecord,
+};
+// Decision-logic types re-exported so runtime consumers need not depend on
+// `edgstr-placement` directly.
+pub use edgstr_placement::{
+    desired_placement, Decision, DecisionReason, Observation, Placement, PlacementController,
+    PlacementPolicy, StaticSignals, WindowSummary,
 };

@@ -11,9 +11,13 @@ use crate::cache::{
     bump_static_global_writes, resolve_reads, CacheKey, CachePolicy, CacheStats, ResponseCache,
     UnitKey, CACHE_HIT_CYCLES,
 };
-use crate::crdtset::{CrdtSet, SetClock, SyncEndpoint};
+use crate::crdtset::{CrdtSet, SetChanges, SetClock, SyncEndpoint};
 use crate::driver::RunRecorder;
 pub use crate::driver::{FaultPolicy, MobilePower, RunStats, TimedRequest, Workload};
+use crate::tiering::{
+    PendingTransition, PlacementMode, PlacementStats, ScriptedDecision, TransitionBarrier,
+    TransitionRecord,
+};
 use edgstr_analysis::{
     EffectSummary, ExecMode, InitState, ReadUnit, ServerError, ServerProcess, StateUnit,
 };
@@ -24,6 +28,7 @@ use edgstr_net::{
     CrashEvent, CrashKind, CrashPlan, FaultPlan, HttpRequest, HttpResponse, LinkChannel, LinkSpec,
     Verb,
 };
+use edgstr_placement::{Observation, Placement, PlacementController, StaticSignals};
 use edgstr_sim::{Clock, DetRng, Device, DeviceSpec, PowerState, SimDuration, SimTime};
 use edgstr_telemetry::{Counter, SpanId, StmtProfiler, Telemetry, Tier};
 use serde_json::Value as Json;
@@ -338,6 +343,107 @@ fn response_digest(resp: &HttpResponse) -> u64 {
     h
 }
 
+/// Telemetry label for a service key: `"GET /path"`.
+fn service_label(key: &(Verb, String)) -> String {
+    format!("{} {}", key.0, key.1)
+}
+
+/// Clamp a requested placement to what the service supports:
+/// `EdgeReplicate` needs the report to have replicated the service;
+/// otherwise the best remaining placement is cache-only (when the profile
+/// is cacheable) or the cloud.
+fn clamp_placement(requested: Placement, replicable: bool, cacheable: bool) -> Placement {
+    match requested {
+        Placement::EdgeReplicate if !replicable => {
+            if cacheable {
+                Placement::EdgeCacheOnly
+            } else {
+                Placement::CloudPin
+            }
+        }
+        p => p,
+    }
+}
+
+/// Byte footprint of a service's write set in the given CRDT state (the
+/// `edgstr_service_state_bytes` gauge and the controller's static
+/// state-footprint signal).
+fn service_state_bytes(crdts: &CrdtSet, summary: &EffectSummary) -> u64 {
+    let mut bytes = 0u64;
+    for w in &summary.writes {
+        bytes += match w {
+            StateUnit::DbTable(t) => crdts
+                .tables
+                .get(t)
+                .map_or(0, |t| t.to_json().to_string().len() as u64),
+            StateUnit::File(f) => crdts.files.size(f).unwrap_or(0),
+            StateUnit::Global(g) => match crdts.globals.to_json() {
+                Json::Object(m) => m.get(g).map_or(0, |v| v.to_string().len() as u64),
+                _ => 0,
+            },
+        };
+    }
+    bytes
+}
+
+/// Split one sync message's wire bytes across the services that write the
+/// units it carries (equal share per writer), at change-count granularity
+/// — the controller's per-service sync-traffic signal.
+fn attribute_changes(
+    unit_writers: &BTreeMap<StateUnit, Vec<(Verb, String)>>,
+    msg_bytes: u64,
+    changes: &SetChanges,
+    out: &mut Vec<((Verb, String), u64)>,
+) {
+    fn share_out(out: &mut Vec<((Verb, String), u64)>, writers: &[(Verb, String)], bytes: u64) {
+        if writers.is_empty() || bytes == 0 {
+            return;
+        }
+        let per = bytes / writers.len() as u64;
+        if per > 0 {
+            for w in writers {
+                out.push((w.clone(), per));
+            }
+        }
+    }
+    let total = changes.len() as u64;
+    if total == 0 {
+        return;
+    }
+    for (table, ch) in &changes.tables {
+        if let Some(writers) = unit_writers.get(&StateUnit::DbTable(table.clone())) {
+            share_out(out, writers, msg_bytes * ch.len() as u64 / total);
+        }
+    }
+    // file and global changes are not split per unit on the wire; their
+    // byte share goes to every service writing any unit of that kind
+    let kind_writers = |is_kind: &dyn Fn(&StateUnit) -> bool| -> Vec<(Verb, String)> {
+        unit_writers
+            .iter()
+            .filter(|(u, _)| is_kind(u))
+            .flat_map(|(_, w)| w.iter().cloned())
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect()
+    };
+    if !changes.files.is_empty() {
+        let writers = kind_writers(&|u| matches!(u, StateUnit::File(_)));
+        share_out(
+            out,
+            &writers,
+            msg_bytes * changes.files.len() as u64 / total,
+        );
+    }
+    if !changes.globals.is_empty() {
+        let writers = kind_writers(&|u| matches!(u, StateUnit::Global(_)));
+        share_out(
+            out,
+            &writers,
+            msg_bytes * changes.globals.len() as u64 / total,
+        );
+    }
+}
+
 /// The warm-standby cloud replica and its intra-DC replication channel.
 #[derive(Debug)]
 struct CloudStandby {
@@ -436,6 +542,10 @@ pub struct ThreeTierOptions {
     pub ha: Option<HaPolicy>,
     /// `Some` enables multi-variant shadow checking with quarantine.
     pub quarantine: Option<QuarantinePolicy>,
+    /// Per-service tier placement: report-static (default, the
+    /// pre-controller semantics), a pinned ablation, the autonomous
+    /// controller, or a scripted replay.
+    pub placement: PlacementMode,
 }
 
 impl Default for ThreeTierOptions {
@@ -457,6 +567,7 @@ impl Default for ThreeTierOptions {
             crashes: None,
             ha: None,
             quarantine: None,
+            placement: PlacementMode::default(),
         }
     }
 }
@@ -528,6 +639,29 @@ pub struct ThreeTierSystem {
     /// Sampling stream for the multi-variant check.
     shadow_rng: DetRng,
     ha_stats: HaStats,
+    /// Effective per-service placement; routing consults this on every
+    /// request. Under the default [`PlacementMode::ReportStatic`] it is
+    /// exactly the report's replicated set (replicated → `EdgeReplicate`,
+    /// everything else → `CloudPin`).
+    placements: BTreeMap<(Verb, String), Placement>,
+    /// The autonomous controller ([`PlacementMode::Adaptive`] only).
+    controller: Option<PlacementController>,
+    /// Decided transitions waiting on their clock-domination barriers.
+    pending_transitions: Vec<PendingTransition>,
+    /// Scripted decision schedule, time-ordered, with a replay cursor.
+    script: Vec<ScriptedDecision>,
+    script_cursor: usize,
+    /// Static write-unit → writer-services map for attributing sync bytes
+    /// to services (controller telemetry).
+    unit_writers: BTreeMap<StateUnit, Vec<(Verb, String)>>,
+    /// Cycles the cloud spent on the last forwarded execution (cache hits
+    /// count [`CACHE_HIT_CYCLES`]) — the controller's cost estimate input.
+    last_forward_cycles: u64,
+    placement_stats: PlacementStats,
+    /// Next background sync tick, persistent across [`ThreeTierSystem::run`]
+    /// calls so multi-phase workloads never replay control-plane ticks at
+    /// already-processed virtual times.
+    next_sync: SimTime,
 }
 
 impl ThreeTierSystem {
@@ -639,7 +773,77 @@ impl ThreeTierSystem {
             })
             .collect();
         let cloud_cache = ResponseCache::new(options.cache_budget_bytes, &options.telemetry);
-        Ok(ThreeTierSystem {
+        let replicated: BTreeSet<(Verb, String)> =
+            report.replica.replicated.iter().cloned().collect();
+        // every profiled or replicated service gets an explicit placement
+        let service_keys: BTreeSet<(Verb, String)> = effects
+            .keys()
+            .cloned()
+            .chain(replicated.iter().cloned())
+            .collect();
+        let natural = |key: &(Verb, String)| {
+            if replicated.contains(key) {
+                Placement::EdgeReplicate
+            } else {
+                Placement::CloudPin
+            }
+        };
+        let mut placements = BTreeMap::new();
+        for key in &service_keys {
+            let p = match &options.placement {
+                PlacementMode::ReportStatic | PlacementMode::Adaptive(_) => natural(key),
+                PlacementMode::Pinned(p) => clamp_placement(
+                    *p,
+                    replicated.contains(key),
+                    effects.get(key).is_some_and(|s| s.cacheable),
+                ),
+                PlacementMode::Scripted(script) => script.pinned.map_or(natural(key), |p| {
+                    clamp_placement(
+                        p,
+                        replicated.contains(key),
+                        effects.get(key).is_some_and(|s| s.cacheable),
+                    )
+                }),
+            };
+            placements.insert(key.clone(), p);
+        }
+        let controller = if let PlacementMode::Adaptive(policy) = &options.placement {
+            // offered-demand utilization is measured against the cluster's
+            // aggregate edge compute
+            let edge_cores: f64 = edges.iter().map(|e| f64::from(e.device.spec.cores)).sum();
+            let mut c = PlacementController::new(policy.clone(), edge_cores.max(1.0));
+            for key in &service_keys {
+                let signals = effects.get(key).map_or_else(
+                    || StaticSignals {
+                        replicable: replicated.contains(key),
+                        ..StaticSignals::default()
+                    },
+                    |s| {
+                        StaticSignals::from_summary(
+                            s,
+                            replicated.contains(key),
+                            service_state_bytes(&cloud_crdts, s),
+                        )
+                    },
+                );
+                c.register(key.clone(), signals, placements[key]);
+            }
+            Some(c)
+        } else {
+            None
+        };
+        let mut script = match &options.placement {
+            PlacementMode::Scripted(s) => s.decisions.clone(),
+            _ => Vec::new(),
+        };
+        script.sort_by_key(|d| d.at);
+        let mut unit_writers: BTreeMap<StateUnit, Vec<(Verb, String)>> = BTreeMap::new();
+        for (key, summary) in &effects {
+            for w in &summary.writes {
+                unit_writers.entry(w.clone()).or_default().push(key.clone());
+            }
+        }
+        let mut sys = ThreeTierSystem {
             cloud,
             cloud_device: Device::new(DeviceSpec::cloud_server()),
             cloud_crdts,
@@ -665,12 +869,317 @@ impl ThreeTierSystem {
             durable_image,
             shadow_rng,
             ha_stats: HaStats::default(),
+            next_sync: SimTime::ZERO + options.sync_interval,
             options,
-            replicated: report.replica.replicated.iter().cloned().collect(),
+            replicated,
             cloud_cache,
             effects,
             mobile: MobilePower::default(),
-        })
+            placements,
+            controller,
+            pending_transitions: Vec::new(),
+            script,
+            script_cursor: 0,
+            unit_writers,
+            last_forward_cycles: 0,
+            placement_stats: PlacementStats::default(),
+        };
+        sys.emit_initial_placements();
+        Ok(sys)
+    }
+
+    /// `placement.pin` events and initial placement gauges for every
+    /// service at deploy time.
+    fn emit_initial_placements(&mut self) {
+        let telemetry = self.options.telemetry.clone();
+        if !telemetry.is_enabled() {
+            return;
+        }
+        for (key, p) in &self.placements {
+            telemetry.event(
+                "placement.pin",
+                Tier::System,
+                None,
+                SimTime::ZERO,
+                &[
+                    ("service", Json::from(service_label(key))),
+                    ("to", Json::from(p.as_str())),
+                ],
+            );
+        }
+        if let Some(reg) = telemetry.registry() {
+            for (key, p) in &self.placements {
+                reg.gauge(
+                    "edgstr_placement_state",
+                    &[("service", &service_label(key))],
+                )
+                .set(f64::from(p.rank()));
+            }
+        }
+    }
+
+    /// The effective placement routing uses for `key` right now (pending
+    /// transitions have not happened yet).
+    pub fn placement_of(&self, key: &(Verb, String)) -> Placement {
+        self.placements
+            .get(key)
+            .copied()
+            .unwrap_or(Placement::CloudPin)
+    }
+
+    /// Accumulated placement decisions and completed transitions.
+    pub fn placement_stats(&self) -> &PlacementStats {
+        &self.placement_stats
+    }
+
+    /// Transitions decided but still waiting on their clock barriers.
+    pub fn pending_transition_count(&self) -> usize {
+        self.pending_transitions.len()
+    }
+
+    /// The decision schedule recorded so far — replayable verbatim as
+    /// [`PlacementScript::decisions`][crate::PlacementScript] for a
+    /// digest-parity reference run.
+    pub fn decision_schedule(&self) -> Vec<ScriptedDecision> {
+        self.placement_stats.decided.clone()
+    }
+
+    /// Placement control-plane step at a sync tick: replay due scripted
+    /// decisions, run the adaptive controller over the windows that just
+    /// closed, then apply any transition whose barrier is met.
+    fn placement_tick(&mut self, at: SimTime) {
+        while self
+            .script
+            .get(self.script_cursor)
+            .is_some_and(|d| d.at <= at)
+        {
+            let d = self.script[self.script_cursor].clone();
+            self.script_cursor += 1;
+            self.begin_transition(d.service, d.to, d.at, "scripted");
+        }
+        let decisions = match self.controller.as_mut() {
+            Some(c) => c.tick(at),
+            None => Vec::new(),
+        };
+        for d in decisions {
+            self.begin_transition(d.service, d.to, d.at, d.reason.as_str());
+        }
+        if self.controller.is_some() {
+            self.publish_placement_gauges();
+        }
+        self.apply_ready_transitions(at);
+    }
+
+    /// Queue one placement transition. A decision made while an earlier
+    /// transition of the same service is still draining chains off that
+    /// transition's target, preserving per-service FIFO order.
+    fn begin_transition(
+        &mut self,
+        service: (Verb, String),
+        to: Placement,
+        at: SimTime,
+        reason: &str,
+    ) {
+        let cacheable = self.effects.get(&service).is_some_and(|s| s.cacheable);
+        let to = clamp_placement(to, self.replicated.contains(&service), cacheable);
+        let from = self
+            .pending_transitions
+            .iter()
+            .rev()
+            .find(|t| t.service == service)
+            .map(|t| t.to)
+            .unwrap_or_else(|| self.placement_of(&service));
+        if from == to {
+            return;
+        }
+        self.placement_stats.decided.push(ScriptedDecision {
+            at,
+            service: service.clone(),
+            to,
+        });
+        let barrier = if to == Placement::EdgeReplicate {
+            // promotion warm-up: local serving starts only once every live
+            // edge has observed at least this cloud snapshot
+            TransitionBarrier::EdgesDominate(self.cloud_crdts.clock())
+        } else if from == Placement::EdgeReplicate {
+            // demotion drain: keep serving locally until the cloud holds
+            // every edge delta that existed at decision time
+            TransitionBarrier::CloudDominates(
+                self.edges
+                    .iter()
+                    .filter(|e| !e.crashed)
+                    .map(|e| e.crdts.clock())
+                    .collect(),
+            )
+        } else {
+            TransitionBarrier::Immediate
+        };
+        self.pending_transitions.push(PendingTransition {
+            service,
+            from,
+            to,
+            decided_at: at,
+            reason: reason.to_string(),
+            barrier,
+        });
+    }
+
+    /// Apply every pending transition whose barrier is met, in decision
+    /// order per service (a later transition never overtakes an earlier
+    /// one that is still draining).
+    fn apply_ready_transitions(&mut self, at: SimTime) {
+        if self.pending_transitions.is_empty() {
+            return;
+        }
+        let cloud_clock = self.cloud_crdts.clock();
+        let mut blocked: BTreeSet<(Verb, String)> = BTreeSet::new();
+        let mut i = 0;
+        while i < self.pending_transitions.len() {
+            let t = &self.pending_transitions[i];
+            let ready = !blocked.contains(&t.service)
+                && match &t.barrier {
+                    TransitionBarrier::Immediate => true,
+                    TransitionBarrier::EdgesDominate(snap) => self
+                        .edges
+                        .iter()
+                        .filter(|e| !e.crashed)
+                        .all(|e| e.crdts.clock().dominates(snap)),
+                    TransitionBarrier::CloudDominates(snaps) => {
+                        snaps.iter().all(|s| cloud_clock.dominates(s))
+                    }
+                };
+            if ready {
+                let t = self.pending_transitions.remove(i);
+                self.complete_transition(t, at);
+            } else {
+                blocked.insert(self.pending_transitions[i].service.clone());
+                i += 1;
+            }
+        }
+    }
+
+    /// Flip the effective placement, record the transition, snapshot the
+    /// acked prefixes for the write-loss audit, and emit telemetry.
+    fn complete_transition(&mut self, t: PendingTransition, at: SimTime) {
+        self.placements.insert(t.service.clone(), t.to);
+        let promote = t.to.rank() > t.from.rank();
+        if promote {
+            self.placement_stats.promotes += 1;
+        } else {
+            self.placement_stats.demotes += 1;
+        }
+        // audit point for zero acked-write loss: the final converged
+        // master clock must dominate every live edge's acked prefix as it
+        // stood at the flip
+        self.placement_stats.acked_snapshots.extend(
+            self.edges
+                .iter()
+                .filter(|e| !e.crashed)
+                .map(|e| e.to_cloud.peer_clock.clone()),
+        );
+        let telemetry = self.options.telemetry.clone();
+        if telemetry.is_enabled() {
+            telemetry.event(
+                if promote {
+                    "placement.promote"
+                } else {
+                    "placement.demote"
+                },
+                Tier::System,
+                None,
+                at,
+                &[
+                    ("service", Json::from(service_label(&t.service))),
+                    ("from", Json::from(t.from.as_str())),
+                    ("to", Json::from(t.to.as_str())),
+                    ("reason", Json::from(t.reason.clone())),
+                ],
+            );
+            if let Some(reg) = telemetry.registry() {
+                reg.gauge(
+                    "edgstr_placement_state",
+                    &[("service", &service_label(&t.service))],
+                )
+                .set(f64::from(t.to.rank()));
+            }
+        }
+        self.placement_stats.transitions.push(TransitionRecord {
+            service: t.service,
+            from: t.from,
+            to: t.to,
+            decided_at: t.decided_at,
+            completed_at: at,
+            reason: t.reason,
+        });
+    }
+
+    /// Per-service controller gauges: effective placement rank, window
+    /// read ratio, and live state-byte footprint.
+    fn publish_placement_gauges(&self) {
+        let telemetry = &self.options.telemetry;
+        let Some(reg) = telemetry.registry() else {
+            return;
+        };
+        let Some(c) = self.controller.as_ref() else {
+            return;
+        };
+        for (key, _, summary) in c.snapshot() {
+            let label = service_label(&key);
+            reg.gauge("edgstr_placement_state", &[("service", &label)])
+                .set(f64::from(self.placement_of(&key).rank()));
+            reg.gauge("edgstr_service_read_ratio", &[("service", &label)])
+                .set(summary.read_ratio);
+            let state_bytes = self
+                .effects
+                .get(&key)
+                .map_or(0, |s| service_state_bytes(&self.cloud_crdts, s));
+            reg.gauge("edgstr_service_state_bytes", &[("service", &label)])
+                .set(state_bytes as f64);
+        }
+    }
+
+    /// Feed one completed request into the adaptive controller's window,
+    /// with matched actual/estimated costs for both serving paths. The
+    /// local-demand estimate is always the *unloaded* edge compute time,
+    /// so post-demotion utilization keeps reflecting offered demand rather
+    /// than queueing feedback.
+    fn observe_placement(
+        &mut self,
+        key: &(Verb, String),
+        idx: usize,
+        cache_hit: bool,
+        forwarded: bool,
+        cycles: u64,
+        wait: SimDuration,
+    ) {
+        if self.controller.is_none() {
+            return;
+        }
+        let write = self.effects.get(key).is_some_and(|s| !s.pure);
+        let local_est = self.edges[idx].device.spec.service_time(cycles);
+        let forward_est = SimDuration(
+            self.options.wan.latency.0 * 2 + self.cloud_device.spec.service_time(cycles).0,
+        );
+        let obs = if forwarded {
+            Observation {
+                write,
+                cache_hit,
+                local_us: local_est.0,
+                forward_us: wait.0,
+                local_demand_us: local_est.0,
+            }
+        } else {
+            Observation {
+                write,
+                cache_hit,
+                local_us: wait.0,
+                forward_us: forward_est.0,
+                local_demand_us: local_est.0,
+            }
+        };
+        if let Some(c) = self.controller.as_mut() {
+            c.observe(key, obs);
+        }
     }
 
     /// Resolve the cache participation of one request under the configured
@@ -729,6 +1238,8 @@ impl ThreeTierSystem {
         self.replicate_to_standby();
         let cap = self.durability_clock();
         let mut bytes = 0;
+        let attribute = self.controller.is_some();
+        let mut attributed: Vec<((Verb, String), u64)> = Vec::new();
         for (i, edge) in self.edges.iter_mut().enumerate() {
             if edge.crashed {
                 continue;
@@ -738,6 +1249,14 @@ impl ThreeTierSystem {
             let msg = edge.to_cloud.generate(&edge.crdts);
             if !msg.changes.is_empty() {
                 bytes += msg.wire_size();
+                if attribute {
+                    attribute_changes(
+                        &self.unit_writers,
+                        msg.wire_size() as u64,
+                        &msg.changes,
+                        &mut attributed,
+                    );
+                }
             }
             let dropped = self
                 .options
@@ -757,6 +1276,14 @@ impl ThreeTierSystem {
             }
             if !msg.changes.is_empty() {
                 bytes += msg.wire_size();
+                if attribute {
+                    attribute_changes(
+                        &self.unit_writers,
+                        msg.wire_size() as u64,
+                        &msg.changes,
+                        &mut attributed,
+                    );
+                }
             }
             let dropped = self
                 .options
@@ -789,6 +1316,14 @@ impl ThreeTierSystem {
                     );
                 }
             }
+        }
+        if let Some(c) = self.controller.as_mut() {
+            for (key, b) in attributed {
+                c.observe_sync_bytes(&key, b);
+            }
+        }
+        if !self.pending_transitions.is_empty() {
+            self.apply_ready_transitions(at);
         }
         if telemetry.is_enabled() {
             telemetry.span_attr(span, "bytes", Json::from(bytes as u64));
@@ -1453,6 +1988,7 @@ impl ThreeTierSystem {
                     if let Some(response) = cloud_hit {
                         let serve =
                             telemetry.start_span("serve", Tier::Cloud, Some(span), cloud_arrive);
+                        self.last_forward_cycles = CACHE_HIT_CYCLES;
                         let (_, finish) = self
                             .cloud_device
                             .schedule_work(cloud_arrive, CACHE_HIT_CYCLES);
@@ -1486,6 +2022,7 @@ impl ThreeTierSystem {
                                         self.effects.get(&(request.verb, request.path.clone())),
                                     );
                                 }
+                                self.last_forward_cycles = out.cycles;
                                 let (_, finish) =
                                     self.cloud_device.schedule_work(cloud_arrive, out.cycles);
                                 telemetry.end_span(serve, finish);
@@ -1573,14 +2110,16 @@ impl ThreeTierSystem {
                 .map(|i| reg.counter("edgstr_routed_total", &[("edge", &i.to_string())]))
                 .collect()
         });
-        let mut next_sync = SimTime::ZERO + self.options.sync_interval;
         for tr in &workload.requests {
             let now = tr.at;
-            // background sync ticks that elapsed before this arrival
-            while !self.options.synchronous_sync && next_sync <= now {
-                let tick = next_sync;
+            // background sync ticks that elapsed before this arrival; the
+            // tick clock lives on the system so that back-to-back phase
+            // runs continue the schedule instead of replaying old ticks
+            while !self.options.synchronous_sync && self.next_sync <= now {
+                let tick = self.next_sync;
                 rec.add_wan_sync_bytes(self.sync_round(tick));
-                next_sync += self.options.sync_interval;
+                self.placement_tick(tick);
+                self.next_sync += self.options.sync_interval;
             }
             // scheduled crashes / restarts / promotions that elapsed
             self.advance_ha(now);
@@ -1653,27 +2192,37 @@ impl ThreeTierSystem {
             let wake = self.edges[idx].device.wake_penalty();
             let arrive = lan_arrive + wake;
             let key = (tr.request.verb, tr.request.path.clone());
-            let local = self.replicated.contains(&key);
+            let placement = self.placement_of(&key);
+            let local = placement == Placement::EdgeReplicate;
             let plan = self.cache_plan(&tr.request);
             // A forwarded service may be served from the edge cache only
             // when skipping the WAN round-trip cannot diverge from the
             // cache-off run: no read set, no writes (pure), and no fault
             // plan whose per-link streams the skipped messages would have
-            // consumed.
+            // consumed. Under an explicit `EdgeCacheOnly` placement the
+            // edge cache is consulted regardless — bounded staleness is
+            // that placement's contract, and hits are still validated
+            // against the edge's CRDT read-unit versions.
             let forward_skip_ok = !local
                 && self.options.faults.is_none()
                 && plan.as_ref().is_some_and(|p| p.reads.is_empty() && p.pure);
-            let cache_hit: Option<HttpResponse> = if local || forward_skip_ok {
-                plan.as_ref().and_then(|p| {
-                    let edge = &mut self.edges[idx];
-                    edge.cache.lookup(&p.key, &edge.crdts.versions)
-                })
-            } else {
-                None
-            };
+            let cache_hit: Option<HttpResponse> =
+                if local || forward_skip_ok || placement == Placement::EdgeCacheOnly {
+                    plan.as_ref().and_then(|p| {
+                        let edge = &mut self.edges[idx];
+                        edge.cache.lookup(&p.key, &edge.crdts.versions)
+                    })
+                } else {
+                    None
+                };
             // set when this request's digest mismatch exhausts the budget;
             // acted on after the response is recorded
             let mut quarantine_after: Option<usize> = None;
+            // controller telemetry for this request: how it was served and
+            // the compute it demanded
+            let was_cache_hit = cache_hit.is_some();
+            let mut served_forwarded = false;
+            let mut served_cycles = CACHE_HIT_CYCLES;
             let (done, response, up_total, down_total, wait) = if let Some(response) = cache_hit {
                 if self.breaker_open(idx, arrive) {
                     rec.degraded();
@@ -1710,6 +2259,7 @@ impl ThreeTierSystem {
                 };
                 match local_result {
                     Ok(mut out) => {
+                        served_cycles = out.cycles;
                         if self.breaker_open(idx, arrive) {
                             // replicated service under an open breaker: still
                             // served locally, deltas queue until the WAN heals
@@ -1810,13 +2360,22 @@ impl ThreeTierSystem {
                             plan.as_ref(),
                         ) {
                             Some((back_at_edge, response)) => {
+                                served_forwarded = true;
+                                served_cycles = self.last_forward_cycles;
                                 telemetry.end_span(fwd, back_at_edge);
                                 let resp_size = response.size();
                                 let done = self.lan_down.send(back_at_edge, resp_size);
                                 let lan_down = done - back_at_edge;
                                 rec.add_lan_bytes(resp_size);
                                 self.edges[idx].inflight.push(done);
-                                if forward_skip_ok {
+                                // cache-only placement fills pure responses
+                                // stamped with the edge-local read-unit
+                                // versions, so sync-applied remote writes
+                                // invalidate them
+                                let fill = forward_skip_ok
+                                    || (placement == Placement::EdgeCacheOnly
+                                        && plan.as_ref().is_some_and(|p| p.pure));
+                                if fill {
                                     if let Some(p) = &plan {
                                         let edge = &mut self.edges[idx];
                                         let stamp = edge.crdts.versions.snapshot(&p.reads);
@@ -1838,6 +2397,16 @@ impl ThreeTierSystem {
             let energy = self.mobile.request_energy_j(up_total, down_total, wait);
             rec.complete(&response, tr.at, done, energy);
             telemetry.end_span(span, done);
+            if self.controller.is_some() {
+                self.observe_placement(
+                    &key,
+                    idx,
+                    was_cache_hit,
+                    served_forwarded,
+                    served_cycles,
+                    wait,
+                );
+            }
             if let Some(qi) = quarantine_after {
                 self.quarantine_edge(qi, done);
             }
@@ -2675,5 +3244,248 @@ mod tests {
             "healthy replicas must never mismatch"
         );
         assert!(hs.quarantines.is_empty(), "zero false quarantines required");
+    }
+
+    // --- tier placement controller ---
+
+    use crate::tiering::PlacementScript;
+    use edgstr_placement::PlacementPolicy;
+
+    fn note_key() -> (Verb, String) {
+        (Verb::Post, "/note".to_string())
+    }
+
+    /// A policy that demotes the write service on its first closed window:
+    /// any sync byte exceeds the ceiling, confirmation is immediate and
+    /// the cooldown is zero.
+    fn demote_fast_policy() -> PlacementPolicy {
+        PlacementPolicy {
+            min_requests: 1,
+            confirm_windows: 1,
+            cooldown: SimDuration::from_secs(0),
+            sync_bytes_per_write_ceiling: 1.0,
+            ..PlacementPolicy::default()
+        }
+    }
+
+    #[test]
+    fn pinned_cloud_forwards_everything() {
+        let report = transformed();
+        let mut sys = ThreeTierSystem::deploy(
+            APP,
+            &report,
+            &[DeviceSpec::rpi4()],
+            ThreeTierOptions {
+                placement: PlacementMode::Pinned(Placement::CloudPin),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let reqs: Vec<HttpRequest> = (0..20).map(unique_note).collect();
+        let wl = Workload::constant_rate(&reqs, 10.0, 20);
+        let stats = sys.run(&wl);
+        assert_eq!(stats.completed, 20);
+        assert_eq!(stats.forwarded, 20, "cloud-pinned services must forward");
+        assert!(stats.wan_request_bytes > 0);
+        assert_eq!(sys.placement_of(&note_key()), Placement::CloudPin);
+        assert_eq!(sys.placement_stats().promotes, 0);
+        assert_eq!(sys.placement_stats().demotes, 0);
+    }
+
+    #[test]
+    fn cache_only_placement_serves_pure_reads_from_edge_cache() {
+        let report = transformed();
+        let deploy = |placement| {
+            ThreeTierSystem::deploy(
+                APP,
+                &report,
+                &[DeviceSpec::rpi4()],
+                ThreeTierOptions {
+                    placement,
+                    cache: CachePolicy::All,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let mut reqs = vec![unique_note(1)];
+        for _ in 0..10 {
+            reqs.push(HttpRequest::get("/count", json!({})));
+        }
+        let wl = Workload::constant_rate(&reqs, 20.0, reqs.len());
+        let mut sys = deploy(PlacementMode::Pinned(Placement::EdgeCacheOnly));
+        let stats = sys.run(&wl);
+        assert_eq!(stats.completed, 11);
+        // the POST and the first GET forward; every later GET is an edge
+        // cache hit validated against the edge's CRDT read-unit versions
+        assert_eq!(stats.forwarded, 2);
+        assert!(sys.cache_stats().hits >= 9);
+        // no write lands between the GETs, so the cached responses are
+        // bit-identical to a cloud-pinned run
+        let mut pinned = deploy(PlacementMode::Pinned(Placement::CloudPin));
+        let pinned_stats = pinned.run(&wl);
+        assert_eq!(stats.response_digest, pinned_stats.response_digest);
+    }
+
+    #[test]
+    fn adaptive_demotes_chatty_write_service_without_losing_writes() {
+        let report = transformed();
+        let mut sys = ThreeTierSystem::deploy(
+            APP,
+            &report,
+            &[DeviceSpec::rpi4(), DeviceSpec::rpi3()],
+            ThreeTierOptions {
+                placement: PlacementMode::Adaptive(demote_fast_policy()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let reqs: Vec<HttpRequest> = (0..40).map(unique_note).collect();
+        let wl = Workload::constant_rate(&reqs, 10.0, 40);
+        let stats = sys.run(&wl);
+        assert_eq!(stats.completed, 40);
+        assert_eq!(
+            sys.placement_of(&note_key()),
+            Placement::CloudPin,
+            "a write service whose sync traffic exceeds the ceiling demotes"
+        );
+        let ps = sys.placement_stats();
+        assert!(ps.demotes >= 1);
+        assert!(!ps.transitions.is_empty());
+        assert!(stats.forwarded > 0, "post-demotion writes must forward");
+        // zero acked-write loss: after convergence the master dominates
+        // every transition-time acked prefix and holds every write
+        sys.sync_until_converged(stats.makespan, 50)
+            .expect("cluster must converge");
+        let master = sys.cloud_crdts.clock();
+        for snap in &sys.placement_stats().acked_snapshots {
+            assert!(master.dominates(snap), "acked write lost across demotion");
+        }
+        // 40 run inserts plus the capture warm-up row
+        assert_eq!(sys.cloud_crdts.tables["notes"].len(), 41);
+    }
+
+    #[test]
+    fn scripted_round_trip_demotes_then_promotes_without_losing_writes() {
+        let report = transformed();
+        let script = PlacementScript {
+            pinned: None,
+            decisions: vec![
+                ScriptedDecision {
+                    at: SimTime(1_000_000),
+                    service: note_key(),
+                    to: Placement::CloudPin,
+                },
+                ScriptedDecision {
+                    at: SimTime(3_000_000),
+                    service: note_key(),
+                    to: Placement::EdgeReplicate,
+                },
+            ],
+        };
+        let mut sys = ThreeTierSystem::deploy(
+            APP,
+            &report,
+            &[DeviceSpec::rpi4(), DeviceSpec::rpi3()],
+            ThreeTierOptions {
+                placement: PlacementMode::Scripted(script),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let reqs: Vec<HttpRequest> = (0..60).map(unique_note).collect();
+        let wl = Workload::constant_rate(&reqs, 10.0, 60);
+        let stats = sys.run(&wl);
+        assert_eq!(stats.completed, 60);
+        let ps = sys.placement_stats();
+        assert_eq!(ps.demotes, 1);
+        assert_eq!(ps.promotes, 1);
+        assert_eq!(ps.transitions.len(), 2);
+        assert!(
+            stats.forwarded > 0 && stats.forwarded < 60,
+            "only the cloud-pinned phase forwards, got {}",
+            stats.forwarded
+        );
+        assert_eq!(sys.placement_of(&note_key()), Placement::EdgeReplicate);
+        sys.sync_until_converged(stats.makespan, 50)
+            .expect("cluster must converge");
+        let master = sys.cloud_crdts.clock();
+        for snap in &sys.placement_stats().acked_snapshots {
+            assert!(master.dominates(snap), "acked write lost in round trip");
+        }
+        // 60 run inserts plus the capture warm-up row
+        assert_eq!(sys.cloud_crdts.tables["notes"].len(), 61);
+    }
+
+    /// The E18 digest-parity contract: replaying an adaptive run's
+    /// recorded decision schedule reproduces the run bit-for-bit.
+    #[test]
+    fn adaptive_run_replays_to_identical_digest() {
+        let report = transformed();
+        let mut reqs: Vec<HttpRequest> = (0..40).map(unique_note).collect();
+        for _ in 0..10 {
+            reqs.push(HttpRequest::get("/count", json!({})));
+        }
+        let wl = Workload::constant_rate(&reqs, 10.0, reqs.len());
+        let deploy = |placement| {
+            ThreeTierSystem::deploy(
+                APP,
+                &report,
+                &[DeviceSpec::rpi4(), DeviceSpec::rpi3()],
+                ThreeTierOptions {
+                    placement,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let mut adaptive = deploy(PlacementMode::Adaptive(demote_fast_policy()));
+        let a = adaptive.run(&wl);
+        let schedule = adaptive.decision_schedule();
+        assert!(!schedule.is_empty(), "the policy must have decided");
+        let mut replay = deploy(PlacementMode::Scripted(PlacementScript {
+            pinned: None,
+            decisions: schedule,
+        }));
+        let r = replay.run(&wl);
+        assert_eq!(a.response_digest, r.response_digest);
+        assert_eq!(a.completed, r.completed);
+        assert_eq!(a.forwarded, r.forwarded);
+        assert_eq!(a.makespan, r.makespan);
+        assert_eq!(
+            adaptive.placement_stats().transitions.len(),
+            replay.placement_stats().transitions.len()
+        );
+    }
+
+    #[test]
+    fn placement_telemetry_exports_gauges_and_events() {
+        let report = transformed();
+        let telemetry = Telemetry::recording();
+        let mut sys = ThreeTierSystem::deploy(
+            APP,
+            &report,
+            &[DeviceSpec::rpi4()],
+            ThreeTierOptions {
+                placement: PlacementMode::Adaptive(demote_fast_policy()),
+                telemetry: telemetry.clone(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let reqs: Vec<HttpRequest> = (0..40).map(unique_note).collect();
+        let wl = Workload::constant_rate(&reqs, 10.0, 40);
+        sys.run(&wl);
+        let prom = telemetry.export_prometheus();
+        for gauge in [
+            "edgstr_placement_state",
+            "edgstr_service_read_ratio",
+            "edgstr_service_state_bytes",
+        ] {
+            assert!(prom.contains(gauge), "missing {gauge} in:\n{prom}");
+        }
+        let trace = telemetry.export_trace_jsonl();
+        assert!(trace.contains("placement.pin"), "initial pins must trace");
+        assert!(trace.contains("placement.demote"), "demotion must trace");
     }
 }

@@ -1,0 +1,121 @@
+//! Per-service tier placement wired into the three-tier runtime.
+//!
+//! The decision logic lives in `edgstr-placement`; this module holds the
+//! runtime-facing plumbing: the placement *mode* configured on
+//! [`crate::ThreeTierOptions`], the scripted-replay schedule format, the
+//! safe mid-run transition machinery (clock-domination barriers), and the
+//! accumulated stats the E18 bench audits.
+//!
+//! ## Transition safety
+//!
+//! Placement flips never take effect at the decision instant. A
+//! **promotion** to [`Placement::EdgeReplicate`] provisions from the
+//! continuously-replicated CRDT state and *warms from the sync stream*:
+//! it completes only once every live edge's clock dominates the cloud
+//! clock snapshotted at decision time, so the first locally-served
+//! request observes at least everything the cloud had decided on. A
+//! **demotion** out of `EdgeReplicate` drains: the service keeps serving
+//! locally until the cloud clock dominates every live edge's
+//! decision-time clock — every unsynced delta has been folded to the
+//! cloud — and only then falls back to forward-with-cache. (In-flight
+//! requests complete atomically in the virtual-time driver, so request
+//! draining is implied.) Because barrier completion is a pure function of
+//! the deterministic sync schedule, a recorded decision schedule replayed
+//! via [`PlacementMode::Scripted`] flips at identical virtual times and
+//! reproduces bit-identical response digests.
+
+use crate::crdtset::SetClock;
+use edgstr_net::Verb;
+use edgstr_placement::{Placement, PlacementPolicy};
+use edgstr_sim::SimTime;
+
+/// How the deployment assigns per-service placements.
+#[derive(Debug, Clone, Default)]
+pub enum PlacementMode {
+    /// The pre-controller semantics: services the transformation report
+    /// replicates serve at the edge, everything else forwards. The
+    /// default, and byte-for-byte identical to the pre-placement runtime.
+    #[default]
+    ReportStatic,
+    /// Every service pinned to one placement (ablation cells). A pin to
+    /// `EdgeReplicate` is clamped per service to the best placement it
+    /// supports: cache-only when the report did not replicate it but its
+    /// profile is cacheable, cloud otherwise.
+    Pinned(Placement),
+    /// The autonomous controller: decisions from static effect signals
+    /// plus sliding telemetry windows, re-deciding at every sync tick.
+    Adaptive(PlacementPolicy),
+    /// Replay a recorded decision schedule (digest-parity reference runs).
+    Scripted(PlacementScript),
+}
+
+/// A pinned-or-replayed placement schedule.
+#[derive(Debug, Clone, Default)]
+pub struct PlacementScript {
+    /// Initial placement override for every service (`None` starts from
+    /// the report-static assignment, as the adaptive controller does).
+    pub pinned: Option<Placement>,
+    /// Time-ordered decisions to replay.
+    pub decisions: Vec<ScriptedDecision>,
+}
+
+/// One recorded (or replayed) placement decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptedDecision {
+    pub at: SimTime,
+    pub service: (Verb, String),
+    pub to: Placement,
+}
+
+/// Why a transition has not taken effect yet.
+#[derive(Debug, Clone)]
+pub enum TransitionBarrier {
+    /// No state hand-off needed: applies at the next barrier check.
+    Immediate,
+    /// Promotion warm-up: every live edge clock must dominate this cloud
+    /// snapshot before local serving starts.
+    EdgesDominate(SetClock),
+    /// Demotion drain: the cloud clock must dominate each of these edge
+    /// snapshots (all unsynced deltas folded) before forwarding starts.
+    CloudDominates(Vec<SetClock>),
+}
+
+/// A decided transition waiting on its barrier.
+#[derive(Debug, Clone)]
+pub struct PendingTransition {
+    pub service: (Verb, String),
+    pub from: Placement,
+    pub to: Placement,
+    pub decided_at: SimTime,
+    pub reason: String,
+    pub barrier: TransitionBarrier,
+}
+
+/// A completed transition.
+#[derive(Debug, Clone)]
+pub struct TransitionRecord {
+    pub service: (Verb, String),
+    pub from: Placement,
+    pub to: Placement,
+    pub decided_at: SimTime,
+    pub completed_at: SimTime,
+    pub reason: String,
+}
+
+/// Accumulated placement activity across a system's lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct PlacementStats {
+    /// Every effective decision, in decision order — replayable verbatim
+    /// as [`PlacementScript::decisions`].
+    pub decided: Vec<ScriptedDecision>,
+    /// Completed transitions with their barrier-crossing times.
+    pub transitions: Vec<TransitionRecord>,
+    /// Rank-increasing transitions (toward the edge).
+    pub promotes: u32,
+    /// Rank-decreasing transitions (toward the cloud).
+    pub demotes: u32,
+    /// Ack clocks snapshotted at every completed transition (each live
+    /// edge's acked prefix). The zero-acked-write-loss audit: the final
+    /// converged master clock must dominate every snapshot.
+    pub acked_snapshots: Vec<SetClock>,
+}
